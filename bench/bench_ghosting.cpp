@@ -1,0 +1,83 @@
+/// \file bench_ghosting.cpp
+/// \brief Ghosting performance (paper II-C): cost of localizing off-part
+/// entity copies, by layer count and part count, plus ghost tag
+/// synchronization.
+
+#include <benchmark/benchmark.h>
+
+#include "dist/partedmesh.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "part/partition.hpp"
+
+namespace {
+
+std::unique_ptr<dist::PartedMesh> makeParted(meshgen::Generated& gen,
+                                             int nparts) {
+  const auto assignment =
+      part::partition(*gen.mesh, nparts, part::Method::RCB);
+  return dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assignment,
+      dist::PartMap(nparts, pcu::Machine::flat(nparts)));
+}
+
+void BM_GhostOneLayer(benchmark::State& state) {
+  const int nparts = static_cast<int>(state.range(0));
+  auto gen = meshgen::boxTets(12, 12, 12);
+  auto pm = makeParted(gen, nparts);
+  std::size_t ghosts = 0;
+  for (auto _ : state) {
+    pm->ghostLayers(1);
+    ghosts = 0;
+    for (dist::PartId p = 0; p < pm->parts(); ++p)
+      ghosts += pm->part(p).ghostCount();
+    state.PauseTiming();
+    pm->unghost();
+    state.ResumeTiming();
+  }
+  state.SetLabel(std::to_string(ghosts) + " ghost entities");
+}
+BENCHMARK(BM_GhostOneLayer)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GhostLayers(benchmark::State& state) {
+  const int layers = static_cast<int>(state.range(0));
+  auto gen = meshgen::boxTets(12, 12, 12);
+  auto pm = makeParted(gen, 8);
+  std::size_t ghosts = 0;
+  for (auto _ : state) {
+    pm->ghostLayers(layers);
+    ghosts = 0;
+    for (dist::PartId p = 0; p < pm->parts(); ++p)
+      ghosts += pm->part(p).ghostCount();
+    state.PauseTiming();
+    pm->unghost();
+    state.ResumeTiming();
+  }
+  state.SetLabel(std::to_string(ghosts) + " ghost entities");
+}
+BENCHMARK(BM_GhostLayers)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_GhostTagSync(benchmark::State& state) {
+  auto gen = meshgen::boxTets(12, 12, 12);
+  auto pm = makeParted(gen, 8);
+  // Attach a per-element tag everywhere, ghost once, then measure syncing.
+  for (dist::PartId p = 0; p < pm->parts(); ++p) {
+    auto& m = pm->part(p).mesh();
+    auto* t = m.tags().create<double>("load");
+    for (core::Ent e : pm->part(p).elements())
+      m.tags().setScalar<double>(t, e, static_cast<double>(p));
+  }
+  pm->ghostLayers(1);
+  for (auto _ : state) {
+    pm->syncGhostTags();
+  }
+  pm->unghost();
+}
+BENCHMARK(BM_GhostTagSync)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/// \file bench_heavy_split.cpp
+/// \brief Reproduces the heavy-part-splitting argument (paper Sec. III-B):
+/// greedy diffusion alone fails to meet tolerance when multiple heavy parts
+/// neighbour each other; heavy part splitting (knapsack merges + maximal
+/// independent set + splits) fixes such partitions, optionally followed by
+/// diffusion.
+///
+/// Workload: predictive-adaptation-style imbalance — a cluster of adjacent
+/// parts is overloaded (as happens when a shock front lands on them) while
+/// surrounding parts are light.
+
+#include <iostream>
+
+#include "core/measure.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "parma/heavysplit.hpp"
+#include "parma/improve.hpp"
+#include "parma/metrics.hpp"
+#include "part/partition.hpp"
+#include "pcu/counters.hpp"
+#include "repro/table.hpp"
+#include "repro/workloads.hpp"
+
+namespace {
+
+/// Adjacent-spike partition: stripe the mesh along x into nparts; then
+/// fold the elements of every light stripe in the "shock zone" into its
+/// left neighbour, creating several adjacent heavy parts.
+std::unique_ptr<dist::PartedMesh> adjacentSpikes(meshgen::Generated& gen,
+                                                 int nparts) {
+  std::vector<std::pair<double, std::size_t>> order;
+  std::size_t i = 0;
+  for (core::Ent e : gen.mesh->entities(3))
+    order.emplace_back(core::centroid(*gen.mesh, e).x, i++);
+  std::sort(order.begin(), order.end());
+  std::vector<dist::PartId> dest(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k)
+    dest[order[k].second] =
+        static_cast<dist::PartId>(k * static_cast<std::size_t>(nparts) /
+                                  order.size());
+  // Fold stripes in the middle third pairwise: (4k+1) -> 4k, (4k+3) -> 4k+2
+  // inside the zone, doubling those parts' loads and emptying their donors.
+  const int zone_lo = nparts / 3, zone_hi = 2 * nparts / 3;
+  for (auto& d : dest)
+    if (d >= zone_lo && d < zone_hi && (d % 2) == 1) d -= 1;
+  return dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), dest,
+      dist::PartMap(nparts, pcu::Machine::flat(nparts)));
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = repro::scaleFromEnv();
+  int n = 12, nparts = 32;
+  if (scale == repro::Scale::Small) {
+    n = 8;
+    nparts = 16;
+  } else if (scale == repro::Scale::Large) {
+    n = 18;
+    nparts = 64;
+  }
+  std::cout << "== Heavy part splitting vs diffusion (Sec. III-B), scale: "
+            << repro::scaleName(scale) << " ==\n\n";
+  std::cout << "box mesh: " << 6 * n * n * n << " tets, " << nparts
+            << " parts; middle-third stripes folded pairwise (adjacent "
+               "spikes)\n\n";
+
+  repro::Table t({"Strategy", "initial imb", "final imb", "time (s)",
+                  "meets 5% tol"});
+
+  auto run = [&](const char* name, auto&& strategy) {
+    auto gen = meshgen::boxTets(n, n, n);
+    auto pm = adjacentSpikes(gen, nparts);
+    const double initial = parma::entityBalance(*pm, 3).imbalance;
+    const double start = pcu::now();
+    strategy(*pm);
+    const double secs = pcu::now() - start;
+    pm->verify();
+    const double final_imb = parma::entityBalance(*pm, 3).imbalance;
+    t.row({name, repro::fmt(initial, 3), repro::fmt(final_imb, 3),
+           repro::fmt(secs, 3), final_imb <= 1.05 + 1e-9 ? "yes" : "no"});
+  };
+
+  run("diffusion only (ParMA Rgn)", [](dist::PartedMesh& pm) {
+    parma::improve(pm, "Rgn", {.tolerance = 0.05});
+  });
+  run("heavy part splitting", [](dist::PartedMesh& pm) {
+    parma::heavyPartSplit(pm, {.tolerance = 0.05});
+  });
+  run("heavy part splitting + diffusion", [](dist::PartedMesh& pm) {
+    parma::heavyPartSplit(pm, {.tolerance = 0.05});
+    parma::improve(pm, "Rgn", {.tolerance = 0.05});
+  });
+  t.print();
+  std::cout << "\n(Paper: iterative diffusion alone does not meet the "
+               "tolerance when imbalance spikes neighbour each other; heavy "
+               "part splitting is the directed, aggressive alternative.)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+/// \file bench_migration.cpp
+/// \brief Migration performance (paper II-C): cost of moving elements
+/// between parts while maintaining the distributed representation.
+///
+/// Measures end-to-end migrate() time for (a) a fixed-fraction boundary
+/// shift at several part counts and (b) several moved fractions at a fixed
+/// part count — migration cost should track the amount of data moved, not
+/// the mesh size (the touched-entity protocol).
+
+#include <benchmark/benchmark.h>
+
+#include "core/measure.hpp"
+#include "dist/partedmesh.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "part/partition.hpp"
+
+namespace {
+
+std::unique_ptr<dist::PartedMesh> makeParted(meshgen::Generated& gen,
+                                             int nparts) {
+  const auto assignment =
+      part::partition(*gen.mesh, nparts, part::Method::RCB);
+  return dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assignment,
+      dist::PartMap(nparts, pcu::Machine::flat(nparts)));
+}
+
+/// Plan moving `fraction` of part 0's elements (geometric slab) to part 1.
+dist::MigrationPlan slabPlan(dist::PartedMesh& pm, double fraction) {
+  dist::MigrationPlan plan(static_cast<std::size_t>(pm.parts()));
+  auto elems = pm.part(0).elements();
+  std::vector<std::pair<double, core::Ent>> order;
+  for (core::Ent e : elems)
+    order.emplace_back(core::centroid(pm.part(0).mesh(), e).x, e);
+  std::sort(order.begin(), order.end());
+  const auto target = pm.parts() > 1 ? 1 : 0;
+  const std::size_t n = static_cast<std::size_t>(fraction * order.size());
+  for (std::size_t i = order.size() - n; i < order.size(); ++i)
+    plan[0][order[i].second] = target;
+  return plan;
+}
+
+void BM_MigrateSlabAcrossParts(benchmark::State& state) {
+  const int nparts = static_cast<int>(state.range(0));
+  auto gen = meshgen::boxTets(16, 16, 16);  // 24576 tets
+  std::size_t moved = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pm = makeParted(gen, nparts);
+    auto plan = slabPlan(*pm, 0.25);
+    moved = plan[0].size();
+    state.ResumeTiming();
+    pm->migrate(plan);
+    benchmark::DoNotOptimize(pm->part(0).elementCount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(moved));
+  state.SetLabel(std::to_string(moved) + " elems moved");
+}
+BENCHMARK(BM_MigrateSlabAcrossParts)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MigrateFraction(benchmark::State& state) {
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  auto gen = meshgen::boxTets(16, 16, 16);
+  std::size_t moved = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto pm = makeParted(gen, 8);
+    auto plan = slabPlan(*pm, fraction);
+    moved = plan[0].size();
+    state.ResumeTiming();
+    pm->migrate(plan);
+    benchmark::DoNotOptimize(pm->part(1).elementCount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(moved));
+  state.SetLabel(std::to_string(moved) + " elems moved");
+}
+BENCHMARK(BM_MigrateFraction)
+    ->Arg(5)
+    ->Arg(25)
+    ->Arg(75)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistributeFromSerial(benchmark::State& state) {
+  // Initial distribution cost (mesh loading path).
+  const int nparts = static_cast<int>(state.range(0));
+  auto gen = meshgen::boxTets(12, 12, 12);
+  const auto assignment =
+      part::partition(*gen.mesh, nparts, part::Method::RCB);
+  for (auto _ : state) {
+    auto pm = dist::PartedMesh::distribute(
+        *gen.mesh, gen.model.get(), assignment,
+        dist::PartMap(nparts, pcu::Machine::flat(nparts)));
+    benchmark::DoNotOptimize(pm->parts());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(gen.mesh->count(3)));
+}
+BENCHMARK(BM_DistributeFromSerial)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/// \file bench_pcu_msg.cpp
+/// \brief Benchmarks the hybrid inter-thread message-passing layer
+/// (paper Sec. II-D: "this hybrid multi-threaded/MPI communication
+/// capability has been tested using up to 32 communicating threads in a
+/// single node of a Blue Gene/Q").
+///
+/// Google-benchmark micro-measurements over 2..32 thread-backed ranks:
+/// point-to-point ping-pong, barrier, allreduce, and the phased neighbour
+/// exchange that underlies all PUMI distributed operations.
+
+#include <benchmark/benchmark.h>
+
+#include "pcu/comm.hpp"
+#include "pcu/phased.hpp"
+#include "pcu/runtime.hpp"
+
+namespace {
+
+void BM_PingPong(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    pcu::run(2, [&](pcu::Comm& c) {
+      std::vector<std::byte> data(payload);
+      for (int i = 0; i < 8; ++i) {
+        if (c.rank() == 0) {
+          c.send(1, 1, std::vector<std::byte>(data));
+          (void)c.recv(1, 2);
+        } else {
+          (void)c.recv(0, 1);
+          c.send(0, 2, std::vector<std::byte>(data));
+        }
+      }
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          static_cast<std::int64_t>(payload));
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pcu::run(ranks, [](pcu::Comm& c) {
+      for (int i = 0; i < 16; ++i) c.barrier();
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AllreduceSum(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pcu::run(ranks, [&](pcu::Comm& c) {
+      long acc = 0;
+      for (int i = 0; i < 8; ++i) acc += c.allreduceSum<long>(c.rank() + i);
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_AllreduceSum)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PhasedExchangeNeighbors(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  // Each rank exchanges a small payload with its two ring neighbours —
+  // the traffic pattern of a mesh part boundary update.
+  for (auto _ : state) {
+    pcu::run(ranks, [&](pcu::Comm& c) {
+      for (int round = 0; round < 4; ++round) {
+        std::vector<std::pair<int, pcu::OutBuffer>> out;
+        for (int d : {(c.rank() + 1) % ranks,
+                      (c.rank() + ranks - 1) % ranks}) {
+          pcu::OutBuffer b;
+          b.pack<int>(c.rank());
+          std::vector<double> payload(64, 1.0);
+          b.packVector(payload);
+          out.emplace_back(d, std::move(b));
+        }
+        auto msgs = pcu::phasedExchange(c, std::move(out));
+        benchmark::DoNotOptimize(msgs.size());
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          ranks * 2);
+}
+BENCHMARK(BM_PhasedExchangeNeighbors)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SpawnTeardown(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pcu::run(ranks, [](pcu::Comm& c) { benchmark::DoNotOptimize(c.rank()); });
+  }
+}
+BENCHMARK(BM_SpawnTeardown)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

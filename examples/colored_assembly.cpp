@@ -1,0 +1,75 @@
+/// \file colored_assembly.cpp
+/// \brief The paper's second decomposition form (Sec. I): "coloring into
+/// the small independent sets ... advantageous for on-node threaded
+/// operations using a shared memory".
+///
+/// Assembles a lumped mass vector (per-vertex volume shares) with multiple
+/// threads and NO atomics or locks: elements of one color never share a
+/// vertex, so each color is processed as a parallel-for, colors in
+/// sequence. The result is verified against a serial assembly.
+
+#include <iostream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/measure.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "part/coloring.hpp"
+
+int main() {
+  auto gen = meshgen::boxTets(12, 12, 12);
+  core::Mesh& mesh = *gen.mesh;
+  std::cout << "mesh: " << mesh.count(3) << " tets, " << mesh.count(0)
+            << " vertices\n";
+
+  const auto coloring =
+      part::colorElements(mesh, part::ColorRelation::SharedVertex);
+  std::cout << "colored into " << coloring.colors
+            << " independent sets (max conflict degree bound)\n";
+
+  // Dense vertex indexing for the assembly target.
+  std::unordered_map<core::Ent, std::size_t, core::EntHash> vidx;
+  for (core::Ent v : mesh.entities(0)) vidx.emplace(v, vidx.size());
+  const std::vector<core::Ent> elems = mesh.all(3);
+
+  // --- serial reference ----------------------------------------------------
+  std::vector<double> serial(vidx.size(), 0.0);
+  for (core::Ent e : elems) {
+    const double share = core::measure(mesh, e) / 4.0;
+    for (core::Ent v : mesh.verts(e)) serial[vidx.at(v)] += share;
+  }
+
+  // --- threaded, lock-free assembly by color ------------------------------
+  const int nthreads = 4;
+  std::vector<double> threaded(vidx.size(), 0.0);
+  for (int c = 0; c < coloring.colors; ++c) {
+    const auto members = coloring.members(c);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < nthreads; ++t) {
+      pool.emplace_back([&, t] {
+        // Strided parallel-for over this color's elements; within a color
+        // no two elements touch the same vertex, so the scatter is safe.
+        for (std::size_t i = static_cast<std::size_t>(t); i < members.size();
+             i += nthreads) {
+          const core::Ent e = elems[members[i]];
+          const double share = core::measure(mesh, e) / 4.0;
+          for (core::Ent v : mesh.verts(e)) threaded[vidx.at(v)] += share;
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  double max_diff = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(serial[i] - threaded[i]));
+    total += threaded[i];
+  }
+  std::cout << "threaded assembly with " << nthreads
+            << " threads, no atomics: max deviation from serial = "
+            << max_diff << "\n";
+  std::cout << "assembled total volume = " << total
+            << " (box volume 1)\n";
+  return max_diff < 1e-12 ? 0 : 1;
+}

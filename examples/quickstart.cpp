@@ -1,0 +1,63 @@
+/// \file quickstart.cpp
+/// \brief First steps with the library: build a classified tet mesh of a
+/// box, interrogate adjacencies, attach tags and a field, verify, and
+/// write a VTK file for visualization.
+
+#include <iostream>
+
+#include "core/measure.hpp"
+#include "core/verify.hpp"
+#include "core/vtk.hpp"
+#include "field/field.hpp"
+#include "gmi/model.hpp"
+#include "meshgen/boxmesh.hpp"
+
+int main() {
+  // A mesh is always classified against a geometric model; boxTets builds
+  // both (8 model vertices, 12 edges, 6 faces, 1 region for the box).
+  auto gen = meshgen::boxTets(8, 8, 8);
+  core::Mesh& mesh = *gen.mesh;
+  std::cout << "mesh of the unit box: " << mesh.count(3) << " tets, "
+            << mesh.count(2) << " faces, " << mesh.count(1) << " edges, "
+            << mesh.count(0) << " vertices\n";
+
+  // Adjacency queries are O(1) — bounded work per query.
+  const core::Ent v = *mesh.entities(0).begin();
+  std::cout << "first vertex at " << mesh.point(v) << " touches "
+            << mesh.adjacent(v, 3).size() << " regions and "
+            << mesh.up(v).size() << " edges\n";
+
+  // Geometric classification links mesh entities to the model.
+  std::size_t surface_faces = 0;
+  for (core::Ent f : mesh.entities(2))
+    if (mesh.classification(f)->dim() == 2) ++surface_faces;
+  std::cout << "faces classified on the model boundary: " << surface_faces
+            << "\n";
+
+  // Tags attach arbitrary user data to any entity.
+  auto* material = mesh.tags().create<int>("material");
+  for (core::Ent e : mesh.entities(3))
+    mesh.tags().setScalar<int>(material, e,
+                               core::centroid(mesh, e).x < 0.5 ? 1 : 2);
+
+  // Fields are tensor quantities over mesh entities, backed by tags.
+  field::Field temperature(mesh, "temperature", field::ValueType::Scalar,
+                           field::Location::Vertex);
+  temperature.assign([](const common::Vec3& x) {
+    return 300.0 + 50.0 * x.x + 20.0 * x.y * x.z;
+  });
+  std::cout << "integral of temperature over the box: "
+            << field::integrate(temperature) << "\n";
+
+  // Structural validation of the whole representation.
+  core::verify(mesh, {.check_volumes = true});
+  std::cout << "mesh verifies\n";
+
+  // Dump for ParaView with the material id as cell data.
+  core::CellScalar mat{"material", {}};
+  for (core::Ent e : mesh.entities(3))
+    mat.values[e] = mesh.tags().getScalar<int>(material, e);
+  core::writeVtk(mesh, "quickstart.vtk", {mat});
+  std::cout << "wrote quickstart.vtk\n";
+  return 0;
+}

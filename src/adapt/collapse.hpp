@@ -1,0 +1,58 @@
+#ifndef PUMI_ADAPT_COLLAPSE_HPP
+#define PUMI_ADAPT_COLLAPSE_HPP
+
+/// \file collapse.hpp
+/// \brief Edge collapse, the coarsening counterpart of the edge split.
+///
+/// Collapsing edge (a, b) removes vertex b: elements containing both a and
+/// b degenerate and are deleted; elements containing only b are rebuilt
+/// with a substituted for b. The collapse is refused (returning false,
+/// leaving the mesh untouched) when it would:
+///   - remove a vertex off its geometric feature: b must classify on the
+///     same model entity as the edge itself (b "slides" along the feature
+///     onto a),
+///   - invert or degenerate an element (sign/magnitude check on every
+///     rebuilt element's measure),
+///   - create an element that already exists.
+/// Element tags are carried to the rebuilt elements; classification of
+/// rebuilt boundary entities is inherited from their pre-collapse
+/// counterparts.
+
+#include "adapt/sizefield.hpp"
+#include "adapt/transfer.hpp"
+#include "core/mesh.hpp"
+
+namespace adapt {
+
+/// Try to collapse `edge`, removing `remove` (one of its vertices) onto
+/// the other. Returns true on success.
+bool collapseEdge(core::Mesh& mesh, core::Ent edge, core::Ent remove,
+                  SolutionTransfer* transfer = nullptr);
+
+/// True when collapsing `edge` by removing `remove` passes all validity
+/// checks (classification and geometry), without modifying the mesh.
+bool canCollapse(const core::Mesh& mesh, core::Ent edge, core::Ent remove);
+
+struct CoarsenOptions {
+  /// Collapse edges shorter than `ratio` times the local target size.
+  double ratio = 0.6;
+  int max_passes = 8;
+  /// Optional solution transfer invoked per collapse.
+  SolutionTransfer* transfer = nullptr;
+};
+
+struct CoarsenStats {
+  int passes = 0;
+  std::size_t collapses = 0;
+};
+
+/// Size-field-driven coarsening: repeatedly collapse the shortest
+/// under-size edges (preferring to remove the vertex that is free to move
+/// along the edge's feature) until all edges conform or nothing is
+/// collapsible.
+CoarsenStats coarsen(core::Mesh& mesh, const SizeField& size,
+                     const CoarsenOptions& opts = {});
+
+}  // namespace adapt
+
+#endif  // PUMI_ADAPT_COLLAPSE_HPP

@@ -1,0 +1,77 @@
+#include "adapt/metric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adapt/split.hpp"
+#include "core/measure.hpp"
+
+namespace adapt {
+
+using common::Mat3;
+using common::Vec3;
+using core::Ent;
+
+Mat3 stretchMetric(const Vec3& dir, double h_along, double h_across) {
+  const Vec3 d = common::normalized(dir);
+  // M = d d^T / h_along^2 + (I - d d^T) / h_across^2.
+  const Mat3 along = Mat3::outer(d, d);
+  Mat3 across = Mat3::identity();
+  across += along * -1.0;
+  Mat3 m = along * (1.0 / (h_along * h_along));
+  m += across * (1.0 / (h_across * h_across));
+  return m;
+}
+
+Mat3 metricFromHessian(const Mat3& hessian, double err, double h_min,
+                       double h_max) {
+  const auto eig = common::symmetricEigen(hessian);
+  Mat3 m = Mat3::zero();
+  for (int i = 0; i < 3; ++i) {
+    // Directional size from the interpolation-error bound h^2 |lambda| <= err.
+    const double lambda = std::fabs(eig.values[static_cast<std::size_t>(i)]);
+    double h = lambda > 0.0 ? std::sqrt(err / lambda) : h_max;
+    h = std::clamp(h, h_min, h_max);
+    m += Mat3::outer(eig.vectors[static_cast<std::size_t>(i)],
+                     eig.vectors[static_cast<std::size_t>(i)]) *
+         (1.0 / (h * h));
+  }
+  return m;
+}
+
+double metricEdgeLength(const core::Mesh& mesh, Ent edge,
+                        const MetricField& metric) {
+  const auto vs = mesh.verts(edge);
+  const Vec3 a = mesh.point(vs[0]);
+  const Vec3 b = mesh.point(vs[1]);
+  const Vec3 e = b - a;
+  const Mat3 m = metric.metric((a + b) * 0.5);
+  return std::sqrt(std::max(0.0, common::dot(e, m * e)));
+}
+
+RefineStats refineMetric(core::Mesh& mesh, const MetricField& metric,
+                         const MetricRefineOptions& opts) {
+  RefineStats stats;
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    std::vector<std::pair<double, Ent>> marked;
+    for (Ent e : mesh.entities(1)) {
+      const double len = metricEdgeLength(mesh, e, metric);
+      if (len > opts.ratio) marked.emplace_back(len, e);
+    }
+    if (marked.empty()) break;
+    std::sort(marked.begin(), marked.end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+    stats.passes = pass + 1;
+    for (const auto& [len, e] : marked) {
+      (void)len;
+      if (!mesh.alive(e)) continue;
+      splitEdge(mesh, e, opts.transfer);
+      ++stats.splits;
+      if (opts.max_splits > 0 && stats.splits >= opts.max_splits)
+        return stats;
+    }
+  }
+  return stats;
+}
+
+}  // namespace adapt

@@ -1,0 +1,54 @@
+#ifndef PUMI_ADAPT_QUALITY_HPP
+#define PUMI_ADAPT_QUALITY_HPP
+
+/// \file quality.hpp
+/// \brief Element shape quality and mesh optimization (vertex smoothing) —
+/// the "mesh optimization" capability of the FASTMath effort the paper
+/// belongs to.
+///
+/// Quality is the mean-ratio measure normalized to [0, 1]: 1 for the
+/// equilateral simplex, 0 for a degenerate one. Smoothing moves interior
+/// vertices toward the centroid of their edge neighbours, accepting a move
+/// only if it does not lower the worst quality of the surrounding cavity
+/// ("smart" Laplacian smoothing), so inverted elements can never appear.
+
+#include <functional>
+
+#include "core/mesh.hpp"
+
+namespace adapt {
+
+/// Mean-ratio quality of a simplex element in [0, 1].
+/// Tets: 12 * (3 V)^(2/3) / sum of squared edge lengths.
+/// Tris:  4 * sqrt(3) * A / sum of squared edge lengths.
+double quality(const core::Mesh& mesh, core::Ent elem);
+
+struct QualityStats {
+  double min = 1.0;
+  double mean = 0.0;
+  std::size_t below_03 = 0;  ///< sliver count (quality < 0.3)
+};
+
+/// Quality over all elements.
+QualityStats meshQuality(const core::Mesh& mesh);
+
+struct SmoothOptions {
+  int passes = 3;
+  /// Under-relaxation toward the neighbour centroid.
+  double relaxation = 0.5;
+  /// Extra vertices to hold fixed (e.g. part-boundary vertices when
+  /// smoothing one part of a distributed mesh).
+  std::function<bool(core::Ent)> skip;
+};
+
+struct SmoothStats {
+  std::size_t moved = 0;
+  std::size_t rejected = 0;  ///< moves refused by the quality guard
+};
+
+/// Smart Laplacian smoothing of vertices classified on the model interior.
+SmoothStats smooth(core::Mesh& mesh, const SmoothOptions& opts = {});
+
+}  // namespace adapt
+
+#endif  // PUMI_ADAPT_QUALITY_HPP

@@ -1,0 +1,65 @@
+#include "adapt/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "adapt/split.hpp"
+#include "core/measure.hpp"
+
+namespace adapt {
+
+using core::Ent;
+
+RefineStats refine(core::Mesh& mesh, const SizeField& size,
+                   const RefineOptions& opts) {
+  RefineStats stats;
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    // Gather over-long edges, longest first so the worst offenders split
+    // before their neighbourhood churns.
+    std::vector<std::pair<double, Ent>> marked;
+    for (Ent e : mesh.entities(1)) {
+      const auto vs = mesh.verts(e);
+      const common::Vec3 midpoint =
+          (mesh.point(vs[0]) + mesh.point(vs[1])) * 0.5;
+      const double len = core::measure(mesh, e);
+      if (len > opts.ratio * size.value(midpoint)) marked.emplace_back(len, e);
+    }
+    if (marked.empty()) break;
+    std::sort(marked.begin(), marked.end(),
+              [](const auto& x, const auto& y) { return x.first > y.first; });
+    stats.passes = pass + 1;
+    for (const auto& [len, e] : marked) {
+      (void)len;
+      if (!mesh.alive(e)) continue;  // consumed by a neighbouring split
+      splitEdge(mesh, e, opts.transfer);
+      ++stats.splits;
+      if (opts.max_splits > 0 && stats.splits >= opts.max_splits)
+        return stats;
+    }
+  }
+  return stats;
+}
+
+double predictedElements(const core::Mesh& mesh, core::Ent elem,
+                         const SizeField& size) {
+  const int dim = core::topoDim(elem.topo());
+  // Current characteristic size: mean edge length.
+  std::array<Ent, core::kMaxDown> buf{};
+  const int ne = mesh.downward(elem, 1, buf.data());
+  double h = 0.0;
+  for (int i = 0; i < ne; ++i)
+    h += core::measure(mesh, buf[static_cast<std::size_t>(i)]);
+  h /= ne;
+  const double target = size.value(core::centroid(mesh, elem));
+  return std::max(1.0, std::pow(h / target, dim));
+}
+
+double estimateElements(const core::Mesh& mesh, const SizeField& size) {
+  double total = 0.0;
+  for (Ent elem : mesh.entities(mesh.dim()))
+    total += predictedElements(mesh, elem, size);
+  return total;
+}
+
+}  // namespace adapt

@@ -1,0 +1,49 @@
+#ifndef PUMI_ADAPT_REFINE_HPP
+#define PUMI_ADAPT_REFINE_HPP
+
+/// \file refine.hpp
+/// \brief Size-field-driven isotropic refinement by edge splitting.
+
+#include "adapt/sizefield.hpp"
+#include "adapt/transfer.hpp"
+#include "core/mesh.hpp"
+
+namespace adapt {
+
+struct RefineOptions {
+  /// Split an edge when its length exceeds `ratio` times the size-field
+  /// value at its midpoint. 1.5 balances convergence and over-refinement.
+  double ratio = 1.5;
+  /// Safety bound on refinement sweeps.
+  int max_passes = 12;
+  /// Hard cap on created vertices (0 = unlimited); guards runaway size
+  /// fields in tests.
+  std::size_t max_splits = 0;
+  /// Optional solution transfer invoked per split.
+  SolutionTransfer* transfer = nullptr;
+};
+
+struct RefineStats {
+  int passes = 0;
+  std::size_t splits = 0;
+};
+
+/// Repeatedly split, longest edges first, every edge longer than the local
+/// target size until all edges conform (or limits are hit). Works on
+/// all-tri and all-tet meshes; boundary vertices snap to the model.
+RefineStats refine(core::Mesh& mesh, const SizeField& size,
+                   const RefineOptions& opts = {});
+
+/// Predicted number of elements one element becomes if refined to satisfy
+/// `size` exactly: (current size / target size)^dim, floored at 1.
+double predictedElements(const core::Mesh& mesh, core::Ent elem,
+                         const SizeField& size);
+
+/// Predicted element count if `mesh` were refined to satisfy `size`
+/// exactly: sum of predictedElements over elements. Used for predictive
+/// load balancing ahead of adaptation (paper Sec. III-B).
+double estimateElements(const core::Mesh& mesh, const SizeField& size);
+
+}  // namespace adapt
+
+#endif  // PUMI_ADAPT_REFINE_HPP

@@ -1,0 +1,144 @@
+#include "adapt/split.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "gmi/model.hpp"
+
+namespace adapt {
+
+using core::Ent;
+using core::Mesh;
+using core::Topo;
+using common::Vec3;
+
+namespace {
+
+/// Saved description of an entity about to be replaced.
+struct Saved {
+  Ent ent;
+  std::array<Ent, 4> verts{};
+  int nverts = 0;
+  gmi::Entity* cls = nullptr;
+};
+
+Saved save(const Mesh& m, Ent e) {
+  Saved s;
+  s.ent = e;
+  const auto vs = m.verts(e);
+  s.nverts = static_cast<int>(vs.size());
+  std::copy(vs.begin(), vs.end(), s.verts.begin());
+  s.cls = m.classification(e);
+  return s;
+}
+
+}  // namespace
+
+Ent splitEdge(Mesh& mesh, Ent edge, SolutionTransfer* transfer) {
+  assert(mesh.alive(edge));
+  const auto evs = mesh.verts(edge);
+  // Midpoint, snapped onto the classified model shape so refinement tracks
+  // curved geometry.
+  Vec3 mid = (mesh.point(evs[0]) + mesh.point(evs[1])) * 0.5;
+  if (gmi::Entity* ecls = mesh.classification(edge)) mid = ecls->snap(mid);
+  return splitEdgeAt(mesh, edge, mid, transfer);
+}
+
+Ent splitEdgeAt(Mesh& mesh, Ent edge, const Vec3& position,
+                SolutionTransfer* transfer) {
+  assert(edge.topo() == Topo::Edge && mesh.alive(edge));
+  const int dim = mesh.dim();
+  const auto evs = mesh.verts(edge);
+  const Ent a = evs[0];
+  const Ent b = evs[1];
+  gmi::Entity* ecls = mesh.classification(edge);
+  const Ent m = mesh.createVertex(position, ecls);
+  if (transfer != nullptr) transfer->onSplit(mesh, m, a, b);
+
+  // Collect the adjacent faces (3D) and elements.
+  std::vector<Saved> faces;
+  std::vector<Saved> elems;
+  if (dim == 3) {
+    for (Ent f : mesh.up(edge)) {
+      if (f.topo() != Topo::Tri)
+        throw std::invalid_argument("splitEdge: only tri/tet meshes");
+      faces.push_back(save(mesh, f));
+    }
+    std::vector<Ent> regions;
+    for (Ent f : mesh.up(edge))
+      for (Ent r : mesh.up(f))
+        if (std::find(regions.begin(), regions.end(), r) == regions.end())
+          regions.push_back(r);
+    for (Ent r : regions) {
+      if (r.topo() != Topo::Tet)
+        throw std::invalid_argument("splitEdge: only tri/tet meshes");
+      elems.push_back(save(mesh, r));
+    }
+  } else {
+    for (Ent f : mesh.up(edge)) {
+      if (f.topo() != Topo::Tri)
+        throw std::invalid_argument("splitEdge: only tri/tet meshes");
+      elems.push_back(save(mesh, f));
+    }
+  }
+
+  // Replace each element by two children (the split vertex substituted for
+  // each endpoint in turn); element tags flow to both children.
+  const Topo elem_topo = dim == 3 ? Topo::Tet : Topo::Tri;
+  for (const Saved& s : elems) {
+    std::array<Ent, 4> child{};
+    std::copy(s.verts.begin(), s.verts.end(), child.begin());
+    const auto span = std::span<const Ent>{
+        child.data(), static_cast<std::size_t>(s.nverts)};
+    for (Ent replace : {a, b}) {
+      for (int i = 0; i < s.nverts; ++i)
+        child[static_cast<std::size_t>(i)] =
+            s.verts[static_cast<std::size_t>(i)] == replace
+                ? m
+                : s.verts[static_cast<std::size_t>(i)];
+      const Ent c = mesh.buildElement(elem_topo, span, s.cls);
+      mesh.tags().copyAll(s.ent, c);
+    }
+    mesh.destroy(s.ent);
+  }
+
+  if (dim == 3) {
+    // Fix classification of the split halves of each old face and of the
+    // new edge interior to it (auto-created with the region classification).
+    for (const Saved& s : faces) {
+      // The third vertex of the (a, b, x) face.
+      Ent x;
+      for (int i = 0; i < s.nverts; ++i) {
+        const Ent v = s.verts[static_cast<std::size_t>(i)];
+        if (v != a && v != b) x = v;
+      }
+      for (Ent endpoint : {a, b}) {
+        const Ent half =
+            mesh.findEntity(Topo::Tri, std::array{endpoint, m, x});
+        assert(half);
+        mesh.classify(half, s.cls);
+        mesh.tags().copyAll(s.ent, half);
+      }
+      const Ent mx = mesh.findEntity(Topo::Edge, std::array{m, x});
+      assert(mx);
+      mesh.classify(mx, s.cls);
+      // Old face is no longer bounded by anything: remove it.
+      mesh.destroy(s.ent);
+    }
+  }
+
+  // Sub-edges (a,m) and (m,b) carry the old edge's classification and tags.
+  for (Ent endpoint : {a, b}) {
+    const Ent half = mesh.findEntity(Topo::Edge, std::array{endpoint, m});
+    assert(half);
+    mesh.classify(half, ecls);
+    mesh.tags().copyAll(edge, half);
+  }
+  mesh.destroy(edge);
+  return m;
+}
+
+}  // namespace adapt

@@ -1,0 +1,38 @@
+#ifndef PUMI_ADAPT_SPLIT_HPP
+#define PUMI_ADAPT_SPLIT_HPP
+
+/// \file split.hpp
+/// \brief Conforming edge split, the primitive mesh-modification operation
+/// behind isotropic refinement.
+///
+/// Splitting an edge replaces every element (and face, in 3D) adjacent to
+/// it by two children sharing the new midpoint vertex; because all adjacent
+/// entities split together, the mesh stays conforming with no propagation.
+/// The midpoint vertex inherits the edge's geometric classification and is
+/// snapped onto the model shape (curved boundaries stay curved under
+/// refinement). Element tags are copied to both children, which is how
+/// part-provenance is tracked through adaptation in the Fig. 13 experiment.
+///
+/// Supported meshes: all-tri (2D) and all-tet (3D).
+
+#include "adapt/transfer.hpp"
+#include "core/mesh.hpp"
+
+namespace adapt {
+
+/// Split `edge` at its (snapped) midpoint. Returns the new midpoint vertex.
+/// When a transfer is given, it is invoked for the new vertex while both
+/// endpoints are alive.
+core::Ent splitEdge(core::Mesh& mesh, core::Ent edge,
+                    SolutionTransfer* transfer = nullptr);
+
+/// Split `edge` at an explicitly given position (no snapping): distributed
+/// refinement computes the position once on the owning part and forces the
+/// identical coordinates onto every copy.
+core::Ent splitEdgeAt(core::Mesh& mesh, core::Ent edge,
+                      const common::Vec3& position,
+                      SolutionTransfer* transfer = nullptr);
+
+}  // namespace adapt
+
+#endif  // PUMI_ADAPT_SPLIT_HPP

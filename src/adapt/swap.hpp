@@ -1,0 +1,42 @@
+#ifndef PUMI_ADAPT_SWAP_HPP
+#define PUMI_ADAPT_SWAP_HPP
+
+/// \file swap.hpp
+/// \brief Edge swapping (2D): the local reconnection operation of mesh
+/// optimization. Together with split, collapse and vertex smoothing this
+/// completes the modification toolkit of an adaptive workflow (split and
+/// collapse change resolution; swaps and smoothing improve quality at
+/// fixed resolution).
+///
+/// Flipping interior edge (a, b) shared by triangles (a, b, c) and
+/// (b, a, d) replaces them by (c, d, a) and (d, c, b). The flip is refused
+/// when the quad (a, c, b, d) is non-convex (the flipped triangles would
+/// invert) or when the edge is on a geometric or part boundary.
+/// Tetrahedral swaps (3-2, 2-3) are out of scope here; 3D quality is
+/// handled by smoothing (adapt/quality.hpp).
+
+#include "adapt/transfer.hpp"
+#include "core/mesh.hpp"
+
+namespace adapt {
+
+/// True when the flip passes all validity checks (2D interior edge,
+/// exactly two triangles, convex quad, flipped edge absent).
+bool canFlip(const core::Mesh& mesh, core::Ent edge);
+
+/// Flip the edge; returns false (mesh untouched) if invalid.
+bool flipEdge(core::Mesh& mesh, core::Ent edge);
+
+struct SwapStats {
+  int passes = 0;
+  std::size_t flips = 0;
+};
+
+/// Delaunay-style quality pass: flip every edge whose flip increases the
+/// minimum mean-ratio quality of its two triangles; repeat until no flip
+/// helps.
+SwapStats swapToImproveQuality(core::Mesh& mesh, int max_passes = 10);
+
+}  // namespace adapt
+
+#endif  // PUMI_ADAPT_SWAP_HPP

@@ -1,0 +1,38 @@
+#include "adapt/transfer.hpp"
+
+#include <typeindex>
+
+namespace adapt {
+
+LinearTransfer::LinearTransfer(std::vector<std::string> fields)
+    : fields_(std::move(fields)) {}
+
+bool LinearTransfer::wants(const std::string& tag_name) const {
+  if (tag_name.rfind("field:", 0) != 0) return false;
+  if (fields_.empty()) return true;
+  const std::string bare = tag_name.substr(6);
+  for (const auto& f : fields_)
+    if (f == bare) return true;
+  return false;
+}
+
+void LinearTransfer::onSplit(core::Mesh& mesh, core::Ent mid, core::Ent a,
+                             core::Ent b) {
+  for (auto* tag : mesh.tags().list()) {
+    if (!wants(tag->name())) continue;
+    if (tag->type() != std::type_index(typeid(double))) continue;
+    if (!tag->has(a) || !tag->has(b)) continue;
+    const auto& va = mesh.tags().get<double>(tag, a);
+    const auto& vb = mesh.tags().get<double>(tag, b);
+    std::vector<double> vm(va.size());
+    for (std::size_t i = 0; i < va.size(); ++i) vm[i] = 0.5 * (va[i] + vb[i]);
+    mesh.tags().set<double>(tag, mid, std::move(vm));
+  }
+}
+
+void LinearTransfer::onCollapse(core::Mesh&, core::Ent, core::Ent) {
+  // The kept vertex keeps its nodal value: the linear interpolant of the
+  // coarser mesh agrees with the fine one at surviving nodes.
+}
+
+}  // namespace adapt

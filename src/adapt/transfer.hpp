@@ -1,0 +1,52 @@
+#ifndef PUMI_ADAPT_TRANSFER_HPP
+#define PUMI_ADAPT_TRANSFER_HPP
+
+/// \file transfer.hpp
+/// \brief Solution transfer during mesh modification (a core FASTMath
+/// capability the infrastructure exists to support: fields must survive
+/// adaptation).
+///
+/// A SolutionTransfer observes the primitive cavity operations; refine()
+/// and coarsen() invoke it so solver state stays consistent:
+///   - onSplit: a new vertex appeared on edge (a, b),
+///   - onCollapse: vertex `removed` is about to merge onto `kept`.
+/// LinearTransfer interpolates every vertex-located scalar/vector/matrix
+/// field linearly (midpoint average on split; no-op on collapse, the kept
+/// vertex keeps its value — the linear interpolant's trace).
+
+#include <string>
+#include <vector>
+
+#include "core/mesh.hpp"
+
+namespace adapt {
+
+class SolutionTransfer {
+ public:
+  virtual ~SolutionTransfer() = default;
+  /// `mid` was created splitting edge (a, b).
+  virtual void onSplit(core::Mesh& mesh, core::Ent mid, core::Ent a,
+                       core::Ent b) = 0;
+  /// `removed` is about to be collapsed onto `kept` (both still alive).
+  virtual void onCollapse(core::Mesh& mesh, core::Ent kept,
+                          core::Ent removed) = 0;
+};
+
+/// Interpolates all vertex-located fields ("field:*" double tags) linearly.
+class LinearTransfer final : public SolutionTransfer {
+ public:
+  /// Transfer every field; or only the named ones when `fields` given.
+  explicit LinearTransfer(std::vector<std::string> fields = {});
+  void onSplit(core::Mesh& mesh, core::Ent mid, core::Ent a,
+               core::Ent b) override;
+  void onCollapse(core::Mesh& mesh, core::Ent kept,
+                  core::Ent removed) override;
+
+ private:
+  [[nodiscard]] bool wants(const std::string& tag_name) const;
+  std::vector<std::string> fields_;
+};
+
+}  // namespace adapt
+
+#endif  // PUMI_ADAPT_TRANSFER_HPP

@@ -1,0 +1,116 @@
+#ifndef PUMI_COMMON_MAT_HPP
+#define PUMI_COMMON_MAT_HPP
+
+/// \file mat.hpp
+/// \brief 3x3 matrices and symmetric eigen-decomposition.
+///
+/// Used by recursive inertial bisection (principal axes of the element
+/// centroid cloud) and by Hessian-based size fields in mesh adaptation.
+
+#include <array>
+#include <cmath>
+
+#include "common/vec.hpp"
+
+namespace common {
+
+struct Mat3 {
+  // Row-major storage.
+  std::array<double, 9> a{};
+
+  constexpr double& operator()(int r, int c) { return a[r * 3 + c]; }
+  constexpr double operator()(int r, int c) const { return a[r * 3 + c]; }
+
+  static constexpr Mat3 zero() { return Mat3{}; }
+  static constexpr Mat3 identity() {
+    Mat3 m;
+    m(0, 0) = m(1, 1) = m(2, 2) = 1.0;
+    return m;
+  }
+  /// Outer product v * v^T.
+  static constexpr Mat3 outer(const Vec3& u, const Vec3& v) {
+    Mat3 m;
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) m(r, c) = u[r] * v[c];
+    return m;
+  }
+
+  constexpr Mat3& operator+=(const Mat3& o) {
+    for (int i = 0; i < 9; ++i) a[i] += o.a[i];
+    return *this;
+  }
+  constexpr Mat3& operator*=(double s) {
+    for (double& v : a) v *= s;
+    return *this;
+  }
+  friend constexpr Mat3 operator+(Mat3 m, const Mat3& o) { return m += o; }
+  friend constexpr Mat3 operator*(Mat3 m, double s) { return m *= s; }
+
+  friend constexpr Vec3 operator*(const Mat3& m, const Vec3& v) {
+    return {m(0, 0) * v.x + m(0, 1) * v.y + m(0, 2) * v.z,
+            m(1, 0) * v.x + m(1, 1) * v.y + m(1, 2) * v.z,
+            m(2, 0) * v.x + m(2, 1) * v.y + m(2, 2) * v.z};
+  }
+};
+
+/// Result of a symmetric 3x3 eigen-decomposition: eigenvalues in descending
+/// order with matching unit eigenvectors.
+struct Eigen3 {
+  std::array<double, 3> values{};
+  std::array<Vec3, 3> vectors{};
+};
+
+/// Classic cyclic Jacobi iteration; `m` must be symmetric.
+inline Eigen3 symmetricEigen(Mat3 m) {
+  Mat3 v = Mat3::identity();
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    // Off-diagonal magnitude.
+    const double off = m(0, 1) * m(0, 1) + m(0, 2) * m(0, 2) +
+                       m(1, 2) * m(1, 2);
+    if (off < 1e-30) break;
+    for (int p = 0; p < 3; ++p) {
+      for (int q = p + 1; q < 3; ++q) {
+        if (std::fabs(m(p, q)) < 1e-300) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * m(p, q));
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p,q,theta) on both sides: m = G^T m G.
+        for (int k = 0; k < 3; ++k) {
+          const double mkp = m(k, p), mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (int k = 0; k < 3; ++k) {
+          const double mpk = m(p, k), mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (int k = 0; k < 3; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  Eigen3 e;
+  std::array<int, 3> order{0, 1, 2};
+  std::array<double, 3> d{m(0, 0), m(1, 1), m(2, 2)};
+  // Sort eigenvalues descending.
+  for (int i = 0; i < 3; ++i)
+    for (int j = i + 1; j < 3; ++j)
+      if (d[order[j]] > d[order[i]]) std::swap(order[i], order[j]);
+  for (int i = 0; i < 3; ++i) {
+    e.values[i] = d[order[i]];
+    e.vectors[i] = normalized(Vec3{v(0, order[i]), v(1, order[i]),
+                                   v(2, order[i])});
+  }
+  return e;
+}
+
+}  // namespace common
+
+#endif  // PUMI_COMMON_MAT_HPP

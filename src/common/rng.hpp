@@ -1,0 +1,50 @@
+#ifndef PUMI_COMMON_RNG_HPP
+#define PUMI_COMMON_RNG_HPP
+
+/// \file rng.hpp
+/// \brief Deterministic, seedable pseudo-random numbers.
+///
+/// Every stochastic choice in the library (mesh perturbation, workload
+/// synthesis) goes through this generator so that tests and benches are
+/// exactly reproducible across runs and platforms.
+
+#include <cstdint>
+
+namespace common {
+
+/// splitmix64: tiny, fast, and excellent statistical quality for the
+/// non-cryptographic uses here.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  long range(long lo, long hi) {
+    return lo + static_cast<long>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace common
+
+#endif  // PUMI_COMMON_RNG_HPP

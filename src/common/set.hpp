@@ -1,0 +1,69 @@
+#ifndef PUMI_COMMON_SET_HPP
+#define PUMI_COMMON_SET_HPP
+
+/// \file set.hpp
+/// \brief Set component: group arbitrary items under a name.
+///
+/// One of the three ITAPS-style common utilities (Iterator, Set, Tag). An
+/// ItemSet keeps unique members in insertion order — deterministic iteration
+/// matters for reproducible parallel algorithms — with O(1) membership tests.
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace common {
+
+template <typename Handle, typename Hash = std::hash<Handle>>
+class ItemSet {
+ public:
+  ItemSet() = default;
+  explicit ItemSet(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Insert; returns false if already a member.
+  bool add(const Handle& item) {
+    auto [it, inserted] = index_.emplace(item, items_.size());
+    if (inserted) items_.push_back(item);
+    return inserted;
+  }
+
+  /// Remove; returns false if not a member. Order of the remaining members
+  /// is preserved (tombstone-free removal via back-swap would reorder).
+  bool remove(const Handle& item) {
+    auto it = index_.find(item);
+    if (it == index_.end()) return false;
+    const std::size_t pos = it->second;
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(pos));
+    index_.erase(it);
+    for (auto& [h, i] : index_)
+      if (i > pos) --i;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const Handle& item) const {
+    return index_.count(item) > 0;
+  }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  void clear() {
+    items_.clear();
+    index_.clear();
+  }
+
+  /// Members in insertion order.
+  [[nodiscard]] const std::vector<Handle>& items() const { return items_; }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  std::string name_;
+  std::vector<Handle> items_;
+  std::unordered_map<Handle, std::size_t, Hash> index_;
+};
+
+}  // namespace common
+
+#endif  // PUMI_COMMON_SET_HPP

@@ -1,0 +1,179 @@
+#ifndef PUMI_COMMON_TAG_HPP
+#define PUMI_COMMON_TAG_HPP
+
+/// \file tag.hpp
+/// \brief Tag component: attach arbitrary typed user data to arbitrary items.
+///
+/// The paper (Sec. II) lists Tag as one of the three common utilities shared
+/// by the geometric model and the mesh, following the ITAPS/MOAB tagging
+/// conventions: a tag is created once with a name, element type and component
+/// count, then values may be set/read/removed per item. This template is
+/// instantiated with the mesh entity handle and the model entity handle.
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+namespace common {
+
+/// Type-erased base for one tag's data; also the opaque tag identity handed
+/// to users (as `Tag`, a raw non-owning pointer).
+template <typename Handle>
+class TagBase {
+ public:
+  TagBase(std::string name, std::size_t components, std::type_index type)
+      : name_(std::move(name)), components_(components), type_(type) {}
+  virtual ~TagBase() = default;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t components() const { return components_; }
+  [[nodiscard]] std::type_index type() const { return type_; }
+
+  /// True when the item carries a value under this tag.
+  [[nodiscard]] virtual bool has(const Handle& item) const = 0;
+  /// Remove the item's value (no-op when unset).
+  virtual void remove(const Handle& item) = 0;
+  /// Copy the value (if any) from one item to another.
+  virtual void copy(const Handle& from, const Handle& to) = 0;
+  /// Number of items carrying a value.
+  [[nodiscard]] virtual std::size_t count() const = 0;
+
+ private:
+  std::string name_;
+  std::size_t components_;
+  std::type_index type_;
+};
+
+template <typename Handle, typename T, typename Hash>
+class TagData final : public TagBase<Handle> {
+ public:
+  using TagBase<Handle>::TagBase;
+
+  [[nodiscard]] bool has(const Handle& item) const override {
+    return values.count(item) > 0;
+  }
+  void remove(const Handle& item) override { values.erase(item); }
+  void copy(const Handle& from, const Handle& to) override {
+    auto it = values.find(from);
+    if (it != values.end()) values[to] = it->second;
+  }
+  [[nodiscard]] std::size_t count() const override { return values.size(); }
+
+  std::unordered_map<Handle, std::vector<T>, Hash> values;
+};
+
+/// Registry of named tags over items of type Handle.
+template <typename Handle, typename Hash = std::hash<Handle>>
+class TagRegistry {
+ public:
+  using Tag = TagBase<Handle>*;
+
+  /// Create a tag; throws if the name is already taken.
+  template <typename T>
+  Tag create(const std::string& name, std::size_t components = 1) {
+    if (find(name) != nullptr)
+      throw std::invalid_argument("tag already exists: " + name);
+    auto data = std::make_unique<TagData<Handle, T, Hash>>(
+        name, components, std::type_index(typeid(T)));
+    Tag tag = data.get();
+    tags_.push_back(std::move(data));
+    return tag;
+  }
+
+  /// Find a tag by name; nullptr when absent.
+  [[nodiscard]] Tag find(const std::string& name) const {
+    for (const auto& t : tags_)
+      if (t->name() == name) return t.get();
+    return nullptr;
+  }
+
+  /// Destroy a tag and all its values.
+  void destroy(Tag tag) {
+    for (auto it = tags_.begin(); it != tags_.end(); ++it) {
+      if (it->get() == tag) {
+        tags_.erase(it);
+        return;
+      }
+    }
+    throw std::invalid_argument("destroy of unknown tag");
+  }
+
+  [[nodiscard]] std::vector<Tag> list() const {
+    std::vector<Tag> out;
+    out.reserve(tags_.size());
+    for (const auto& t : tags_) out.push_back(t.get());
+    return out;
+  }
+
+  /// Set the full component vector on an item.
+  template <typename T>
+  void set(Tag tag, const Handle& item, std::vector<T> value) {
+    auto& data = cast<T>(tag);
+    assert(value.size() == tag->components());
+    data.values[item] = std::move(value);
+  }
+
+  /// Convenience for single-component tags.
+  template <typename T>
+  void setScalar(Tag tag, const Handle& item, const T& value) {
+    set<T>(tag, item, std::vector<T>{value});
+  }
+
+  template <typename T>
+  [[nodiscard]] const std::vector<T>& get(Tag tag, const Handle& item) const {
+    const auto& data = cast<T>(tag);
+    auto it = data.values.find(item);
+    if (it == data.values.end())
+      throw std::out_of_range("tag value not set: " + tag->name());
+    return it->second;
+  }
+
+  template <typename T>
+  [[nodiscard]] T getScalar(Tag tag, const Handle& item) const {
+    return get<T>(tag, item).at(0);
+  }
+
+  [[nodiscard]] static bool has(Tag tag, const Handle& item) {
+    return tag->has(item);
+  }
+
+  /// Remove a value from one item (no-op if unset).
+  void remove(Tag tag, const Handle& item) { tag->remove(item); }
+
+  /// Drop all values attached to one item across all tags (item deletion).
+  void removeAll(const Handle& item) {
+    for (const auto& t : tags_) t->remove(item);
+  }
+
+  /// Copy all tag values from one item to another (entity duplication).
+  void copyAll(const Handle& from, const Handle& to) {
+    for (const auto& t : tags_) t->copy(from, to);
+  }
+
+ private:
+  template <typename T>
+  TagData<Handle, T, Hash>& cast(Tag tag) {
+    auto* typed = dynamic_cast<TagData<Handle, T, Hash>*>(tag);
+    if (typed == nullptr)
+      throw std::invalid_argument("tag type mismatch: " + tag->name());
+    return *typed;
+  }
+  template <typename T>
+  const TagData<Handle, T, Hash>& cast(Tag tag) const {
+    const auto* typed = dynamic_cast<const TagData<Handle, T, Hash>*>(tag);
+    if (typed == nullptr)
+      throw std::invalid_argument("tag type mismatch: " + tag->name());
+    return *typed;
+  }
+
+  std::vector<std::unique_ptr<TagBase<Handle>>> tags_;
+};
+
+}  // namespace common
+
+#endif  // PUMI_COMMON_TAG_HPP

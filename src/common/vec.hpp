@@ -1,0 +1,115 @@
+#ifndef PUMI_COMMON_VEC_HPP
+#define PUMI_COMMON_VEC_HPP
+
+/// \file vec.hpp
+/// \brief 3D vector math used by geometry, meshing and partitioning.
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+namespace common {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](int i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return *this *= (1.0 / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+  }
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& v) { return std::sqrt(dot(v, v)); }
+constexpr double norm2(const Vec3& v) { return dot(v, v); }
+
+inline Vec3 normalized(const Vec3& v) {
+  const double n = norm(v);
+  return n > 0.0 ? v / n : Vec3{};
+}
+
+inline double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+/// Component-wise min / max (bounding-box building blocks).
+constexpr Vec3 min(const Vec3& a, const Vec3& b) {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+          a.z < b.z ? a.z : b.z};
+}
+constexpr Vec3 max(const Vec3& a, const Vec3& b) {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+          a.z > b.z ? a.z : b.z};
+}
+
+/// Axis-aligned bounding box.
+struct Box3 {
+  Vec3 lo{1e300, 1e300, 1e300};
+  Vec3 hi{-1e300, -1e300, -1e300};
+
+  void include(const Vec3& p) {
+    lo = common::min(lo, p);
+    hi = common::max(hi, p);
+  }
+  [[nodiscard]] Vec3 center() const { return (lo + hi) * 0.5; }
+  [[nodiscard]] Vec3 extent() const { return hi - lo; }
+  [[nodiscard]] bool contains(const Vec3& p, double tol = 0.0) const {
+    return p.x >= lo.x - tol && p.x <= hi.x + tol && p.y >= lo.y - tol &&
+           p.y <= hi.y + tol && p.z >= lo.z - tol && p.z <= hi.z + tol;
+  }
+  /// Longest axis index: 0=x, 1=y, 2=z.
+  [[nodiscard]] int longestAxis() const {
+    const Vec3 e = extent();
+    if (e.x >= e.y && e.x >= e.z) return 0;
+    return e.y >= e.z ? 1 : 2;
+  }
+};
+
+}  // namespace common
+
+#endif  // PUMI_COMMON_VEC_HPP

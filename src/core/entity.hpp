@@ -1,0 +1,83 @@
+#ifndef PUMI_CORE_ENTITY_HPP
+#define PUMI_CORE_ENTITY_HPP
+
+/// \file entity.hpp
+/// \brief Mesh entity handles.
+///
+/// A mesh entity M^d_i is uniquely identified by its handle (paper Sec. II).
+/// A handle encodes the entity's topological type and its index within that
+/// type's storage pool; it is a trivially copyable 8-byte value suitable for
+/// hashing, messaging and tag keys.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace core {
+
+/// Topological entity types. Order groups by dimension.
+enum class Topo : std::uint8_t {
+  Vertex = 0,
+  Edge = 1,
+  Tri = 2,
+  Quad = 3,
+  Tet = 4,
+  Hex = 5,
+  Prism = 6,
+  Pyramid = 7,
+};
+inline constexpr int kTopoCount = 8;
+
+/// Handle to a mesh entity: (type, pool index). Default-constructed handles
+/// are null.
+class Ent {
+ public:
+  static constexpr std::uint32_t kNullIndex = 0xffffffffu;
+
+  constexpr Ent() = default;
+  constexpr Ent(Topo topo, std::uint32_t index) : topo_(topo), index_(index) {}
+
+  [[nodiscard]] constexpr Topo topo() const { return topo_; }
+  [[nodiscard]] constexpr std::uint32_t index() const { return index_; }
+  [[nodiscard]] constexpr bool null() const { return index_ == kNullIndex; }
+  constexpr explicit operator bool() const { return !null(); }
+
+  friend constexpr bool operator==(const Ent& a, const Ent& b) {
+    return a.topo_ == b.topo_ && a.index_ == b.index_;
+  }
+  friend constexpr bool operator!=(const Ent& a, const Ent& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const Ent& a, const Ent& b) {
+    if (a.topo_ != b.topo_) return a.topo_ < b.topo_;
+    return a.index_ < b.index_;
+  }
+
+  /// Packed 64-bit representation (for hashing and serialization of
+  /// part-local handles).
+  [[nodiscard]] constexpr std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(topo_) << 32) | index_;
+  }
+  static constexpr Ent unpack(std::uint64_t bits) {
+    return Ent(static_cast<Topo>(bits >> 32),
+               static_cast<std::uint32_t>(bits & 0xffffffffu));
+  }
+
+ private:
+  Topo topo_ = Topo::Vertex;
+  std::uint32_t index_ = kNullIndex;
+};
+
+struct EntHash {
+  std::size_t operator()(const Ent& e) const {
+    // splitmix-style mix of the packed bits.
+    std::uint64_t z = e.packed() + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace core
+
+#endif  // PUMI_CORE_ENTITY_HPP

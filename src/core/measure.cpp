@@ -1,0 +1,85 @@
+#include "core/measure.hpp"
+
+#include <array>
+
+namespace core {
+
+Vec3 centroid(const Mesh& m, Ent e) {
+  if (e.topo() == Topo::Vertex) return m.point(e);
+  Vec3 sum{};
+  const auto vs = m.verts(e);
+  for (Ent v : vs) sum += m.point(v);
+  return sum / static_cast<double>(vs.size());
+}
+
+double tetVolume(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d) {
+  return common::dot(common::cross(b - a, c - a), d - a) / 6.0;
+}
+
+namespace {
+
+double faceArea(const Mesh& m, std::span<const Ent> vs) {
+  // Fan triangulation from vs[0].
+  double area = 0.0;
+  const Vec3 p0 = m.point(vs[0]);
+  for (std::size_t i = 1; i + 1 < vs.size(); ++i) {
+    const Vec3 p1 = m.point(vs[i]);
+    const Vec3 p2 = m.point(vs[i + 1]);
+    area += 0.5 * common::norm(common::cross(p1 - p0, p2 - p0));
+  }
+  return area;
+}
+
+double regionVolume(const Mesh& m, Ent e) {
+  const auto vs = m.verts(e);
+  auto p = [&](int i) { return m.point(vs[static_cast<std::size_t>(i)]); };
+  switch (e.topo()) {
+    case Topo::Tet:
+      return std::fabs(tetVolume(p(0), p(1), p(2), p(3)));
+    case Topo::Pyramid:
+      // Base quad (0,1,2,3), apex 4: two tets.
+      return std::fabs(tetVolume(p(0), p(1), p(2), p(4))) +
+             std::fabs(tetVolume(p(0), p(2), p(3), p(4)));
+    case Topo::Prism:
+      // (0,1,2 | 3,4,5): standard three-tet decomposition.
+      return std::fabs(tetVolume(p(0), p(1), p(2), p(3))) +
+             std::fabs(tetVolume(p(1), p(2), p(3), p(4))) +
+             std::fabs(tetVolume(p(2), p(3), p(4), p(5)));
+    case Topo::Hex:
+      // Bottom 0-3, top 4-7: five-tet decomposition.
+      return std::fabs(tetVolume(p(0), p(1), p(3), p(4))) +
+             std::fabs(tetVolume(p(1), p(2), p(3), p(6))) +
+             std::fabs(tetVolume(p(1), p(5), p(6), p(4))) +
+             std::fabs(tetVolume(p(3), p(6), p(7), p(4))) +
+             std::fabs(tetVolume(p(1), p(3), p(6), p(4)));
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace
+
+double measure(const Mesh& m, Ent e) {
+  switch (topoDim(e.topo())) {
+    case 0:
+      return 0.0;
+    case 1: {
+      const auto vs = m.verts(e);
+      return common::distance(m.point(vs[0]), m.point(vs[1]));
+    }
+    case 2:
+      return faceArea(m, m.verts(e));
+    case 3:
+      return regionVolume(m, e);
+    default:
+      return 0.0;
+  }
+}
+
+common::Box3 bounds(const Mesh& m) {
+  common::Box3 box;
+  for (Ent v : m.entities(0)) box.include(m.point(v));
+  return box;
+}
+
+}  // namespace core

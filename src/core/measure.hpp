@@ -1,0 +1,30 @@
+#ifndef PUMI_CORE_MEASURE_HPP
+#define PUMI_CORE_MEASURE_HPP
+
+/// \file measure.hpp
+/// \brief Geometric measures of mesh entities (length, area, volume).
+
+#include "core/mesh.hpp"
+
+namespace core {
+
+/// Centroid (mean of vertex positions).
+[[nodiscard]] Vec3 centroid(const Mesh& m, Ent e);
+
+/// Measure appropriate to the entity's dimension: length of edges, area of
+/// faces, volume of regions; vertices measure 0. Faces are measured by fan
+/// triangulation from the first vertex; hexes/prisms/pyramids by
+/// decomposition into tets, so mildly warped cells still measure sensibly.
+[[nodiscard]] double measure(const Mesh& m, Ent e);
+
+/// Signed volume of the tetrahedron (a,b,c,d); positive when d lies on the
+/// side of triangle (a,b,c) that its right-hand-rule normal points to.
+[[nodiscard]] double tetVolume(const Vec3& a, const Vec3& b, const Vec3& c,
+                               const Vec3& d);
+
+/// Axis-aligned bounding box of the whole mesh (vertex hull).
+[[nodiscard]] common::Box3 bounds(const Mesh& m);
+
+}  // namespace core
+
+#endif  // PUMI_CORE_MEASURE_HPP

@@ -1,0 +1,324 @@
+#include "core/mesh.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gmi/model.hpp"
+
+namespace core {
+
+namespace {
+
+/// Compare two small vertex sets irrespective of order. Vertex lists are at
+/// most 8 long (hex), so a quadratic containment check beats sorting.
+bool sameVertexSet(std::span<const Ent> a, std::span<const Ent> b) {
+  if (a.size() != b.size()) return false;
+  for (const Ent& x : a) {
+    bool found = false;
+    for (const Ent& y : b)
+      if (x == y) {
+        found = true;
+        break;
+      }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Ent Mesh::createVertex(const Vec3& x, gmi::Entity* cls) {
+  Pool& p = pool(Topo::Vertex);
+  std::uint32_t idx;
+  if (!p.free_list.empty()) {
+    idx = p.free_list.back();
+    p.free_list.pop_back();
+    p.alive[idx] = 1;
+    p.up[idx].clear();
+    p.cls[idx] = cls;
+    coords_[idx] = x;
+  } else {
+    idx = p.slots();
+    p.alive.push_back(1);
+    p.up.emplace_back();
+    p.cls.push_back(cls);
+    coords_.push_back(x);
+  }
+  p.live += 1;
+  return Ent(Topo::Vertex, idx);
+}
+
+Ent Mesh::allocate(Topo t, std::span<const Ent> vs, std::span<const Ent> down,
+                   gmi::Entity* cls) {
+  Pool& p = pool(t);
+  if (p.stride_verts == 0) {
+    p.stride_verts = topoVertexCount(t);
+    p.stride_down = topoBoundaryCount(t, topoDim(t) - 1);
+  }
+  assert(static_cast<int>(vs.size()) == p.stride_verts);
+  assert(static_cast<int>(down.size()) == p.stride_down);
+  std::uint32_t idx;
+  if (!p.free_list.empty()) {
+    idx = p.free_list.back();
+    p.free_list.pop_back();
+    p.alive[idx] = 1;
+    p.up[idx].clear();
+    p.cls[idx] = cls;
+    std::copy(vs.begin(), vs.end(),
+              p.verts.begin() + std::size_t{idx} * p.stride_verts);
+    std::copy(down.begin(), down.end(),
+              p.down.begin() + std::size_t{idx} * p.stride_down);
+  } else {
+    idx = p.slots();
+    p.alive.push_back(1);
+    p.up.emplace_back();
+    p.cls.push_back(cls);
+    p.verts.insert(p.verts.end(), vs.begin(), vs.end());
+    p.down.insert(p.down.end(), down.begin(), down.end());
+  }
+  p.live += 1;
+  const Ent e(t, idx);
+  for (Ent b : down) {
+    Pool& bp = pool(b.topo());
+    bp.up[b.index()].push_back(e);
+  }
+  return e;
+}
+
+Ent Mesh::buildElement(Topo t, std::span<const Ent> vs, gmi::Entity* cls) {
+  assert(static_cast<int>(vs.size()) == topoVertexCount(t));
+  if (t == Topo::Vertex) return vs[0];
+  if (Ent found = findEntity(t, vs)) return found;
+  const int d = topoDim(t);
+  if (d == 1) {
+    // An edge's one-level boundary is its vertices.
+    return allocate(t, vs, vs, cls);
+  }
+  std::array<Ent, kMaxDown> down{};
+  const int nb = topoBoundaryCount(t, d - 1);
+  for (int i = 0; i < nb; ++i) {
+    const Topo bt = topoBoundaryTopo(t, d - 1, i);
+    const auto idxs = topoBoundaryVerts(t, d - 1, i);
+    std::array<Ent, 4> bverts{};
+    for (std::size_t k = 0; k < idxs.size(); ++k) bverts[k] = vs[idxs[k]];
+    down[i] = buildElement(bt, {bverts.data(), idxs.size()}, cls);
+  }
+  return allocate(t, vs, {down.data(), static_cast<std::size_t>(nb)}, cls);
+}
+
+void Mesh::destroy(Ent e) {
+  assert(alive(e));
+  Pool& p = pool(e.topo());
+  if (!p.up[e.index()].empty())
+    throw std::logic_error("destroy: entity still bounds higher entities");
+  if (e.topo() != Topo::Vertex) {
+    const std::span<const Ent> down{
+        p.down.data() + std::size_t{e.index()} * p.stride_down,
+        static_cast<std::size_t>(p.stride_down)};
+    for (Ent b : down) {
+      Pool& bp = pool(b.topo());
+      bp.up[b.index()].eraseValue(e);
+    }
+  }
+  tags_.removeAll(e);
+  p.alive[e.index()] = 0;
+  p.cls[e.index()] = nullptr;
+  p.free_list.push_back(e.index());
+  p.live -= 1;
+}
+
+bool Mesh::alive(Ent e) const {
+  if (e.null()) return false;
+  const Pool& p = pool(e.topo());
+  return e.index() < p.slots() && p.alive[e.index()];
+}
+
+std::size_t Mesh::count(int d) const {
+  std::size_t n = 0;
+  for (Topo t : toposOfDim(d)) n += pool(t).live;
+  return n;
+}
+
+std::size_t Mesh::countTopo(Topo t) const { return pool(t).live; }
+
+int Mesh::dim() const {
+  for (int d = 3; d >= 0; --d)
+    if (count(d) > 0) return d;
+  return -1;
+}
+
+Vec3 Mesh::point(Ent v) const {
+  assert(v.topo() == Topo::Vertex && alive(v));
+  return coords_[v.index()];
+}
+
+void Mesh::setPoint(Ent v, const Vec3& x) {
+  assert(v.topo() == Topo::Vertex && alive(v));
+  coords_[v.index()] = x;
+}
+
+gmi::Entity* Mesh::classification(Ent e) const {
+  assert(alive(e));
+  return pool(e.topo()).cls[e.index()];
+}
+
+void Mesh::classify(Ent e, gmi::Entity* cls) {
+  assert(alive(e));
+  pool(e.topo()).cls[e.index()] = cls;
+}
+
+std::span<const Ent> Mesh::verts(Ent e) const {
+  assert(alive(e));
+  if (e.topo() == Topo::Vertex) {
+    // A vertex's canonical vertex list is itself; materialize from storage
+    // is impossible (vertices are not stored in their own verts array), so
+    // callers should special-case; we return an empty span here and the
+    // public downward() handles vertices.
+    return {};
+  }
+  const Pool& p = pool(e.topo());
+  return {p.verts.data() + std::size_t{e.index()} * p.stride_verts,
+          static_cast<std::size_t>(p.stride_verts)};
+}
+
+int Mesh::downward(Ent e, int d, Ent* out) const {
+  assert(alive(e));
+  const int ed = topoDim(e.topo());
+  assert(d <= ed);
+  if (d == ed) {
+    out[0] = e;
+    return 1;
+  }
+  if (e.topo() == Topo::Vertex) {
+    out[0] = e;
+    return 1;
+  }
+  if (d == 0) {
+    const auto vs = verts(e);
+    std::copy(vs.begin(), vs.end(), out);
+    return static_cast<int>(vs.size());
+  }
+  const Pool& p = pool(e.topo());
+  if (d == ed - 1) {
+    const Ent* src = p.down.data() + std::size_t{e.index()} * p.stride_down;
+    std::copy(src, src + p.stride_down, out);
+    return p.stride_down;
+  }
+  // Regions asked for edges: derive from canonical templates + findEntity.
+  assert(ed == 3 && d == 1);
+  const auto vs = verts(e);
+  const int ne = topoBoundaryCount(e.topo(), 1);
+  for (int i = 0; i < ne; ++i) {
+    const auto idxs = topoBoundaryVerts(e.topo(), 1, i);
+    const std::array<Ent, 2> ev{vs[idxs[0]], vs[idxs[1]]};
+    out[i] = findEntity(Topo::Edge, ev);
+    assert(out[i] && "mesh incomplete: missing edge of region");
+  }
+  return ne;
+}
+
+const UpList& Mesh::up(Ent e) const {
+  assert(alive(e));
+  return pool(e.topo()).up[e.index()];
+}
+
+std::vector<Ent> Mesh::adjacent(Ent e, int d) const {
+  assert(alive(e));
+  const int ed = topoDim(e.topo());
+  if (d == ed) return {e};
+  if (d < ed) {
+    std::array<Ent, kMaxDown> buf{};
+    const int n = downward(e, d, buf.data());
+    return {buf.begin(), buf.begin() + n};
+  }
+  // Upward traversal with deduplication, one level at a time.
+  std::vector<Ent> current{e};
+  for (int level = ed; level < d; ++level) {
+    std::vector<Ent> next;
+    for (Ent c : current) {
+      for (Ent u : up(c)) {
+        if (std::find(next.begin(), next.end(), u) == next.end())
+          next.push_back(u);
+      }
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+Ent Mesh::findEntity(Topo t, std::span<const Ent> vs) const {
+  assert(static_cast<int>(vs.size()) == topoVertexCount(t));
+  const int d = topoDim(t);
+  if (d == 0) return vs[0];
+  if (d == 1) {
+    for (Ent e : up(vs[0]))
+      if (e.topo() == t && sameVertexSet(verts(e), vs)) return e;
+    return {};
+  }
+  // Find one boundary entity from the canonical template, then scan its
+  // upward adjacency. Bounded work: upward lists are O(1) in mesh size.
+  const Topo bt = topoBoundaryTopo(t, d - 1, 0);
+  const auto idxs = topoBoundaryVerts(t, d - 1, 0);
+  std::array<Ent, 4> bverts{};
+  for (std::size_t k = 0; k < idxs.size(); ++k) bverts[k] = vs[idxs[k]];
+  const Ent b = findEntity(bt, {bverts.data(), idxs.size()});
+  if (!b) return {};
+  for (Ent e : up(b))
+    if (e.topo() == t && sameVertexSet(verts(e), vs)) return e;
+  return {};
+}
+
+/// --- iteration ------------------------------------------------------------
+
+Mesh::EntIter::EntIter(const Mesh* mesh, int dim, bool at_end)
+    : mesh_(mesh), topos_(toposOfDim(dim)), topo_pos_(0), index_(0) {
+  if (at_end) {
+    topo_pos_ = topos_.size();
+    index_ = 0;
+    return;
+  }
+  settle();
+}
+
+Ent Mesh::EntIter::operator*() const {
+  return Ent(topos_[topo_pos_], index_);
+}
+
+Mesh::EntIter& Mesh::EntIter::operator++() {
+  ++index_;
+  settle();
+  return *this;
+}
+
+void Mesh::EntIter::settle() {
+  while (topo_pos_ < topos_.size()) {
+    const Pool& p = mesh_->pool(topos_[topo_pos_]);
+    while (index_ < p.slots() && !p.alive[index_]) ++index_;
+    if (index_ < p.slots()) return;
+    ++topo_pos_;
+    index_ = 0;
+  }
+  index_ = 0;  // canonical end state
+}
+
+std::vector<Ent> Mesh::all(int d) const {
+  std::vector<Ent> out;
+  out.reserve(count(d));
+  for (Ent e : entities(d)) out.push_back(e);
+  return out;
+}
+
+Mesh::Set& Mesh::createSet(const std::string& name) {
+  auto [it, inserted] = sets_.emplace(name, Set(name));
+  if (!inserted) throw std::invalid_argument("set already exists: " + name);
+  return it->second;
+}
+
+Mesh::Set* Mesh::findSet(const std::string& name) {
+  auto it = sets_.find(name);
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+void Mesh::destroySet(const std::string& name) { sets_.erase(name); }
+
+}  // namespace core

@@ -1,0 +1,201 @@
+#ifndef PUMI_CORE_MESH_HPP
+#define PUMI_CORE_MESH_HPP
+
+/// \file mesh.hpp
+/// \brief The mesh database: a complete unstructured mesh representation.
+///
+/// This is PUMI's central data structure (paper Sec. II): a boundary
+/// representation over the base topological entities vertex (0D), edge (1D),
+/// face (2D) and region (3D). The representation is *complete*: one-level
+/// downward and upward adjacencies are stored for every entity, so any
+/// adjacency interrogation costs O(1) — bounded local work independent of
+/// mesh size. Each entity additionally stores its canonical vertex list
+/// (making geometric evaluation direct) and its geometric classification —
+/// the highest-dimension geometric model entity it partly represents.
+///
+/// Dynamic mesh updates (creation and deletion of entities at any time) are
+/// first-class: storage pools use free lists so adaptation and migration can
+/// churn entities without reallocation of the whole mesh.
+
+#include <array>
+#include <cassert>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/set.hpp"
+#include "common/smallvec.hpp"
+#include "common/tag.hpp"
+#include "common/vec.hpp"
+#include "core/entity.hpp"
+#include "core/topo.hpp"
+
+namespace gmi {
+class Entity;
+class Model;
+}  // namespace gmi
+
+namespace core {
+
+using common::Vec3;
+
+/// Upward adjacency list type (see smallvec.hpp for why not std::vector).
+using UpList = common::SmallVec<Ent, 4>;
+
+/// Maximum number of one-level boundary entities of any supported type
+/// (a hex has 12 edges); sizes the stack arrays used by adjacency queries.
+inline constexpr int kMaxDown = 12;
+
+class Mesh {
+ public:
+  using Tags = common::TagRegistry<Ent, EntHash>;
+  using Tag = Tags::Tag;
+  using Set = common::ItemSet<Ent, EntHash>;
+
+  /// A mesh optionally references the geometric model its entities classify
+  /// against; the model must outlive the mesh.
+  explicit Mesh(gmi::Model* model = nullptr) : model_(model) {}
+  Mesh(const Mesh&) = delete;
+  Mesh& operator=(const Mesh&) = delete;
+
+  [[nodiscard]] gmi::Model* model() const { return model_; }
+
+  /// --- entity creation & deletion -------------------------------------
+
+  /// Create a mesh vertex at `x`, classified on `cls` (may be null).
+  Ent createVertex(const Vec3& x, gmi::Entity* cls = nullptr);
+
+  /// Find-or-create the entity of type `t` over the given vertices
+  /// (canonical template order), creating any missing intermediate
+  /// entities. Newly created entities are classified on `cls`; existing
+  /// entities keep their classification.
+  Ent buildElement(Topo t, std::span<const Ent> verts,
+                   gmi::Entity* cls = nullptr);
+
+  /// Delete an entity. It must not bound any live higher-dimension entity.
+  /// Tag values attached to it are dropped; handles to it become invalid.
+  void destroy(Ent e);
+
+  /// --- basic queries ----------------------------------------------------
+
+  [[nodiscard]] bool alive(Ent e) const;
+  /// Entity count of one dimension (0..3).
+  [[nodiscard]] std::size_t count(int dim) const;
+  [[nodiscard]] std::size_t countTopo(Topo t) const;
+  /// Highest dimension with live entities (-1 for an empty mesh).
+  [[nodiscard]] int dim() const;
+
+  [[nodiscard]] Vec3 point(Ent v) const;
+  void setPoint(Ent v, const Vec3& x);
+
+  [[nodiscard]] gmi::Entity* classification(Ent e) const;
+  void classify(Ent e, gmi::Entity* cls);
+
+  /// --- adjacency (all O(1): bounded local work) -------------------------
+
+  /// Canonical vertices of an entity.
+  [[nodiscard]] std::span<const Ent> verts(Ent e) const;
+
+  /// Downward adjacency: fills `out` with the entities of dimension `d`
+  /// bounding `e`, in canonical template order; returns the count.
+  /// `out` must hold at least kMaxDown entries.
+  int downward(Ent e, int d, Ent* out) const;
+
+  /// One-level upward adjacency (dimension dim(e)+1).
+  [[nodiscard]] const UpList& up(Ent e) const;
+
+  /// General adjacency in either direction, deduplicated; `d` may be any
+  /// dimension. For d == dim(e) returns {e}.
+  [[nodiscard]] std::vector<Ent> adjacent(Ent e, int d) const;
+
+  /// Find an existing entity of type `t` over exactly these vertices
+  /// (any order); null handle when absent.
+  [[nodiscard]] Ent findEntity(Topo t, std::span<const Ent> verts) const;
+
+  /// --- iteration ---------------------------------------------------------
+
+  /// Forward iterator over live entities of one dimension, stable under
+  /// concurrent reads (not under creation/deletion).
+  class EntIter {
+   public:
+    EntIter(const Mesh* mesh, int dim, bool at_end);
+    Ent operator*() const;
+    EntIter& operator++();
+    friend bool operator==(const EntIter& a, const EntIter& b) {
+      return a.topo_pos_ == b.topo_pos_ && a.index_ == b.index_;
+    }
+    friend bool operator!=(const EntIter& a, const EntIter& b) {
+      return !(a == b);
+    }
+
+   private:
+    void settle();
+    const Mesh* mesh_;
+    std::span<const Topo> topos_;
+    std::size_t topo_pos_;
+    std::uint32_t index_;
+  };
+
+  struct EntRange {
+    const Mesh* mesh;
+    int d;
+    [[nodiscard]] EntIter begin() const { return EntIter(mesh, d, false); }
+    [[nodiscard]] EntIter end() const { return EntIter(mesh, d, true); }
+  };
+  /// Range over live entities of dimension d (iteration order is by type
+  /// then index, deterministic for a given construction history).
+  [[nodiscard]] EntRange entities(int d) const { return EntRange{this, d}; }
+
+  /// Materialized list of live entities of dimension d.
+  [[nodiscard]] std::vector<Ent> all(int d) const;
+
+  /// --- tags & sets --------------------------------------------------------
+
+  [[nodiscard]] Tags& tags() { return tags_; }
+  [[nodiscard]] const Tags& tags() const { return tags_; }
+
+  Set& createSet(const std::string& name);
+  [[nodiscard]] Set* findSet(const std::string& name);
+  void destroySet(const std::string& name);
+
+ private:
+  struct Pool {
+    int stride_verts = 0;  ///< vertices per entity
+    int stride_down = 0;   ///< one-level boundary entities per entity
+    std::vector<Ent> verts;
+    std::vector<Ent> down;
+    std::vector<UpList> up;
+    std::vector<gmi::Entity*> cls;
+    std::vector<char> alive;
+    std::vector<std::uint32_t> free_list;
+    std::size_t live = 0;
+
+    [[nodiscard]] std::uint32_t slots() const {
+      return static_cast<std::uint32_t>(alive.size());
+    }
+  };
+
+  Pool& pool(Topo t) { return pools_[static_cast<std::size_t>(t)]; }
+  [[nodiscard]] const Pool& pool(Topo t) const {
+    return pools_[static_cast<std::size_t>(t)];
+  }
+
+  /// Allocate a slot in t's pool and record verts/down/cls; registers this
+  /// entity in the up lists of its one-level boundary.
+  Ent allocate(Topo t, std::span<const Ent> vs, std::span<const Ent> down,
+               gmi::Entity* cls);
+
+  std::array<Pool, kTopoCount> pools_;
+  std::vector<Vec3> coords_;
+  gmi::Model* model_;
+  Tags tags_;
+  std::unordered_map<std::string, Set> sets_;
+
+  friend class EntIterAccess;
+};
+
+}  // namespace core
+
+#endif  // PUMI_CORE_MESH_HPP

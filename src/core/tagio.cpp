@@ -1,0 +1,96 @@
+#include "core/tagio.hpp"
+
+#include <cstdint>
+#include <typeindex>
+
+namespace core {
+
+namespace {
+
+enum class TagType : std::uint8_t { Int = 0, Long = 1, Double = 2 };
+
+template <typename T>
+void packTyped(const core::Mesh& mesh, core::Mesh::Tag tag, core::Ent e,
+               TagType code, pcu::OutBuffer& buf) {
+  buf.packString(tag->name());
+  buf.pack(code);
+  buf.pack<std::uint32_t>(static_cast<std::uint32_t>(tag->components()));
+  buf.packVector(mesh.tags().get<T>(tag, e));
+}
+
+template <typename T>
+void unpackTyped(core::Mesh& mesh, core::Ent e, const std::string& name,
+                 std::uint32_t components, pcu::InBuffer& buf) {
+  auto values = buf.unpackVector<T>();
+  core::Mesh::Tag tag = mesh.tags().find(name);
+  if (tag == nullptr) tag = mesh.tags().create<T>(name, components);
+  mesh.tags().set<T>(tag, e, std::move(values));
+}
+
+}  // namespace
+
+void packTags(const core::Mesh& mesh, core::Ent e, pcu::OutBuffer& buf,
+              const std::string& only) {
+  std::uint32_t count = 0;
+  for (auto* tag : mesh.tags().list()) {
+    if (!tag->has(e)) continue;
+    if (!only.empty() && tag->name() != only) continue;
+    if (tag->type() == std::type_index(typeid(int)) ||
+        tag->type() == std::type_index(typeid(long)) ||
+        tag->type() == std::type_index(typeid(double)))
+      ++count;
+  }
+  buf.pack(count);
+  for (auto* tag : mesh.tags().list()) {
+    if (!tag->has(e)) continue;
+    if (!only.empty() && tag->name() != only) continue;
+    if (tag->type() == std::type_index(typeid(int)))
+      packTyped<int>(mesh, tag, e, TagType::Int, buf);
+    else if (tag->type() == std::type_index(typeid(long)))
+      packTyped<long>(mesh, tag, e, TagType::Long, buf);
+    else if (tag->type() == std::type_index(typeid(double)))
+      packTyped<double>(mesh, tag, e, TagType::Double, buf);
+  }
+}
+
+void skipTags(pcu::InBuffer& buf) {
+  const auto count = buf.unpack<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    (void)buf.unpackString();
+    const auto code = buf.unpack<TagType>();
+    (void)buf.unpack<std::uint32_t>();
+    switch (code) {
+      case TagType::Int:
+        (void)buf.unpackVector<int>();
+        break;
+      case TagType::Long:
+        (void)buf.unpackVector<long>();
+        break;
+      case TagType::Double:
+        (void)buf.unpackVector<double>();
+        break;
+    }
+  }
+}
+
+void unpackTags(core::Mesh& mesh, core::Ent e, pcu::InBuffer& buf) {
+  const auto count = buf.unpack<std::uint32_t>();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = buf.unpackString();
+    const auto code = buf.unpack<TagType>();
+    const auto components = buf.unpack<std::uint32_t>();
+    switch (code) {
+      case TagType::Int:
+        unpackTyped<int>(mesh, e, name, components, buf);
+        break;
+      case TagType::Long:
+        unpackTyped<long>(mesh, e, name, components, buf);
+        break;
+      case TagType::Double:
+        unpackTyped<double>(mesh, e, name, components, buf);
+        break;
+    }
+  }
+}
+
+}  // namespace core

@@ -1,0 +1,31 @@
+#ifndef PUMI_CORE_TAGIO_HPP
+#define PUMI_CORE_TAGIO_HPP
+
+/// \file tagio.hpp (core)
+/// \brief Serialization of mesh tag values for entity migration/ghosting.
+///
+/// Tags of element type int, long and double (any component count) travel
+/// with their entities during migration and ghosting; other element types
+/// are part-local and are not transported (documented limitation matching
+/// the ITAPS basic tag types).
+
+#include "core/mesh.hpp"
+#include "pcu/buffer.hpp"
+
+namespace core {
+
+/// Append all transportable tag values attached to `e` in `mesh`. When
+/// `only` is non-empty, restrict to the tag of that name.
+void packTags(const core::Mesh& mesh, core::Ent e, pcu::OutBuffer& buf,
+              const std::string& only = "");
+
+/// Read tag values written by packTags and attach them to `e` in `mesh`,
+/// creating same-named tags as needed.
+void unpackTags(core::Mesh& mesh, core::Ent e, pcu::InBuffer& buf);
+
+/// Advance past a packTags record without applying it.
+void skipTags(pcu::InBuffer& buf);
+
+}  // namespace core
+
+#endif  // PUMI_CORE_TAGIO_HPP

@@ -1,0 +1,187 @@
+#include "core/topo.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace core {
+
+namespace {
+
+// --- edge templates: pairs of canonical vertex indices -------------------
+
+constexpr int kTriEdges[3][2] = {{0, 1}, {1, 2}, {2, 0}};
+constexpr int kQuadEdges[4][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+constexpr int kTetEdges[6][2] = {{0, 1}, {1, 2}, {2, 0},
+                                 {0, 3}, {1, 3}, {2, 3}};
+constexpr int kHexEdges[12][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0},
+                                  {4, 5}, {5, 6}, {6, 7}, {7, 4},
+                                  {0, 4}, {1, 5}, {2, 6}, {3, 7}};
+constexpr int kPrismEdges[9][2] = {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5},
+                                   {5, 3}, {0, 3}, {1, 4}, {2, 5}};
+constexpr int kPyramidEdges[8][2] = {{0, 1}, {1, 2}, {2, 3}, {3, 0},
+                                     {0, 4}, {1, 4}, {2, 4}, {3, 4}};
+
+// --- face templates: type + canonical vertex indices ----------------------
+
+struct FaceSpec {
+  Topo topo;
+  int nverts;
+  int verts[4];
+};
+
+constexpr FaceSpec kTetFaces[4] = {
+    {Topo::Tri, 3, {0, 1, 2, -1}},
+    {Topo::Tri, 3, {0, 1, 3, -1}},
+    {Topo::Tri, 3, {1, 2, 3, -1}},
+    {Topo::Tri, 3, {2, 0, 3, -1}},
+};
+constexpr FaceSpec kHexFaces[6] = {
+    {Topo::Quad, 4, {0, 1, 2, 3}}, {Topo::Quad, 4, {4, 5, 6, 7}},
+    {Topo::Quad, 4, {0, 1, 5, 4}}, {Topo::Quad, 4, {1, 2, 6, 5}},
+    {Topo::Quad, 4, {2, 3, 7, 6}}, {Topo::Quad, 4, {3, 0, 4, 7}},
+};
+constexpr FaceSpec kPrismFaces[5] = {
+    {Topo::Tri, 3, {0, 1, 2, -1}},  {Topo::Tri, 3, {3, 4, 5, -1}},
+    {Topo::Quad, 4, {0, 1, 4, 3}},  {Topo::Quad, 4, {1, 2, 5, 4}},
+    {Topo::Quad, 4, {2, 0, 3, 5}},
+};
+constexpr FaceSpec kPyramidFaces[5] = {
+    {Topo::Quad, 4, {0, 1, 2, 3}}, {Topo::Tri, 3, {0, 1, 4, -1}},
+    {Topo::Tri, 3, {1, 2, 4, -1}}, {Topo::Tri, 3, {2, 3, 4, -1}},
+    {Topo::Tri, 3, {3, 0, 4, -1}},
+};
+
+constexpr std::array<Topo, 1> kDim0 = {Topo::Vertex};
+constexpr std::array<Topo, 1> kDim1 = {Topo::Edge};
+constexpr std::array<Topo, 2> kDim2 = {Topo::Tri, Topo::Quad};
+constexpr std::array<Topo, 4> kDim3 = {Topo::Tet, Topo::Hex, Topo::Prism,
+                                       Topo::Pyramid};
+
+const int (*edgeTable(Topo t))[2] {
+  switch (t) {
+    case Topo::Tri: return kTriEdges;
+    case Topo::Quad: return kQuadEdges;
+    case Topo::Tet: return kTetEdges;
+    case Topo::Hex: return kHexEdges;
+    case Topo::Prism: return kPrismEdges;
+    case Topo::Pyramid: return kPyramidEdges;
+    default: return nullptr;
+  }
+}
+
+const FaceSpec* faceTable(Topo t) {
+  switch (t) {
+    case Topo::Tet: return kTetFaces;
+    case Topo::Hex: return kHexFaces;
+    case Topo::Prism: return kPrismFaces;
+    case Topo::Pyramid: return kPyramidFaces;
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+int topoDim(Topo t) {
+  switch (t) {
+    case Topo::Vertex: return 0;
+    case Topo::Edge: return 1;
+    case Topo::Tri:
+    case Topo::Quad: return 2;
+    case Topo::Tet:
+    case Topo::Hex:
+    case Topo::Prism:
+    case Topo::Pyramid: return 3;
+  }
+  assert(false && "invalid topo");
+  return -1;
+}
+
+int topoVertexCount(Topo t) {
+  switch (t) {
+    case Topo::Vertex: return 1;
+    case Topo::Edge: return 2;
+    case Topo::Tri: return 3;
+    case Topo::Quad: return 4;
+    case Topo::Tet: return 4;
+    case Topo::Hex: return 8;
+    case Topo::Prism: return 6;
+    case Topo::Pyramid: return 5;
+  }
+  assert(false && "invalid topo");
+  return 0;
+}
+
+int topoBoundaryCount(Topo t, int d) {
+  [[maybe_unused]] const int dim = topoDim(t);
+  assert(d >= 0 && d < dim);
+  if (d == 0) return topoVertexCount(t);
+  if (d == 1) {
+    switch (t) {
+      case Topo::Tri: return 3;
+      case Topo::Quad: return 4;
+      case Topo::Tet: return 6;
+      case Topo::Hex: return 12;
+      case Topo::Prism: return 9;
+      case Topo::Pyramid: return 8;
+      default: break;
+    }
+  }
+  if (d == 2) {
+    switch (t) {
+      case Topo::Tet: return 4;
+      case Topo::Hex: return 6;
+      case Topo::Prism: return 5;
+      case Topo::Pyramid: return 5;
+      default: break;
+    }
+  }
+  assert(false && "invalid boundary query");
+  return 0;
+}
+
+Topo topoBoundaryTopo(Topo t, int d, int i) {
+  assert(i >= 0 && i < topoBoundaryCount(t, d));
+  if (d == 0) return Topo::Vertex;
+  if (d == 1) return Topo::Edge;
+  return faceTable(t)[i].topo;
+}
+
+std::span<const int> topoBoundaryVerts(Topo t, int d, int i) {
+  assert(i >= 0 && i < topoBoundaryCount(t, d));
+  if (d == 0) {
+    static constexpr int kSelf[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+    return {&kSelf[i], 1};
+  }
+  if (d == 1) {
+    const auto* edges = edgeTable(t);
+    return {edges[i], 2};
+  }
+  const FaceSpec& f = faceTable(t)[i];
+  return {f.verts, static_cast<std::size_t>(f.nverts)};
+}
+
+const char* topoName(Topo t) {
+  switch (t) {
+    case Topo::Vertex: return "vertex";
+    case Topo::Edge: return "edge";
+    case Topo::Tri: return "tri";
+    case Topo::Quad: return "quad";
+    case Topo::Tet: return "tet";
+    case Topo::Hex: return "hex";
+    case Topo::Prism: return "prism";
+    case Topo::Pyramid: return "pyramid";
+  }
+  return "invalid";
+}
+
+std::span<const Topo> toposOfDim(int d) {
+  switch (d) {
+    case 0: return kDim0;
+    case 1: return kDim1;
+    case 2: return kDim2;
+    case 3: return kDim3;
+    default: return {};
+  }
+}
+
+}  // namespace core

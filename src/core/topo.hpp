@@ -1,0 +1,46 @@
+#ifndef PUMI_CORE_TOPO_HPP
+#define PUMI_CORE_TOPO_HPP
+
+/// \file topo.hpp
+/// \brief Canonical topology templates for all supported element shapes.
+///
+/// For every topological type these tables answer: its dimension, how many
+/// vertices it has, how many boundary entities of each lower dimension it
+/// has, the type of each boundary entity, and which of the element's
+/// vertices (in canonical order) each boundary entity uses. All mesh
+/// construction and downward adjacency derivation flows through these
+/// tables, which follow the usual finite-element conventions (bottom ring
+/// then top ring for hexes, base then apex for pyramids, ...).
+
+#include <span>
+
+#include "core/entity.hpp"
+
+namespace core {
+
+/// Dimension of a topological type (0 for vertices ... 3 for regions).
+[[nodiscard]] int topoDim(Topo t);
+
+/// Number of vertices in the canonical template.
+[[nodiscard]] int topoVertexCount(Topo t);
+
+/// Number of boundary entities of dimension d (1 <= d < topoDim(t)); for
+/// d == 0 this equals topoVertexCount.
+[[nodiscard]] int topoBoundaryCount(Topo t, int d);
+
+/// Type of the i-th boundary entity of dimension d.
+[[nodiscard]] Topo topoBoundaryTopo(Topo t, int d, int i);
+
+/// Canonical vertex indices (into the element's vertex list) of the i-th
+/// boundary entity of dimension d.
+[[nodiscard]] std::span<const int> topoBoundaryVerts(Topo t, int d, int i);
+
+/// Human-readable type name ("tet", "quad", ...).
+[[nodiscard]] const char* topoName(Topo t);
+
+/// Types of a given dimension, in enum order.
+[[nodiscard]] std::span<const Topo> toposOfDim(int d);
+
+}  // namespace core
+
+#endif  // PUMI_CORE_TOPO_HPP

@@ -1,0 +1,104 @@
+#include "core/verify.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/measure.hpp"
+#include "core/topo.hpp"
+#include "gmi/model.hpp"
+
+namespace core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, Ent e) {
+  std::ostringstream os;
+  os << "mesh verify failed: " << what << " [" << topoName(e.topo()) << " #"
+     << e.index() << "]";
+  throw std::logic_error(os.str());
+}
+
+}  // namespace
+
+void verify(const Mesh& m, const VerifyOptions& opts) {
+  std::array<Ent, kMaxDown> buf{};
+  for (int d = 0; d <= 3; ++d) {
+    for (Ent e : m.entities(d)) {
+      if (!m.alive(e)) fail("iterator yielded dead entity", e);
+
+      // Canonical vertices exist and are alive.
+      if (d > 0) {
+        const auto vs = m.verts(e);
+        if (static_cast<int>(vs.size()) != topoVertexCount(e.topo()))
+          fail("wrong canonical vertex count", e);
+        for (Ent v : vs)
+          if (!m.alive(v)) fail("dead canonical vertex", e);
+        // No repeated vertices.
+        std::array<Ent, 8> sorted{};
+        std::copy(vs.begin(), vs.end(), sorted.begin());
+        std::sort(sorted.begin(), sorted.begin() + vs.size());
+        if (std::adjacent_find(sorted.begin(), sorted.begin() + vs.size()) !=
+            sorted.begin() + vs.size())
+          fail("repeated canonical vertex", e);
+        // This entity is findable by its vertices, and unique.
+        if (m.findEntity(e.topo(), vs) != e)
+          fail("entity not findable by its vertices (duplicate?)", e);
+      }
+
+      // One-level down entities match the canonical templates and link back.
+      if (d > 0) {
+        const int nb = m.downward(e, d - 1, buf.data());
+        if (nb != topoBoundaryCount(e.topo(), d - 1))
+          fail("wrong one-level boundary count", e);
+        const auto vs = m.verts(e);
+        for (int i = 0; i < nb; ++i) {
+          const Ent b = buf[static_cast<std::size_t>(i)];
+          if (!m.alive(b)) fail("dead boundary entity", e);
+          if (topoDim(b.topo()) != d - 1) fail("boundary dim mismatch", e);
+          // Boundary entity vertices match the template (as a set).
+          const auto idxs = topoBoundaryVerts(e.topo(), d - 1, i);
+          std::array<Ent, 4> expect{};
+          for (std::size_t k = 0; k < idxs.size(); ++k)
+            expect[k] = vs[idxs[k]];
+          auto bvs = d - 1 == 0
+                         ? std::span<const Ent>{&b, 1}
+                         : m.verts(b);
+          std::array<Ent, 4> got{};
+          std::copy(bvs.begin(), bvs.end(), got.begin());
+          std::sort(expect.begin(), expect.begin() + bvs.size());
+          std::sort(got.begin(), got.begin() + bvs.size());
+          if (!std::equal(expect.begin(), expect.begin() + bvs.size(),
+                          got.begin()))
+            fail("boundary entity does not match canonical template", e);
+          // Upward symmetry.
+          if (!m.up(b).contains(e))
+            fail("boundary entity missing upward link", e);
+        }
+      }
+
+      // Upward lists point at live entities of dimension d+1 that list e
+      // among their one-level boundary.
+      for (Ent u : m.up(e)) {
+        if (!m.alive(u)) fail("dead upward entity", e);
+        if (topoDim(u.topo()) != d + 1) fail("upward dim mismatch", e);
+        const int nb = m.downward(u, d, buf.data());
+        if (std::find(buf.begin(), buf.begin() + nb, e) == buf.begin() + nb)
+          fail("upward entity does not list this entity downward", e);
+      }
+
+      if (opts.check_classification) {
+        if (gmi::Entity* c = m.classification(e)) {
+          if (c->dim() < d)
+            fail("classification dimension below entity dimension", e);
+        }
+      }
+      if (opts.check_volumes && d == 3) {
+        if (measure(m, e) <= 0.0) fail("non-positive element volume", e);
+      }
+    }
+  }
+}
+
+}  // namespace core

@@ -1,0 +1,36 @@
+#ifndef PUMI_CORE_VERIFY_HPP
+#define PUMI_CORE_VERIFY_HPP
+
+/// \file verify.hpp
+/// \brief Structural validation of a mesh database instance.
+///
+/// verify() walks the whole representation and checks the invariants the
+/// rest of the library relies on. It throws std::logic_error with a
+/// description of the first violation. Used liberally in tests and after
+/// every distributed operation (migration, ghosting, adaptation) in debug
+/// runs.
+
+#include "core/mesh.hpp"
+
+namespace core {
+
+struct VerifyOptions {
+  /// Also check that every 3D element has positive decomposed volume.
+  bool check_volumes = false;
+  /// Also check classification: an entity's classification dimension must
+  /// be >= its own dimension (a region cannot classify on a model edge).
+  bool check_classification = true;
+};
+
+/// Throws std::logic_error describing the first violated invariant:
+///  - downward/upward adjacency symmetry,
+///  - one-level down lists consistent with canonical vertex templates,
+///  - no duplicate entities over the same vertex set,
+///  - every boundary entity alive,
+///  - classification dimension sanity (optional),
+///  - positive element volumes (optional).
+void verify(const Mesh& m, const VerifyOptions& opts = {});
+
+}  // namespace core
+
+#endif  // PUMI_CORE_VERIFY_HPP

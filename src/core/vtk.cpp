@@ -1,0 +1,71 @@
+#include "core/vtk.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace core {
+
+namespace {
+
+int vtkCellType(Topo t) {
+  switch (t) {
+    case Topo::Edge: return 3;      // VTK_LINE
+    case Topo::Tri: return 5;       // VTK_TRIANGLE
+    case Topo::Quad: return 9;      // VTK_QUAD
+    case Topo::Tet: return 10;      // VTK_TETRA
+    case Topo::Hex: return 12;      // VTK_HEXAHEDRON
+    case Topo::Prism: return 13;    // VTK_WEDGE
+    case Topo::Pyramid: return 14;  // VTK_PYRAMID
+    default: return 1;              // VTK_VERTEX
+  }
+}
+
+}  // namespace
+
+void writeVtk(const Mesh& m, const std::string& path,
+              const std::vector<CellScalar>& cell_data) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+
+  const int dim = m.dim();
+  // Sequential numbering of vertices.
+  std::unordered_map<Ent, std::size_t, EntHash> vnum;
+  vnum.reserve(m.count(0));
+  out << "# vtk DataFile Version 3.0\npumi-repro mesh\nASCII\n"
+      << "DATASET UNSTRUCTURED_GRID\n";
+  out << "POINTS " << m.count(0) << " double\n";
+  for (Ent v : m.entities(0)) {
+    vnum.emplace(v, vnum.size());
+    const Vec3 p = m.point(v);
+    out << p.x << " " << p.y << " " << p.z << "\n";
+  }
+
+  std::size_t total_ints = 0;
+  for (Ent e : m.entities(dim)) total_ints += 1 + m.verts(e).size();
+  out << "CELLS " << m.count(dim) << " " << total_ints << "\n";
+  std::vector<Ent> elements;  // fix the order for types + data
+  elements.reserve(m.count(dim));
+  for (Ent e : m.entities(dim)) {
+    elements.push_back(e);
+    const auto vs = m.verts(e);
+    out << vs.size();
+    for (Ent v : vs) out << " " << vnum.at(v);
+    out << "\n";
+  }
+  out << "CELL_TYPES " << elements.size() << "\n";
+  for (Ent e : elements) out << vtkCellType(e.topo()) << "\n";
+
+  if (!cell_data.empty()) {
+    out << "CELL_DATA " << elements.size() << "\n";
+    for (const auto& scalar : cell_data) {
+      out << "SCALARS " << scalar.name << " double 1\nLOOKUP_TABLE default\n";
+      for (Ent e : elements) {
+        auto it = scalar.values.find(e);
+        out << (it == scalar.values.end() ? 0.0 : it->second) << "\n";
+      }
+    }
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace core

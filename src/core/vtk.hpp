@@ -1,0 +1,29 @@
+#ifndef PUMI_CORE_VTK_HPP
+#define PUMI_CORE_VTK_HPP
+
+/// \file vtk.hpp
+/// \brief Legacy-VTK ASCII output for visualization of meshes and per-cell
+/// scalar data (part ids, size fields, imbalance indicators).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mesh.hpp"
+
+namespace core {
+
+/// One named per-element scalar array.
+struct CellScalar {
+  std::string name;
+  std::unordered_map<Ent, double, EntHash> values;  ///< keyed by element
+};
+
+/// Write the elements (highest-dimension entities) of `m` as an unstructured
+/// grid. Throws std::runtime_error when the file cannot be written.
+void writeVtk(const Mesh& m, const std::string& path,
+              const std::vector<CellScalar>& cell_data = {});
+
+}  // namespace core
+
+#endif  // PUMI_CORE_VTK_HPP

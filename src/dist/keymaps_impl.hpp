@@ -1,0 +1,29 @@
+#ifndef PUMI_DIST_KEYMAPS_IMPL_HPP
+#define PUMI_DIST_KEYMAPS_IMPL_HPP
+
+/// \file keymaps_impl.hpp
+/// \brief Shared internal definition of PartedMesh::KeyMaps, the per-part
+/// canonical-key -> local-handle resolution tables used by migration and
+/// ghosting. Internal to the dist module.
+
+#include <unordered_map>
+#include <vector>
+
+#include "dist/partedmesh.hpp"
+
+namespace dist {
+
+struct PartedMesh::KeyMaps {
+  /// Per part: canonical key -> local handle, for remote-owned shared
+  /// entities plus entities created during the current operation.
+  std::vector<std::unordered_map<GKey, Ent, GKeyHash>> by_key;
+
+  [[nodiscard]] Ent resolve(PartId self, const GKey& k) const {
+    if (k.part == self) return k.ent;
+    return by_key[static_cast<std::size_t>(self)].at(k);
+  }
+};
+
+}  // namespace dist
+
+#endif  // PUMI_DIST_KEYMAPS_IMPL_HPP

@@ -1,0 +1,367 @@
+/// \file migrate.cpp
+/// \brief Mesh migration (paper II-C): move elements between parts while
+/// maintaining the full distributed representation.
+///
+/// The algorithm follows FMDB's residence-based migration, expressed as
+/// bulk-synchronous message phases over dist::Network:
+///
+///   A. Every part computes, for each participating entity (shared, or in
+///      the closure of a moving element), the destinations of its adjacent
+///      elements, and reports them to the entity's owner. The union at the
+///      owner is the entity's *new residence* (paper II-B).
+///   B. (per dimension, ascending) Owners send creation payloads — topology
+///      by vertex keys, coordinates, classification, tags — to residence
+///      parts lacking a copy; receivers create entities and reply with the
+///      new local handles.
+///   C. Owners broadcast the final copy lists and the new owning part to
+///      every residence part; parts dropped from the residence receive a
+///      release message instead.
+///   D. Each part deletes moved-out elements, then released entities in
+///      descending dimension order (at which point nothing bounds them).
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "dist/keymaps_impl.hpp"
+#include "dist/partedmesh.hpp"
+#include "dist/tagio.hpp"
+#include "gmi/model.hpp"
+
+namespace dist {
+
+namespace {
+
+void packKey(pcu::OutBuffer& b, const GKey& k) {
+  b.pack<std::int32_t>(k.part);
+  b.pack<std::uint64_t>(k.ent.packed());
+}
+
+GKey unpackKey(pcu::InBuffer& b) {
+  GKey k;
+  k.part = b.unpack<std::int32_t>();
+  k.ent = core::Ent::unpack(b.unpack<std::uint64_t>());
+  return k;
+}
+
+void addUnique(std::vector<PartId>& v, PartId p) {
+  if (std::find(v.begin(), v.end(), p) == v.end()) v.push_back(p);
+}
+
+/// Owner-side bookkeeping for one participating entity.
+struct Record {
+  std::vector<PartId> new_res;   // accumulating union of contributions
+  std::vector<Copy> new_copies;  // copies created this migration
+};
+
+}  // namespace
+
+void PartedMesh::buildKeyMaps(KeyMaps& maps) const {
+  maps.by_key.assign(parts_.size(), {});
+  for (const auto& pp : parts_) {
+    auto& map = maps.by_key[static_cast<std::size_t>(pp->id())];
+    for (const auto& [e, r] : pp->remotes_) {
+      if (r.owner == pp->id()) continue;
+      map.emplace(keyOf(*pp, e), e);
+    }
+  }
+}
+
+void PartedMesh::migrate(const MigrationPlan& plan) {
+  const int dim = dim_;
+  if (dim < 2) throw std::logic_error("migrate: mesh not distributed");
+  if (plan.size() != parts_.size())
+    throw std::invalid_argument("migrate: plan must cover every part");
+  for (const auto& pp : parts_)
+    if (pp->ghostCount() > 0)
+      throw std::logic_error("migrate: unghost before migrating");
+
+  const std::size_t nparts = parts_.size();
+  KeyMaps keys;
+  buildKeyMaps(keys);
+
+  // Element loads before migration (for the LeastLoaded owner rule).
+  std::vector<std::size_t> load(nparts, 0);
+  for (std::size_t p = 0; p < nparts; ++p) load[p] = parts_[p]->elementCount();
+  auto chooseOwner = [&](const std::vector<PartId>& res) -> PartId {
+    assert(!res.empty());
+    if (rule_ == OwnerRule::MinPartId)
+      return *std::min_element(res.begin(), res.end());
+    PartId best = res.front();
+    for (PartId p : res)
+      if (load[static_cast<std::size_t>(p)] <
+          load[static_cast<std::size_t>(best)])
+        best = p;
+    return best;
+  };
+
+  // Per-part element destinations (defaulting to stay).
+  auto destOf = [&](PartId p, Ent elem) -> PartId {
+    const auto& m = plan[static_cast<std::size_t>(p)];
+    auto it = m.find(elem);
+    return it == m.end() ? p : it->second;
+  };
+
+  // --- Phase A0: find the participating entities ---------------------------
+  // Only entities in the closure of a moving element ("touched"), plus
+  // every copy of a touched shared entity, take part in the protocol. This
+  // keeps migration cost proportional to the data moved, not to the part
+  // boundary size.
+  std::vector<std::unordered_map<Ent, Record, EntHash>> records(nparts);
+  std::vector<std::vector<Ent>> to_delete(nparts);
+  std::vector<std::vector<std::pair<Ent, PartId>>> moving(nparts);
+  std::vector<std::unordered_set<Ent, EntHash>> participating(nparts);
+
+  for (std::size_t pi = 0; pi < nparts; ++pi) {
+    Part& p = *parts_[pi];
+    std::array<Ent, core::kMaxDown> buf{};
+    for (const auto& [elem, dest] : plan[pi]) {
+      if (!p.mesh().alive(elem))
+        throw std::invalid_argument("migrate: plan names a dead element");
+      if (dest < 0 || dest >= static_cast<PartId>(nparts))
+        throw std::invalid_argument("migrate: destination out of range");
+      if (dest == p.id()) continue;
+      moving[pi].emplace_back(elem, dest);
+      for (int d = 0; d < dim; ++d) {
+        const int n = p.mesh().downward(elem, d, buf.data());
+        for (int k = 0; k < n; ++k)
+          participating[pi].insert(buf[static_cast<std::size_t>(k)]);
+      }
+    }
+    // Notify owners of touched shared entities.
+    for (Ent e : participating[pi]) {
+      const GKey key = keyOf(p, e);
+      if (key.part == p.id()) continue;
+      pcu::OutBuffer b;
+      b.pack<std::uint64_t>(key.ent.packed());
+      net_.send(p.id(), key.part, std::move(b));
+    }
+  }
+  net_.deliverAll([&](PartId to, PartId, pcu::InBuffer body) {
+    participating[static_cast<std::size_t>(to)].insert(
+        Ent::unpack(body.unpack<std::uint64_t>()));
+  });
+  // Owners pull every copy of a touched shared entity into the protocol.
+  for (std::size_t pi = 0; pi < nparts; ++pi) {
+    Part& p = *parts_[pi];
+    for (Ent e : participating[pi]) {
+      const Remote* r = p.remote(e);
+      if (r == nullptr || r->owner != p.id()) continue;
+      for (const Copy& c : r->copies) {
+        pcu::OutBuffer b;
+        b.pack<std::uint64_t>(c.ent.packed());
+        net_.send(p.id(), c.part, std::move(b));
+      }
+    }
+  }
+  net_.deliverAll([&](PartId to, PartId, pcu::InBuffer body) {
+    participating[static_cast<std::size_t>(to)].insert(
+        Ent::unpack(body.unpack<std::uint64_t>()));
+  });
+
+  // --- Phase A: local residence contributions -> owners -------------------
+  for (std::size_t pi = 0; pi < nparts; ++pi) {
+    Part& p = *parts_[pi];
+    std::unordered_map<Ent, std::vector<PartId>, EntHash> local_res;
+    for (Ent e : participating[pi]) local_res.emplace(e, std::vector<PartId>{});
+    // Destinations of adjacent elements.
+    for (auto& [e, res] : local_res) {
+      for (Ent elem : p.mesh().adjacent(e, dim))
+        addUnique(res, destOf(p.id(), elem));
+      assert(!res.empty() && "entity with no adjacent element");
+      const GKey key = keyOf(p, e);
+      if (key.part == p.id()) {
+        auto& rec = records[pi][e];
+        for (PartId d : res) addUnique(rec.new_res, d);
+      } else {
+        pcu::OutBuffer b;
+        b.pack<std::uint64_t>(key.ent.packed());
+        b.packVector(res);
+        net_.send(p.id(), key.part, std::move(b));
+      }
+    }
+  }
+  net_.deliverAll([&](PartId to, PartId, pcu::InBuffer body) {
+    const Ent e = Ent::unpack(body.unpack<std::uint64_t>());
+    auto res = body.unpackVector<PartId>();
+    auto& rec = records[static_cast<std::size_t>(to)][e];
+    for (PartId d : res) addUnique(rec.new_res, d);
+  });
+  for (auto& m : records)
+    for (auto& [e, rec] : m) std::sort(rec.new_res.begin(), rec.new_res.end());
+
+  // --- Phase B: creation payloads per dimension ----------------------------
+  std::array<Ent, core::kMaxDown> vbuf{};
+  auto packCreation = [&](Part& p, Ent e, pcu::OutBuffer& b) {
+    packKey(b, keyOf(p, e));
+    b.pack<std::uint8_t>(static_cast<std::uint8_t>(e.topo()));
+    gmi::Entity* cls = p.mesh().classification(e);
+    b.pack<std::int32_t>(cls ? cls->dim() : -1);
+    b.pack<std::int32_t>(cls ? cls->tag() : -1);
+    if (e.topo() == core::Topo::Vertex) {
+      b.pack(p.mesh().point(e));
+    } else {
+      const int nv = p.mesh().downward(e, 0, vbuf.data());
+      b.pack<std::uint32_t>(static_cast<std::uint32_t>(nv));
+      for (int k = 0; k < nv; ++k)
+        packKey(b, keyOf(p, vbuf[static_cast<std::size_t>(k)]));
+    }
+    packTags(p.mesh(), e, b);
+  };
+  auto createFromPayload = [&](PartId to, pcu::InBuffer& body) {
+    const GKey key = unpackKey(body);
+    const auto topo = static_cast<core::Topo>(body.unpack<std::uint8_t>());
+    const auto cls_dim = body.unpack<std::int32_t>();
+    const auto cls_tag = body.unpack<std::int32_t>();
+    gmi::Entity* cls =
+        cls_dim >= 0 ? model_->find(cls_dim, cls_tag) : nullptr;
+    Part& p = *parts_[static_cast<std::size_t>(to)];
+    Ent local;
+    if (topo == core::Topo::Vertex) {
+      const auto x = body.unpack<common::Vec3>();
+      local = p.mesh().createVertex(x, cls);
+    } else {
+      const auto nv = body.unpack<std::uint32_t>();
+      std::array<Ent, 8> lv{};
+      for (std::uint32_t k = 0; k < nv; ++k)
+        lv[k] = keys.resolve(to, unpackKey(body));
+      local = p.mesh().buildElement(topo, {lv.data(), nv}, cls);
+    }
+    unpackTags(p.mesh(), local, body);
+    keys.by_key[static_cast<std::size_t>(to)][key] = local;
+    return std::pair{key, local};
+  };
+
+  for (int d = 0; d <= dim; ++d) {
+    // Post creation payloads.
+    if (d < dim) {
+      for (std::size_t pi = 0; pi < nparts; ++pi) {
+        Part& p = *parts_[pi];
+        for (auto& [e, rec] : records[pi]) {
+          if (core::topoDim(e.topo()) != d) continue;
+          const auto current = p.residence(e);
+          for (PartId t : rec.new_res) {
+            if (std::find(current.begin(), current.end(), t) != current.end())
+              continue;
+            pcu::OutBuffer b;
+            packCreation(p, e, b);
+            net_.send(p.id(), t, std::move(b));
+          }
+        }
+      }
+    } else {
+      for (std::size_t pi = 0; pi < nparts; ++pi) {
+        Part& p = *parts_[pi];
+        for (const auto& [elem, dest] : moving[pi]) {
+          pcu::OutBuffer b;
+          packCreation(p, elem, b);
+          net_.send(p.id(), dest, std::move(b));
+        }
+      }
+    }
+    // Deliver creations; receivers reply with their new handles.
+    net_.deliverAll([&](PartId to, PartId, pcu::InBuffer body) {
+      const auto [key, local] = createFromPayload(to, body);
+      if (d < dim) {
+        pcu::OutBuffer reply;
+        reply.pack<std::uint64_t>(key.ent.packed());
+        reply.pack<std::uint64_t>(local.packed());
+        net_.send(to, key.part, std::move(reply));
+      }
+    });
+    // Deliver handle replies to owners.
+    net_.deliverAll([&](PartId to, PartId from, pcu::InBuffer body) {
+      const Ent e = Ent::unpack(body.unpack<std::uint64_t>());
+      const Ent handle = Ent::unpack(body.unpack<std::uint64_t>());
+      records[static_cast<std::size_t>(to)]
+          .at(e)
+          .new_copies.push_back(Copy{from, handle});
+    });
+  }
+
+  // --- Phase C: finalize copies & ownership --------------------------------
+  for (std::size_t pi = 0; pi < nparts; ++pi) {
+    Part& p = *parts_[pi];
+    for (auto& [e, rec] : records[pi]) {
+      // All copies: pre-existing (self + remotes) plus newly created.
+      std::vector<Copy> all{Copy{p.id(), e}};
+      if (const Remote* r = p.remote(e))
+        all.insert(all.end(), r->copies.begin(), r->copies.end());
+      all.insert(all.end(), rec.new_copies.begin(), rec.new_copies.end());
+      // Filter to the new residence and sort by part.
+      std::vector<Copy> final_copies;
+      for (const Copy& c : all)
+        if (std::find(rec.new_res.begin(), rec.new_res.end(), c.part) !=
+            rec.new_res.end())
+          final_copies.push_back(c);
+      std::sort(final_copies.begin(), final_copies.end(),
+                [](const Copy& a, const Copy& b) { return a.part < b.part; });
+      const PartId new_owner = chooseOwner(rec.new_res);
+      // Retained residence parts get the final record.
+      for (const Copy& c : final_copies) {
+        pcu::OutBuffer b;
+        b.pack<std::uint8_t>(1);  // kind: finalize
+        b.pack<std::uint64_t>(c.ent.packed());
+        b.pack<std::int32_t>(new_owner);
+        b.pack<std::uint32_t>(static_cast<std::uint32_t>(final_copies.size()));
+        for (const Copy& o : final_copies) {
+          b.pack<std::int32_t>(o.part);
+          b.pack<std::uint64_t>(o.ent.packed());
+        }
+        net_.send(p.id(), c.part, std::move(b));
+      }
+      // Dropped parts get a release.
+      for (const Copy& c : all) {
+        if (std::find(rec.new_res.begin(), rec.new_res.end(), c.part) !=
+            rec.new_res.end())
+          continue;
+        pcu::OutBuffer b;
+        b.pack<std::uint8_t>(0);  // kind: release
+        b.pack<std::uint64_t>(c.ent.packed());
+        net_.send(p.id(), c.part, std::move(b));
+      }
+    }
+  }
+  net_.deliverAll([&](PartId to, PartId, pcu::InBuffer body) {
+    Part& p = *parts_[static_cast<std::size_t>(to)];
+    const auto kind = body.unpack<std::uint8_t>();
+    const Ent local = Ent::unpack(body.unpack<std::uint64_t>());
+    if (kind == 0) {
+      p.remotes_.erase(local);
+      to_delete[static_cast<std::size_t>(to)].push_back(local);
+      return;
+    }
+    const PartId owner = body.unpack<std::int32_t>();
+    const auto n = body.unpack<std::uint32_t>();
+    Remote r;
+    r.owner = owner;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Copy c;
+      c.part = body.unpack<std::int32_t>();
+      c.ent = Ent::unpack(body.unpack<std::uint64_t>());
+      if (c.part != to) r.copies.push_back(c);
+    }
+    if (r.copies.empty())
+      p.remotes_.erase(local);  // became interior
+    else
+      p.remotes_[local] = std::move(r);
+  });
+
+  // --- Phase D: deletion ----------------------------------------------------
+  for (std::size_t pi = 0; pi < nparts; ++pi) {
+    Part& p = *parts_[pi];
+    for (const auto& [elem, dest] : moving[pi]) {
+      (void)dest;
+      p.mesh().destroy(elem);
+    }
+    auto& dels = to_delete[pi];
+    std::sort(dels.begin(), dels.end(), [](Ent a, Ent b) {
+      return core::topoDim(a.topo()) > core::topoDim(b.topo());
+    });
+    for (Ent e : dels) p.mesh().destroy(e);
+  }
+}
+
+}  // namespace dist

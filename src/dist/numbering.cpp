@@ -1,0 +1,42 @@
+#include "dist/numbering.hpp"
+
+#include <stdexcept>
+
+namespace dist {
+
+std::size_t numberEntities(PartedMesh& pm, int d,
+                           const std::string& tag_name) {
+  // Exclusive scan of owned counts over parts.
+  std::vector<long> offset(static_cast<std::size_t>(pm.parts()) + 1, 0);
+  for (PartId p = 0; p < pm.parts(); ++p)
+    offset[static_cast<std::size_t>(p) + 1] =
+        offset[static_cast<std::size_t>(p)] +
+        static_cast<long>(pm.part(p).countOwned(d));
+
+  // Owners number their entities; then one shared-tag sync pushes the ids
+  // to every remote copy.
+  for (PartId p = 0; p < pm.parts(); ++p) {
+    Part& part = pm.part(p);
+    auto& m = part.mesh();
+    core::Mesh::Tag tag = m.tags().find(tag_name);
+    if (tag == nullptr) tag = m.tags().create<long>(tag_name, 1);
+    long next = offset[static_cast<std::size_t>(p)];
+    for (Ent e : m.entities(d)) {
+      if (part.isGhost(e)) continue;
+      if (part.isOwned(e)) m.tags().setScalar<long>(tag, e, next++);
+    }
+  }
+  pm.syncSharedTags(tag_name);
+  return static_cast<std::size_t>(offset.back());
+}
+
+long globalId(const PartedMesh& pm, PartId part, Ent e,
+              const std::string& tag_name) {
+  const auto& m = pm.part(part).mesh();
+  core::Mesh::Tag tag = m.tags().find(tag_name);
+  if (tag == nullptr)
+    throw std::invalid_argument("globalId: no numbering named " + tag_name);
+  return m.tags().getScalar<long>(tag, e);
+}
+
+}  // namespace dist

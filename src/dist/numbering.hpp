@@ -1,0 +1,32 @@
+#ifndef PUMI_DIST_NUMBERING_HPP
+#define PUMI_DIST_NUMBERING_HPP
+
+/// \file numbering.hpp
+/// \brief Global numbering of distributed mesh entities.
+///
+/// Solvers need globally unique, contiguous ids for the entities carrying
+/// degrees of freedom. Each part numbers the entities it owns (offset by
+/// an exclusive scan of owned counts across parts), then pushes the ids to
+/// the remote copies — so a shared entity has the same global id on every
+/// part. Ids are stored as a long tag, which also makes them transport
+/// with subsequent migrations (they stay valid until the next renumber).
+
+#include <string>
+
+#include "dist/partedmesh.hpp"
+
+namespace dist {
+
+/// Assign 0-based contiguous global ids to all dimension-d entities, owned
+/// first by part order. Stores them under a long tag of the given name on
+/// every part (creating or overwriting it). Returns the global count.
+std::size_t numberEntities(PartedMesh& pm, int d,
+                           const std::string& tag_name = "global_id");
+
+/// Read back an entity's global id (throws if not numbered).
+long globalId(const PartedMesh& pm, PartId part, Ent e,
+              const std::string& tag_name = "global_id");
+
+}  // namespace dist
+
+#endif  // PUMI_DIST_NUMBERING_HPP

@@ -1,0 +1,273 @@
+#include "dist/partedmesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "dist/tagio.hpp"
+#include "gmi/model.hpp"
+
+namespace dist {
+
+/// --- Part ------------------------------------------------------------------
+
+std::vector<PartId> Part::residence(Ent e) const {
+  std::vector<PartId> res{id_};
+  if (const Remote* r = remote(e))
+    for (const Copy& c : r->copies) res.push_back(c.part);
+  std::sort(res.begin(), res.end());
+  return res;
+}
+
+std::size_t Part::countLocal(int d) const {
+  if (ghost_source_.empty()) return mesh_.count(d);  // O(1) fast path
+  std::size_t n = 0;
+  for (Ent e : mesh_.entities(d))
+    if (!isGhost(e)) ++n;
+  return n;
+}
+
+std::size_t Part::countOwned(int d) const {
+  std::size_t n = 0;
+  for (Ent e : mesh_.entities(d))
+    if (!isGhost(e) && isOwned(e)) ++n;
+  return n;
+}
+
+std::vector<Ent> Part::elements() const { return locals(mesh_.dim()); }
+
+std::size_t Part::elementCount() const {
+  const int d = mesh_.dim();
+  return d < 0 ? 0 : countLocal(d);
+}
+
+std::vector<Ent> Part::locals(int d) const {
+  std::vector<Ent> out;
+  out.reserve(mesh_.count(d));
+  for (Ent e : mesh_.entities(d))
+    if (!isGhost(e)) out.push_back(e);
+  return out;
+}
+
+std::vector<PartId> Part::neighborParts(int d) const {
+  std::vector<PartId> out;
+  for (const auto& [e, r] : remotes_) {
+    if (core::topoDim(e.topo()) != d) continue;
+    for (const Copy& c : r.copies)
+      if (std::find(out.begin(), out.end(), c.part) == out.end())
+        out.push_back(c.part);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// --- PartedMesh basics ------------------------------------------------------
+
+PartedMesh::PartedMesh(gmi::Model* model, int nparts, PartMap map,
+                       OwnerRule rule)
+    : model_(model), map_(map), net_(map), rule_(rule) {
+  assert(nparts > 0);
+  parts_.reserve(static_cast<std::size_t>(nparts));
+  for (PartId p = 0; p < nparts; ++p)
+    parts_.push_back(std::make_unique<Part>(p, model));
+}
+
+PartId PartedMesh::addPart() {
+  const PartId p = static_cast<PartId>(parts_.size());
+  parts_.push_back(std::make_unique<Part>(p, model_));
+  net_.addPart();
+  return p;
+}
+
+std::size_t PartedMesh::globalCount(int d) const {
+  std::size_t n = 0;
+  for (const auto& p : parts_) n += p->countOwned(d);
+  return n;
+}
+
+GKey PartedMesh::keyOf(const Part& p, Ent e) const {
+  const Remote* r = p.remote(e);
+  if (r == nullptr || r->owner == p.id()) return GKey{p.id(), e};
+  for (const Copy& c : r->copies)
+    if (c.part == r->owner) return GKey{c.part, c.ent};
+  throw std::logic_error("keyOf: owner copy not found in remote list");
+}
+
+/// --- distribute --------------------------------------------------------------
+
+std::unique_ptr<PartedMesh> PartedMesh::distribute(
+    const core::Mesh& serial, gmi::Model* model,
+    const std::vector<PartId>& elem_dest, PartMap map, OwnerRule rule) {
+  const int dim = serial.dim();
+  if (dim < 2) throw std::invalid_argument("distribute: mesh has no elements");
+  if (elem_dest.size() != serial.count(dim))
+    throw std::invalid_argument("distribute: one destination per element");
+  auto out = std::make_unique<PartedMesh>(model, map.parts(), map, rule);
+  out->dim_ = dim;
+
+  // Residence of every serial entity: the parts of its adjacent elements
+  // (paper II-B). Sorted unique lists.
+  std::unordered_map<Ent, std::vector<PartId>, EntHash> res;
+  res.reserve(serial.count(0) + serial.count(1) + serial.count(2) +
+              serial.count(3));
+  {
+    std::size_t i = 0;
+    std::array<Ent, core::kMaxDown> buf{};
+    for (Ent elem : serial.entities(dim)) {
+      const PartId dest = elem_dest[i++];
+      if (dest < 0 || dest >= map.parts())
+        throw std::invalid_argument("distribute: destination out of range");
+      res[elem].push_back(dest);
+      for (int d = 0; d < dim; ++d) {
+        const int n = serial.downward(elem, d, buf.data());
+        for (int k = 0; k < n; ++k) {
+          auto& r = res[buf[static_cast<std::size_t>(k)]];
+          if (std::find(r.begin(), r.end(), dest) == r.end())
+            r.push_back(dest);
+        }
+      }
+    }
+  }
+  for (auto& [e, r] : res) std::sort(r.begin(), r.end());
+
+  // Per-part copies of each serial entity, created dimension-ascending.
+  std::unordered_map<Ent, std::vector<Copy>, EntHash> copies;
+  copies.reserve(res.size());
+  std::array<Ent, core::kMaxDown> vbuf{};
+  for (int d = 0; d <= dim; ++d) {
+    for (Ent e : serial.entities(d)) {
+      auto rit = res.find(e);
+      if (rit == res.end()) continue;  // entity not in any element's closure
+      auto& cps = copies[e];
+      for (PartId pid : rit->second) {
+        Part& part = out->part(pid);
+        Ent local;
+        if (d == 0) {
+          local = part.mesh_.createVertex(serial.point(e),
+                                          serial.classification(e));
+        } else {
+          const int nv = serial.downward(e, 0, vbuf.data());
+          std::array<Ent, 8> lverts{};
+          for (int k = 0; k < nv; ++k) {
+            const auto& vcopies = copies.at(vbuf[static_cast<std::size_t>(k)]);
+            auto it = std::find_if(
+                vcopies.begin(), vcopies.end(),
+                [&](const Copy& c) { return c.part == pid; });
+            assert(it != vcopies.end());
+            lverts[static_cast<std::size_t>(k)] = it->ent;
+          }
+          local = part.mesh_.buildElement(
+              e.topo(), {lverts.data(), static_cast<std::size_t>(nv)},
+              serial.classification(e));
+        }
+        // Transport serial tags to each copy.
+        pcu::OutBuffer tags;
+        packTags(serial, e, tags);
+        pcu::InBuffer in(std::move(tags).take());
+        unpackTags(part.mesh_, local, in);
+        cps.push_back(Copy{pid, local});
+      }
+    }
+  }
+
+  // Remote-copy records and ownership for shared entities.
+  for (const auto& [e, cps] : copies) {
+    if (cps.size() < 2) continue;
+    const PartId owner = cps.front().part;  // lists are sorted by part id
+    for (const Copy& self : cps) {
+      Remote r;
+      r.owner = owner;
+      for (const Copy& other : cps)
+        if (other.part != self.part) r.copies.push_back(other);
+      out->part(self.part).remotes_.emplace(self.ent, std::move(r));
+    }
+  }
+  return out;
+}
+
+/// --- verify -------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void vfail(const std::string& what, PartId p, Ent e) {
+  std::ostringstream os;
+  os << "parallel verify failed: " << what << " [part " << p << ", "
+     << core::topoName(e.topo()) << " #" << e.index() << "]";
+  throw std::logic_error(os.str());
+}
+
+}  // namespace
+
+void PartedMesh::verify() const {
+  const int dim = dim_;
+  for (const auto& pp : parts_) {
+    const Part& p = *pp;
+    for (int d = 0; d <= dim; ++d) {
+      for (Ent e : p.mesh().entities(d)) {
+        const Remote* r = p.remote(e);
+        if (p.isGhost(e)) {
+          if (r != nullptr) vfail("ghost entity has remote record", p.id(), e);
+          const Copy src = p.ghostSource(e);
+          const Part& sp = part(src.part);
+          if (!sp.mesh().alive(src.ent))
+            vfail("ghost source entity is dead", p.id(), e);
+          const auto* gcopies = sp.ghostCopies(src.ent);
+          if (gcopies == nullptr ||
+              std::find(gcopies->begin(), gcopies->end(),
+                        Copy{p.id(), e}) == gcopies->end())
+            vfail("ghost source does not track this ghost", p.id(), e);
+          continue;
+        }
+        if (r != nullptr) {
+          if (r->copies.empty())
+            vfail("shared entity with empty copy list", p.id(), e);
+          // Copies sorted by part, unique, and symmetric.
+          for (std::size_t i = 0; i + 1 < r->copies.size(); ++i)
+            if (!(r->copies[i].part < r->copies[i + 1].part))
+              vfail("copy list not sorted/unique", p.id(), e);
+          const auto res = p.residence(e);
+          if (std::find(res.begin(), res.end(), r->owner) == res.end())
+            vfail("owner not in residence set", p.id(), e);
+          for (const Copy& c : r->copies) {
+            if (c.part == p.id()) vfail("copy list contains self", p.id(), e);
+            const Part& q = part(c.part);
+            if (!q.mesh().alive(c.ent)) vfail("dead remote copy", p.id(), e);
+            if (c.ent.topo() != e.topo())
+              vfail("remote copy topology mismatch", p.id(), e);
+            const Remote* rq = q.remote(c.ent);
+            if (rq == nullptr) vfail("remote copy not shared", p.id(), e);
+            if (rq->owner != r->owner)
+              vfail("owner disagreement across copies", p.id(), e);
+            const bool back =
+                std::find(rq->copies.begin(), rq->copies.end(),
+                          Copy{p.id(), e}) != rq->copies.end();
+            if (!back) vfail("copy symmetry broken", p.id(), e);
+            if (q.residence(c.ent) != res)
+              vfail("residence disagreement across copies", p.id(), e);
+            // Geometric agreement.
+            if (d == 0 && !(q.mesh().point(c.ent) == p.mesh().point(e)))
+              vfail("vertex coordinate disagreement", p.id(), e);
+            if (q.mesh().classification(c.ent) != p.mesh().classification(e))
+              vfail("classification disagreement", p.id(), e);
+          }
+        }
+        // Residence rule: this part must host an adjacent non-ghost element
+        // (entities exist exactly where adjacent elements are).
+        if (d < dim) {
+          bool has_elem = false;
+          for (Ent u : p.mesh().adjacent(e, dim))
+            if (!p.isGhost(u)) has_elem = true;
+          if (!has_elem)
+            vfail("entity resides on part without adjacent element", p.id(),
+                  e);
+        } else {
+          if (r != nullptr) vfail("element is shared", p.id(), e);
+        }
+        // Owned ghost-copy tracking only on real entities; checked above.
+      }
+    }
+  }
+}
+
+}  // namespace dist

@@ -1,0 +1,216 @@
+#ifndef PUMI_DIST_PARTEDMESH_HPP
+#define PUMI_DIST_PARTEDMESH_HPP
+
+/// \file partedmesh.hpp
+/// \brief The distributed mesh: parts, part boundaries, ownership,
+/// migration and ghosting (paper Secs. II-A..II-C).
+///
+/// A PartedMesh holds N parts. Each part is a serial mesh (core::Mesh) plus
+/// the parallel metadata of its part-boundary entities: the remote copies
+/// on other parts and the owning part. Residence follows the paper's rule:
+/// an entity resides on exactly the parts of its adjacent elements. All
+/// distributed operations (migration, ghosting) are implemented as
+/// bulk-synchronous message exchanges over dist::Network, whose machine
+/// model classifies traffic on-node vs off-node (two-level design,
+/// Figs. 5-6). "Multiple parts per process" is first-class: every part
+/// lives in this process; addPart() grows the part set dynamically.
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/mesh.hpp"
+#include "dist/network.hpp"
+#include "dist/types.hpp"
+
+namespace gmi {
+class Model;
+}
+
+namespace dist {
+
+using core::Ent;
+using core::EntHash;
+
+/// Element-migration plan: for each part (by index), the elements leaving
+/// it and their destination parts. Elements not listed stay.
+using MigrationPlan = std::vector<std::unordered_map<Ent, PartId, EntHash>>;
+
+class PartedMesh;
+
+/// One part: a serial mesh plus part-boundary metadata.
+class Part {
+ public:
+  Part(PartId id, gmi::Model* model) : id_(id), mesh_(model) {}
+  Part(const Part&) = delete;
+  Part& operator=(const Part&) = delete;
+
+  [[nodiscard]] PartId id() const { return id_; }
+  [[nodiscard]] core::Mesh& mesh() { return mesh_; }
+  [[nodiscard]] const core::Mesh& mesh() const { return mesh_; }
+
+  /// --- part boundary metadata (paper II-B) ----------------------------
+
+  /// True when the entity is duplicated on other parts.
+  [[nodiscard]] bool isShared(Ent e) const { return remotes_.count(e) > 0; }
+  /// The owning part imbues the right to modify the entity (paper II-A).
+  [[nodiscard]] PartId ownerOf(Ent e) const {
+    auto it = remotes_.find(e);
+    return it == remotes_.end() ? id_ : it->second.owner;
+  }
+  [[nodiscard]] bool isOwned(Ent e) const { return ownerOf(e) == id_; }
+  /// Remote copies (excluding this part); nullptr for interior entities.
+  [[nodiscard]] const Remote* remote(Ent e) const {
+    auto it = remotes_.find(e);
+    return it == remotes_.end() ? nullptr : &it->second;
+  }
+  /// All part-boundary entities with their remote records (iteration order
+  /// is unspecified; callers needing determinism must sort).
+  [[nodiscard]] const std::unordered_map<Ent, Remote, EntHash>& remotes()
+      const {
+    return remotes_;
+  }
+
+  /// --- low-level boundary-record mutators -----------------------------
+  /// For distributed algorithms (parallel adaptation) that create new
+  /// part-boundary entities and must register their links. Misuse breaks
+  /// the invariants verify() checks; normal users never call these.
+  void setRemote(Ent e, Remote r) { remotes_[e] = std::move(r); }
+  void eraseRemote(Ent e) { remotes_.erase(e); }
+  /// Drop records whose entity has been destroyed (after local mesh
+  /// modification).
+  void sweepDeadRemotes() {
+    for (auto it = remotes_.begin(); it != remotes_.end();) {
+      if (!mesh_.alive(it->first))
+        it = remotes_.erase(it);
+      else
+        ++it;
+    }
+  }
+  /// Residence part set: this part plus every part with a copy, sorted.
+  [[nodiscard]] std::vector<PartId> residence(Ent e) const;
+
+  /// --- ghosts (paper II-C) --------------------------------------------
+
+  /// True for read-only off-part copies localized by ghosting.
+  [[nodiscard]] bool isGhost(Ent e) const { return ghost_source_.count(e) > 0; }
+  /// The real copy this ghost mirrors.
+  [[nodiscard]] Copy ghostSource(Ent e) const { return ghost_source_.at(e); }
+  /// Ghost copies of a local real entity on other parts (tracked by the
+  /// owner for tag synchronization).
+  [[nodiscard]] const std::vector<Copy>* ghostCopies(Ent e) const {
+    auto it = ghosted_on_.find(e);
+    return it == ghosted_on_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t ghostCount() const { return ghost_source_.size(); }
+
+  /// --- counts & iteration ----------------------------------------------
+
+  /// Non-ghost entities of dimension d on this part.
+  [[nodiscard]] std::size_t countLocal(int d) const;
+  /// Entities of dimension d owned by this part (excludes ghosts and
+  /// remote-owned boundary copies).
+  [[nodiscard]] std::size_t countOwned(int d) const;
+  /// Non-ghost elements (entities of the mesh's element dimension).
+  [[nodiscard]] std::vector<Ent> elements() const;
+  [[nodiscard]] std::size_t elementCount() const;
+  /// Non-ghost entities of dimension d.
+  [[nodiscard]] std::vector<Ent> locals(int d) const;
+
+  /// Parts sharing at least one d-dimensional boundary entity with this
+  /// part (paper II-D: "neighboring part recognition"), sorted.
+  [[nodiscard]] std::vector<PartId> neighborParts(int d) const;
+
+ private:
+  friend class PartedMesh;
+  PartId id_;
+  core::Mesh mesh_;
+  std::unordered_map<Ent, Remote, EntHash> remotes_;
+  std::unordered_map<Ent, Copy, EntHash> ghost_source_;
+  std::unordered_map<Ent, std::vector<Copy>, EntHash> ghosted_on_;
+};
+
+/// The distributed mesh.
+class PartedMesh {
+ public:
+  /// Create an empty parted mesh (parts filled by migration from a peer or
+  /// by distribute()).
+  PartedMesh(gmi::Model* model, int nparts, PartMap map,
+             OwnerRule rule = OwnerRule::MinPartId);
+
+  /// Split a serial mesh into parts: element i (in iteration order of
+  /// serial.entities(dim)) goes to part elem_dest[i]. The serial mesh is
+  /// left untouched; classification pointers are shared with it.
+  static std::unique_ptr<PartedMesh> distribute(
+      const core::Mesh& serial, gmi::Model* model,
+      const std::vector<PartId>& elem_dest, PartMap map,
+      OwnerRule rule = OwnerRule::MinPartId);
+
+  [[nodiscard]] int parts() const { return static_cast<int>(parts_.size()); }
+  [[nodiscard]] Part& part(PartId p) { return *parts_.at(static_cast<std::size_t>(p)); }
+  [[nodiscard]] const Part& part(PartId p) const {
+    return *parts_.at(static_cast<std::size_t>(p));
+  }
+  [[nodiscard]] gmi::Model* model() const { return model_; }
+  [[nodiscard]] Network& network() { return net_; }
+  [[nodiscard]] const Network& network() const { return net_; }
+  [[nodiscard]] OwnerRule ownerRule() const { return rule_; }
+
+  /// Element dimension (3 for tet/hex meshes, 2 for tri/quad meshes).
+  [[nodiscard]] int dim() const { return dim_; }
+
+  /// Add an empty part (dynamic part count: local splitting, heavy part
+  /// splitting). Returns the new part's id.
+  PartId addPart();
+
+  /// Total owned entities of dimension d across parts (each entity counted
+  /// once, on its owner).
+  [[nodiscard]] std::size_t globalCount(int d) const;
+
+  /// --- distributed operations -------------------------------------------
+
+  /// Migrate elements per the plan, maintaining part boundaries, remote
+  /// copies, ownership and transportable tags. Requires no ghosts.
+  void migrate(const MigrationPlan& plan);
+
+  /// Localize `layers` layers of off-part elements adjacent (through
+  /// vertices) to each part boundary as read-only ghost copies, including
+  /// their closure and transportable tags.
+  void ghostLayers(int layers = 1);
+
+  /// Remove all ghost entities.
+  void unghost();
+
+  /// Re-send transportable tag values of ghosted entities from their real
+  /// copy to every ghost copy (ghosts are read-only: updates flow one way).
+  void syncGhostTags();
+
+  /// Push transportable tag values of every owned shared entity from the
+  /// owner to all remote copies (the owner imbues the right to modify; this
+  /// re-establishes agreement after owner-side updates, e.g. field
+  /// assembly on part boundaries). When `only` is non-empty, restrict to
+  /// the tag of that name.
+  void syncSharedTags(const std::string& only = "");
+
+  /// Validate all distributed invariants (copy symmetry, ownership
+  /// agreement, residence rule, coordinate/classification agreement,
+  /// ghost link symmetry). Throws std::logic_error on violation.
+  void verify() const;
+
+ private:
+  struct KeyMaps;
+  void buildKeyMaps(KeyMaps& maps) const;
+  [[nodiscard]] GKey keyOf(const Part& p, Ent e) const;
+
+  gmi::Model* model_;
+  PartMap map_;
+  Network net_;
+  OwnerRule rule_;
+  int dim_ = -1;
+  std::vector<std::unique_ptr<Part>> parts_;
+};
+
+}  // namespace dist
+
+#endif  // PUMI_DIST_PARTEDMESH_HPP

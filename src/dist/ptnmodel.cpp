@@ -1,0 +1,53 @@
+#include "dist/ptnmodel.hpp"
+
+#include <algorithm>
+
+namespace dist {
+
+PtnModel::PtnModel(const PartedMesh& mesh) {
+  const int dim = mesh.dim();
+  classification_.resize(static_cast<std::size_t>(mesh.parts()));
+  for (PartId pid = 0; pid < mesh.parts(); ++pid) {
+    const Part& p = mesh.part(pid);
+    for (int d = 0; d <= dim; ++d) {
+      for (Ent e : p.mesh().entities(d)) {
+        if (p.isGhost(e)) continue;
+        auto res = p.residence(e);
+        auto it = by_residence_.find(res);
+        int idx;
+        if (it == by_residence_.end()) {
+          PtnEntity pe;
+          pe.dim = std::max(dim + 1 - static_cast<int>(res.size()), 0);
+          pe.id = static_cast<int>(entities_.size());
+          pe.owner = p.ownerOf(e);
+          pe.residence = res;
+          idx = pe.id;
+          by_residence_.emplace(std::move(res), idx);
+          entities_.push_back(std::move(pe));
+        } else {
+          idx = it->second;
+        }
+        classification_[static_cast<std::size_t>(pid)].emplace(e, idx);
+      }
+    }
+  }
+}
+
+std::size_t PtnModel::count(int dim) const {
+  std::size_t n = 0;
+  for (const auto& e : entities_)
+    if (e.dim == dim) ++n;
+  return n;
+}
+
+const PtnEntity& PtnModel::classification(PartId part, Ent e) const {
+  return entities_.at(static_cast<std::size_t>(
+      classification_.at(static_cast<std::size_t>(part)).at(e)));
+}
+
+const PtnEntity* PtnModel::find(const std::vector<PartId>& residence) const {
+  auto it = by_residence_.find(residence);
+  return it == by_residence_.end() ? nullptr : &entities_[static_cast<std::size_t>(it->second)];
+}
+
+}  // namespace dist

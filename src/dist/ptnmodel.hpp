@@ -1,0 +1,59 @@
+#ifndef PUMI_DIST_PTNMODEL_HPP
+#define PUMI_DIST_PTNMODEL_HPP
+
+/// \file ptnmodel.hpp
+/// \brief The partition model (paper II-C, Figs. 3-4).
+///
+/// A partition (model) entity P^d_i represents the group of mesh entities
+/// sharing one residence part set; the partition classification maps each
+/// mesh entity to its partition entity. The dimension of a partition entity
+/// follows the interface geometry: the interior of one part is a partition
+/// entity of the mesh dimension; the interface of two parts has dimension
+/// mesh_dim - 1; each additional sharing part lowers the dimension by one
+/// (floored at zero) — e.g. in Fig. 4 the vertex shared by three parts
+/// classifies on partition vertex P^0_1.
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/partedmesh.hpp"
+
+namespace dist {
+
+struct PtnEntity {
+  int dim = -1;                   ///< partition entity dimension
+  int id = -1;                    ///< index within the model
+  std::vector<PartId> residence;  ///< sorted residence part set
+  PartId owner = -1;              ///< owning part of the group
+};
+
+/// Snapshot of the partition model of a PartedMesh. Rebuild after any
+/// migration (the model is derived data).
+class PtnModel {
+ public:
+  /// Group every mesh entity by residence set and derive partition
+  /// entities. Ghost entities are skipped.
+  explicit PtnModel(const PartedMesh& mesh);
+
+  [[nodiscard]] const std::vector<PtnEntity>& entities() const {
+    return entities_;
+  }
+  [[nodiscard]] std::size_t count(int dim) const;
+
+  /// Partition classification of a mesh entity on a part.
+  [[nodiscard]] const PtnEntity& classification(PartId part, Ent e) const;
+
+  /// The partition entity with exactly this residence set, or nullptr.
+  [[nodiscard]] const PtnEntity* find(const std::vector<PartId>& residence)
+      const;
+
+ private:
+  std::vector<PtnEntity> entities_;
+  std::map<std::vector<PartId>, int> by_residence_;
+  std::vector<std::unordered_map<Ent, int, EntHash>> classification_;
+};
+
+}  // namespace dist
+
+#endif  // PUMI_DIST_PTNMODEL_HPP

@@ -1,0 +1,121 @@
+#include "field/field.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "core/measure.hpp"
+
+namespace field {
+
+Field::Field(core::Mesh& mesh, std::string name, ValueType type,
+             Location location)
+    : mesh_(mesh), name_(std::move(name)), type_(type), location_(location) {
+  const std::string tag_name = "field:" + name_;
+  tag_ = mesh_.tags().find(tag_name);
+  if (tag_ == nullptr)
+    tag_ = mesh_.tags().create<double>(tag_name, componentsOf(type_));
+  else if (tag_->components() != componentsOf(type_))
+    throw std::invalid_argument("field tag exists with different shape: " +
+                                name_);
+}
+
+int Field::nodeDim() const {
+  return location_ == Location::Vertex ? 0 : mesh_.dim();
+}
+
+void Field::setScalar(core::Ent node, double v) {
+  assert(type_ == ValueType::Scalar);
+  mesh_.tags().setScalar<double>(tag_, node, v);
+}
+
+double Field::getScalar(core::Ent node) const {
+  assert(type_ == ValueType::Scalar);
+  return mesh_.tags().getScalar<double>(tag_, node);
+}
+
+void Field::setVector(core::Ent node, const Vec3& v) {
+  assert(type_ == ValueType::Vector);
+  mesh_.tags().set<double>(tag_, node, {v.x, v.y, v.z});
+}
+
+Vec3 Field::getVector(core::Ent node) const {
+  assert(type_ == ValueType::Vector);
+  const auto& v = mesh_.tags().get<double>(tag_, node);
+  return {v[0], v[1], v[2]};
+}
+
+void Field::setMatrix(core::Ent node, const common::Mat3& m) {
+  assert(type_ == ValueType::Matrix);
+  mesh_.tags().set<double>(tag_, node,
+                           std::vector<double>(m.a.begin(), m.a.end()));
+}
+
+common::Mat3 Field::getMatrix(core::Ent node) const {
+  assert(type_ == ValueType::Matrix);
+  const auto& v = mesh_.tags().get<double>(tag_, node);
+  common::Mat3 m;
+  std::copy(v.begin(), v.end(), m.a.begin());
+  return m;
+}
+
+void Field::fillScalar(double v) {
+  for (core::Ent e : mesh_.entities(nodeDim())) setScalar(e, v);
+}
+
+double Field::elementScalar(core::Ent elem) const {
+  if (location_ == Location::Element) return getScalar(elem);
+  const auto vs = mesh_.verts(elem);
+  double sum = 0.0;
+  for (core::Ent v : vs) sum += getScalar(v);
+  return sum / static_cast<double>(vs.size());
+}
+
+double integrate(const Field& f) {
+  double total = 0.0;
+  core::Mesh& m = f.mesh();
+  for (core::Ent e : m.entities(m.dim()))
+    total += f.elementScalar(e) * core::measure(m, e);
+  return total;
+}
+
+Vec3 gradient(const Field& f, core::Ent elem) {
+  assert(f.location() == Location::Vertex);
+  core::Mesh& m = f.mesh();
+  const auto vs = m.verts(elem);
+  if (elem.topo() == core::Topo::Tet) {
+    // grad phi solves J^T g = du where J columns are edge vectors from v0.
+    const Vec3 p0 = m.point(vs[0]);
+    const Vec3 e1 = m.point(vs[1]) - p0;
+    const Vec3 e2 = m.point(vs[2]) - p0;
+    const Vec3 e3 = m.point(vs[3]) - p0;
+    const double u0 = f.getScalar(vs[0]);
+    const Vec3 du{f.getScalar(vs[1]) - u0, f.getScalar(vs[2]) - u0,
+                  f.getScalar(vs[3]) - u0};
+    // Solve with the adjugate: g = (1/det) * (c23, c31, c12) combination.
+    const double det = common::dot(e1, common::cross(e2, e3));
+    assert(det != 0.0);
+    const Vec3 g = (common::cross(e2, e3) * du.x + common::cross(e3, e1) * du.y +
+                    common::cross(e1, e2) * du.z) /
+                   det;
+    return g;
+  }
+  if (elem.topo() == core::Topo::Tri) {
+    // In-plane gradient of the linear interpolant.
+    const Vec3 p0 = m.point(vs[0]);
+    const Vec3 e1 = m.point(vs[1]) - p0;
+    const Vec3 e2 = m.point(vs[2]) - p0;
+    const double u1 = f.getScalar(vs[1]) - f.getScalar(vs[0]);
+    const double u2 = f.getScalar(vs[2]) - f.getScalar(vs[0]);
+    // Solve 2x2 in the (e1, e2) basis via Gram matrix.
+    const double a = common::dot(e1, e1), b = common::dot(e1, e2),
+                 c = common::dot(e2, e2);
+    const double det = a * c - b * b;
+    assert(det != 0.0);
+    const double x = (u1 * c - u2 * b) / det;
+    const double y = (u2 * a - u1 * b) / det;
+    return e1 * x + e2 * y;
+  }
+  throw std::invalid_argument("gradient: only simplex elements supported");
+}
+
+}  // namespace field

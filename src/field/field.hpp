@@ -1,0 +1,110 @@
+#ifndef PUMI_FIELD_FIELD_HPP
+#define PUMI_FIELD_FIELD_HPP
+
+/// \file field.hpp
+/// \brief Fields: tensor quantities distributed over mesh entities
+/// (paper Sec. II: "the fields are tensor quantities that define the
+/// distributions of the physical parameters of the PDE over domain
+/// entities").
+///
+/// A Field stores one tensor (scalar / 3-vector / 3x3-matrix) per node,
+/// where nodes live on vertices (linear Lagrange shape functions) or on
+/// elements (piecewise constant). Values are backed by a mesh double tag
+/// named "field:<name>", which makes fields transport automatically with
+/// migration and ghosting and synchronize with the dist tag-sync calls.
+
+#include <string>
+
+#include "common/mat.hpp"
+#include "common/vec.hpp"
+#include "core/measure.hpp"
+#include "core/mesh.hpp"
+
+namespace field {
+
+using common::Vec3;
+
+/// Tensor order of the field value.
+enum class ValueType { Scalar, Vector, Matrix };
+
+/// Where the nodes (value holders) live.
+enum class Location {
+  Vertex,   ///< one node per vertex; linear Lagrange interpolation
+  Element,  ///< one node per element; piecewise constant
+};
+
+[[nodiscard]] constexpr std::size_t componentsOf(ValueType t) {
+  switch (t) {
+    case ValueType::Scalar: return 1;
+    case ValueType::Vector: return 3;
+    case ValueType::Matrix: return 9;
+  }
+  return 1;
+}
+
+class Field {
+ public:
+  /// Create (or re-attach to) the field's backing tag on `mesh`.
+  /// The mesh must outlive the Field.
+  Field(core::Mesh& mesh, std::string name, ValueType type,
+        Location location);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ValueType valueType() const { return type_; }
+  [[nodiscard]] Location location() const { return location_; }
+  [[nodiscard]] core::Mesh& mesh() const { return mesh_; }
+  [[nodiscard]] core::Mesh::Tag tag() const { return tag_; }
+
+  /// Node entity dimension: 0 for vertex fields, mesh dim for element
+  /// fields.
+  [[nodiscard]] int nodeDim() const;
+
+  [[nodiscard]] bool hasValue(core::Ent node) const { return tag_->has(node); }
+
+  void setScalar(core::Ent node, double v);
+  [[nodiscard]] double getScalar(core::Ent node) const;
+  void setVector(core::Ent node, const Vec3& v);
+  [[nodiscard]] Vec3 getVector(core::Ent node) const;
+  void setMatrix(core::Ent node, const common::Mat3& m);
+  [[nodiscard]] common::Mat3 getMatrix(core::Ent node) const;
+
+  /// Assign every node the given scalar (scalar fields only).
+  void fillScalar(double v);
+  /// Evaluate an analytic function at every node position (vertex fields)
+  /// or element centroid (element fields).
+  template <typename Fn>
+  void assign(Fn&& f);
+
+  /// Interpolated scalar value at barycentric-uniform center of an element
+  /// (vertex fields: mean of vertex values; element fields: the value).
+  [[nodiscard]] double elementScalar(core::Ent elem) const;
+
+ private:
+  core::Mesh& mesh_;
+  std::string name_;
+  ValueType type_;
+  Location location_;
+  core::Mesh::Tag tag_;
+};
+
+template <typename Fn>
+void Field::assign(Fn&& f) {
+  const int d = nodeDim();
+  for (core::Ent e : mesh_.entities(d)) {
+    const Vec3 x = d == 0 ? mesh_.point(e) : core::centroid(mesh_, e);
+    setScalar(e, f(x));
+  }
+}
+
+/// Integral of a scalar field over the mesh: vertex fields are integrated
+/// with the vertex-mean per element (exact for constants, second-order for
+/// linear fields on simplices); element fields exactly.
+[[nodiscard]] double integrate(const Field& f);
+
+/// Gradient of a scalar vertex field on a simplex element (tri in-plane or
+/// tet), exact for the linear interpolant.
+[[nodiscard]] Vec3 gradient(const Field& f, core::Ent elem);
+
+}  // namespace field
+
+#endif  // PUMI_FIELD_FIELD_HPP

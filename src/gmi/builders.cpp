@@ -1,0 +1,157 @@
+#include "gmi/builders.hpp"
+
+#include <array>
+
+namespace gmi {
+
+using common::Vec3;
+
+std::unique_ptr<Model> makeBox(const Vec3& lo, const Vec3& hi) {
+  auto model = std::make_unique<Model>();
+
+  // Corner positions; corner c has bits (i, j, k) per the header comment.
+  const std::array<Vec3, 8> corner = {
+      Vec3{lo.x, lo.y, lo.z}, Vec3{hi.x, lo.y, lo.z}, Vec3{hi.x, hi.y, lo.z},
+      Vec3{lo.x, hi.y, lo.z}, Vec3{lo.x, lo.y, hi.z}, Vec3{hi.x, lo.y, hi.z},
+      Vec3{hi.x, hi.y, hi.z}, Vec3{lo.x, hi.y, hi.z}};
+  // Note: corners are numbered around the bottom ring then the top ring
+  // (hex-element convention), not by coordinate bits.
+
+  std::array<Entity*, 8> v{};
+  for (int c = 0; c < 8; ++c) {
+    v[c] = model->create(0, c);
+    v[c]->setShape(std::make_unique<PointShape>(corner[c]));
+  }
+
+  // Edge endpoints: bottom ring, top ring, verticals.
+  constexpr std::array<std::array<int, 2>, 12> edge_verts = {{
+      {0, 1}, {1, 2}, {2, 3}, {3, 0},  // bottom ring e0..e3
+      {4, 5}, {5, 6}, {6, 7}, {7, 4},  // top ring    e4..e7
+      {0, 4}, {1, 5}, {2, 6}, {3, 7},  // verticals   e8..e11
+  }};
+  std::array<Entity*, 12> e{};
+  for (int i = 0; i < 12; ++i) {
+    e[i] = model->create(1, i);
+    const auto [a, b] = edge_verts[i];
+    e[i]->setShape(std::make_unique<SegmentShape>(corner[a], corner[b]));
+    Model::addAdjacency(e[i], v[a]);
+    Model::addAdjacency(e[i], v[b]);
+  }
+
+  // Faces: bounding edges and a plane patch (origin corner, two spans).
+  struct FaceSpec {
+    std::array<int, 4> edges;
+    int origin;  // corner index
+    int du_to;   // corner reached by the u span
+    int dv_to;   // corner reached by the v span
+  };
+  constexpr std::array<FaceSpec, 6> faces = {{
+      {{0, 1, 2, 3}, 0, 1, 3},     // f0 bottom (z-)
+      {{4, 5, 6, 7}, 4, 5, 7},     // f1 top (z+)
+      {{0, 9, 4, 8}, 0, 1, 4},     // f2 front (y-)
+      {{1, 10, 5, 9}, 1, 2, 5},    // f3 right (x+)
+      {{2, 11, 6, 10}, 2, 3, 6},   // f4 back (y+)
+      {{3, 8, 7, 11}, 3, 0, 7},    // f5 left (x-)
+  }};
+  std::array<Entity*, 6> f{};
+  for (int i = 0; i < 6; ++i) {
+    f[i] = model->create(2, i);
+    const auto& spec = faces[i];
+    f[i]->setShape(std::make_unique<PlaneShape>(
+        corner[spec.origin], corner[spec.du_to] - corner[spec.origin],
+        corner[spec.dv_to] - corner[spec.origin]));
+    for (int ei : spec.edges) Model::addAdjacency(f[i], e[ei]);
+  }
+
+  Entity* region = model->create(3, 0);
+  for (Entity* face : f) Model::addAdjacency(region, face);
+
+  model->check();
+  return model;
+}
+
+std::unique_ptr<Model> makeUnitCube() {
+  return makeBox(Vec3{0, 0, 0}, Vec3{1, 1, 1});
+}
+
+std::unique_ptr<Model> makeRect(const Vec3& lo, const Vec3& hi) {
+  auto model = std::make_unique<Model>();
+  const std::array<Vec3, 4> corner = {
+      Vec3{lo.x, lo.y, lo.z}, Vec3{hi.x, lo.y, lo.z}, Vec3{hi.x, hi.y, lo.z},
+      Vec3{lo.x, hi.y, lo.z}};
+  std::array<Entity*, 4> v{};
+  for (int c = 0; c < 4; ++c) {
+    v[c] = model->create(0, c);
+    v[c]->setShape(std::make_unique<PointShape>(corner[c]));
+  }
+  constexpr std::array<std::array<int, 2>, 4> edge_verts = {
+      {{0, 1}, {1, 2}, {2, 3}, {3, 0}}};
+  std::array<Entity*, 4> e{};
+  for (int i = 0; i < 4; ++i) {
+    e[i] = model->create(1, i);
+    const auto [a, b] = edge_verts[i];
+    e[i]->setShape(std::make_unique<SegmentShape>(corner[a], corner[b]));
+    Model::addAdjacency(e[i], v[a]);
+    Model::addAdjacency(e[i], v[b]);
+  }
+  Entity* face = model->create(2, 0);
+  face->setShape(std::make_unique<PlaneShape>(corner[0], corner[1] - corner[0],
+                                              corner[3] - corner[0]));
+  for (Entity* edge : e) Model::addAdjacency(face, edge);
+  model->check();
+  return model;
+}
+
+std::unique_ptr<Model> makeCylinder(const Vec3& base, const Vec3& axis,
+                                    double radius, double height) {
+  auto model = std::make_unique<Model>();
+  const Vec3 dir = common::normalized(axis);
+  const Vec3 top = base + dir * height;
+
+  // Circular rim edges (closed loops: no model vertices).
+  Entity* rim_bottom = model->create(1, 0);
+  Entity* rim_top = model->create(1, 1);
+  // Reuse the cylinder shape truncated to zero height as a circle surrogate:
+  // snapping onto it lands on the rim circle.
+  rim_bottom->setShape(
+      std::make_unique<CylinderShape>(base, dir, radius, 0.0));
+  rim_top->setShape(std::make_unique<CylinderShape>(top, dir, radius, 0.0));
+
+  Entity* side = model->create(2, 0);
+  side->setShape(std::make_unique<CylinderShape>(base, dir, radius, height));
+  Entity* cap_bottom = model->create(2, 1);
+  Entity* cap_top = model->create(2, 2);
+  // Plane patches spanning the cap disks (frame from the cylinder eval).
+  const Vec3 seed = std::fabs(dir.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  const Vec3 e1 = common::normalized(common::cross(dir, seed));
+  const Vec3 e2 = common::cross(dir, e1);
+  cap_bottom->setShape(std::make_unique<PlaneShape>(
+      base - e1 * radius - e2 * radius, e1 * (2 * radius), e2 * (2 * radius)));
+  cap_top->setShape(std::make_unique<PlaneShape>(
+      top - e1 * radius - e2 * radius, e1 * (2 * radius), e2 * (2 * radius)));
+
+  Model::addAdjacency(side, rim_bottom);
+  Model::addAdjacency(side, rim_top);
+  Model::addAdjacency(cap_bottom, rim_bottom);
+  Model::addAdjacency(cap_top, rim_top);
+
+  Entity* region = model->create(3, 0);
+  Model::addAdjacency(region, side);
+  Model::addAdjacency(region, cap_bottom);
+  Model::addAdjacency(region, cap_top);
+
+  model->check();
+  return model;
+}
+
+std::unique_ptr<Model> makeSphere(const Vec3& center, double radius) {
+  auto model = std::make_unique<Model>();
+  Entity* face = model->create(2, 0);
+  face->setShape(std::make_unique<SphereShape>(center, radius));
+  Entity* region = model->create(3, 0);
+  Model::addAdjacency(region, face);
+  model->check();
+  return model;
+}
+
+}  // namespace gmi

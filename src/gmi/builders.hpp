@@ -1,0 +1,50 @@
+#ifndef PUMI_GMI_BUILDERS_HPP
+#define PUMI_GMI_BUILDERS_HPP
+
+/// \file builders.hpp
+/// \brief Constructors for the analytic geometric models used in the
+/// reproduction (the stand-ins for CAD input).
+
+#include <memory>
+
+#include "common/vec.hpp"
+#include "gmi/model.hpp"
+
+namespace gmi {
+
+/// Full boundary representation of the axis-aligned box [lo, hi]:
+/// 8 vertices, 12 edges, 6 faces, 1 region with complete adjacency and
+/// analytic shapes (points, segments, plane patches).
+///
+/// Tag conventions (deterministic):
+///   vertices 0..7  — corner (i,j,k) bits: tag = i + 2j + 4k grid corner
+///   edges    0..11 — 0-3 bottom ring, 4-7 top ring, 8-11 verticals
+///   faces    0..5  — 0 bottom(z-), 1 top(z+), 2 front(y-), 3 right(x+),
+///                    4 back(y+), 5 left(x-)
+///   region   0
+std::unique_ptr<Model> makeBox(const common::Vec3& lo, const common::Vec3& hi);
+
+/// Unit cube [0,1]^3.
+std::unique_ptr<Model> makeUnitCube();
+
+/// 2D boundary representation of the rectangle [lo, hi] in the z = lo.z
+/// plane: 4 vertices (tags 0..3 counter-clockwise from lo), 4 edges
+/// (tags: 0 bottom y-, 1 right x+, 2 top y+, 3 left x-), 1 face (tag 0).
+std::unique_ptr<Model> makeRect(const common::Vec3& lo, const common::Vec3& hi);
+
+/// A capped cylinder of given base center, axis direction, radius and
+/// height: 1 region, 3 faces (tags: 0 side, 1 bottom cap, 2 top cap),
+/// 2 circular edges (0 bottom, 1 top), no vertices (closed circles).
+/// Used as the vessel-wall surrogate for the AAA workload.
+std::unique_ptr<Model> makeCylinder(const common::Vec3& base,
+                                    const common::Vec3& axis, double radius,
+                                    double height);
+
+/// Minimal closed model: 1 region bounded by 1 spherical face (tag 0 each).
+/// Used when a mesh of an arbitrary closed domain only needs interior /
+/// boundary classification.
+std::unique_ptr<Model> makeSphere(const common::Vec3& center, double radius);
+
+}  // namespace gmi
+
+#endif  // PUMI_GMI_BUILDERS_HPP

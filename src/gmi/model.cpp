@@ -1,0 +1,93 @@
+#include "gmi/model.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gmi {
+
+std::vector<Entity*> Entity::adjacent(int target_dim) const {
+  if (target_dim == dim_) return {const_cast<Entity*>(this)};
+  std::vector<Entity*> current{const_cast<Entity*>(this)};
+  int d = dim_;
+  const int step = target_dim < dim_ ? -1 : +1;
+  while (d != target_dim) {
+    std::vector<Entity*> next;
+    std::unordered_set<Entity*> seen;
+    for (Entity* e : current) {
+      const auto& link = step < 0 ? e->down_ : e->up_;
+      for (Entity* n : link)
+        if (seen.insert(n).second) next.push_back(n);
+    }
+    current = std::move(next);
+    d += step;
+  }
+  return current;
+}
+
+Entity* Model::create(int dim, int tag) {
+  if (dim < 0 || dim > 3) throw std::invalid_argument("model dim out of range");
+  if (find(dim, tag) != nullptr)
+    throw std::invalid_argument("duplicate model tag " + std::to_string(tag) +
+                                " in dim " + std::to_string(dim));
+  auto e = std::make_unique<Entity>(dim, tag);
+  Entity* raw = e.get();
+  entities_[static_cast<std::size_t>(dim)].push_back(std::move(e));
+  return raw;
+}
+
+Entity* Model::create(int dim) {
+  int tag = 0;
+  for (const auto& e : entities_.at(static_cast<std::size_t>(dim)))
+    tag = std::max(tag, e->tag() + 1);
+  return create(dim, tag);
+}
+
+void Model::addAdjacency(Entity* upper, Entity* lower) {
+  if (upper->dim() != lower->dim() + 1)
+    throw std::invalid_argument("adjacency must link dim d+1 to dim d");
+  if (std::find(upper->down_.begin(), upper->down_.end(), lower) !=
+      upper->down_.end())
+    return;  // already linked
+  upper->down_.push_back(lower);
+  lower->up_.push_back(upper);
+}
+
+Entity* Model::find(int dim, int tag) const {
+  if (dim < 0 || dim > 3) return nullptr;
+  for (const auto& e : entities_[static_cast<std::size_t>(dim)])
+    if (e->tag() == tag) return e.get();
+  return nullptr;
+}
+
+std::size_t Model::count(int dim) const {
+  return entities_.at(static_cast<std::size_t>(dim)).size();
+}
+
+int Model::dim() const {
+  for (int d = 3; d >= 0; --d)
+    if (!entities_[static_cast<std::size_t>(d)].empty()) return d;
+  return -1;
+}
+
+void Model::check() const {
+  for (int d = 0; d <= 3; ++d) {
+    for (const auto& e : entities_[static_cast<std::size_t>(d)]) {
+      for (Entity* lower : e->boundary()) {
+        if (lower->dim() != d - 1)
+          throw std::logic_error("model boundary entity has wrong dimension");
+        if (std::find(lower->bounded().begin(), lower->bounded().end(),
+                      e.get()) == lower->bounded().end())
+          throw std::logic_error("model adjacency not symmetric (down)");
+      }
+      for (Entity* upper : e->bounded()) {
+        if (upper->dim() != d + 1)
+          throw std::logic_error("model bounded entity has wrong dimension");
+        if (std::find(upper->boundary().begin(), upper->boundary().end(),
+                      e.get()) == upper->boundary().end())
+          throw std::logic_error("model adjacency not symmetric (up)");
+      }
+    }
+  }
+}
+
+}  // namespace gmi

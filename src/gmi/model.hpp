@@ -1,0 +1,109 @@
+#ifndef PUMI_GMI_MODEL_HPP
+#define PUMI_GMI_MODEL_HPP
+
+/// \file model.hpp
+/// \brief Non-manifold boundary-representation geometric model.
+///
+/// The geometric model is the high-level, mesh-independent definition of the
+/// domain (paper Sec. II). PUMI interacts with it through a functional
+/// interface supporting (a) adjacency interrogation between model entities
+/// and (b) shape interrogation. Model entities are vertices (0), edges (1),
+/// faces (2) and regions (3); mesh entities carry a *geometric
+/// classification* pointing at the highest-dimension model entity they
+/// partly represent.
+
+#include <array>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/tag.hpp"
+#include "common/vec.hpp"
+#include "gmi/shapes.hpp"
+
+namespace gmi {
+
+class Model;
+
+/// One topological entity of the geometric model.
+class Entity {
+ public:
+  Entity(int dim, int tag) : dim_(dim), tag_(tag) {}
+  Entity(const Entity&) = delete;
+  Entity& operator=(const Entity&) = delete;
+
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] int tag() const { return tag_; }
+
+  /// Entities of dimension dim-1 on this entity's boundary.
+  [[nodiscard]] const std::vector<Entity*>& boundary() const { return down_; }
+  /// Entities of dimension dim+1 bounded by this entity.
+  [[nodiscard]] const std::vector<Entity*>& bounded() const { return up_; }
+
+  /// All adjacent entities of an arbitrary dimension, found by traversal of
+  /// the stored one-level adjacencies. Complexity is local (independent of
+  /// model size).
+  [[nodiscard]] std::vector<Entity*> adjacent(int target_dim) const;
+
+  [[nodiscard]] const Shape* shape() const { return shape_.get(); }
+  void setShape(std::unique_ptr<Shape> s) { shape_ = std::move(s); }
+
+  /// Snap a point onto this entity's shape; identity when no shape is set.
+  [[nodiscard]] common::Vec3 snap(const common::Vec3& near) const {
+    return shape_ ? shape_->snap(near) : near;
+  }
+
+ private:
+  friend class Model;
+  int dim_;
+  int tag_;
+  std::vector<Entity*> down_;
+  std::vector<Entity*> up_;
+  std::unique_ptr<Shape> shape_;
+};
+
+/// The geometric model: owns entities, resolves (dim, tag) lookups, and
+/// carries a Tag registry for user data on model entities.
+class Model {
+ public:
+  using Tag = common::TagRegistry<Entity*>::Tag;
+
+  Model() = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  /// Create an entity with a caller-chosen tag, unique within its dimension.
+  Entity* create(int dim, int tag);
+  /// Create an entity with the next free tag in its dimension.
+  Entity* create(int dim);
+
+  /// Record that `lower` (dim d) bounds `upper` (dim d+1).
+  static void addAdjacency(Entity* upper, Entity* lower);
+
+  /// Find by (dim, tag); nullptr when absent.
+  [[nodiscard]] Entity* find(int dim, int tag) const;
+
+  [[nodiscard]] std::size_t count(int dim) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Entity>>& entities(
+      int dim) const {
+    return entities_.at(static_cast<std::size_t>(dim));
+  }
+
+  /// Highest entity dimension present (a 2D model has no regions).
+  [[nodiscard]] int dim() const;
+
+  [[nodiscard]] common::TagRegistry<Entity*>& tags() { return tags_; }
+
+  /// Structural validation: adjacency symmetry, dimension steps of one,
+  /// unique tags. Throws std::logic_error with a description on failure.
+  void check() const;
+
+ private:
+  std::array<std::vector<std::unique_ptr<Entity>>, 4> entities_;
+  common::TagRegistry<Entity*> tags_;
+};
+
+}  // namespace gmi
+
+#endif  // PUMI_GMI_MODEL_HPP

@@ -1,0 +1,69 @@
+#include "gmi/modelio.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gmi {
+
+void writeModel(const Model& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("writeModel: cannot open " + path);
+  out << "pumi-model 1\n";
+  for (int d = 0; d <= 3; ++d) out << model.count(d) << (d < 3 ? " " : "\n");
+  for (int d = 0; d <= 3; ++d) {
+    for (const auto& e : model.entities(d)) {
+      out << d << " " << e->tag() << " " << e->boundary().size();
+      for (Entity* b : e->boundary()) out << " " << b->tag();
+      out << "\n";
+      out << (e->shape() ? e->shape()->serialize() : std::string("none"))
+          << "\n";
+    }
+  }
+  if (!out) throw std::runtime_error("writeModel: write failed: " + path);
+}
+
+std::unique_ptr<Model> readModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("readModel: cannot open " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "pumi-model" || version != 1)
+    throw std::runtime_error("readModel: not a pumi model file: " + path);
+  std::size_t counts[4];
+  for (auto& c : counts) in >> c;
+  in.ignore();  // rest of the counts line
+
+  auto model = std::make_unique<Model>();
+  for (int d = 0; d <= 3; ++d) {
+    for (std::size_t i = 0; i < counts[d]; ++i) {
+      std::string header;
+      if (!std::getline(in, header))
+        throw std::runtime_error("readModel: truncated file: " + path);
+      std::istringstream hs(header);
+      int dim = -1, tag = -1;
+      std::size_t nb = 0;
+      hs >> dim >> tag >> nb;
+      if (dim != d)
+        throw std::runtime_error("readModel: entity out of dimension order");
+      Entity* e = model->create(dim, tag);
+      for (std::size_t b = 0; b < nb; ++b) {
+        int btag = -1;
+        hs >> btag;
+        Entity* lower = model->find(dim - 1, btag);
+        if (lower == nullptr)
+          throw std::runtime_error("readModel: dangling boundary tag");
+        Model::addAdjacency(e, lower);
+      }
+      std::string shape_line;
+      if (!std::getline(in, shape_line))
+        throw std::runtime_error("readModel: missing shape line");
+      if (auto shape = parseShape(shape_line)) e->setShape(std::move(shape));
+    }
+  }
+  model->check();
+  return model;
+}
+
+}  // namespace gmi

@@ -1,0 +1,28 @@
+#ifndef PUMI_GMI_MODELIO_HPP
+#define PUMI_GMI_MODELIO_HPP
+
+/// \file modelio.hpp
+/// \brief Geometric model persistence (the role of PUMI's .dmg files):
+/// a text format recording every model entity, the adjacency graph, and
+/// the analytic shape parameters, so a mesh file (core/meshio) can be
+/// re-classified against the identical model in a later session.
+
+#include <memory>
+#include <string>
+
+#include "gmi/model.hpp"
+
+namespace gmi {
+
+/// Write `model` to `path`. Shapes of the five analytic kinds (point,
+/// segment, plane, cylinder, sphere) round-trip; entities without shapes
+/// stay shapeless. Throws std::runtime_error on I/O failure.
+void writeModel(const Model& model, const std::string& path);
+
+/// Read a model written by writeModel. Throws std::runtime_error on I/O
+/// failure or malformed content.
+std::unique_ptr<Model> readModel(const std::string& path);
+
+}  // namespace gmi
+
+#endif  // PUMI_GMI_MODELIO_HPP

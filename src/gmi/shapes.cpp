@@ -1,0 +1,164 @@
+#include "gmi/shapes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gmi {
+
+Vec3 Shape::normal(const Vec3&) const { return Vec3{}; }
+
+Vec3 SegmentShape::snap(const Vec3& near) const {
+  const Vec3 d = b_ - a_;
+  const double len2 = common::norm2(d);
+  if (len2 == 0.0) return a_;
+  const double t = std::clamp(common::dot(near - a_, d) / len2, 0.0, 1.0);
+  return a_ + d * t;
+}
+
+Vec3 PlaneShape::snap(const Vec3& near) const {
+  const double lu2 = common::norm2(du_);
+  const double lv2 = common::norm2(dv_);
+  const Vec3 r = near - origin_;
+  const double u = lu2 > 0.0 ? std::clamp(common::dot(r, du_) / lu2, 0.0, 1.0) : 0.0;
+  const double v = lv2 > 0.0 ? std::clamp(common::dot(r, dv_) / lv2, 0.0, 1.0) : 0.0;
+  return eval(u, v);
+}
+
+Vec3 PlaneShape::normal(const Vec3&) const {
+  return common::normalized(common::cross(du_, dv_));
+}
+
+void CylinderShape::frame(Vec3& e1, Vec3& e2) const {
+  // Pick any vector not parallel to the axis to seed the frame.
+  const Vec3 seed = std::fabs(axis_.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  e1 = common::normalized(common::cross(axis_, seed));
+  e2 = common::cross(axis_, e1);
+}
+
+Vec3 CylinderShape::snap(const Vec3& near) const {
+  const Vec3 r = near - base_;
+  const double h = std::clamp(common::dot(r, axis_), 0.0, height_);
+  const Vec3 radial = r - axis_ * common::dot(r, axis_);
+  const double rn = common::norm(radial);
+  Vec3 dir;
+  if (rn > 1e-300) {
+    dir = radial / rn;
+  } else {
+    Vec3 e1, e2;
+    frame(e1, e2);
+    dir = e1;
+  }
+  return base_ + axis_ * h + dir * radius_;
+}
+
+Vec3 CylinderShape::normal(const Vec3& at) const {
+  const Vec3 r = at - base_;
+  return common::normalized(r - axis_ * common::dot(r, axis_));
+}
+
+Vec3 CylinderShape::eval(double u, double v) const {
+  Vec3 e1, e2;
+  frame(e1, e2);
+  return base_ + axis_ * (v * height_) +
+         (e1 * std::cos(u) + e2 * std::sin(u)) * radius_;
+}
+
+Vec3 SphereShape::snap(const Vec3& near) const {
+  const Vec3 r = near - center_;
+  const double n = common::norm(r);
+  if (n < 1e-300) return center_ + Vec3{radius_, 0, 0};
+  return center_ + r * (radius_ / n);
+}
+
+Vec3 SphereShape::normal(const Vec3& at) const {
+  return common::normalized(at - center_);
+}
+
+Vec3 SphereShape::eval(double u, double v) const {
+  return center_ + Vec3{radius_ * std::cos(u) * std::sin(v),
+                        radius_ * std::sin(u) * std::sin(v),
+                        radius_ * std::cos(v)};
+}
+
+}  // namespace gmi
+
+namespace gmi {
+
+namespace {
+
+std::string vec(const Vec3& v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v.x << " " << v.y << " " << v.z;
+  return os.str();
+}
+
+Vec3 readVec(std::istringstream& is) {
+  Vec3 v;
+  is >> v.x >> v.y >> v.z;
+  return v;
+}
+
+}  // namespace
+
+std::string PointShape::serialize() const { return "point " + vec(p_); }
+
+std::string SegmentShape::serialize() const {
+  return "segment " + vec(a_) + " " + vec(b_);
+}
+
+std::string PlaneShape::serialize() const {
+  return "plane " + vec(origin_) + " " + vec(du_) + " " + vec(dv_);
+}
+
+std::string CylinderShape::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "cylinder " << vec(base_) << " " << vec(axis_) << " " << radius_
+     << " " << height_;
+  return os.str();
+}
+
+std::string SphereShape::serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "sphere " << vec(center_) << " " << radius_;
+  return os.str();
+}
+
+std::unique_ptr<Shape> parseShape(const std::string& text) {
+  std::istringstream is(text);
+  std::string kind;
+  is >> kind;
+  if (kind.empty() || kind == "none") return nullptr;
+  if (kind == "point") return std::make_unique<PointShape>(readVec(is));
+  if (kind == "segment") {
+    const Vec3 a = readVec(is);
+    const Vec3 b = readVec(is);
+    return std::make_unique<SegmentShape>(a, b);
+  }
+  if (kind == "plane") {
+    const Vec3 o = readVec(is);
+    const Vec3 du = readVec(is);
+    const Vec3 dv = readVec(is);
+    return std::make_unique<PlaneShape>(o, du, dv);
+  }
+  if (kind == "cylinder") {
+    const Vec3 base = readVec(is);
+    const Vec3 axis = readVec(is);
+    double r = 0.0, h = 0.0;
+    is >> r >> h;
+    return std::make_unique<CylinderShape>(base, axis, r, h);
+  }
+  if (kind == "sphere") {
+    const Vec3 c = readVec(is);
+    double r = 0.0;
+    is >> r;
+    return std::make_unique<SphereShape>(c, r);
+  }
+  throw std::invalid_argument("parseShape: unknown shape kind: " + kind);
+}
+
+}  // namespace gmi

@@ -1,0 +1,135 @@
+#ifndef PUMI_GMI_SHAPES_HPP
+#define PUMI_GMI_SHAPES_HPP
+
+/// \file shapes.hpp
+/// \brief Analytic shapes backing geometric model entities.
+///
+/// PUMI interrogates the geometric model through a functional interface for
+/// "geometric information about the shape of the entities" (paper Sec. II).
+/// In place of a CAD kernel we provide analytic shapes — points, lines,
+/// planes, cylinders, spheres — supporting the three queries adaptive
+/// meshing needs: closest-point projection (snap), outward normal, and
+/// parametric evaluation.
+
+#include <memory>
+#include <string>
+
+#include "common/vec.hpp"
+
+namespace gmi {
+
+using common::Vec3;
+
+/// Abstract shape of a model entity.
+class Shape {
+ public:
+  virtual ~Shape() = default;
+
+  /// Closest point on the shape to `near` (used to snap refined boundary
+  /// vertices back onto curved geometry).
+  [[nodiscard]] virtual Vec3 snap(const Vec3& near) const = 0;
+
+  /// Unit normal at a point on the shape (meaningful for 2D shapes; the
+  /// default returns zero).
+  [[nodiscard]] virtual Vec3 normal(const Vec3& at) const;
+
+  /// Evaluate parametric coordinates: (u) for curves, (u,v) for surfaces.
+  [[nodiscard]] virtual Vec3 eval(double u, double v) const = 0;
+
+  /// One-line textual form ("sphere cx cy cz r") for model persistence;
+  /// parseShape inverts it.
+  [[nodiscard]] virtual std::string serialize() const = 0;
+};
+
+/// Parse a shape serialized by Shape::serialize(); nullptr for "none",
+/// throws std::invalid_argument on malformed input.
+std::unique_ptr<Shape> parseShape(const std::string& text);
+
+/// A 0-dimensional shape: a fixed location.
+class PointShape final : public Shape {
+ public:
+  explicit PointShape(const Vec3& p) : p_(p) {}
+  [[nodiscard]] Vec3 snap(const Vec3&) const override { return p_; }
+  [[nodiscard]] Vec3 eval(double, double) const override { return p_; }
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] const Vec3& location() const { return p_; }
+
+ private:
+  Vec3 p_;
+};
+
+/// A straight segment from a to b; u in [0,1] parameterizes it.
+class SegmentShape final : public Shape {
+ public:
+  SegmentShape(const Vec3& a, const Vec3& b) : a_(a), b_(b) {}
+  [[nodiscard]] Vec3 snap(const Vec3& near) const override;
+  [[nodiscard]] Vec3 eval(double u, double) const override {
+    return a_ + (b_ - a_) * u;
+  }
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] double length() const { return common::distance(a_, b_); }
+
+ private:
+  Vec3 a_, b_;
+};
+
+/// A bounded plane patch: origin + u*du + v*dv, (u,v) in [0,1]^2,
+/// with snapping clamped to the patch.
+class PlaneShape final : public Shape {
+ public:
+  PlaneShape(const Vec3& origin, const Vec3& du, const Vec3& dv)
+      : origin_(origin), du_(du), dv_(dv) {}
+  [[nodiscard]] Vec3 snap(const Vec3& near) const override;
+  [[nodiscard]] Vec3 normal(const Vec3& at) const override;
+  [[nodiscard]] Vec3 eval(double u, double v) const override {
+    return origin_ + du_ * u + dv_ * v;
+  }
+  [[nodiscard]] std::string serialize() const override;
+
+ private:
+  Vec3 origin_, du_, dv_;
+};
+
+/// An infinite-cylinder side surface of given axis and radius, truncated to
+/// axial extent [z0, z1] along the axis direction for snapping.
+class CylinderShape final : public Shape {
+ public:
+  CylinderShape(const Vec3& base, const Vec3& axis, double radius,
+                double height)
+      : base_(base), axis_(common::normalized(axis)), radius_(radius),
+        height_(height) {}
+  [[nodiscard]] Vec3 snap(const Vec3& near) const override;
+  [[nodiscard]] Vec3 normal(const Vec3& at) const override;
+  /// u in [0, 2*pi) angular, v in [0, 1] axial.
+  [[nodiscard]] Vec3 eval(double u, double v) const override;
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] double radius() const { return radius_; }
+
+ private:
+  /// Two unit vectors orthogonal to the axis.
+  void frame(Vec3& e1, Vec3& e2) const;
+  Vec3 base_, axis_;
+  double radius_, height_;
+};
+
+/// A sphere surface.
+class SphereShape final : public Shape {
+ public:
+  SphereShape(const Vec3& center, double radius)
+      : center_(center), radius_(radius) {}
+  [[nodiscard]] Vec3 snap(const Vec3& near) const override;
+  [[nodiscard]] Vec3 normal(const Vec3& at) const override;
+  /// u in [0, 2*pi) azimuthal, v in [0, pi] polar.
+  [[nodiscard]] Vec3 eval(double u, double v) const override;
+  [[nodiscard]] std::string serialize() const override;
+  [[nodiscard]] double radius() const { return radius_; }
+  [[nodiscard]] const Vec3& center() const { return center_; }
+
+ private:
+  Vec3 center_;
+  double radius_;
+};
+
+}  // namespace gmi
+
+#endif  // PUMI_GMI_SHAPES_HPP

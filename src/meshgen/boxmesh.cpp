@@ -1,0 +1,247 @@
+#include "meshgen/boxmesh.hpp"
+
+#include <array>
+#include <cassert>
+#include <unordered_map>
+
+#include "gmi/builders.hpp"
+
+namespace meshgen {
+
+using common::Vec3;
+using core::Ent;
+using core::EntHash;
+using core::Mesh;
+using core::Topo;
+
+namespace {
+
+/// Kuhn subdivision: the six path-simplices of a unit cube, as (x,y,z)
+/// corner offsets. All share the main diagonal 000-111, so applying it
+/// uniformly to every grid cell yields a conforming tetrahedralization.
+constexpr int kKuhn[6][4][3] = {
+    {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {1, 1, 1}},
+    {{0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {1, 1, 1}},
+    {{0, 0, 0}, {0, 1, 0}, {1, 1, 0}, {1, 1, 1}},
+    {{0, 0, 0}, {0, 1, 0}, {0, 1, 1}, {1, 1, 1}},
+    {{0, 0, 0}, {0, 0, 1}, {1, 0, 1}, {1, 1, 1}},
+    {{0, 0, 0}, {0, 0, 1}, {0, 1, 1}, {1, 1, 1}},
+};
+
+/// Map a sign triple (-1 fixed at lo, +1 fixed at hi, 0 free per axis) to
+/// the 3D box model entity per the makeBox tag conventions.
+gmi::Entity* boxModelEntity(const gmi::Model& model, int sx, int sy, int sz) {
+  const int fixed = (sx != 0) + (sy != 0) + (sz != 0);
+  if (fixed == 0) return model.find(3, 0);
+  if (fixed == 1) {
+    if (sz == -1) return model.find(2, 0);
+    if (sz == +1) return model.find(2, 1);
+    if (sy == -1) return model.find(2, 2);
+    if (sx == +1) return model.find(2, 3);
+    if (sy == +1) return model.find(2, 4);
+    return model.find(2, 5);  // sx == -1
+  }
+  if (fixed == 2) {
+    if (sz == -1) {
+      if (sy == -1) return model.find(1, 0);
+      if (sx == +1) return model.find(1, 1);
+      if (sy == +1) return model.find(1, 2);
+      return model.find(1, 3);  // sx == -1
+    }
+    if (sz == +1) {
+      if (sy == -1) return model.find(1, 4);
+      if (sx == +1) return model.find(1, 5);
+      if (sy == +1) return model.find(1, 6);
+      return model.find(1, 7);  // sx == -1
+    }
+    // Vertical edges: sz == 0.
+    if (sx == -1 && sy == -1) return model.find(1, 8);
+    if (sx == +1 && sy == -1) return model.find(1, 9);
+    if (sx == +1 && sy == +1) return model.find(1, 10);
+    return model.find(1, 11);  // sx == -1, sy == +1
+  }
+  // Corner: makeBox numbers the bottom ring 0..3 then the top ring 4..7.
+  const int bottom[2][2] = {{0, 3}, {1, 2}};  // [x+][y+]
+  const int c = bottom[sx == +1][sy == +1] + (sz == +1 ? 4 : 0);
+  return model.find(0, c);
+}
+
+/// Same for the 2D rectangle model (sz ignored; mesh lives in a plane).
+gmi::Entity* rectModelEntity(const gmi::Model& model, int sx, int sy) {
+  const int fixed = (sx != 0) + (sy != 0);
+  if (fixed == 0) return model.find(2, 0);
+  if (fixed == 1) {
+    if (sy == -1) return model.find(1, 0);
+    if (sx == +1) return model.find(1, 1);
+    if (sy == +1) return model.find(1, 2);
+    return model.find(1, 3);
+  }
+  const int corner[2][2] = {{0, 3}, {1, 2}};
+  return model.find(0, corner[sx == +1][sy == +1]);
+}
+
+/// Classify every entity of dimension < mesh dim whose vertices all sit on
+/// a common box boundary feature. `index_of` maps vertices to grid triples.
+template <typename ModelEntityFn>
+void classifyBoundary(
+    Mesh& mesh, int mesh_dim, int nx, int ny, int nz,
+    const std::unordered_map<Ent, std::array<int, 3>, EntHash>& index_of,
+    ModelEntityFn model_entity) {
+  for (int d = 0; d < mesh_dim; ++d) {
+    for (Ent e : mesh.entities(d)) {
+      std::array<Ent, core::kMaxDown> vbuf{};
+      const int nv = mesh.downward(e, 0, vbuf.data());
+      // Per axis: -1 when all vertices at the low extreme, +1 at the high.
+      int sign[3] = {0, 0, 0};
+      const int extent[3] = {nx, ny, nz};
+      for (int axis = 0; axis < 3; ++axis) {
+        bool all_lo = true, all_hi = true;
+        for (int i = 0; i < nv; ++i) {
+          const int c = index_of.at(vbuf[static_cast<std::size_t>(i)])[
+              static_cast<std::size_t>(axis)];
+          all_lo = all_lo && (c == 0);
+          all_hi = all_hi && (c == extent[axis]);
+        }
+        sign[axis] = all_lo ? -1 : (all_hi ? +1 : 0);
+      }
+      mesh.classify(e, model_entity(sign[0], sign[1], sign[2]));
+    }
+  }
+}
+
+struct Grid {
+  std::vector<Ent> verts;
+  std::unordered_map<Ent, std::array<int, 3>, EntHash> index_of;
+  int nx, ny, nz;
+
+  [[nodiscard]] Ent at(int i, int j, int k) const {
+    return verts[static_cast<std::size_t>((k * (ny + 1) + j) * (nx + 1) + i)];
+  }
+};
+
+Grid makeVertexGrid(Mesh& mesh, gmi::Entity* interior, int nx, int ny, int nz,
+                    const Vec3& lo, const Vec3& hi) {
+  Grid g;
+  g.nx = nx;
+  g.ny = ny;
+  g.nz = nz;
+  g.verts.reserve(static_cast<std::size_t>(nx + 1) * (ny + 1) * (nz + 1));
+  for (int k = 0; k <= nz; ++k) {
+    for (int j = 0; j <= ny; ++j) {
+      for (int i = 0; i <= nx; ++i) {
+        const Vec3 p{lo.x + (hi.x - lo.x) * (static_cast<double>(i) / nx),
+                     lo.y + (hi.y - lo.y) * (static_cast<double>(j) / ny),
+                     nz > 0 ? lo.z + (hi.z - lo.z) *
+                                         (static_cast<double>(k) / nz)
+                            : lo.z};
+        const Ent v = mesh.createVertex(p, interior);
+        g.index_of.emplace(v, std::array<int, 3>{i, j, k});
+        g.verts.push_back(v);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Generated boxTets(int nx, int ny, int nz, const Vec3& lo, const Vec3& hi) {
+  assert(nx > 0 && ny > 0 && nz > 0);
+  Generated out;
+  out.model = gmi::makeBox(lo, hi);
+  out.mesh = std::make_unique<Mesh>(out.model.get());
+  gmi::Entity* region = out.model->find(3, 0);
+  Grid g = makeVertexGrid(*out.mesh, region, nx, ny, nz, lo, hi);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        for (const auto& tet : kKuhn) {
+          std::array<Ent, 4> vs{};
+          for (int c = 0; c < 4; ++c)
+            vs[static_cast<std::size_t>(c)] =
+                g.at(i + tet[c][0], j + tet[c][1], k + tet[c][2]);
+          out.mesh->buildElement(Topo::Tet, vs, region);
+        }
+      }
+    }
+  }
+  classifyBoundary(*out.mesh, 3, nx, ny, nz, g.index_of,
+                   [&](int sx, int sy, int sz) {
+                     return boxModelEntity(*out.model, sx, sy, sz);
+                   });
+  return out;
+}
+
+Generated boxHexes(int nx, int ny, int nz, const Vec3& lo, const Vec3& hi) {
+  assert(nx > 0 && ny > 0 && nz > 0);
+  Generated out;
+  out.model = gmi::makeBox(lo, hi);
+  out.mesh = std::make_unique<Mesh>(out.model.get());
+  gmi::Entity* region = out.model->find(3, 0);
+  Grid g = makeVertexGrid(*out.mesh, region, nx, ny, nz, lo, hi);
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        const std::array<Ent, 8> vs{
+            g.at(i, j, k),         g.at(i + 1, j, k),
+            g.at(i + 1, j + 1, k), g.at(i, j + 1, k),
+            g.at(i, j, k + 1),     g.at(i + 1, j, k + 1),
+            g.at(i + 1, j + 1, k + 1), g.at(i, j + 1, k + 1)};
+        out.mesh->buildElement(Topo::Hex, vs, region);
+      }
+    }
+  }
+  classifyBoundary(*out.mesh, 3, nx, ny, nz, g.index_of,
+                   [&](int sx, int sy, int sz) {
+                     return boxModelEntity(*out.model, sx, sy, sz);
+                   });
+  return out;
+}
+
+Generated boxTris(int nx, int ny, const Vec3& lo, const Vec3& hi) {
+  assert(nx > 0 && ny > 0);
+  Generated out;
+  out.model = gmi::makeRect(lo, hi);
+  out.mesh = std::make_unique<Mesh>(out.model.get());
+  gmi::Entity* face = out.model->find(2, 0);
+  Grid g = makeVertexGrid(*out.mesh, face, nx, ny, 0, lo, hi);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      // Split each cell along the (i,j)-(i+1,j+1) diagonal.
+      const std::array<Ent, 3> t0{g.at(i, j, 0), g.at(i + 1, j, 0),
+                                  g.at(i + 1, j + 1, 0)};
+      const std::array<Ent, 3> t1{g.at(i, j, 0), g.at(i + 1, j + 1, 0),
+                                  g.at(i, j + 1, 0)};
+      out.mesh->buildElement(Topo::Tri, t0, face);
+      out.mesh->buildElement(Topo::Tri, t1, face);
+    }
+  }
+  classifyBoundary(*out.mesh, 2, nx, ny, 0, g.index_of,
+                   [&](int sx, int sy, int) {
+                     return rectModelEntity(*out.model, sx, sy);
+                   });
+  return out;
+}
+
+Generated boxQuads(int nx, int ny, const Vec3& lo, const Vec3& hi) {
+  assert(nx > 0 && ny > 0);
+  Generated out;
+  out.model = gmi::makeRect(lo, hi);
+  out.mesh = std::make_unique<Mesh>(out.model.get());
+  gmi::Entity* face = out.model->find(2, 0);
+  Grid g = makeVertexGrid(*out.mesh, face, nx, ny, 0, lo, hi);
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const std::array<Ent, 4> vs{g.at(i, j, 0), g.at(i + 1, j, 0),
+                                  g.at(i + 1, j + 1, 0), g.at(i, j + 1, 0)};
+      out.mesh->buildElement(Topo::Quad, vs, face);
+    }
+  }
+  classifyBoundary(*out.mesh, 2, nx, ny, 0, g.index_of,
+                   [&](int sx, int sy, int) {
+                     return rectModelEntity(*out.model, sx, sy);
+                   });
+  return out;
+}
+
+}  // namespace meshgen

@@ -1,0 +1,50 @@
+#ifndef PUMI_MESHGEN_BOXMESH_HPP
+#define PUMI_MESHGEN_BOXMESH_HPP
+
+/// \file boxmesh.hpp
+/// \brief Structured box mesh generators (tri/quad/tet/hex) with full
+/// geometric classification against a gmi box or rectangle model.
+///
+/// These are the synthetic mesh sources for tests and benches; hex cells
+/// are optionally split into six tetrahedra with the Kuhn subdivision,
+/// which is conforming across cells.
+
+#include <memory>
+
+#include "common/vec.hpp"
+#include "core/mesh.hpp"
+#include "gmi/model.hpp"
+
+namespace meshgen {
+
+/// A generated mesh bundled with the model it classifies against (the model
+/// must outlive the mesh, so they travel together).
+struct Generated {
+  std::unique_ptr<gmi::Model> model;
+  std::unique_ptr<core::Mesh> mesh;
+};
+
+/// nx*ny*nz grid of hex cells in [lo, hi], each split into 6 tets
+/// (6*nx*ny*nz elements). Entities on the box surface are classified on the
+/// matching model face/edge/vertex; interior entities on the model region.
+Generated boxTets(int nx, int ny, int nz,
+                  const common::Vec3& lo = {0, 0, 0},
+                  const common::Vec3& hi = {1, 1, 1});
+
+/// nx*ny*nz grid of hex elements.
+Generated boxHexes(int nx, int ny, int nz,
+                   const common::Vec3& lo = {0, 0, 0},
+                   const common::Vec3& hi = {1, 1, 1});
+
+/// 2D: nx*ny grid of quads in the z = lo.z plane, each split into 2
+/// triangles (2*nx*ny elements), classified against a rectangle model.
+Generated boxTris(int nx, int ny, const common::Vec3& lo = {0, 0, 0},
+                  const common::Vec3& hi = {1, 1, 0});
+
+/// 2D: nx*ny grid of quad elements.
+Generated boxQuads(int nx, int ny, const common::Vec3& lo = {0, 0, 0},
+                   const common::Vec3& hi = {1, 1, 0});
+
+}  // namespace meshgen
+
+#endif  // PUMI_MESHGEN_BOXMESH_HPP

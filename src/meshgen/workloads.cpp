@@ -1,0 +1,146 @@
+#include "meshgen/workloads.hpp"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/measure.hpp"
+#include "gmi/builders.hpp"
+
+namespace meshgen {
+
+using common::Vec3;
+using core::Ent;
+using core::EntHash;
+using core::Mesh;
+using core::Topo;
+
+namespace {
+
+/// Square-to-disk map: (a, b) in [-1,1]^2 -> unit disk, smooth and
+/// bijective (elliptical grid mapping).
+void squareToDisk(double a, double b, double& x, double& y) {
+  x = a * std::sqrt(1.0 - 0.5 * b * b);
+  y = b * std::sqrt(1.0 - 0.5 * a * a);
+}
+
+constexpr int kKuhn[6][4][3] = {
+    {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {1, 1, 1}},
+    {{0, 0, 0}, {1, 0, 0}, {1, 0, 1}, {1, 1, 1}},
+    {{0, 0, 0}, {0, 1, 0}, {1, 1, 0}, {1, 1, 1}},
+    {{0, 0, 0}, {0, 1, 0}, {0, 1, 1}, {1, 1, 1}},
+    {{0, 0, 0}, {0, 0, 1}, {1, 0, 1}, {1, 1, 1}},
+    {{0, 0, 0}, {0, 0, 1}, {0, 1, 1}, {1, 1, 1}},
+};
+
+}  // namespace
+
+Generated vessel(const VesselSpec& spec) {
+  assert(spec.circumferential > 0 && spec.axial > 0);
+  const int nc = spec.circumferential;
+  const int nz = spec.axial;
+
+  Generated out;
+  out.model = gmi::makeCylinder(Vec3{0, 0, 0}, Vec3{0, 0, 1}, spec.radius,
+                                spec.length);
+  out.mesh = std::make_unique<Mesh>(out.model.get());
+  gmi::Entity* region = out.model->find(3, 0);
+  gmi::Entity* side = out.model->find(2, 0);
+  gmi::Entity* cap_lo = out.model->find(2, 1);
+  gmi::Entity* cap_hi = out.model->find(2, 2);
+  gmi::Entity* rim_lo = out.model->find(1, 0);
+  gmi::Entity* rim_hi = out.model->find(1, 1);
+
+  // Vertex grid mapped from the (i, j, k) box onto the bulged, bowed tube.
+  std::vector<Ent> verts(static_cast<std::size_t>(nc + 1) * (nc + 1) *
+                         (nz + 1));
+  std::unordered_map<Ent, std::array<int, 3>, EntHash> index_of;
+  auto at = [&](int i, int j, int k) -> Ent& {
+    return verts[static_cast<std::size_t>((k * (nc + 1) + j) * (nc + 1) + i)];
+  };
+  for (int k = 0; k <= nz; ++k) {
+    const double t = static_cast<double>(k) / nz;  // axial fraction
+    const double z = t * spec.length;
+    // Aneurysm bulge: gaussian radial dilation around bulge_center.
+    const double arg = (t - spec.bulge_center) / spec.bulge_width;
+    const double r = spec.radius * (1.0 + spec.bulge * std::exp(-arg * arg));
+    // Bowed centerline.
+    const double cx = spec.bend * std::sin(M_PI * t);
+    for (int j = 0; j <= nc; ++j) {
+      for (int i = 0; i <= nc; ++i) {
+        const double a = 2.0 * i / nc - 1.0;
+        const double b = 2.0 * j / nc - 1.0;
+        double dx, dy;
+        squareToDisk(a, b, dx, dy);
+        const Ent v =
+            out.mesh->createVertex(Vec3{cx + r * dx, r * dy, z}, region);
+        index_of.emplace(v, std::array<int, 3>{i, j, k});
+        at(i, j, k) = v;
+      }
+    }
+  }
+
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < nc; ++j)
+      for (int i = 0; i < nc; ++i)
+        for (const auto& tet : kKuhn) {
+          std::array<Ent, 4> vs{};
+          for (int c = 0; c < 4; ++c)
+            vs[static_cast<std::size_t>(c)] =
+                at(i + tet[c][0], j + tet[c][1], k + tet[c][2]);
+          out.mesh->buildElement(Topo::Tet, vs, region);
+        }
+
+  // Classification: wall = cross-section boundary; caps = axial extremes.
+  std::array<Ent, core::kMaxDown> vbuf{};
+  for (int d = 0; d < 3; ++d) {
+    for (Ent e : out.mesh->entities(d)) {
+      const int nv = out.mesh->downward(e, 0, vbuf.data());
+      bool all_wall = true, all_lo = true, all_hi = true;
+      for (int i = 0; i < nv; ++i) {
+        const auto& idx = index_of.at(vbuf[static_cast<std::size_t>(i)]);
+        const bool on_wall =
+            idx[0] == 0 || idx[0] == nc || idx[1] == 0 || idx[1] == nc;
+        all_wall = all_wall && on_wall;
+        all_lo = all_lo && idx[2] == 0;
+        all_hi = all_hi && idx[2] == nz;
+      }
+      gmi::Entity* cls = region;
+      if (all_wall && all_lo) cls = rim_lo;
+      else if (all_wall && all_hi) cls = rim_hi;
+      else if (all_wall) cls = side;
+      else if (all_lo) cls = cap_lo;
+      else if (all_hi) cls = cap_hi;
+      // Guard: a dim-d mesh entity cannot classify below dimension d.
+      if (cls->dim() < d) cls = side;
+      out.mesh->classify(e, cls);
+    }
+  }
+  return out;
+}
+
+Generated wingBox(int n) {
+  assert(n > 0);
+  return boxTets(4 * n, 2 * n, n, Vec3{0, 0, 0}, Vec3{4, 2, 1});
+}
+
+void jiggle(core::Mesh& mesh, double fraction, common::Rng& rng) {
+  const int dim = mesh.dim();
+  for (Ent v : mesh.entities(0)) {
+    gmi::Entity* cls = mesh.classification(v);
+    if (cls != nullptr && cls->dim() < dim) continue;  // keep boundary fixed
+    // Shortest incident edge bounds the safe perturbation.
+    double h = 1e300;
+    for (Ent e : mesh.up(v)) h = std::min(h, core::measure(mesh, e));
+    if (h == 1e300) continue;
+    const double s = fraction * h;
+    const Vec3 p = mesh.point(v);
+    // 2D meshes stay in their plane (perturbing z would fold them out).
+    const double dz = dim == 3 ? rng.uniform(-s, s) : 0.0;
+    mesh.setPoint(v, Vec3{p.x + rng.uniform(-s, s), p.y + rng.uniform(-s, s),
+                          p.z + dz});
+  }
+}
+
+}  // namespace meshgen

@@ -1,0 +1,47 @@
+#ifndef PUMI_MESHGEN_WORKLOADS_HPP
+#define PUMI_MESHGEN_WORKLOADS_HPP
+
+/// \file workloads.hpp
+/// \brief Synthetic stand-ins for the paper's evaluation geometries.
+///
+/// The paper's ParMA tests run on a 133M-element abdominal aortic aneurysm
+/// (AAA) mesh and a supersonic ONERA M6 wing case. Neither mesh is public;
+/// these generators produce parametric surrogates with the features that
+/// matter to the experiments: an irregular tubular domain with a bulge
+/// (vessel) and a swept-wing-proportioned box domain for the shock
+/// adaptation histogram. See DESIGN.md ("Substitutions").
+
+#include "common/rng.hpp"
+#include "meshgen/boxmesh.hpp"
+
+namespace meshgen {
+
+struct VesselSpec {
+  int circumferential = 8;  ///< grid cells across the tube cross-section
+  int axial = 40;           ///< grid cells along the vessel
+  double radius = 1.0;      ///< nominal tube radius
+  double length = 10.0;     ///< vessel length
+  double bulge = 1.2;       ///< aneurysm amplitude (fraction of radius)
+  double bulge_center = 0.55;  ///< bulge position (fraction of length)
+  double bulge_width = 0.12;   ///< bulge gaussian width (fraction of length)
+  double bend = 0.6;        ///< centerline lateral bow amplitude
+};
+
+/// Tetrahedral mesh of a bowed tube with a mid-length aneurysm bulge,
+/// classified against a gmi cylinder model (side wall, two caps, two rims).
+/// Element count: 6 * circumferential^2 * axial.
+Generated vessel(const VesselSpec& spec = {});
+
+/// Tetrahedral box mesh with swept-wing proportions (4n x 2n x n cells over
+/// [0,4] x [0,2] x [0,1]); the shock-front size field for Fig. 13 is applied
+/// by the adapt module.
+Generated wingBox(int n);
+
+/// Randomly perturb interior vertices by `fraction` of their shortest
+/// incident edge, deterministically from `rng`. Small fractions (< 0.3)
+/// keep element volumes positive.
+void jiggle(core::Mesh& mesh, double fraction, common::Rng& rng);
+
+}  // namespace meshgen
+
+#endif  // PUMI_MESHGEN_WORKLOADS_HPP

@@ -1,0 +1,39 @@
+#include "parma/balance.hpp"
+
+#include "parma/metrics.hpp"
+
+namespace parma {
+
+BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
+                      const BalanceOptions& opts) {
+  const Priority parsed = parsePriority(priority);
+  const int first_dim = parsed.levels.front().front();
+
+  BalanceReport report;
+  report.initial_imbalance = entityBalance(pm, first_dim).imbalance;
+
+  ImproveOptions improve_opts = opts.improve;
+  improve_opts.tolerance = opts.tolerance;
+  HeavySplitOptions split_opts = opts.split;
+  split_opts.tolerance = opts.tolerance;
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    const auto split_report = heavyPartSplit(pm, split_opts);
+    const auto improved = improve(pm, parsed, improve_opts);
+    report.elements_migrated +=
+        split_report.elements_moved + improved.totalMigrated();
+    report.rounds = round + 1;
+    bool all_ok = true;
+    for (int d : parsed.allDims())
+      all_ok = all_ok &&
+               entityBalance(pm, d).imbalance <= 1.0 + opts.tolerance + 1e-12;
+    if (all_ok) {
+      report.converged = true;
+      break;
+    }
+  }
+  report.final_imbalance = entityBalance(pm, first_dim).imbalance;
+  return report;
+}
+
+}  // namespace parma

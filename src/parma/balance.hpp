@@ -1,0 +1,39 @@
+#ifndef PUMI_PARMA_BALANCE_HPP
+#define PUMI_PARMA_BALANCE_HPP
+
+/// \file balance.hpp
+/// \brief One-call dynamic load balancing: heavy part splitting for the
+/// spikes diffusion cannot reach, multi-criteria diffusive improvement for
+/// the rest, iterated until the application tolerance holds (the paper's
+/// Sec. III procedures "work independently of, or in conjunction with",
+/// each other — this is the conjunction).
+
+#include "parma/heavysplit.hpp"
+#include "parma/improve.hpp"
+
+namespace parma {
+
+struct BalanceOptions {
+  double tolerance = 0.05;
+  int max_rounds = 3;       ///< heavy-split + diffusion rounds
+  ImproveOptions improve{}; ///< per-round diffusion settings
+  HeavySplitOptions split{};
+};
+
+struct BalanceReport {
+  int rounds = 0;
+  double initial_imbalance = 0.0;  ///< of the first priority type
+  double final_imbalance = 0.0;
+  bool converged = false;
+  std::size_t elements_migrated = 0;
+};
+
+/// Balance `pm` for `priority` (e.g. "Vtx>Rgn"); alternates heavy part
+/// splitting on the element balance with priority-driven diffusion until
+/// every priority type is within tolerance or rounds are exhausted.
+BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
+                      const BalanceOptions& opts = {});
+
+}  // namespace parma
+
+#endif  // PUMI_PARMA_BALANCE_HPP

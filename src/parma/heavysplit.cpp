@@ -1,0 +1,180 @@
+#include "parma/heavysplit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "parma/metrics.hpp"
+
+namespace parma {
+
+using core::Ent;
+
+namespace {
+
+/// 0-1 knapsack: choose items maximizing total weight under `capacity`
+/// (weights are both cost and value here: we want the heaviest feasible
+/// merge group). Returns chosen item indices.
+std::vector<std::size_t> knapsack(const std::vector<long>& weights,
+                                  long capacity) {
+  std::vector<std::size_t> chosen;
+  if (capacity <= 0 || weights.empty()) return chosen;
+  const std::size_t n = weights.size();
+  const std::size_t w = static_cast<std::size_t>(capacity);
+  // dp[i][c]: best value using items [0, i) under capacity c.
+  std::vector<std::vector<long>> dp(n + 1, std::vector<long>(w + 1, 0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    const long wi = weights[i - 1];
+    for (std::size_t c = 0; c <= w; ++c) {
+      dp[i][c] = dp[i - 1][c];
+      if (wi >= 0 && static_cast<std::size_t>(wi) <= c)
+        dp[i][c] = std::max(dp[i][c],
+                            dp[i - 1][c - static_cast<std::size_t>(wi)] + wi);
+    }
+  }
+  // Trace back.
+  std::size_t c = w;
+  for (std::size_t i = n; i > 0; --i) {
+    if (dp[i][c] != dp[i - 1][c]) {
+      chosen.push_back(i - 1);
+      c -= static_cast<std::size_t>(weights[i - 1]);
+    }
+  }
+  std::reverse(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+struct MergeProposal {
+  dist::PartId target = -1;
+  std::vector<dist::PartId> donors;
+  long total = 0;  ///< merged element count (target + donors)
+};
+
+}  // namespace
+
+HeavySplitReport heavyPartSplit(dist::PartedMesh& pm,
+                                const HeavySplitOptions& opts) {
+  HeavySplitReport report;
+  const int nparts = pm.parts();
+  report.initial_imbalance = entityBalance(pm, pm.dim()).imbalance;
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    const Balance b = entityBalance(pm, pm.dim());
+    const double heavy_cutoff = (1.0 + opts.tolerance) * b.mean;
+    bool any_heavy = false;
+    for (std::size_t p = 0; p < b.per_part.size(); ++p)
+      if (static_cast<double>(b.per_part[p]) > heavy_cutoff) any_heavy = true;
+    if (!any_heavy) break;
+
+    // Parts already empty are split targets too (e.g. after a pathological
+    // input partition or a previous round's merges).
+    std::vector<dist::PartId> empties;
+    for (dist::PartId p = 0; p < nparts; ++p)
+      if (b.per_part[static_cast<std::size_t>(p)] == 0) empties.push_back(p);
+
+    // --- (1) knapsack merge proposals on every part --------------------
+    std::vector<MergeProposal> proposals;
+    for (dist::PartId p = 0; p < nparts; ++p) {
+      const long own = static_cast<long>(b.per_part[static_cast<std::size_t>(p)]);
+      const long capacity = static_cast<long>(std::floor(b.mean)) - own;
+      if (capacity <= 0 || own == 0) continue;
+      std::vector<dist::PartId> nbrs;
+      std::vector<long> weights;
+      for (dist::PartId q : pm.part(p).neighborParts(0)) {
+        const long wq = static_cast<long>(b.per_part[static_cast<std::size_t>(q)]);
+        if (wq == 0 || wq > capacity) continue;
+        nbrs.push_back(q);
+        weights.push_back(wq);
+      }
+      const auto chosen = knapsack(weights, capacity);
+      if (chosen.empty()) continue;
+      MergeProposal mp;
+      mp.target = p;
+      mp.total = own;
+      for (std::size_t i : chosen) {
+        mp.donors.push_back(nbrs[i]);
+        mp.total += weights[i];
+      }
+      proposals.push_back(std::move(mp));
+    }
+
+    // --- (2) maximal independent set of non-conflicting merges ---------
+    // Greedy by number of emptied parts, then merged weight (deterministic).
+    std::sort(proposals.begin(), proposals.end(),
+              [](const MergeProposal& a, const MergeProposal& c) {
+                if (a.donors.size() != c.donors.size())
+                  return a.donors.size() > c.donors.size();
+                if (a.total != c.total) return a.total > c.total;
+                return a.target < c.target;
+              });
+    std::vector<char> used(static_cast<std::size_t>(pm.parts()), 0);
+    dist::MigrationPlan merge_plan(static_cast<std::size_t>(pm.parts()));
+    int merges_this_round = 0;
+    for (const auto& mp : proposals) {
+      bool free = !used[static_cast<std::size_t>(mp.target)];
+      for (dist::PartId d : mp.donors)
+        free = free && !used[static_cast<std::size_t>(d)];
+      if (!free) continue;
+      used[static_cast<std::size_t>(mp.target)] = 1;
+      for (dist::PartId d : mp.donors) {
+        used[static_cast<std::size_t>(d)] = 1;
+        for (Ent e : pm.part(d).elements())
+          merge_plan[static_cast<std::size_t>(d)][e] = mp.target;
+        empties.push_back(d);
+        report.parts_emptied += 1;
+      }
+      merges_this_round += 1;
+      report.merges += 1;
+    }
+    if (merges_this_round > 0) {
+      for (const auto& m : merge_plan) report.elements_moved += m.size();
+      pm.migrate(merge_plan);
+    }
+    if (empties.empty()) break;  // nothing to split into
+
+    // --- (3) split heavy parts into the emptied parts -------------------
+    const Balance after = entityBalance(pm, pm.dim());
+    std::vector<std::pair<long, dist::PartId>> heavies;
+    for (dist::PartId p = 0; p < nparts; ++p) {
+      const long c = static_cast<long>(after.per_part[static_cast<std::size_t>(p)]);
+      if (static_cast<double>(c) > (1.0 + opts.tolerance) * after.mean)
+        heavies.emplace_back(c, p);
+    }
+    std::sort(heavies.rbegin(), heavies.rend());
+    dist::MigrationPlan split_plan(static_cast<std::size_t>(pm.parts()));
+    for (const auto& [count, h] : heavies) {
+      if (empties.empty()) break;
+      int pieces = static_cast<int>(
+          std::lround(static_cast<double>(count) / after.mean));
+      pieces = std::clamp(pieces, 2, static_cast<int>(empties.size()) + 1);
+      const auto g = part::buildElemGraph(pm.part(h).mesh());
+      if (g.size() < pieces) continue;
+      const auto sub = part::partitionGraph(g, pieces, opts.split_method);
+      std::vector<dist::PartId> targets(static_cast<std::size_t>(pieces), h);
+      for (int s = 1; s < pieces; ++s) {
+        targets[static_cast<std::size_t>(s)] = empties.back();
+        empties.pop_back();
+      }
+      for (int i = 0; i < g.size(); ++i) {
+        const dist::PartId dest =
+            targets[static_cast<std::size_t>(sub[static_cast<std::size_t>(i)])];
+        if (dest != h)
+          split_plan[static_cast<std::size_t>(h)]
+                    [g.elems[static_cast<std::size_t>(i)]] = dest;
+      }
+      report.parts_split += 1;
+    }
+    bool any_split = false;
+    for (const auto& m : split_plan) {
+      any_split = any_split || !m.empty();
+      report.elements_moved += m.size();
+    }
+    if (any_split) pm.migrate(split_plan);
+    if (!any_split && merges_this_round == 0) break;  // stuck
+  }
+
+  report.final_imbalance = entityBalance(pm, pm.dim()).imbalance;
+  return report;
+}
+
+}  // namespace parma

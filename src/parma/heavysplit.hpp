@@ -1,0 +1,48 @@
+#ifndef PUMI_PARMA_HEAVYSPLIT_HPP
+#define PUMI_PARMA_HEAVYSPLIT_HPP
+
+/// \file heavysplit.hpp
+/// \brief ParMA heavy part splitting (paper Sec. III-B).
+///
+/// Iterative diffusion cannot fix partitions where several heavily loaded
+/// parts neighbour each other (or where parts are tiny and a few hundred
+/// extra vertices already mean a 50% spike). Heavy part splitting is the
+/// directed, aggressive alternative: (1) each part independently solves a
+/// 0-1 knapsack over its neighbours to find the largest group that can
+/// merge into it while staying under the average load; (2) a maximal
+/// independent set of non-conflicting merges is chosen and performed,
+/// creating empty parts; (3) heavy parts are split into the emptied parts
+/// until no heavy (or no empty) parts remain. Iterative improvement
+/// (improve.hpp) follows as needed.
+
+#include "dist/partedmesh.hpp"
+#include "part/partition.hpp"
+
+namespace parma {
+
+struct HeavySplitOptions {
+  /// A part is heavy when its element count exceeds (1+tolerance)*avg.
+  double tolerance = 0.05;
+  /// Local partitioner used to split heavy parts.
+  part::Method split_method = part::Method::GraphRB;
+  /// Safety cap on merge/split rounds.
+  int max_rounds = 8;
+};
+
+struct HeavySplitReport {
+  int merges = 0;          ///< merge groups executed
+  int parts_emptied = 0;   ///< parts emptied by merging
+  int parts_split = 0;     ///< heavy parts split
+  std::size_t elements_moved = 0;  ///< total elements migrated
+  double initial_imbalance = 0.0;
+  double final_imbalance = 0.0;
+};
+
+/// Run heavy part splitting on the element balance of `pm`. The part count
+/// is unchanged: merging empties existing parts, splitting refills them.
+HeavySplitReport heavyPartSplit(dist::PartedMesh& pm,
+                                const HeavySplitOptions& opts = {});
+
+}  // namespace parma
+
+#endif  // PUMI_PARMA_HEAVYSPLIT_HPP

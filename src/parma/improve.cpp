@@ -1,0 +1,378 @@
+#include "parma/improve.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_set>
+
+namespace parma {
+
+using core::Ent;
+using core::EntHash;
+
+namespace {
+
+/// A cavity: a small group of elements on the heavy part selected to move
+/// together to one candidate part.
+using Cavity = std::vector<Ent>;
+
+/// True when the entity is shared with part q.
+bool sharedWith(const dist::Part& p, Ent e, PartId q) {
+  const dist::Remote* r = p.remote(e);
+  if (r == nullptr) return false;
+  return std::any_of(r->copies.begin(), r->copies.end(),
+                     [&](const dist::Copy& c) { return c.part == q; });
+}
+
+/// Part-boundary entities of dimension `dim` shared with part q, in
+/// deterministic (handle) order. Touches only the boundary, never the
+/// whole part mesh.
+std::vector<Ent> boundaryWith(const dist::Part& p, PartId q, int dim) {
+  std::vector<Ent> out;
+  for (const auto& [e, r] : p.remotes()) {
+    if (core::topoDim(e.topo()) != dim) continue;
+    for (const dist::Copy& c : r.copies)
+      if (c.part == q) {
+        out.push_back(e);
+        break;
+      }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Fig. 9 selection (element balancing): elements next to the q-boundary
+/// with more boundary faces than interior faces.
+std::vector<Cavity> selectForElements(const dist::Part& p, PartId q,
+                                      int elem_dim) {
+  std::vector<Cavity> out;
+  std::unordered_set<Ent, EntHash> chosen;
+  const auto& mesh = p.mesh();
+  const auto shared_faces = boundaryWith(p, q, elem_dim - 1);
+  for (Ent f : shared_faces) {
+    for (Ent e : mesh.up(f)) {
+      if (p.isGhost(e) || chosen.count(e)) continue;
+      std::array<Ent, core::kMaxDown> faces{};
+      const int nf = mesh.downward(e, elem_dim - 1, faces.data());
+      int boundary = 0;
+      for (int i = 0; i < nf; ++i)
+        if (p.isShared(faces[static_cast<std::size_t>(i)])) ++boundary;
+      if (boundary > nf - boundary) {
+        chosen.insert(e);
+        out.push_back(Cavity{e});
+      }
+    }
+  }
+  // Fallback for progress when the boundary is too smooth for the
+  // heuristic: any element touching the q-boundary.
+  if (out.empty()) {
+    for (Ent f : shared_faces) {
+      for (Ent e : mesh.up(f))
+        if (!p.isGhost(e) && chosen.insert(e).second) out.push_back(Cavity{e});
+    }
+  }
+  return out;
+}
+
+/// Fig. 10 selection (edge/face balancing): part-boundary edges shared with
+/// q that bound at most two local faces; the adjacent elements form the
+/// cavity (case (a) — case (b), three or more faces, is skipped because it
+/// would grow the boundary).
+std::vector<Cavity> selectForEdgesFaces(const dist::Part& p, PartId q,
+                                        int elem_dim) {
+  std::vector<Cavity> out;
+  std::unordered_set<Ent, EntHash> chosen;
+  const auto& mesh = p.mesh();
+  for (Ent e : boundaryWith(p, q, 1)) {
+    if (mesh.up(e).size() > 2) continue;
+    Cavity cav;
+    bool clash = false;
+    for (Ent elem : mesh.adjacent(e, elem_dim)) {
+      if (p.isGhost(elem)) continue;
+      if (chosen.count(elem)) clash = true;
+      cav.push_back(elem);
+    }
+    if (clash || cav.empty()) continue;
+    for (Ent elem : cav) chosen.insert(elem);
+    out.push_back(std::move(cav));
+  }
+  return out;
+}
+
+/// Vertex balancing (Zhou's strategy): boundary vertices shared with q
+/// whose local element cavity is small; moving the whole cavity removes
+/// the vertex from this part.
+std::vector<Cavity> selectForVertices(const dist::Part& p, PartId q,
+                                      int elem_dim, int max_cavity) {
+  std::vector<Cavity> out;
+  std::unordered_set<Ent, EntHash> chosen;
+  const auto& mesh = p.mesh();
+  for (Ent v : boundaryWith(p, q, 0)) {
+    Cavity cav;
+    bool clash = false;
+    for (Ent elem : mesh.adjacent(v, elem_dim)) {
+      if (p.isGhost(elem)) continue;
+      if (chosen.count(elem)) clash = true;
+      cav.push_back(elem);
+    }
+    if (clash || cav.empty() ||
+        cav.size() > static_cast<std::size_t>(max_cavity))
+      continue;
+    for (Ent elem : cav) chosen.insert(elem);
+    out.push_back(std::move(cav));
+  }
+  // Fallback: when no vertex has a small enough local star, fall back to
+  // boundary-hugging single elements (still shifts boundary vertices).
+  if (out.empty()) return selectForElements(p, q, elem_dim);
+  return out;
+}
+
+/// Ablation selection: every element touching the q-boundary, one per
+/// cavity, with no boundary-quality consideration.
+std::vector<Cavity> selectNaive(const dist::Part& p, PartId q, int elem_dim) {
+  std::vector<Cavity> out;
+  std::unordered_set<Ent, EntHash> chosen;
+  const auto& mesh = p.mesh();
+  for (Ent f : boundaryWith(p, q, elem_dim - 1)) {
+    for (Ent e : mesh.up(f))
+      if (!p.isGhost(e) && chosen.insert(e).second) out.push_back(Cavity{e});
+  }
+  return out;
+}
+
+std::vector<Cavity> selectCavities(const dist::Part& p, PartId q, int dim,
+                                   int elem_dim, const ImproveOptions& opts) {
+  if (!opts.heuristic_selection) return selectNaive(p, q, elem_dim);
+  if (dim == elem_dim) return selectForElements(p, q, elem_dim);
+  if (dim == 0) return selectForVertices(p, q, elem_dim, opts.max_cavity);
+  return selectForEdgesFaces(p, q, elem_dim);
+}
+
+/// Closure entities of `cav` per dimension, split into those that would be
+/// *new* to q (not already shared with it) and those that would *leave* p
+/// (no local adjacent element outside the selection).
+struct CavityEffect {
+  std::array<int, 4> adds{};    ///< entities new to q, per dim
+  std::array<int, 4> leaves{};  ///< entities leaving p, per dim
+};
+
+/// Element weight under the application-defined criterion (1 when no tag).
+double elementWeight(const core::Mesh& mesh, core::Mesh::Tag tag, Ent e) {
+  if (tag == nullptr || !tag->has(e)) return 1.0;
+  return mesh.tags().getScalar<double>(tag, e);
+}
+
+CavityEffect cavityEffect(const dist::Part& p, const Cavity& cav, PartId q,
+                          int elem_dim,
+                          const std::unordered_set<Ent, EntHash>& selected,
+                          core::Mesh::Tag weight_tag) {
+  CavityEffect fx;
+  double w = 0.0;
+  for (Ent e : cav) w += elementWeight(p.mesh(), weight_tag, e);
+  fx.adds[static_cast<std::size_t>(elem_dim)] = static_cast<int>(w + 0.5);
+  fx.leaves[static_cast<std::size_t>(elem_dim)] = static_cast<int>(w + 0.5);
+  const auto& mesh = p.mesh();
+  std::unordered_set<Ent, EntHash> in_cavity(cav.begin(), cav.end());
+  std::array<Ent, core::kMaxDown> buf{};
+  std::unordered_set<Ent, EntHash> seen;
+  for (Ent elem : cav) {
+    for (int d = 0; d < elem_dim; ++d) {
+      const int n = mesh.downward(elem, d, buf.data());
+      for (int i = 0; i < n; ++i) {
+        const Ent c = buf[static_cast<std::size_t>(i)];
+        if (!seen.insert(c).second) continue;
+        if (!sharedWith(p, c, q)) fx.adds[static_cast<std::size_t>(d)] += 1;
+        bool all_leaving = true;
+        for (Ent up_elem : mesh.adjacent(c, elem_dim)) {
+          if (p.isGhost(up_elem)) continue;
+          if (!in_cavity.count(up_elem) && !selected.count(up_elem))
+            all_leaving = false;
+        }
+        if (all_leaving) fx.leaves[static_cast<std::size_t>(d)] += 1;
+      }
+    }
+  }
+  return fx;
+}
+
+}  // namespace
+
+ImproveReport improve(dist::PartedMesh& pm, const Priority& priority,
+                      const ImproveOptions& opts) {
+  ImproveReport report;
+  const int elem_dim = pm.dim();
+  const int nparts = pm.parts();
+
+  // Reference means, fixed at entry. The paper measures imbalance against
+  // the input (T0) partition's means; converging against a drifting mean
+  // would silently accept boundary growth.
+  std::array<double, 4> ref_mean{};
+  {
+    const auto entry = allBalances(pm);
+    for (int d = 0; d <= 3; ++d)
+      ref_mean[static_cast<std::size_t>(d)] =
+          entry[static_cast<std::size_t>(d)].mean;
+  }
+  auto meanOf = [&](int d, const std::array<Balance, 4>& balances) {
+    const double now = balances[static_cast<std::size_t>(d)].mean;
+    const double ref = ref_mean[static_cast<std::size_t>(d)];
+    return ref > 0.0 ? std::min(now, ref) : now;
+  };
+
+  for (std::size_t li = 0; li < priority.levels.size(); ++li) {
+    // Dimensions whose balance this level must not harm: all higher levels
+    // plus the other members of this level.
+    for (int dim : priority.levels[li]) {
+      std::vector<int> harm = priority.higherThan(li);
+      for (int other : priority.levels[li])
+        if (other != dim) harm.push_back(other);
+
+      LevelReport lr;
+      lr.dim = dim;
+      auto imbNow = [&]() {
+        auto bb = allBalances(pm);
+        if (dim == elem_dim && !opts.element_weight_tag.empty())
+          bb[static_cast<std::size_t>(elem_dim)] =
+              weightedElementBalance(pm, opts.element_weight_tag);
+        return static_cast<double>(bb[static_cast<std::size_t>(dim)].peak) /
+               meanOf(dim, bb);
+      };
+      lr.initial_imbalance = imbNow();
+      double prev_imbalance = lr.initial_imbalance;
+      int stalls = 0;
+
+      for (int iter = 0; iter < opts.max_iterations; ++iter) {
+        auto balances = allBalances(pm);
+        if (dim == elem_dim && !opts.element_weight_tag.empty())
+          balances[static_cast<std::size_t>(elem_dim)] =
+              weightedElementBalance(pm, opts.element_weight_tag);
+        const Balance& b = balances[static_cast<std::size_t>(dim)];
+        const double mean_d = meanOf(dim, balances);
+        if (static_cast<double>(b.peak) / mean_d <= 1.0 + opts.tolerance)
+          break;
+
+        dist::MigrationPlan plan(static_cast<std::size_t>(nparts));
+        // Projected count changes at destinations during this round.
+        std::vector<std::array<int, 4>> planned(
+            static_cast<std::size_t>(nparts), std::array<int, 4>{});
+        std::size_t planned_moves = 0;
+
+        for (PartId p = 0; p < nparts; ++p) {
+          const double count_p =
+              static_cast<double>(b.per_part[static_cast<std::size_t>(p)]);
+          if (count_p <= (1.0 + opts.tolerance) * mean_d) continue;  // light
+          const double surplus = count_p - mean_d;
+          const int budget =
+              std::max(1, static_cast<int>(std::ceil(surplus * opts.damping)));
+
+          // Candidate parts (paper III-A-1): lightly loaded neighbours,
+          // absolutely (below average) or relatively (below this part),
+          // in the balanced dimension and in all lesser-priority ones.
+          std::vector<PartId> cands;
+          for (PartId q : pm.part(p).neighborParts(0)) {
+            auto light = [&](int d) {
+              const auto& bd = balances[static_cast<std::size_t>(d)];
+              const double cq = static_cast<double>(
+                  bd.per_part[static_cast<std::size_t>(q)]);
+              const double cp = static_cast<double>(
+                  bd.per_part[static_cast<std::size_t>(p)]);
+              if (cq < meanOf(d, balances)) return true;  // absolute
+              return opts.relative_candidates && cq < cp;  // relative
+            };
+            bool ok = light(dim);
+            for (int dl : priority.lowerThan(li)) ok = ok && light(dl);
+            if (ok) cands.push_back(q);
+          }
+          if (cands.empty()) continue;
+          std::sort(cands.begin(), cands.end(), [&](PartId x, PartId y) {
+            return b.per_part[static_cast<std::size_t>(x)] <
+                   b.per_part[static_cast<std::size_t>(y)];
+          });
+
+          std::unordered_set<Ent, EntHash> selected;
+          int moved = 0;
+          for (PartId q : cands) {
+            if (moved >= budget) break;
+            const auto cavities =
+                selectCavities(pm.part(p), q, dim, elem_dim, opts);
+            for (const Cavity& cav : cavities) {
+              if (moved >= budget) break;
+              bool overlap = false;
+              for (Ent e : cav)
+                if (selected.count(e)) overlap = true;
+              if (overlap) continue;
+              core::Mesh::Tag weight_tag =
+                  opts.element_weight_tag.empty()
+                      ? nullptr
+                      : pm.part(p).mesh().tags().find(
+                            opts.element_weight_tag);
+              const CavityEffect fx = cavityEffect(pm.part(p), cav, q,
+                                                   elem_dim, selected,
+                                                   weight_tag);
+              auto projectedAt = [&](int d) {
+                const auto& bd = balances[static_cast<std::size_t>(d)];
+                return static_cast<double>(
+                           bd.per_part[static_cast<std::size_t>(q)]) +
+                       planned[static_cast<std::size_t>(q)]
+                              [static_cast<std::size_t>(d)] +
+                       fx.adds[static_cast<std::size_t>(d)];
+              };
+              // Balanced type: diffusion must flow downhill — the
+              // destination stays strictly below the source's load.
+              bool ok =
+                  projectedAt(dim) <
+                  static_cast<double>(
+                      b.per_part[static_cast<std::size_t>(p)]) -
+                      moved;
+              // Protected (higher/equal priority) types: the move must not
+              // raise their global peak (that is what "no harm" means).
+              for (int dh : harm) {
+                const auto& bd = balances[static_cast<std::size_t>(dh)];
+                ok = ok && projectedAt(dh) <=
+                               std::max((1.0 + opts.tolerance) *
+                                            meanOf(dh, balances),
+                                        static_cast<double>(bd.peak));
+              }
+              if (!ok) continue;
+              for (Ent e : cav) {
+                plan[static_cast<std::size_t>(p)][e] = q;
+                selected.insert(e);
+              }
+              for (int d = 0; d <= 3; ++d)
+                planned[static_cast<std::size_t>(q)]
+                       [static_cast<std::size_t>(d)] +=
+                    fx.adds[static_cast<std::size_t>(d)];
+              moved += fx.leaves[static_cast<std::size_t>(dim)];
+              planned_moves += cav.size();
+            }
+          }
+        }
+
+        if (planned_moves == 0) break;  // no admissible move anywhere
+        pm.migrate(plan);
+        lr.iterations = iter + 1;
+        lr.elements_migrated += planned_moves;
+
+        const double now = imbNow();
+        if (now >= prev_imbalance - 1e-12) {
+          if (++stalls >= opts.max_stalls) break;
+        } else {
+          stalls = 0;
+        }
+        prev_imbalance = now;
+      }
+
+      lr.final_imbalance = imbNow();
+      lr.converged = lr.final_imbalance <= 1.0 + opts.tolerance;
+      report.levels.push_back(lr);
+    }
+  }
+  return report;
+}
+
+ImproveReport improve(dist::PartedMesh& pm, const std::string& priority,
+                      const ImproveOptions& opts) {
+  return improve(pm, parsePriority(priority), opts);
+}
+
+}  // namespace parma

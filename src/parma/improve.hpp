@@ -1,0 +1,85 @@
+#ifndef PUMI_PARMA_IMPROVE_HPP
+#define PUMI_PARMA_IMPROVE_HPP
+
+/// \file improve.hpp
+/// \brief ParMA multi-criteria greedy diffusive partition improvement
+/// (paper Sec. III-A).
+///
+/// Takes a partition with moderate imbalance spikes and reduces them to the
+/// application-specified tolerance, traversing the priority list in order
+/// of decreasing priority. For each entity type: compute the migration
+/// schedule (how much load each heavy part diffuses to which lightly loaded
+/// neighbour), select elements whose departure shrinks the boundary
+/// (Figs. 9-10), and migrate — one iteration. Balancing a type never harms
+/// the balance of higher-priority types.
+
+#include <string>
+
+#include "dist/partedmesh.hpp"
+#include "parma/metrics.hpp"
+#include "parma/priority.hpp"
+
+namespace parma {
+
+struct ImproveOptions {
+  /// Target imbalance: peak/mean <= 1 + tolerance (paper uses 5%).
+  double tolerance = 0.05;
+  /// Iteration cap per entity type.
+  int max_iterations = 40;
+  /// Fraction of a heavy part's surplus attempted per iteration; diffusive
+  /// half-steps avoid overshooting past neighbours.
+  double damping = 0.5;
+  /// Cavity size cap for vertex-balancing selection (Zhou's small-cavity
+  /// rule).
+  int max_cavity = 10;
+  /// Consecutive non-improving iterations tolerated before giving up on a
+  /// type.
+  int max_stalls = 5;
+  /// Ablation: when false, only absolutely lightly loaded neighbours are
+  /// candidates (paper III-A-1 defines both categories; the relative
+  /// category lets spikes diffuse through moderately loaded regions).
+  bool relative_candidates = true;
+  /// Ablation: when false, skip the boundary-improving selection heuristics
+  /// (Figs. 9-10) and move arbitrary boundary-adjacent elements.
+  bool heuristic_selection = true;
+  /// Application-defined imbalance criterion: when non-empty, element
+  /// (region/face) balancing weighs each element by this double tag
+  /// (missing values weigh 1) instead of counting elements — e.g.
+  /// predicted post-adaptation counts for predictive load balancing.
+  std::string element_weight_tag;
+};
+
+struct LevelReport {
+  int dim = -1;                     ///< entity dimension balanced
+  double initial_imbalance = 0.0;   ///< peak/mean before
+  double final_imbalance = 0.0;     ///< peak/mean after
+  int iterations = 0;               ///< migrate rounds executed
+  std::size_t elements_migrated = 0;
+  bool converged = false;           ///< reached tolerance
+};
+
+struct ImproveReport {
+  std::vector<LevelReport> levels;
+  [[nodiscard]] bool allConverged() const {
+    for (const auto& l : levels)
+      if (!l.converged) return false;
+    return true;
+  }
+  [[nodiscard]] std::size_t totalMigrated() const {
+    std::size_t n = 0;
+    for (const auto& l : levels) n += l.elements_migrated;
+    return n;
+  }
+};
+
+/// Run the multi-criteria improvement on `pm` per `priority`.
+ImproveReport improve(dist::PartedMesh& pm, const Priority& priority,
+                      const ImproveOptions& opts = {});
+
+/// Convenience: parse the priority expression ("Vtx=Edge>Rgn") and run.
+ImproveReport improve(dist::PartedMesh& pm, const std::string& priority,
+                      const ImproveOptions& opts = {});
+
+}  // namespace parma
+
+#endif  // PUMI_PARMA_IMPROVE_HPP

@@ -1,0 +1,97 @@
+#include "parma/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parma {
+
+namespace {
+
+Balance finish(std::vector<std::size_t> per_part) {
+  Balance b;
+  b.per_part = std::move(per_part);
+  std::size_t total = 0;
+  for (std::size_t c : b.per_part) {
+    total += c;
+    b.peak = std::max(b.peak, c);
+  }
+  b.mean = b.per_part.empty()
+               ? 0.0
+               : static_cast<double>(total) / static_cast<double>(b.per_part.size());
+  b.imbalance = b.mean > 0.0 ? static_cast<double>(b.peak) / b.mean : 0.0;
+  return b;
+}
+
+}  // namespace
+
+Balance entityBalance(const dist::PartedMesh& pm, int d) {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(pm.parts()), 0);
+  for (PartId p = 0; p < pm.parts(); ++p)
+    counts[static_cast<std::size_t>(p)] = pm.part(p).countLocal(d);
+  return finish(std::move(counts));
+}
+
+Balance weightedElementBalance(const dist::PartedMesh& pm,
+                               const std::string& tag_name) {
+  const int dim = pm.dim();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(pm.parts()), 0);
+  for (PartId p = 0; p < pm.parts(); ++p) {
+    const dist::Part& part = pm.part(p);
+    const auto& mesh = part.mesh();
+    core::Mesh::Tag tag = mesh.tags().find(tag_name);
+    double sum = 0.0;
+    for (core::Ent e : mesh.entities(dim)) {
+      if (part.isGhost(e)) continue;
+      sum += (tag != nullptr && tag->has(e))
+                 ? mesh.tags().getScalar<double>(tag, e)
+                 : 1.0;
+    }
+    counts[static_cast<std::size_t>(p)] =
+        static_cast<std::size_t>(sum + 0.5);
+  }
+  return finish(std::move(counts));
+}
+
+std::array<Balance, 4> allBalances(const dist::PartedMesh& pm) {
+  std::array<Balance, 4> out;
+  for (int d = 0; d <= 3; ++d) out[static_cast<std::size_t>(d)] = entityBalance(pm, d);
+  return out;
+}
+
+std::size_t boundaryCopies(const dist::PartedMesh& pm, int d) {
+  std::size_t n = 0;
+  for (PartId p = 0; p < pm.parts(); ++p) {
+    const dist::Part& pt = pm.part(p);
+    for (core::Ent e : pt.mesh().entities(d))
+      if (!pt.isGhost(e) && pt.isShared(e)) ++n;
+  }
+  return n;
+}
+
+Histogram imbalanceHistogram(const Balance& b, int bins) {
+  Histogram h;
+  if (b.per_part.empty() || b.mean <= 0.0 || bins < 1) return h;
+  double lo = 1e300, hi = -1e300;
+  std::vector<double> ratios;
+  ratios.reserve(b.per_part.size());
+  for (std::size_t c : b.per_part) {
+    const double r = static_cast<double>(c) / b.mean;
+    ratios.push_back(r);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  if (hi <= lo) hi = lo + 1e-9;
+  const double width = (hi - lo) / bins;
+  h.centers.resize(static_cast<std::size_t>(bins));
+  h.frequency.assign(static_cast<std::size_t>(bins), 0);
+  for (int i = 0; i < bins; ++i)
+    h.centers[static_cast<std::size_t>(i)] = lo + (i + 0.5) * width;
+  for (double r : ratios) {
+    int bin = static_cast<int>((r - lo) / width);
+    bin = std::clamp(bin, 0, bins - 1);
+    h.frequency[static_cast<std::size_t>(bin)] += 1;
+  }
+  return h;
+}
+
+}  // namespace parma

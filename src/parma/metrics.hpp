@@ -1,0 +1,63 @@
+#ifndef PUMI_PARMA_METRICS_HPP
+#define PUMI_PARMA_METRICS_HPP
+
+/// \file metrics.hpp
+/// \brief Partition quality metrics: per-entity-type balance and boundary
+/// size (the quantities reported by the paper's Tables II and Fig. 12-13).
+///
+/// Counts are per-part *local* counts (part-boundary entities counted on
+/// every part holding them), matching how analysis codes experience load:
+/// a vertex duplicated on four parts contributes degrees of freedom to all
+/// four. Peaks determine performance (paper Sec. III): imbalance is
+/// peak / average.
+
+#include <vector>
+
+#include "dist/partedmesh.hpp"
+
+namespace parma {
+
+using dist::PartId;
+
+struct Balance {
+  std::vector<std::size_t> per_part;  ///< local count on each part
+  double mean = 0.0;                  ///< average over parts
+  std::size_t peak = 0;               ///< heaviest part
+  double imbalance = 0.0;             ///< peak / mean
+
+  /// Imbalance expressed the way Table II reports it: percent over the
+  /// mean, optionally against a reference mean (the T0 partition's).
+  [[nodiscard]] double imbalancePercent() const {
+    return (imbalance - 1.0) * 100.0;
+  }
+};
+
+/// Balance of dimension-d entities (ghosts excluded).
+Balance entityBalance(const dist::PartedMesh& pm, int d);
+
+/// Weighted element balance: per-part sums of a double element tag
+/// (elements without a value weigh 1). This is how applications express
+/// their own imbalance criteria — e.g. predicted post-adaptation element
+/// counts, or per-element cost models. Counts are rounded sums.
+Balance weightedElementBalance(const dist::PartedMesh& pm,
+                               const std::string& tag_name);
+
+/// Balance of all four entity dimensions at once (cheaper than four calls).
+std::array<Balance, 4> allBalances(const dist::PartedMesh& pm);
+
+/// Total number of part-boundary (shared) entity copies of dimension d,
+/// summed over parts. The quantity ParMA reduces alongside the imbalance
+/// ("the total number of mesh entities on part boundaries are reduced").
+std::size_t boundaryCopies(const dist::PartedMesh& pm, int d);
+
+/// Histogram of x = count/mean over parts with `bins` equal-width bins
+/// spanning [min, max] (Fig. 13). Returns bin centers and frequencies.
+struct Histogram {
+  std::vector<double> centers;
+  std::vector<std::size_t> frequency;
+};
+Histogram imbalanceHistogram(const Balance& b, int bins);
+
+}  // namespace parma
+
+#endif  // PUMI_PARMA_METRICS_HPP

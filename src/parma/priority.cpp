@@ -1,0 +1,93 @@
+#include "parma/priority.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace parma {
+
+std::vector<int> Priority::lowerThan(std::size_t li) const {
+  std::vector<int> out;
+  for (std::size_t i = li + 1; i < levels.size(); ++i)
+    out.insert(out.end(), levels[i].begin(), levels[i].end());
+  return out;
+}
+
+std::vector<int> Priority::higherThan(std::size_t li) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < li; ++i)
+    out.insert(out.end(), levels[i].begin(), levels[i].end());
+  return out;
+}
+
+std::vector<int> Priority::allDims() const {
+  std::vector<int> out;
+  for (const auto& l : levels) out.insert(out.end(), l.begin(), l.end());
+  return out;
+}
+
+std::string Priority::describe() const {
+  static const char* names[4] = {"Vtx", "Edge", "Face", "Rgn"};
+  std::string s;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) s += " > ";
+    for (std::size_t j = 0; j < levels[i].size(); ++j) {
+      if (j > 0) s += " = ";
+      s += names[levels[i][j]];
+    }
+  }
+  return s;
+}
+
+Priority parsePriority(const std::string& expr) {
+  Priority out;
+  Level current;
+  std::string token;
+  std::vector<bool> seen(4, false);
+
+  auto flushToken = [&]() {
+    if (token.empty())
+      throw std::invalid_argument("priority: empty entity name in '" + expr +
+                                  "'");
+    std::string lower;
+    for (char c : token) lower += static_cast<char>(std::tolower(c));
+    int dim;
+    if (lower == "vtx" || lower == "vertex")
+      dim = 0;
+    else if (lower == "edge")
+      dim = 1;
+    else if (lower == "face")
+      dim = 2;
+    else if (lower == "rgn" || lower == "region")
+      dim = 3;
+    else
+      throw std::invalid_argument("priority: unknown entity type '" + token +
+                                  "'");
+    if (seen[static_cast<std::size_t>(dim)])
+      throw std::invalid_argument("priority: repeated entity type '" + token +
+                                  "'");
+    seen[static_cast<std::size_t>(dim)] = true;
+    current.push_back(dim);
+    token.clear();
+  };
+  auto flushLevel = [&]() {
+    flushToken();
+    std::sort(current.begin(), current.end());
+    out.levels.push_back(current);
+    current.clear();
+  };
+
+  for (char c : expr) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '>')
+      flushLevel();
+    else if (c == '=')
+      flushToken();
+    else
+      token += c;
+  }
+  flushLevel();
+  return out;
+}
+
+}  // namespace parma

@@ -1,0 +1,42 @@
+#ifndef PUMI_PARMA_PRIORITY_HPP
+#define PUMI_PARMA_PRIORITY_HPP
+
+/// \file priority.hpp
+/// \brief Application priority lists over mesh entity types (paper
+/// Sec. III-A): e.g. "Rgn > Face = Edge > Vtx" yields three levels; higher
+/// levels are balanced first, and balancing a lower level must not harm
+/// any higher level. Types of equal priority are processed in increasing
+/// topological dimension.
+
+#include <string>
+#include <vector>
+
+namespace parma {
+
+/// One priority level: entity dimensions of equal priority, sorted
+/// ascending (the paper's traversal order within a level).
+using Level = std::vector<int>;
+
+struct Priority {
+  /// Levels in decreasing priority.
+  std::vector<Level> levels;
+
+  /// All dimensions of strictly lower priority than level `li`.
+  [[nodiscard]] std::vector<int> lowerThan(std::size_t li) const;
+  /// All dimensions of strictly higher priority than level `li`.
+  [[nodiscard]] std::vector<int> higherThan(std::size_t li) const;
+  /// Every dimension mentioned.
+  [[nodiscard]] std::vector<int> allDims() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Parse a priority expression: dimensions named Vtx/Edge/Face/Rgn (case
+/// insensitive), combined with '>' (strictly higher priority) and '='
+/// (equal priority), e.g. "Vtx=Edge>Rgn". Throws std::invalid_argument on
+/// malformed input or repeated types.
+Priority parsePriority(const std::string& expr);
+
+}  // namespace parma
+
+#endif  // PUMI_PARMA_PRIORITY_HPP

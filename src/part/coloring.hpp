@@ -1,0 +1,52 @@
+#ifndef PUMI_PART_COLORING_HPP
+#define PUMI_PART_COLORING_HPP
+
+/// \file coloring.hpp
+/// \brief Coloring into small independent sets (paper Sec. I): the second
+/// form of on-node decomposition, "advantageous for on-node threaded
+/// operations using a shared memory".
+///
+/// Elements of one color form an independent set under the chosen
+/// relation (sharing a vertex, or only a face), so threads may process a
+/// color concurrently without locking — e.g. assembling into shared
+/// degrees of freedom.
+
+#include <vector>
+
+#include "core/mesh.hpp"
+
+namespace part {
+
+enum class ColorRelation {
+  SharedVertex,  ///< elements conflict when they share any vertex
+  SharedFace,    ///< elements conflict only across faces
+};
+
+struct Coloring {
+  /// color id per element, aligned with mesh iteration order.
+  std::vector<int> color;
+  int colors = 0;
+
+  /// Elements of one color, as indices into iteration order.
+  [[nodiscard]] std::vector<std::size_t> members(int c) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < color.size(); ++i)
+      if (color[i] == c) out.push_back(i);
+    return out;
+  }
+};
+
+/// Greedy balanced coloring of the mesh's elements. Deterministic; colors
+/// are assigned smallest-feasible-first, which keeps the color count near
+/// the maximum conflict degree.
+Coloring colorElements(const core::Mesh& mesh,
+                       ColorRelation relation = ColorRelation::SharedVertex);
+
+/// Validate: no two elements of equal color conflict. Throws
+/// std::logic_error on violation (test/debug helper).
+void verifyColoring(const core::Mesh& mesh, const Coloring& coloring,
+                    ColorRelation relation);
+
+}  // namespace part
+
+#endif  // PUMI_PART_COLORING_HPP

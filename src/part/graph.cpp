@@ -1,0 +1,51 @@
+#include "part/graph.hpp"
+
+#include <array>
+
+#include "core/measure.hpp"
+
+namespace part {
+
+ElemGraph buildElemGraph(const core::Mesh& mesh) {
+  ElemGraph g;
+  const int dim = mesh.dim();
+  g.elems.reserve(mesh.count(dim));
+  for (Ent e : mesh.entities(dim)) {
+    g.index.emplace(e, g.size());
+    g.elems.push_back(e);
+    g.centroids.push_back(core::centroid(mesh, e));
+    g.weights.push_back(1.0);
+  }
+  g.adj.resize(g.elems.size());
+  g.node_verts.resize(g.elems.size());
+
+  // Face adjacency via shared dim-1 entities.
+  std::array<Ent, core::kMaxDown> buf{};
+  for (int i = 0; i < g.size(); ++i) {
+    const Ent e = g.elems[static_cast<std::size_t>(i)];
+    const int nf = mesh.downward(e, dim - 1, buf.data());
+    for (int k = 0; k < nf; ++k) {
+      for (Ent other : mesh.up(buf[static_cast<std::size_t>(k)])) {
+        if (other == e) continue;
+        auto it = g.index.find(other);
+        if (it != g.index.end())
+          g.adj[static_cast<std::size_t>(i)].push_back(it->second);
+      }
+    }
+  }
+
+  // Hyperedges: dense vertex ids.
+  std::unordered_map<Ent, int, EntHash> vid;
+  for (int i = 0; i < g.size(); ++i) {
+    const Ent e = g.elems[static_cast<std::size_t>(i)];
+    for (Ent v : mesh.verts(e)) {
+      auto [it, inserted] = vid.emplace(v, static_cast<int>(vid.size()));
+      if (inserted) g.vert_nodes.emplace_back();
+      g.node_verts[static_cast<std::size_t>(i)].push_back(it->second);
+      g.vert_nodes[static_cast<std::size_t>(it->second)].push_back(i);
+    }
+  }
+  return g;
+}
+
+}  // namespace part

@@ -1,0 +1,38 @@
+#include "part/localsplit.hpp"
+
+#include <stdexcept>
+
+namespace part {
+
+std::vector<PartId> localSplit(dist::PartedMesh& pm, int factor,
+                               Method method, const PartitionOptions& opts) {
+  if (factor < 2) throw std::invalid_argument("localSplit: factor >= 2");
+  const int old_parts = pm.parts();
+  dist::MigrationPlan plan(static_cast<std::size_t>(old_parts));
+  std::vector<PartId> created;
+
+  for (PartId p = 0; p < old_parts; ++p) {
+    const auto& part = pm.part(p);
+    if (part.elementCount() < static_cast<std::size_t>(factor)) continue;
+    const ElemGraph g = buildElemGraph(part.mesh());
+    const auto sub = partitionGraph(g, factor, method, opts);
+    // Subpart 0 keeps part p; others go to fresh parts.
+    std::vector<PartId> target(static_cast<std::size_t>(factor), p);
+    for (int s = 1; s < factor; ++s) {
+      const PartId fresh = pm.addPart();
+      target[static_cast<std::size_t>(s)] = fresh;
+      created.push_back(fresh);
+    }
+    for (int i = 0; i < g.size(); ++i) {
+      const PartId dest = target[static_cast<std::size_t>(sub[static_cast<std::size_t>(i)])];
+      if (dest != p)
+        plan[static_cast<std::size_t>(p)][g.elems[static_cast<std::size_t>(i)]] =
+            dest;
+    }
+  }
+  plan.resize(static_cast<std::size_t>(pm.parts()));
+  pm.migrate(plan);
+  return created;
+}
+
+}  // namespace part

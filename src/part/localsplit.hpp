@@ -1,0 +1,29 @@
+#ifndef PUMI_PART_LOCALSPLIT_HPP
+#define PUMI_PART_LOCALSPLIT_HPP
+
+/// \file localsplit.hpp
+/// \brief Local (per-part) splitting: partition each part's elements
+/// independently and migrate into freshly added parts.
+///
+/// This is how the paper scales partitions beyond the reach of global
+/// partitioners: "this partition is created by locally partitioning each
+/// part of a 16,384 part mesh with Zoltan Hypergraph to 96 parts"
+/// (Sec. III-A), reaching 1.5M parts. It is also the second stage of
+/// two-level partitioning: global partition to nodes, local split to cores.
+
+#include "dist/partedmesh.hpp"
+#include "part/partition.hpp"
+
+namespace part {
+
+/// Split every current part into `factor` subparts with `method` applied to
+/// its local element graph. Subpart 0 stays in place; the rest migrate to
+/// newly added parts. Afterwards the mesh has factor * old_parts parts.
+/// Returns the ids of the parts created.
+std::vector<PartId> localSplit(dist::PartedMesh& pm, int factor,
+                               Method method,
+                               const PartitionOptions& opts = {});
+
+}  // namespace part
+
+#endif  // PUMI_PART_LOCALSPLIT_HPP

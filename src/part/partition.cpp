@@ -1,0 +1,372 @@
+#include "part/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/mat.hpp"
+#include "common/rng.hpp"
+
+namespace part {
+
+const char* methodName(Method m) {
+  switch (m) {
+    case Method::RCB: return "RCB";
+    case Method::RIB: return "RIB";
+    case Method::GreedyGrow: return "GreedyGrow";
+    case Method::GraphRB: return "GraphRB";
+    case Method::HypergraphRB: return "HypergraphRB";
+  }
+  return "?";
+}
+
+namespace {
+
+double totalWeight(const ElemGraph& g, const std::vector<int>& nodes) {
+  double w = 0.0;
+  for (int i : nodes) w += g.weights[static_cast<std::size_t>(i)];
+  return w;
+}
+
+/// Split `nodes` by scalar key into (A, B) with weight(A) ~ frac * total.
+void splitByKey(const ElemGraph& g, std::vector<int> nodes,
+                const std::vector<double>& key, double frac,
+                std::vector<int>& a, std::vector<int>& b) {
+  std::sort(nodes.begin(), nodes.end(), [&](int x, int y) {
+    if (key[static_cast<std::size_t>(x)] != key[static_cast<std::size_t>(y)])
+      return key[static_cast<std::size_t>(x)] < key[static_cast<std::size_t>(y)];
+    return x < y;
+  });
+  const double target = frac * totalWeight(g, nodes);
+  double acc = 0.0;
+  std::size_t cut = 0;
+  while (cut < nodes.size() && acc < target)
+    acc += g.weights[static_cast<std::size_t>(nodes[cut++])];
+  // Never produce an empty side.
+  cut = std::clamp<std::size_t>(cut, 1, nodes.size() - 1);
+  a.assign(nodes.begin(), nodes.begin() + static_cast<std::ptrdiff_t>(cut));
+  b.assign(nodes.begin() + static_cast<std::ptrdiff_t>(cut), nodes.end());
+}
+
+/// BFS over the subset from `seed`; returns visit order.
+std::vector<int> bfsOrder(const ElemGraph& g, const std::vector<int>& nodes,
+                          const std::vector<char>& in_subset, int seed) {
+  std::vector<char> visited(static_cast<std::size_t>(g.size()), 0);
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  std::deque<int> queue;
+  auto push = [&](int n) {
+    if (!visited[static_cast<std::size_t>(n)]) {
+      visited[static_cast<std::size_t>(n)] = 1;
+      queue.push_back(n);
+    }
+  };
+  push(seed);
+  std::size_t scan = 0;  // restart cursor for disconnected subsets
+  while (order.size() < nodes.size()) {
+    if (queue.empty()) {
+      while (scan < nodes.size() &&
+             visited[static_cast<std::size_t>(nodes[scan])])
+        ++scan;
+      if (scan == nodes.size()) break;
+      push(nodes[scan]);
+    }
+    const int n = queue.front();
+    queue.pop_front();
+    order.push_back(n);
+    for (int nb : g.adj[static_cast<std::size_t>(n)])
+      if (in_subset[static_cast<std::size_t>(nb)]) push(nb);
+  }
+  return order;
+}
+
+/// side[] values during bisection refinement.
+constexpr char kOutside = -1;
+constexpr char kSideA = 0;
+constexpr char kSideB = 1;
+
+struct Bisection {
+  std::vector<int> a, b;
+  double wa = 0.0, wb = 0.0;
+};
+
+/// Face-cut gain of moving node n to the other side.
+int graphGain(const ElemGraph& g, const std::vector<char>& side, int n) {
+  const char mine = side[static_cast<std::size_t>(n)];
+  int same = 0, other = 0;
+  for (int nb : g.adj[static_cast<std::size_t>(n)]) {
+    const char s = side[static_cast<std::size_t>(nb)];
+    if (s == kOutside) continue;
+    if (s == mine)
+      ++same;
+    else
+      ++other;
+  }
+  return other - same;
+}
+
+/// Hyperedge-connectivity gain of moving node n to the other side.
+int hyperGain(const ElemGraph& g, const std::vector<char>& side, int n) {
+  const char mine = side[static_cast<std::size_t>(n)];
+  int gain = 0;
+  for (int v : g.node_verts[static_cast<std::size_t>(n)]) {
+    int a = 0, b = 0;
+    for (int nb : g.vert_nodes[static_cast<std::size_t>(v)]) {
+      const char s = side[static_cast<std::size_t>(nb)];
+      if (s == kOutside) continue;
+      if (s == mine)
+        ++a;  // includes n itself
+      else
+        ++b;
+    }
+    // Moving n: vertex leaves the boundary when it was n's side's only
+    // node there (a == 1) and gains a boundary when the other side was
+    // empty (b == 0).
+    if (a == 1 && b > 0) ++gain;
+    if (b == 0 && a > 1) --gain;
+  }
+  return gain;
+}
+
+/// Fiduccia-Mattheyses-style refinement: greedy positive-gain boundary
+/// moves under a balance constraint, repeated for a few passes.
+void fmRefine(const ElemGraph& g, std::vector<char>& side, Bisection& bi,
+              double frac, const PartitionOptions& opts, bool hypergraph) {
+  const double total = bi.wa + bi.wb;
+  const double target_a = frac * total;
+  const double tol = opts.balance_tolerance * total;
+  auto gainOf = [&](int n) {
+    return hypergraph ? hyperGain(g, side, n) : graphGain(g, side, n);
+  };
+  for (int pass = 0; pass < opts.refine_passes; ++pass) {
+    // Boundary nodes with their gains.
+    std::vector<std::pair<int, int>> cand;  // (-gain, node) for sorting
+    auto consider = [&](int n) {
+      bool boundary = false;
+      for (int nb : g.adj[static_cast<std::size_t>(n)])
+        if (side[static_cast<std::size_t>(nb)] != kOutside &&
+            side[static_cast<std::size_t>(nb)] != side[static_cast<std::size_t>(n)])
+          boundary = true;
+      if (boundary) cand.emplace_back(-gainOf(n), n);
+    };
+    for (int n : bi.a) consider(n);
+    for (int n : bi.b) consider(n);
+    std::sort(cand.begin(), cand.end());
+    bool moved = false;
+    for (const auto& [neg_gain, n] : cand) {
+      const int gain = gainOf(n);  // recompute: earlier moves changed it
+      if (gain <= 0) continue;
+      const char mine = side[static_cast<std::size_t>(n)];
+      const double w = g.weights[static_cast<std::size_t>(n)];
+      const double wa_after = mine == kSideA ? bi.wa - w : bi.wa + w;
+      const double err_now = std::fabs(bi.wa - target_a);
+      const double err_after = std::fabs(wa_after - target_a);
+      if (err_after > err_now && err_after > tol) continue;
+      side[static_cast<std::size_t>(n)] = mine == kSideA ? kSideB : kSideA;
+      bi.wa = wa_after;
+      bi.wb = total - wa_after;
+      moved = true;
+    }
+    if (!moved) break;
+    // Rebuild side lists.
+    std::vector<int> na, nb;
+    for (int n : bi.a)
+      (side[static_cast<std::size_t>(n)] == kSideA ? na : nb).push_back(n);
+    for (int n : bi.b)
+      (side[static_cast<std::size_t>(n)] == kSideA ? na : nb).push_back(n);
+    bi.a = std::move(na);
+    bi.b = std::move(nb);
+  }
+}
+
+/// One bisection of `nodes` into weight fractions (frac, 1-frac).
+Bisection bisect(const ElemGraph& g, const std::vector<int>& nodes,
+                 double frac, Method method, const PartitionOptions& opts) {
+  Bisection bi;
+  if (method == Method::RCB || method == Method::RIB) {
+    std::vector<double> key(static_cast<std::size_t>(g.size()), 0.0);
+    if (method == Method::RCB) {
+      common::Box3 box;
+      for (int n : nodes) box.include(g.centroids[static_cast<std::size_t>(n)]);
+      const int axis = box.longestAxis();
+      for (int n : nodes)
+        key[static_cast<std::size_t>(n)] =
+            g.centroids[static_cast<std::size_t>(n)][axis];
+    } else {
+      // Principal axis of the weighted centroid cloud.
+      common::Vec3 mean{};
+      double wsum = 0.0;
+      for (int n : nodes) {
+        mean += g.centroids[static_cast<std::size_t>(n)] *
+                g.weights[static_cast<std::size_t>(n)];
+        wsum += g.weights[static_cast<std::size_t>(n)];
+      }
+      mean /= wsum;
+      common::Mat3 cov;
+      for (int n : nodes) {
+        const common::Vec3 d = g.centroids[static_cast<std::size_t>(n)] - mean;
+        cov += common::Mat3::outer(d, d) * g.weights[static_cast<std::size_t>(n)];
+      }
+      const auto eig = common::symmetricEigen(cov);
+      const common::Vec3 axis = eig.vectors[0];
+      for (int n : nodes)
+        key[static_cast<std::size_t>(n)] =
+            common::dot(g.centroids[static_cast<std::size_t>(n)], axis);
+    }
+    splitByKey(g, nodes, key, frac, bi.a, bi.b);
+  } else {
+    // BFS layering from a pseudo-peripheral seed.
+    std::vector<char> in_subset(static_cast<std::size_t>(g.size()), 0);
+    for (int n : nodes) in_subset[static_cast<std::size_t>(n)] = 1;
+    auto first = bfsOrder(g, nodes, in_subset, nodes.front());
+    const int peripheral = first.back();
+    auto order = bfsOrder(g, nodes, in_subset, peripheral);
+    const double target = frac * totalWeight(g, nodes);
+    double acc = 0.0;
+    std::size_t cut = 0;
+    while (cut < order.size() && acc < target)
+      acc += g.weights[static_cast<std::size_t>(order[cut++])];
+    cut = std::clamp<std::size_t>(cut, 1, order.size() - 1);
+    bi.a.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(cut));
+    bi.b.assign(order.begin() + static_cast<std::ptrdiff_t>(cut), order.end());
+  }
+  bi.wa = totalWeight(g, bi.a);
+  bi.wb = totalWeight(g, bi.b);
+  if (method == Method::GraphRB || method == Method::HypergraphRB) {
+    std::vector<char> side(static_cast<std::size_t>(g.size()), kOutside);
+    for (int n : bi.a) side[static_cast<std::size_t>(n)] = kSideA;
+    for (int n : bi.b) side[static_cast<std::size_t>(n)] = kSideB;
+    fmRefine(g, side, bi, frac, opts, method == Method::HypergraphRB);
+  }
+  return bi;
+}
+
+void recurse(const ElemGraph& g, std::vector<int> nodes, int p0, int p1,
+             Method method, const PartitionOptions& opts,
+             std::vector<PartId>& out) {
+  assert(!nodes.empty());
+  if (p1 - p0 == 1) {
+    for (int n : nodes) out[static_cast<std::size_t>(n)] = p0;
+    return;
+  }
+  const int k_left = (p1 - p0 + 1) / 2;
+  const double frac = static_cast<double>(k_left) / (p1 - p0);
+  Bisection bi = bisect(g, nodes, frac, method, opts);
+  recurse(g, std::move(bi.a), p0, p0 + k_left, method, opts, out);
+  recurse(g, std::move(bi.b), p0 + k_left, p1, method, opts, out);
+}
+
+std::vector<PartId> greedyGrow(const ElemGraph& g, int nparts,
+                               const PartitionOptions& opts) {
+  (void)opts;
+  const int n = g.size();
+  std::vector<PartId> out(static_cast<std::size_t>(n), -1);
+  const double total = std::accumulate(g.weights.begin(), g.weights.end(), 0.0);
+  double remaining = total;
+  int assigned = 0;
+  int scan = 0;
+  for (PartId p = 0; p < nparts; ++p) {
+    const double target = remaining / (nparts - p);
+    double acc = 0.0;
+    std::deque<int> queue;
+    auto seedNext = [&]() {
+      while (scan < n && out[static_cast<std::size_t>(scan)] != -1) ++scan;
+      if (scan < n) queue.push_back(scan);
+    };
+    seedNext();
+    while (acc < target && assigned < n) {
+      if (queue.empty()) {
+        seedNext();
+        if (queue.empty()) break;
+      }
+      const int node = queue.front();
+      queue.pop_front();
+      if (out[static_cast<std::size_t>(node)] != -1) continue;
+      out[static_cast<std::size_t>(node)] = p;
+      acc += g.weights[static_cast<std::size_t>(node)];
+      ++assigned;
+      for (int nb : g.adj[static_cast<std::size_t>(node)])
+        if (out[static_cast<std::size_t>(nb)] == -1) queue.push_back(nb);
+    }
+    remaining -= acc;
+    if (p + 1 == nparts) {
+      // Sweep any stragglers into the last part.
+      for (int i = 0; i < n; ++i)
+        if (out[static_cast<std::size_t>(i)] == -1) {
+          out[static_cast<std::size_t>(i)] = p;
+          ++assigned;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PartId> partitionGraph(const ElemGraph& graph, int nparts,
+                                   Method method,
+                                   const PartitionOptions& opts) {
+  if (nparts < 1) throw std::invalid_argument("partition: nparts >= 1");
+  if (graph.size() == 0) return {};
+  if (nparts == 1) return std::vector<PartId>(static_cast<std::size_t>(graph.size()), 0);
+  if (nparts > graph.size())
+    throw std::invalid_argument("partition: more parts than elements");
+  if (method == Method::GreedyGrow) return greedyGrow(graph, nparts, opts);
+  std::vector<PartId> out(static_cast<std::size_t>(graph.size()), -1);
+  std::vector<int> nodes(static_cast<std::size_t>(graph.size()));
+  std::iota(nodes.begin(), nodes.end(), 0);
+  recurse(graph, std::move(nodes), 0, nparts, method, opts, out);
+  return out;
+}
+
+std::vector<PartId> partition(const core::Mesh& mesh, int nparts,
+                              Method method, const PartitionOptions& opts) {
+  return partitionGraph(buildElemGraph(mesh), nparts, method, opts);
+}
+
+double imbalanceOf(const std::vector<PartId>& assignment,
+                   const std::vector<double>& weights, int nparts) {
+  std::vector<double> load(static_cast<std::size_t>(nparts), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    load[static_cast<std::size_t>(assignment[i])] += weights[i];
+    total += weights[i];
+  }
+  const double avg = total / nparts;
+  double peak = 0.0;
+  for (double l : load) peak = std::max(peak, l);
+  return avg > 0.0 ? peak / avg : 0.0;
+}
+
+std::size_t edgeCut(const ElemGraph& graph,
+                    const std::vector<PartId>& assignment) {
+  std::size_t cut = 0;
+  for (int i = 0; i < graph.size(); ++i)
+    for (int nb : graph.adj[static_cast<std::size_t>(i)])
+      if (nb > i &&
+          assignment[static_cast<std::size_t>(i)] !=
+              assignment[static_cast<std::size_t>(nb)])
+        ++cut;
+  return cut;
+}
+
+std::size_t hyperedgeCut(const ElemGraph& graph,
+                         const std::vector<PartId>& assignment) {
+  std::size_t cost = 0;
+  std::vector<PartId> seen;
+  for (const auto& nodes : graph.vert_nodes) {
+    seen.clear();
+    for (int n : nodes) {
+      const PartId p = assignment[static_cast<std::size_t>(n)];
+      if (std::find(seen.begin(), seen.end(), p) == seen.end())
+        seen.push_back(p);
+    }
+    if (!seen.empty()) cost += seen.size() - 1;
+  }
+  return cost;
+}
+
+}  // namespace part

@@ -1,0 +1,74 @@
+#ifndef PUMI_PART_PARTITION_HPP
+#define PUMI_PART_PARTITION_HPP
+
+/// \file partition.hpp
+/// \brief Baseline mesh partitioners (the paper's comparison methods).
+///
+/// The paper's test T0 partitions with Zoltan's parallel hypergraph
+/// partitioner (PHG); graph-based and geometric methods are discussed as
+/// the standard alternatives (Sec. III). We implement the family from
+/// scratch:
+///
+///   - RCB: recursive coordinate bisection (geometric, fastest, poorest
+///     boundaries),
+///   - RIB: recursive inertial bisection (geometric, axis-free),
+///   - GreedyGrow: greedy graph growing from seeds,
+///   - GraphRB: recursive graph bisection with FM-style boundary
+///     refinement minimizing the face cut,
+///   - HypergraphRB: the same recursion with hyperedge (mesh vertex)
+///     connectivity gains — the PHG stand-in; best boundaries, slowest.
+///
+/// All methods are deterministic for a given seed and return one
+/// destination part per element, aligned with mesh iteration order (ready
+/// for PartedMesh::distribute).
+
+#include <vector>
+
+#include "dist/types.hpp"
+#include "part/graph.hpp"
+
+namespace part {
+
+using dist::PartId;
+
+enum class Method { RCB, RIB, GreedyGrow, GraphRB, HypergraphRB };
+
+[[nodiscard]] const char* methodName(Method m);
+
+struct PartitionOptions {
+  /// Allowed element (weight) imbalance during refinement, as max/avg - 1.
+  double balance_tolerance = 0.03;
+  /// FM refinement passes per bisection (graph/hypergraph methods).
+  int refine_passes = 6;
+  /// Deterministic seed for tie-breaking.
+  std::uint64_t seed = 42;
+};
+
+/// Partition a prebuilt element graph into nparts.
+std::vector<PartId> partitionGraph(const ElemGraph& graph, int nparts,
+                                   Method method,
+                                   const PartitionOptions& opts = {});
+
+/// Convenience: build the graph and partition a serial mesh.
+std::vector<PartId> partition(const core::Mesh& mesh, int nparts,
+                              Method method,
+                              const PartitionOptions& opts = {});
+
+/// --- partition quality metrics -----------------------------------------
+
+/// Weight of the heaviest part divided by the average part weight.
+double imbalanceOf(const std::vector<PartId>& assignment,
+                   const std::vector<double>& weights, int nparts);
+
+/// Number of graph edges crossing parts (each counted once).
+std::size_t edgeCut(const ElemGraph& graph,
+                    const std::vector<PartId>& assignment);
+
+/// Hyperedge connectivity cost: sum over mesh vertices of
+/// (parts touching the vertex - 1); the quantity PHG minimizes.
+std::size_t hyperedgeCut(const ElemGraph& graph,
+                         const std::vector<PartId>& assignment);
+
+}  // namespace part
+
+#endif  // PUMI_PART_PARTITION_HPP

@@ -1,0 +1,237 @@
+#include "pcu/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pcu {
+namespace detail {
+
+void Mailbox::push(int source, int tag, std::vector<std::byte> bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(Stored{source, tag, std::move(bytes)});
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Stored& s) { return matches(s, source, tag); });
+    if (it != queue_.end()) {
+      Message m;
+      m.source = it->source;
+      m.tag = it->tag;
+      m.body = InBuffer(std::move(it->bytes));
+      queue_.erase(it);
+      return m;
+    }
+    cv_.wait(lock);
+  }
+}
+
+bool Mailbox::probe(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [&](const Stored& s) { return matches(s, source, tag); });
+}
+
+}  // namespace detail
+
+Group::Group(int size, Machine machine)
+    : size_(size), machine_(machine), boxes_(size), split_scratch_(size) {
+  assert(size > 0);
+  // Default machine: all ranks on one node (pure shared memory).
+  if (machine_.totalCores() < size_) machine_ = Machine::singleNode(size_);
+}
+
+Comm::Comm(std::shared_ptr<Group> group, int rank)
+    : group_(std::move(group)), rank_(rank) {
+  assert(rank_ >= 0 && rank_ < group_->size());
+}
+
+void Comm::send(int dest, int tag, const OutBuffer& buf) {
+  assert(tag >= 0 && "negative tags are reserved for collectives");
+  send(dest, tag, std::vector<std::byte>(buf.storage()));
+}
+
+void Comm::send(int dest, int tag, std::vector<std::byte> bytes) {
+  assert(tag >= 0 && "negative tags are reserved for collectives");
+  sendInternal(dest, tag, std::move(bytes));
+}
+
+void Comm::sendInternal(int dest, int tag, std::vector<std::byte> bytes) {
+  assert(dest >= 0 && dest < size());
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += bytes.size();
+  if (sameNode(dest)) {
+    stats_.on_node_messages += 1;
+    stats_.on_node_bytes += bytes.size();
+  } else {
+    stats_.off_node_messages += 1;
+    stats_.off_node_bytes += bytes.size();
+  }
+  group_->boxes_[dest].push(rank_, tag, std::move(bytes));
+}
+
+Message Comm::recv(int source, int tag) {
+  return group_->boxes_[rank_].pop(source, tag);
+}
+
+bool Comm::probe(int source, int tag) {
+  return group_->boxes_[rank_].probe(source, tag);
+}
+
+void Comm::barrier() {
+  const int n = size();
+  const int me = rank_;
+  // Reduce phase: binomial tree toward rank 0.
+  int mask = 1;
+  while (mask < n) {
+    if (me & mask) {
+      sendInternal(me - mask, kTagBarrierUp, {});
+      break;
+    }
+    if (me + mask < n) (void)recv(me + mask, kTagBarrierUp);
+    mask <<= 1;
+  }
+  // Release phase: mirror the tree back down. After the loop above, `mask`
+  // is this rank's lsb (the bit at which it reported up) for non-zero ranks,
+  // or the first power of two >= n for rank 0.
+  if (me != 0) (void)recv(me - mask, kTagBarrierDown);
+  mask >>= 1;
+  while (mask > 0) {
+    if (me + mask < n) sendInternal(me + mask, kTagBarrierDown, {});
+    mask >>= 1;
+  }
+}
+
+std::vector<std::byte> Comm::broadcast(int root, std::vector<std::byte> bytes) {
+  const int n = size();
+  const int me = (rank_ - root + n) % n;  // relabel so root is 0
+  // Canonical binomial broadcast (MPICH-style).
+  int mask = 1;
+  while (mask < n) {
+    if (me & mask) {
+      const int src = ((me - mask) + root) % n;
+      Message m = recv(src, kTagBcast);
+      bytes = m.body.unpackVector<std::byte>();
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (me + mask < n) {
+      OutBuffer b;
+      b.packVector(bytes);
+      sendInternal(((me + mask) + root) % n, kTagBcast, std::move(b).take());
+    }
+    mask >>= 1;
+  }
+  return bytes;
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(int root,
+                                                 std::vector<std::byte> bytes) {
+  const int n = size();
+  const int me = (rank_ - root + n) % n;
+  // Each node carries a set of (original rank, payload) pairs up the tree.
+  std::vector<std::pair<int, std::vector<std::byte>>> carried;
+  carried.emplace_back(rank_, std::move(bytes));
+  for (int step = 1; step < n; step <<= 1) {
+    if (me & step) {
+      OutBuffer b;
+      b.pack<std::uint32_t>(static_cast<std::uint32_t>(carried.size()));
+      for (auto& [r, payload] : carried) {
+        b.pack<std::int32_t>(r);
+        b.packVector(payload);
+      }
+      sendInternal(((me - step) + root) % n, kTagGather, std::move(b).take());
+      carried.clear();
+      break;
+    }
+    const int child = me + step;
+    if (child < n) {
+      Message m = recv((child + root) % n, kTagGather);
+      const auto count = m.body.unpack<std::uint32_t>();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto r = m.body.unpack<std::int32_t>();
+        carried.emplace_back(r, m.body.unpackVector<std::byte>());
+      }
+    }
+  }
+  std::vector<std::vector<std::byte>> out;
+  if (rank_ == root) {
+    out.resize(n);
+    for (auto& [r, payload] : carried) out[r] = std::move(payload);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather(
+    std::vector<std::byte> bytes) {
+  auto gathered = gather(0, std::move(bytes));
+  OutBuffer b;
+  if (rank_ == 0) {
+    b.pack<std::uint32_t>(static_cast<std::uint32_t>(gathered.size()));
+    for (auto& g : gathered) b.packVector(g);
+  }
+  auto flat = broadcast(0, std::move(b).take());
+  InBuffer in(std::move(flat));
+  const auto count = in.unpack<std::uint32_t>();
+  std::vector<std::vector<std::byte>> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) out[i] = in.unpackVector<std::byte>();
+  return out;
+}
+
+Comm Comm::split(int color, int key) {
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  auto colors = allgatherValue(color);
+  auto keys = allgatherValue(key);
+  std::vector<Entry> members;
+  for (int r = 0; r < size(); ++r)
+    if (colors[r] == color) members.push_back(Entry{colors[r], keys[r], r});
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+  });
+  const int sub_size = static_cast<int>(members.size());
+  int my_index = 0;
+  for (int i = 0; i < sub_size; ++i)
+    if (members[i].rank == rank_) my_index = i;
+  const int leader = members.front().rank;
+
+  // Subgroup machine: shared-memory if all members share a node, else flat.
+  bool all_same_node = true;
+  for (const auto& m : members)
+    if (!machine().sameNode(m.rank, leader)) all_same_node = false;
+  const Machine sub_machine = all_same_node ? Machine::singleNode(sub_size)
+                                            : Machine::flat(sub_size);
+
+  if (rank_ == leader) {
+    auto sub = std::make_shared<Group>(sub_size, sub_machine);
+    {
+      std::lock_guard<std::mutex> lock(group_->split_mutex_);
+      group_->split_scratch_[rank_] = sub;
+    }
+  }
+  barrier();
+  std::shared_ptr<Group> sub;
+  {
+    std::lock_guard<std::mutex> lock(group_->split_mutex_);
+    sub = group_->split_scratch_[leader];
+  }
+  barrier();
+  if (rank_ == leader) {
+    std::lock_guard<std::mutex> lock(group_->split_mutex_);
+    group_->split_scratch_[rank_].reset();
+  }
+  return Comm(std::move(sub), my_index);
+}
+
+}  // namespace pcu

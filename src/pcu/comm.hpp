@@ -1,0 +1,294 @@
+#ifndef PUMI_PCU_COMM_HPP
+#define PUMI_PCU_COMM_HPP
+
+/// \file comm.hpp
+/// \brief MPI-like message passing between thread-backed ranks.
+///
+/// This is the reproduction's stand-in for MPI on Blue Gene/Q: a Group owns
+/// the shared state for a fixed set of ranks, each rank runs on its own
+/// thread (see runtime.hpp), and a Comm is one rank's handle into the group.
+/// Point-to-point messages are copied through per-rank mailboxes; collectives
+/// (barrier, broadcast, reduce, allreduce, gather, allgather, exscan) are
+/// built on binomial trees over the same p2p layer, so they exercise the
+/// messaging code path exactly as an application message would.
+///
+/// Tags >= 0 are user tags; negative tags are reserved for collectives.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "pcu/buffer.hpp"
+#include "pcu/machine.hpp"
+
+namespace pcu {
+
+/// Matches any source rank in recv calls.
+inline constexpr int kAnySource = -1;
+
+/// A received message: its origin rank, tag, and payload reader.
+struct Message {
+  int source = kAnySource;
+  int tag = 0;
+  InBuffer body;
+};
+
+/// Per-Comm communication statistics, used by the two-level benches.
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t on_node_messages = 0;
+  std::uint64_t on_node_bytes = 0;
+  std::uint64_t off_node_messages = 0;
+  std::uint64_t off_node_bytes = 0;
+
+  void reset() { *this = CommStats{}; }
+  CommStats& operator+=(const CommStats& o) {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    on_node_messages += o.on_node_messages;
+    on_node_bytes += o.on_node_bytes;
+    off_node_messages += o.off_node_messages;
+    off_node_bytes += o.off_node_bytes;
+    return *this;
+  }
+};
+
+namespace detail {
+
+/// One rank's inbound message queue. Senders push; the owning rank pops with
+/// (source, tag) matching semantics like MPI_Recv.
+class Mailbox {
+ public:
+  void push(int source, int tag, std::vector<std::byte> bytes);
+  /// Blocks until a message matching (source-or-any, tag) arrives.
+  Message pop(int source, int tag);
+  /// Non-blocking probe; true when a matching message is queued.
+  bool probe(int source, int tag);
+
+ private:
+  struct Stored {
+    int source;
+    int tag;
+    std::vector<std::byte> bytes;
+  };
+  bool matches(const Stored& s, int source, int tag) const {
+    return (source == kAnySource || s.source == source) && s.tag == tag;
+  }
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Stored> queue_;
+};
+
+}  // namespace detail
+
+class Comm;
+
+/// Shared state for a fixed set of communicating ranks.
+class Group {
+ public:
+  explicit Group(int size, Machine machine = Machine());
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] const Machine& machine() const { return machine_; }
+
+ private:
+  friend class Comm;
+  int size_;
+  Machine machine_;
+  std::vector<detail::Mailbox> boxes_;
+  // Scratch used by split() to publish subgroup pointers across ranks.
+  std::mutex split_mutex_;
+  std::vector<std::shared_ptr<Group>> split_scratch_;
+};
+
+/// One rank's handle into a Group. All member calls are made by the owning
+/// rank's thread only; distinct Comms may be used concurrently.
+class Comm {
+ public:
+  Comm(std::shared_ptr<Group> group, int rank);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return group_->size(); }
+  [[nodiscard]] const Machine& machine() const { return group_->machine(); }
+  [[nodiscard]] bool sameNode(int other) const {
+    return machine().sameNode(rank_, other);
+  }
+
+  /// --- point to point -------------------------------------------------
+  void send(int dest, int tag, const OutBuffer& buf);
+  void send(int dest, int tag, std::vector<std::byte> bytes);
+  Message recv(int source, int tag);
+  bool probe(int source, int tag);
+
+  /// --- collectives (every rank of the group must call) ----------------
+  void barrier();
+  /// Root's buffer is delivered to all ranks.
+  std::vector<std::byte> broadcast(int root, std::vector<std::byte> bytes);
+  template <typename T>
+  T broadcastValue(int root, T value);
+
+  /// Element-wise reduction of equal-length vectors; result valid on root.
+  template <typename T, typename Op>
+  std::vector<T> reduce(int root, std::vector<T> local, Op op);
+  template <typename T, typename Op>
+  std::vector<T> allreduce(std::vector<T> local, Op op);
+  template <typename T>
+  T allreduceSum(T v);
+  template <typename T>
+  T allreduceMin(T v);
+  template <typename T>
+  T allreduceMax(T v);
+
+  /// Concatenation of every rank's bytes in rank order, valid on root.
+  std::vector<std::vector<std::byte>> gather(int root,
+                                             std::vector<std::byte> bytes);
+  std::vector<std::vector<std::byte>> allgather(std::vector<std::byte> bytes);
+  template <typename T>
+  std::vector<T> allgatherValue(T v);
+
+  /// Exclusive prefix sum: rank r receives sum of values on ranks < r.
+  template <typename T>
+  T exscanSum(T v);
+
+  /// --- communicator splitting -----------------------------------------
+  /// Ranks with equal color form a subgroup; ranks ordered by (key, rank).
+  /// Returns the new comm. The subgroup inherits a single-node machine (on
+  /// the assumption that splits are used to form per-node comms); callers
+  /// needing a different topology may remap afterwards.
+  Comm split(int color, int key);
+
+  /// Per-node communicator according to the machine model.
+  Comm splitByNode() { return split(machine().nodeOf(rank_), rank_); }
+  /// Inter-node communicator containing core 0 of each node; other ranks
+  /// receive a comm of their node peers with identical semantics but should
+  /// not use it for network traffic. Color is the core index.
+  Comm splitByCore() { return split(machine().coreOf(rank_), rank_); }
+
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+  void resetStats() { stats_.reset(); }
+
+ private:
+  // Internal tags for collectives; user tags are >= 0.
+  enum InternalTag : int {
+    kTagBarrierUp = -1,
+    kTagBarrierDown = -2,
+    kTagBcast = -3,
+    kTagReduce = -4,
+    kTagGather = -5,
+    kTagScan = -6,
+    kTagSplit = -7,
+  };
+  void sendInternal(int dest, int tag, std::vector<std::byte> bytes);
+
+  std::shared_ptr<Group> group_;
+  int rank_;
+  CommStats stats_;
+};
+
+/// ---- templated member implementations ---------------------------------
+
+template <typename T>
+T Comm::broadcastValue(int root, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  OutBuffer b;
+  b.pack(value);
+  auto out = broadcast(root, std::move(b).take());
+  InBuffer in(std::move(out));
+  return in.unpack<T>();
+}
+
+template <typename T, typename Op>
+std::vector<T> Comm::reduce(int root, std::vector<T> local, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Binomial tree rooted at `root`: relabel ranks so root becomes 0.
+  const int n = size();
+  const int me = (rank() - root + n) % n;
+  for (int step = 1; step < n; step <<= 1) {
+    if (me & step) {
+      OutBuffer b;
+      b.packVector(local);
+      const int parent = ((me - step) + root) % n;
+      sendInternal(parent, kTagReduce, std::move(b).take());
+      break;
+    }
+    const int child = me + step;
+    if (child < n) {
+      Message m = recv((child + root) % n, kTagReduce);
+      auto theirs = m.body.template unpackVector<T>();
+      assert(theirs.size() == local.size());
+      for (std::size_t i = 0; i < local.size(); ++i)
+        local[i] = op(local[i], theirs[i]);
+    }
+  }
+  return local;
+}
+
+template <typename T, typename Op>
+std::vector<T> Comm::allreduce(std::vector<T> local, Op op) {
+  auto reduced = reduce(0, std::move(local), op);
+  OutBuffer b;
+  b.packVector(reduced);
+  auto bytes = broadcast(0, std::move(b).take());
+  InBuffer in(std::move(bytes));
+  return in.template unpackVector<T>();
+}
+
+template <typename T>
+T Comm::allreduceSum(T v) {
+  return allreduce(std::vector<T>{v}, [](T a, T b) { return a + b; })[0];
+}
+template <typename T>
+T Comm::allreduceMin(T v) {
+  return allreduce(std::vector<T>{v},
+                   [](T a, T b) { return a < b ? a : b; })[0];
+}
+template <typename T>
+T Comm::allreduceMax(T v) {
+  return allreduce(std::vector<T>{v},
+                   [](T a, T b) { return a > b ? a : b; })[0];
+}
+
+template <typename T>
+std::vector<T> Comm::allgatherValue(T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  OutBuffer b;
+  b.pack(v);
+  auto parts = allgather(std::move(b).take());
+  std::vector<T> out;
+  out.reserve(parts.size());
+  for (auto& p : parts) {
+    InBuffer in(std::move(p));
+    out.push_back(in.template unpack<T>());
+  }
+  return out;
+}
+
+template <typename T>
+T Comm::exscanSum(T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Linear chain scan: rank r receives the prefix from r-1, adds its value,
+  // forwards to r+1. O(P) latency is acceptable at in-process scales and
+  // keeps the implementation transparently correct.
+  T prefix{};
+  if (rank() > 0) {
+    Message m = recv(rank() - 1, kTagScan);
+    prefix = m.body.template unpack<T>();
+  }
+  if (rank() + 1 < size()) {
+    OutBuffer b;
+    b.pack(static_cast<T>(prefix + v));
+    sendInternal(rank() + 1, kTagScan, std::move(b).take());
+  }
+  return prefix;
+}
+
+}  // namespace pcu
+
+#endif  // PUMI_PCU_COMM_HPP

@@ -1,0 +1,71 @@
+#ifndef PUMI_PCU_COUNTERS_HPP
+#define PUMI_PCU_COUNTERS_HPP
+
+/// \file counters.hpp
+/// \brief Run-time and memory usage measurement (paper Sec. II-D,
+/// "Performance measurement: run-time and memory usage counter").
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pcu {
+
+/// Wall-clock seconds since an arbitrary epoch.
+double now();
+
+/// Resident set size of this process in bytes (0 if unavailable).
+std::uint64_t currentMemoryBytes();
+
+/// Peak resident set size of this process in bytes (0 if unavailable).
+std::uint64_t peakMemoryBytes();
+
+/// A named accumulator of wall-clock time and call counts.
+class Timers {
+ public:
+  /// RAII scope: accumulates elapsed time into the named timer.
+  class Scope {
+   public:
+    Scope(Timers& timers, std::string name)
+        : timers_(timers), name_(std::move(name)), start_(now()) {}
+    ~Scope() { timers_.add(name_, now() - start_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Timers& timers_;
+    std::string name_;
+    double start_;
+  };
+
+  void add(const std::string& name, double seconds) {
+    auto& e = entries_[name];
+    e.seconds += seconds;
+    e.calls += 1;
+  }
+  [[nodiscard]] double seconds(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0.0 : it->second.seconds;
+  }
+  [[nodiscard]] std::uint64_t calls(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.calls;
+  }
+  void clear() { entries_.clear(); }
+
+  struct Entry {
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace pcu
+
+#endif  // PUMI_PCU_COUNTERS_HPP

@@ -1,0 +1,77 @@
+#ifndef PUMI_PCU_MACHINE_HPP
+#define PUMI_PCU_MACHINE_HPP
+
+/// \file machine.hpp
+/// \brief Explicit machine model standing in for hwloc topology detection.
+///
+/// The paper's architecture-aware partitioning (Sec. II-D) maps each MPI
+/// process to a node (largest shared-memory hardware entity) and each thread
+/// to a processing unit. We model that hierarchy explicitly: a Machine is a
+/// set of identical nodes, each with a fixed number of cores. Ranks (or mesh
+/// parts) are laid out block-wise: rank r lives on node r / coresPerNode.
+
+#include <cassert>
+#include <string>
+
+namespace pcu {
+
+/// Two-level machine topology: nodes x cores-per-node.
+class Machine {
+ public:
+  Machine() = default;
+  Machine(int nodes, int cores_per_node)
+      : nodes_(nodes), cores_per_node_(cores_per_node) {
+    assert(nodes > 0 && cores_per_node > 0);
+  }
+
+  /// A machine with a single node holding all ranks (pure shared memory).
+  static Machine singleNode(int cores) { return Machine(1, cores); }
+
+  /// A machine with one core per node (pure distributed memory / flat MPI).
+  static Machine flat(int nodes) { return Machine(nodes, 1); }
+
+  [[nodiscard]] int nodes() const { return nodes_; }
+  [[nodiscard]] int coresPerNode() const { return cores_per_node_; }
+  [[nodiscard]] int totalCores() const { return nodes_ * cores_per_node_; }
+
+  /// Node index hosting rank r.
+  [[nodiscard]] int nodeOf(int rank) const {
+    assert(rank >= 0 && rank < totalCores());
+    return rank / cores_per_node_;
+  }
+
+  /// Core index (within its node) hosting rank r.
+  [[nodiscard]] int coreOf(int rank) const {
+    assert(rank >= 0 && rank < totalCores());
+    return rank % cores_per_node_;
+  }
+
+  /// Rank at (node, core).
+  [[nodiscard]] int rankAt(int node, int core) const {
+    assert(node >= 0 && node < nodes_);
+    assert(core >= 0 && core < cores_per_node_);
+    return node * cores_per_node_ + core;
+  }
+
+  /// True when both ranks share a node's memory (on-node communication).
+  [[nodiscard]] bool sameNode(int a, int b) const {
+    return nodeOf(a) == nodeOf(b);
+  }
+
+  [[nodiscard]] std::string describe() const {
+    return std::to_string(nodes_) + " node(s) x " +
+           std::to_string(cores_per_node_) + " core(s)";
+  }
+
+  friend bool operator==(const Machine& a, const Machine& b) {
+    return a.nodes_ == b.nodes_ && a.cores_per_node_ == b.cores_per_node_;
+  }
+
+ private:
+  int nodes_ = 1;
+  int cores_per_node_ = 1;
+};
+
+}  // namespace pcu
+
+#endif  // PUMI_PCU_MACHINE_HPP

@@ -1,0 +1,52 @@
+#ifndef PUMI_PCU_PHASED_HPP
+#define PUMI_PCU_PHASED_HPP
+
+/// \file phased.hpp
+/// \brief Phased (bulk-synchronous) neighbour exchange, PCU's signature op.
+///
+/// In one phase every rank posts zero or more messages to arbitrary
+/// destinations, then receives exactly the messages addressed to it. The
+/// number of inbound messages is agreed on collectively (an allreduce over
+/// per-destination counts), which is how the real PCU terminates its
+/// non-blocking exchange. All PUMI distributed-mesh operations are built
+/// from a sequence of such phases.
+
+#include <utility>
+#include <vector>
+
+#include "pcu/buffer.hpp"
+#include "pcu/comm.hpp"
+
+namespace pcu {
+
+/// Tag used by phased exchanges; phases are separated by the collective
+/// count agreement, so one tag suffices.
+inline constexpr int kPhasedTag = 1000;
+
+/// Post `outgoing` (destination, payload) pairs and receive every message
+/// addressed to this rank in the same phase. Every rank of the comm must
+/// call this (possibly with an empty list). Received messages carry their
+/// source rank and arrive in arbitrary source order.
+inline std::vector<Message> phasedExchange(
+    Comm& comm, std::vector<std::pair<int, OutBuffer>> outgoing) {
+  const int n = comm.size();
+  std::vector<long> inbound_counts(n, 0);
+  for (const auto& [dest, buf] : outgoing) {
+    (void)buf;
+    inbound_counts[dest] += 1;
+  }
+  inbound_counts = comm.allreduce(std::move(inbound_counts),
+                                  [](long a, long b) { return a + b; });
+  const long expected = inbound_counts[comm.rank()];
+  for (auto& [dest, buf] : outgoing)
+    comm.send(dest, kPhasedTag, std::move(buf).take());
+  std::vector<Message> received;
+  received.reserve(expected);
+  for (long i = 0; i < expected; ++i)
+    received.push_back(comm.recv(kAnySource, kPhasedTag));
+  return received;
+}
+
+}  // namespace pcu
+
+#endif  // PUMI_PCU_PHASED_HPP

@@ -1,0 +1,88 @@
+#ifndef PUMI_HPP
+#define PUMI_HPP
+
+/// \file pumi.hpp
+/// \brief Umbrella header: the full public API of the PUMI/ParMA
+/// reproduction. Include individual module headers instead when build
+/// times matter; this exists for quick starts and examples.
+///
+/// Module map (see README.md for the architecture overview):
+///   common/  — Tag/Set utilities, math, RNG
+///   pcu/     — message-passing runtime, machine model, counters
+///   gmi/     — geometric model, shapes, builders, persistence
+///   core/    — mesh database, measures, verification, I/O
+///   meshgen/ — synthetic meshes (box, vessel, wing)
+///   dist/    — distributed mesh, migration, ghosting, numbering,
+///              partition model, parallel adaptation
+///   field/   — tensor fields over mesh entities
+///   adapt/   — size/metric fields, split/collapse/swap, refine/coarsen,
+///              quality, smoothing, solution transfer
+///   part/    — partitioners, local splitting, coloring, reordering
+///   parma/   — ParMA: metrics, priorities, improvement, heavy part
+///              splitting, one-call balance
+///   solver/  — distributed FE Poisson solver (example PDE consumer)
+
+#include "common/mat.hpp"
+#include "common/rng.hpp"
+#include "common/set.hpp"
+#include "common/smallvec.hpp"
+#include "common/tag.hpp"
+#include "common/vec.hpp"
+
+#include "pcu/buffer.hpp"
+#include "pcu/comm.hpp"
+#include "pcu/counters.hpp"
+#include "pcu/machine.hpp"
+#include "pcu/phased.hpp"
+#include "pcu/runtime.hpp"
+
+#include "gmi/builders.hpp"
+#include "gmi/model.hpp"
+#include "gmi/modelio.hpp"
+#include "gmi/shapes.hpp"
+
+#include "core/entity.hpp"
+#include "core/measure.hpp"
+#include "core/mesh.hpp"
+#include "core/meshio.hpp"
+#include "core/tagio.hpp"
+#include "core/topo.hpp"
+#include "core/verify.hpp"
+#include "core/vtk.hpp"
+
+#include "meshgen/boxmesh.hpp"
+#include "meshgen/workloads.hpp"
+
+#include "dist/network.hpp"
+#include "dist/numbering.hpp"
+#include "dist/padapt.hpp"
+#include "dist/partedmesh.hpp"
+#include "dist/ptnmodel.hpp"
+#include "dist/types.hpp"
+
+#include "field/field.hpp"
+
+#include "adapt/collapse.hpp"
+#include "adapt/metric.hpp"
+#include "adapt/quality.hpp"
+#include "adapt/refine.hpp"
+#include "adapt/sizefield.hpp"
+#include "adapt/split.hpp"
+#include "adapt/swap.hpp"
+#include "adapt/transfer.hpp"
+
+#include "part/coloring.hpp"
+#include "part/graph.hpp"
+#include "part/localsplit.hpp"
+#include "part/partition.hpp"
+#include "part/reorder.hpp"
+
+#include "parma/balance.hpp"
+#include "parma/heavysplit.hpp"
+#include "parma/improve.hpp"
+#include "parma/metrics.hpp"
+#include "parma/priority.hpp"
+
+#include "solver/poisson.hpp"
+
+#endif  // PUMI_HPP

@@ -1,0 +1,65 @@
+#ifndef PUMI_REPRO_TABLE_HPP
+#define PUMI_REPRO_TABLE_HPP
+
+/// \file table.hpp
+/// \brief Fixed-width console tables for the bench harness, shaped like the
+/// paper's tables so paper-vs-measured comparison is line-by-line.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)), widths_(headers_.size()) {
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      widths_[i] = headers_[i].size();
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        os << (i ? "  " : "") << std::left << std::setw(static_cast<int>(widths_[i]))
+           << cells[i];
+      os << "\n";
+    };
+    line(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < widths_.size(); ++i)
+      rule += std::string(widths_[i], '-') + (i + 1 < widths_.size() ? "  " : "");
+    os << rule << "\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed decimals.
+inline std::string fmt(double v, int decimals = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+inline std::string fmt(std::size_t v) { return std::to_string(v); }
+inline std::string fmt(int v) { return std::to_string(v); }
+
+}  // namespace repro
+
+#endif  // PUMI_REPRO_TABLE_HPP

@@ -1,0 +1,74 @@
+#include "repro/workloads.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "pcu/counters.hpp"
+
+namespace repro {
+
+Scale scaleFromEnv() {
+  const char* env = std::getenv("PUMI_REPRO_SCALE");
+  if (env == nullptr) return Scale::Default;
+  if (std::strcmp(env, "small") == 0) return Scale::Small;
+  if (std::strcmp(env, "large") == 0) return Scale::Large;
+  return Scale::Default;
+}
+
+const char* scaleName(Scale s) {
+  switch (s) {
+    case Scale::Small: return "small";
+    case Scale::Default: return "default";
+    case Scale::Large: return "large";
+  }
+  return "?";
+}
+
+AaaWorkload makeAaa(Scale s) {
+  meshgen::VesselSpec spec;
+  switch (s) {
+    case Scale::Small:
+      spec.circumferential = 6;
+      spec.axial = 24;  // 5,184 tets
+      break;
+    case Scale::Default:
+      spec.circumferential = 10;
+      spec.axial = 56;  // 33,600 tets
+      break;
+    case Scale::Large:
+      spec.circumferential = 14;
+      spec.axial = 96;  // 112,896 tets
+      break;
+  }
+  AaaWorkload w{meshgen::vessel(spec), 0};
+  switch (s) {
+    case Scale::Small: w.nparts = 16; break;
+    case Scale::Default: w.nparts = 64; break;
+    case Scale::Large: w.nparts = 128; break;
+  }
+  // Perturb interior vertices so the workload is not structured-regular.
+  common::Rng rng(20120101);
+  meshgen::jiggle(*w.gen.mesh, 0.12, rng);
+  return w;
+}
+
+std::unique_ptr<dist::PartedMesh> distributeT0(const AaaWorkload& w,
+                                               double* partition_seconds) {
+  const double t0 = pcu::now();
+  const auto assignment =
+      part::partition(*w.gen.mesh, w.nparts, part::Method::HypergraphRB);
+  if (partition_seconds != nullptr) *partition_seconds = pcu::now() - t0;
+  return distributeWith(w, assignment);
+}
+
+std::unique_ptr<dist::PartedMesh> distributeWith(
+    const AaaWorkload& w, const std::vector<dist::PartId>& assignment) {
+  // 32 parts per process in the paper's runs: model nodes of 32 cores.
+  const int cores = 32;
+  const int nodes = (w.nparts + cores - 1) / cores;
+  return dist::PartedMesh::distribute(
+      *w.gen.mesh, w.gen.model.get(), assignment,
+      dist::PartMap(w.nparts, pcu::Machine(std::max(nodes, 1), cores)));
+}
+
+}  // namespace repro

@@ -1,0 +1,45 @@
+#ifndef PUMI_REPRO_WORKLOADS_HPP
+#define PUMI_REPRO_WORKLOADS_HPP
+
+/// \file workloads.hpp
+/// \brief Shared experiment setups for the bench harness (see DESIGN.md's
+/// per-experiment index). Scales are reduced from the paper's testbed
+/// (133M-element AAA on 16,384 parts of Jaguar; 3B elements on Mira) to
+/// workstation size; the reported quantities are ratios, which transfer.
+
+#include <memory>
+#include <string>
+
+#include "dist/partedmesh.hpp"
+#include "meshgen/workloads.hpp"
+#include "part/partition.hpp"
+
+namespace repro {
+
+/// Experiment scale knob, settable via the PUMI_REPRO_SCALE environment
+/// variable ("small" for CI-speed runs, "default", "large").
+enum class Scale { Small, Default, Large };
+Scale scaleFromEnv();
+const char* scaleName(Scale s);
+
+/// The AAA surrogate workload: a bulged, bowed vessel tet mesh
+/// (see meshgen::vessel and the substitution table in DESIGN.md).
+struct AaaWorkload {
+  meshgen::Generated gen;
+  int nparts = 0;
+};
+AaaWorkload makeAaa(Scale s);
+
+/// Distribute the workload with the PHG stand-in (test T0 of Table I):
+/// hypergraph-refined recursive bisection.
+std::unique_ptr<dist::PartedMesh> distributeT0(const AaaWorkload& w,
+                                               double* partition_seconds);
+
+/// Re-distribute with a precomputed assignment (used to replay T0 for each
+/// ParMA test without re-running the partitioner).
+std::unique_ptr<dist::PartedMesh> distributeWith(
+    const AaaWorkload& w, const std::vector<dist::PartId>& assignment);
+
+}  // namespace repro
+
+#endif  // PUMI_REPRO_WORKLOADS_HPP

@@ -1,0 +1,48 @@
+#ifndef PUMI_SOLVER_POISSON_HPP
+#define PUMI_SOLVER_POISSON_HPP
+
+/// \file poisson.hpp
+/// \brief A distributed P1 finite-element Poisson solver — the PDE-analysis
+/// consumer the infrastructure exists to support (the paper's Sec. I: "the
+/// parallel unstructured mesh data structures and services needed by the
+/// developers of PDE solution procedures").
+///
+/// Solves -lap(u) = f on the meshed domain with Dirichlet data g on the
+/// geometric model boundary (every vertex classified below the mesh
+/// dimension). Linear Lagrange elements on tets or tris; conjugate
+/// gradients with owner-aware parallel reductions:
+///   - element stiffness assembled part-locally,
+///   - matrix-vector products accumulate partial sums across part-boundary
+///     vertex copies through the part-to-part network,
+///   - dot products count each vertex once (on its owning part).
+/// The solution is written to the vertex field "u" on every part.
+
+#include <functional>
+
+#include "common/vec.hpp"
+#include "dist/partedmesh.hpp"
+
+namespace solver {
+
+struct PoissonOptions {
+  int max_iterations = 1000;
+  double tolerance = 1e-10;  ///< relative residual reduction
+};
+
+struct PoissonReport {
+  int iterations = 0;
+  double residual = 0.0;  ///< final relative residual
+  bool converged = false;
+};
+
+/// Solve -lap(u) = f, u = g on the model boundary. Requires a simplex
+/// (tet/tri) PartedMesh without ghosts. The result is stored in the vertex
+/// field "u" (tag "field:u") on all parts, consistent across copies.
+PoissonReport solvePoisson(dist::PartedMesh& pm,
+                           const std::function<double(const common::Vec3&)>& f,
+                           const std::function<double(const common::Vec3&)>& g,
+                           const PoissonOptions& opts = {});
+
+}  // namespace solver
+
+#endif  // PUMI_SOLVER_POISSON_HPP

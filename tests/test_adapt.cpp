@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "adapt/refine.hpp"
+#include "adapt/sizefield.hpp"
+#include "adapt/split.hpp"
+#include "core/measure.hpp"
+#include "core/verify.hpp"
+#include "gmi/model.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "meshgen/workloads.hpp"
+
+namespace {
+
+using common::Vec3;
+using core::Ent;
+using core::Topo;
+
+double totalVolume(const core::Mesh& m) {
+  double v = 0.0;
+  for (Ent e : m.entities(m.dim())) v += core::measure(m, e);
+  return v;
+}
+
+TEST(SplitEdge, SingleTetInteriorSplit) {
+  core::Mesh m;
+  const Ent v0 = m.createVertex({0, 0, 0});
+  const Ent v1 = m.createVertex({1, 0, 0});
+  const Ent v2 = m.createVertex({0, 1, 0});
+  const Ent v3 = m.createVertex({0, 0, 1});
+  m.buildElement(Topo::Tet, std::array{v0, v1, v2, v3});
+  const double vol = totalVolume(m);
+  const Ent e01 = m.findEntity(Topo::Edge, std::array{v0, v1});
+  const Ent mid = adapt::splitEdge(m, e01);
+  EXPECT_TRUE(m.alive(mid));
+  EXPECT_EQ(m.point(mid), Vec3(0.5, 0, 0));
+  EXPECT_EQ(m.count(3), 2u);
+  EXPECT_EQ(m.count(0), 5u);
+  EXPECT_NEAR(totalVolume(m), vol, 1e-12);
+  core::verify(m, {.check_volumes = true});
+}
+
+TEST(SplitEdge, SharedEdgeSplitsBothTets) {
+  core::Mesh m;
+  const Ent v0 = m.createVertex({0, 0, 0});
+  const Ent v1 = m.createVertex({1, 0, 0});
+  const Ent v2 = m.createVertex({0, 1, 0});
+  const Ent v3 = m.createVertex({0, 0, 1});
+  const Ent v4 = m.createVertex({1, 1, 1});
+  m.buildElement(Topo::Tet, std::array{v0, v1, v2, v3});
+  m.buildElement(Topo::Tet, std::array{v1, v2, v3, v4});
+  const double vol = totalVolume(m);
+  // Edge (v1, v2) is shared by both tets.
+  const Ent shared = m.findEntity(Topo::Edge, std::array{v1, v2});
+  adapt::splitEdge(m, shared);
+  EXPECT_EQ(m.count(3), 4u);
+  EXPECT_NEAR(totalVolume(m), vol, 1e-12);
+  core::verify(m, {.check_volumes = true});
+}
+
+TEST(SplitEdge, TriangleMesh) {
+  auto gen = meshgen::boxTris(2, 2);
+  auto& m = *gen.mesh;
+  const std::size_t tris = m.count(2);
+  // Split an interior edge (classified on the model face).
+  Ent interior;
+  for (Ent e : m.entities(1))
+    if (m.classification(e)->dim() == 2) interior = e;
+  ASSERT_TRUE(interior);
+  const std::size_t adjacent = m.up(interior).size();
+  adapt::splitEdge(m, interior);
+  EXPECT_EQ(m.count(2), tris + adjacent);
+  EXPECT_NEAR(totalVolume(m), 1.0, 1e-12);
+  core::verify(m);
+}
+
+TEST(SplitEdge, BoundaryClassificationInherited) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto& m = *gen.mesh;
+  // Split an edge classified on a model edge (box rim).
+  Ent rim;
+  for (Ent e : m.entities(1))
+    if (m.classification(e)->dim() == 1) rim = e;
+  ASSERT_TRUE(rim);
+  gmi::Entity* cls = m.classification(rim);
+  const Ent mid = adapt::splitEdge(m, rim);
+  EXPECT_EQ(m.classification(mid), cls);
+  // Both halves classify on the same model edge.
+  std::size_t halves = 0;
+  for (Ent e : m.up(mid))
+    if (m.classification(e) == cls) ++halves;
+  EXPECT_EQ(halves, 2u);
+  core::verify(m, {.check_volumes = true});
+}
+
+TEST(SplitEdge, SnapsToCurvedBoundary) {
+  meshgen::VesselSpec spec;
+  spec.circumferential = 4;
+  spec.axial = 6;
+  spec.bulge = 0.0;
+  spec.bend = 0.0;
+  auto gen = meshgen::vessel(spec);
+  auto& m = *gen.mesh;
+  // Pick a wall edge (classified on the cylinder side face).
+  Ent wall;
+  for (Ent e : m.entities(1)) {
+    auto* c = m.classification(e);
+    if (c->dim() == 2 && c->tag() == 0) wall = e;
+  }
+  ASSERT_TRUE(wall);
+  const Ent mid = adapt::splitEdge(m, wall);
+  // The midpoint was snapped onto the radius-1 cylinder.
+  const Vec3 p = m.point(mid);
+  EXPECT_NEAR(std::hypot(p.x, p.y), spec.radius, 1e-9);
+  core::verify(m, {.check_volumes = true});
+}
+
+TEST(SplitEdge, ElementTagsFlowToChildren) {
+  auto gen = meshgen::boxTets(1, 1, 1);
+  auto& m = *gen.mesh;
+  auto* part = m.tags().create<int>("part");
+  for (Ent e : m.entities(3)) m.tags().setScalar<int>(part, e, 7);
+  Ent victim = *m.entities(1).begin();
+  adapt::splitEdge(m, victim);
+  for (Ent e : m.entities(3)) {
+    ASSERT_TRUE(part->has(e));
+    EXPECT_EQ(m.tags().getScalar<int>(part, e), 7);
+  }
+}
+
+class UniformRefine : public ::testing::TestWithParam<double> {};
+
+TEST_P(UniformRefine, ConvergesToTargetSize) {
+  const double h = GetParam();
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto& m = *gen.mesh;
+  adapt::UniformSize size(h);
+  const auto stats = adapt::refine(m, size, {.ratio = 1.5, .max_passes = 12});
+  EXPECT_GT(stats.splits, 0u);
+  // All edges now satisfy the criterion.
+  for (Ent e : m.entities(1))
+    EXPECT_LE(core::measure(m, e), 1.5 * h + 1e-12);
+  EXPECT_NEAR(totalVolume(m), 1.0, 1e-9);
+  core::verify(m, {.check_volumes = true});
+}
+
+INSTANTIATE_TEST_SUITE_P(TargetSizes, UniformRefine,
+                         ::testing::Values(0.35, 0.25, 0.18));
+
+TEST(Refine, ShockFrontLocalizesRefinement) {
+  auto gen = meshgen::wingBox(2);
+  auto& m = *gen.mesh;
+  const std::size_t before = m.count(3);
+  // Oblique shock plane through the domain.
+  adapt::ShockFrontSize size({2.0, 1.0, 0.5}, {1.0, 0.0, 0.4}, 0.25, 0.06,
+                             0.9);
+  adapt::refine(m, size, {.max_passes = 6, .max_splits = 60000});
+  EXPECT_GT(m.count(3), 2 * before);
+  core::verify(m, {.check_volumes = true});
+  // Elements near the shock are much smaller than far away.
+  double near_max = 0.0, far_min = 1e300;
+  for (Ent e : m.entities(3)) {
+    const Vec3 c = core::centroid(m, e);
+    const double d = std::fabs(common::dot(
+        c - Vec3{2.0, 1.0, 0.5}, common::normalized(Vec3{1.0, 0.0, 0.4})));
+    const double vol = core::measure(m, e);
+    if (d < 0.1) near_max = std::max(near_max, vol);
+    if (d > 1.0) far_min = std::min(far_min, vol);
+  }
+  EXPECT_LT(near_max, far_min * 0.51);
+}
+
+TEST(Refine, NoOpWhenMeshAlreadyFine) {
+  auto gen = meshgen::boxTets(4, 4, 4);
+  adapt::UniformSize size(10.0);
+  const auto stats = adapt::refine(*gen.mesh, size);
+  EXPECT_EQ(stats.splits, 0u);
+  EXPECT_EQ(stats.passes, 0);
+}
+
+TEST(Refine, MaxSplitsRespected) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  adapt::UniformSize size(0.01);
+  const auto stats =
+      adapt::refine(*gen.mesh, size, {.max_passes = 50, .max_splits = 100});
+  EXPECT_EQ(stats.splits, 100u);
+  core::verify(*gen.mesh);
+}
+
+TEST(EstimateElements, ScalesWithRefinementCube) {
+  auto gen = meshgen::boxTets(4, 4, 4);
+  // Halving the size should predict ~8x elements in 3D.
+  const double est_same =
+      adapt::estimateElements(*gen.mesh, adapt::UniformSize(1.0 / 4));
+  const double est_half =
+      adapt::estimateElements(*gen.mesh, adapt::UniformSize(1.0 / 8));
+  EXPECT_GT(est_half, 5.0 * est_same);
+  EXPECT_LT(est_half, 12.0 * est_same);
+}
+
+TEST(SizeFields, Values) {
+  adapt::UniformSize u(0.2);
+  EXPECT_EQ(u.value({1, 2, 3}), 0.2);
+  adapt::AnalyticSize a([](const Vec3& x) { return x.x; });
+  EXPECT_EQ(a.value({0.7, 0, 0}), 0.7);
+  adapt::ShockFrontSize s({0, 0, 0}, {1, 0, 0}, 0.1, 0.01, 1.0);
+  EXPECT_NEAR(s.value({0, 5, 5}), 0.01, 1e-12);  // on the front
+  EXPECT_NEAR(s.value({3, 0, 0}), 1.0, 1e-6);    // far away
+  EXPECT_GT(s.value({0.1, 0, 0}), 0.01);         // blending
+  EXPECT_LT(s.value({0.1, 0, 0}), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "adapt/collapse.hpp"
+#include "adapt/refine.hpp"
+#include "adapt/split.hpp"
+#include "core/measure.hpp"
+#include "core/verify.hpp"
+#include "gmi/model.hpp"
+#include "meshgen/boxmesh.hpp"
+
+namespace {
+
+using core::Ent;
+using core::Topo;
+
+double totalMeasure(const core::Mesh& m) {
+  double v = 0.0;
+  for (Ent e : m.entities(m.dim())) v += core::measure(m, e);
+  return v;
+}
+
+/// Find an edge classified on the model region (fully interior).
+Ent interiorEdge(const core::Mesh& m) {
+  for (Ent e : m.entities(1))
+    if (m.classification(e)->dim() == m.dim()) return e;
+  return {};
+}
+
+TEST(Collapse, SplitThenCollapseRestoresCounts) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto& m = *gen.mesh;
+  const std::size_t counts[4] = {m.count(0), m.count(1), m.count(2),
+                                 m.count(3)};
+  // Split an interior edge, then collapse one of its halves by removing
+  // the midpoint (which is classified on the region, hence removable).
+  Ent victim = interiorEdge(m);
+  ASSERT_TRUE(victim);
+  const Ent mid = adapt::splitEdge(m, victim);
+  EXPECT_GT(m.count(3), counts[3]);
+  // One of the midpoint's edges leads back to an original vertex.
+  Ent half;
+  for (Ent e : m.up(mid)) {
+    half = e;
+    break;
+  }
+  ASSERT_TRUE(adapt::collapseEdge(m, half, mid));
+  core::verify(m, {.check_volumes = true});
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(m.count(d), counts[static_cast<std::size_t>(d)]) << "dim " << d;
+  EXPECT_NEAR(totalMeasure(m), 1.0, 1e-9);
+}
+
+TEST(Collapse, RefusesBoundaryVertexOntoInterior) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto& m = *gen.mesh;
+  // An edge from a surface vertex to an interior vertex: removing the
+  // surface vertex would dent the geometry; classification forbids it.
+  for (Ent e : m.entities(1)) {
+    const auto vs = m.verts(e);
+    gmi::Entity* c0 = m.classification(vs[0]);
+    gmi::Entity* c1 = m.classification(vs[1]);
+    if (c0->dim() < 3 && c1->dim() == 3) {
+      EXPECT_FALSE(adapt::canCollapse(m, e, vs[0]));
+      break;
+    }
+  }
+}
+
+TEST(Collapse, VolumePreservedOnInteriorCollapse) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto& m = *gen.mesh;
+  const double vol = totalMeasure(m);
+  std::size_t done = 0;
+  for (Ent e : m.all(1)) {
+    if (!m.alive(e)) continue;
+    const auto vs = m.verts(e);
+    for (Ent v : {vs[0], vs[1]}) {
+      if (adapt::collapseEdge(m, e, v)) {
+        ++done;
+        break;
+      }
+    }
+    if (done >= 5) break;
+  }
+  EXPECT_GE(done, 1u);
+  core::verify(m, {.check_volumes = true});
+  EXPECT_NEAR(totalMeasure(m), vol, 1e-9);
+}
+
+TEST(Collapse, TriangleMeshCollapse) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto& m = *gen.mesh;
+  const double area = totalMeasure(m);
+  // Collapse an interior edge.
+  Ent e = interiorEdge(m);
+  ASSERT_TRUE(e);
+  const auto vs = m.verts(e);
+  Ent removable;
+  for (Ent v : {vs[0], vs[1]})
+    if (m.classification(v) == m.classification(e)) removable = v;
+  ASSERT_TRUE(removable);
+  EXPECT_TRUE(adapt::collapseEdge(m, e, removable));
+  core::verify(m);
+  EXPECT_NEAR(totalMeasure(m), area, 1e-12);
+}
+
+TEST(Collapse, TagsSurviveRebuild) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto& m = *gen.mesh;
+  auto* t = m.tags().create<int>("part");
+  for (Ent e : m.entities(3)) m.tags().setScalar<int>(t, e, 3);
+  bool collapsed = false;
+  for (Ent e : m.all(1)) {
+    if (collapsed) break;
+    if (!m.alive(e)) continue;
+    const auto vs = m.verts(e);
+    for (Ent v : {vs[0], vs[1]})
+      if (adapt::collapseEdge(m, e, v)) {
+        collapsed = true;
+        break;
+      }
+  }
+  ASSERT_TRUE(collapsed);
+  for (Ent elem : m.entities(3)) {
+    ASSERT_TRUE(t->has(elem));
+    EXPECT_EQ(m.tags().getScalar<int>(t, elem), 3);
+  }
+}
+
+TEST(Coarsen, UndoesRefinement) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto& m = *gen.mesh;
+  const std::size_t original = m.count(3);
+  // Refine to a fine target, then coarsen back toward a coarse one.
+  adapt::refine(m, adapt::UniformSize(0.25), {.max_passes = 8});
+  const std::size_t refined = m.count(3);
+  ASSERT_GT(refined, original);
+  const auto stats = adapt::coarsen(m, adapt::UniformSize(1.2),
+                                    {.ratio = 0.9, .max_passes = 12});
+  core::verify(m, {.check_volumes = true});
+  EXPECT_GT(stats.collapses, 0u);
+  EXPECT_LT(m.count(3), refined);
+  EXPECT_NEAR(totalMeasure(m), 1.0, 1e-9);
+}
+
+TEST(Coarsen, NoOpOnConformingMesh) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  const auto stats =
+      adapt::coarsen(*gen.mesh, adapt::UniformSize(0.05), {.ratio = 0.6});
+  EXPECT_EQ(stats.collapses, 0u);
+}
+
+TEST(Coarsen, BoundaryStaysOnModel) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto& m = *gen.mesh;
+  adapt::refine(m, adapt::UniformSize(0.22), {.max_passes = 6});
+  adapt::coarsen(m, adapt::UniformSize(0.8), {.ratio = 0.9, .max_passes = 8});
+  core::verify(m, {.check_volumes = true});
+  // All boundary-classified vertices still lie on the unit box surface.
+  for (Ent v : m.entities(0)) {
+    if (m.classification(v)->dim() == 3) continue;
+    const auto p = m.point(v);
+    const bool on_surface = p.x == 0.0 || p.x == 1.0 || p.y == 0.0 ||
+                            p.y == 1.0 || p.z == 0.0 || p.z == 1.0;
+    EXPECT_TRUE(on_surface) << "vertex drifted off the model boundary";
+  }
+  EXPECT_NEAR(totalMeasure(m), 1.0, 1e-9);
+}
+
+}  // namespace

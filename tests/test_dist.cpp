@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/measure.hpp"
+#include "core/verify.hpp"
+#include "dist/partedmesh.hpp"
+#include "dist/ptnmodel.hpp"
+#include "meshgen/boxmesh.hpp"
+
+namespace {
+
+using common::Vec3;
+using core::Ent;
+using dist::PartId;
+
+/// Stripe elements across parts by iteration order.
+std::vector<PartId> stripe(const core::Mesh& serial, int nparts) {
+  const std::size_t n = serial.count(serial.dim());
+  std::vector<PartId> dest(n);
+  for (std::size_t i = 0; i < n; ++i)
+    dest[i] = static_cast<PartId>(i * static_cast<std::size_t>(nparts) / n);
+  return dest;
+}
+
+/// Geometric striping along x (produces contiguous chunks).
+std::vector<PartId> stripeByX(const core::Mesh& serial, int nparts) {
+  const int dim = serial.dim();
+  std::vector<std::pair<double, std::size_t>> order;
+  std::size_t i = 0;
+  for (Ent e : serial.entities(dim))
+    order.emplace_back(core::centroid(serial, e).x, i++);
+  std::sort(order.begin(), order.end());
+  std::vector<PartId> dest(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k)
+    dest[order[k].second] =
+        static_cast<PartId>(k * static_cast<std::size_t>(nparts) / order.size());
+  return dest;
+}
+
+dist::PartMap flatMap(int nparts) {
+  return dist::PartMap(nparts, pcu::Machine::flat(nparts));
+}
+
+class DistributeParts : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributeParts, GlobalCountsMatchSerial) {
+  const int nparts = GetParam();
+  auto gen = meshgen::boxTets(4, 4, 4);
+  auto pm = dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), stripeByX(*gen.mesh, nparts),
+      flatMap(nparts));
+  pm->verify();
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d)) << "dim " << d;
+  // Every part's local mesh is structurally valid.
+  std::size_t total_elems = 0;
+  for (PartId p = 0; p < pm->parts(); ++p) {
+    core::verify(pm->part(p).mesh(), {.check_volumes = true});
+    total_elems += pm->part(p).elementCount();
+  }
+  EXPECT_EQ(total_elems, gen.mesh->count(3));
+}
+
+TEST_P(DistributeParts, SharedEntitiesHaveSymmetricCopies) {
+  const int nparts = GetParam();
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), stripeByX(*gen.mesh, nparts),
+      flatMap(nparts));
+  std::size_t shared_seen = 0;
+  for (PartId p = 0; p < pm->parts(); ++p) {
+    const auto& part = pm->part(p);
+    for (int d = 0; d < 3; ++d) {
+      for (Ent e : part.mesh().entities(d)) {
+        if (const dist::Remote* r = part.remote(e)) {
+          ++shared_seen;
+          EXPECT_GE(r->owner, 0);
+          // Owner is the smallest residence part (MinPartId rule).
+          const auto res = part.residence(e);
+          EXPECT_EQ(r->owner, res.front());
+        }
+      }
+    }
+  }
+  if (nparts > 1) {
+    EXPECT_GT(shared_seen, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, DistributeParts,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(Distribute, RejectsBadInput) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  EXPECT_THROW(dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                            {0, 1, 2},  // wrong length
+                                            flatMap(3)),
+               std::invalid_argument);
+  auto dest = stripe(*gen.mesh, 2);
+  dest[0] = 7;  // out of range
+  EXPECT_THROW(dist::PartedMesh::distribute(*gen.mesh, gen.model.get(), dest,
+                                            flatMap(2)),
+               std::invalid_argument);
+}
+
+TEST(PaperFigure3, ThreePartMeshOnTwoNodes) {
+  // The paper's running example: a 2D mesh on three parts over two nodes.
+  auto gen = meshgen::boxTris(4, 4);
+  auto& serial = *gen.mesh;
+  // Assign left/mid/right thirds of triangles to parts 0/1/2.
+  std::vector<PartId> dest;
+  for (Ent e : serial.entities(2)) {
+    const double x = core::centroid(serial, e).x;
+    dest.push_back(x < 1.0 / 3 ? 0 : (x < 2.0 / 3 ? 1 : 2));
+  }
+  // Two nodes: parts 0,1 on node i; part 2 on node j (2 ranks/node).
+  dist::PartMap map(3, pcu::Machine(2, 2));
+  auto pm = dist::PartedMesh::distribute(serial, gen.model.get(), dest, map);
+  pm->verify();
+  EXPECT_EQ(map.nodeOf(0), map.nodeOf(1));
+  EXPECT_NE(map.nodeOf(0), map.nodeOf(2));
+
+  dist::PtnModel ptn(*pm);
+  // Partition faces: one per part interior.
+  EXPECT_EQ(ptn.count(2), 3u);
+  // Partition edges: interfaces 0|1 and 1|2 (parts 0 and 2 do not touch).
+  EXPECT_EQ(ptn.count(1), 2u);
+  EXPECT_NE(ptn.find({0, 1}), nullptr);
+  EXPECT_NE(ptn.find({1, 2}), nullptr);
+  EXPECT_EQ(ptn.find({0, 2}), nullptr);
+  // Partition classification of a shared vertex: residence {0,1} -> the
+  // partition edge; owner is part 0.
+  const auto* pe01 = ptn.find({0, 1});
+  EXPECT_EQ(pe01->dim, 1);
+  EXPECT_EQ(pe01->owner, 0);
+}
+
+TEST(PtnModel, TripleJunctionIsPartitionVertex) {
+  // Quadrant partition of a 2D mesh: the center vertex is shared by >= 3
+  // parts and must classify on a dim-0 partition entity (paper Fig. 4).
+  auto gen = meshgen::boxTris(4, 4);
+  auto& serial = *gen.mesh;
+  std::vector<PartId> dest;
+  for (Ent e : serial.entities(2)) {
+    const Vec3 c = core::centroid(serial, e);
+    dest.push_back((c.x < 0.5 ? 0 : 1) + (c.y < 0.5 ? 0 : 2));
+  }
+  auto pm = dist::PartedMesh::distribute(serial, gen.model.get(), dest,
+                                         flatMap(4));
+  pm->verify();
+  dist::PtnModel ptn(*pm);
+  const auto* center = ptn.find({0, 1, 2, 3});
+  ASSERT_NE(center, nullptr);
+  EXPECT_EQ(center->dim, 0);
+  EXPECT_EQ(ptn.count(2), 4u);
+  // Four pairwise interfaces: 0|1, 0|2, 1|3, 2|3.
+  EXPECT_EQ(ptn.count(1), 4u);
+}
+
+TEST(Migrate, MoveOneElement) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  const std::size_t serial_counts[4] = {gen.mesh->count(0), gen.mesh->count(1),
+                                        gen.mesh->count(2), gen.mesh->count(3)};
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 2), flatMap(2));
+  const std::size_t before0 = pm->part(0).elementCount();
+  dist::MigrationPlan plan(2);
+  const Ent victim = pm->part(0).elements().front();
+  plan[0][victim] = 1;
+  pm->migrate(plan);
+  pm->verify();
+  EXPECT_EQ(pm->part(0).elementCount(), before0 - 1);
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), serial_counts[d]) << "dim " << d;
+  for (PartId p = 0; p < 2; ++p) core::verify(pm->part(p).mesh());
+}
+
+TEST(Migrate, EmptyPlanIsNoOp) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 3), flatMap(3));
+  const std::size_t e0 = pm->part(0).elementCount();
+  pm->migrate(dist::MigrationPlan(3));
+  pm->verify();
+  EXPECT_EQ(pm->part(0).elementCount(), e0);
+}
+
+TEST(Migrate, EvacuateWholePart) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 3), flatMap(3));
+  dist::MigrationPlan plan(3);
+  for (Ent e : pm->part(1).elements()) plan[1][e] = 2;
+  pm->migrate(plan);
+  pm->verify();
+  EXPECT_EQ(pm->part(1).elementCount(), 0u);
+  EXPECT_EQ(pm->part(1).mesh().count(0), 0u);  // closure fully released
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d));
+}
+
+TEST(Migrate, RoundTripRestoresCounts) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 2), flatMap(2));
+  const std::size_t e0 = pm->part(0).elementCount();
+  const std::size_t e1 = pm->part(1).elementCount();
+  // Move a slab of part 0's elements to part 1 and back.
+  std::vector<Ent> moved;
+  dist::MigrationPlan plan(2);
+  for (Ent e : pm->part(0).elements())
+    if (core::centroid(pm->part(0).mesh(), e).x > 0.25) plan[0][e] = 1;
+  const std::size_t nmoved = plan[0].size();
+  ASSERT_GT(nmoved, 0u);
+  pm->migrate(plan);
+  pm->verify();
+  EXPECT_EQ(pm->part(0).elementCount(), e0 - nmoved);
+  EXPECT_EQ(pm->part(1).elementCount(), e1 + nmoved);
+  // Move everything with x < 0.5 back to part 0.
+  dist::MigrationPlan back(2);
+  for (Ent e : pm->part(1).elements())
+    if (core::centroid(pm->part(1).mesh(), e).x < 0.5) back[1][e] = 0;
+  pm->migrate(back);
+  pm->verify();
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d));
+}
+
+TEST(Migrate, TagsTravelWithElements) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 2), flatMap(2));
+  auto& m0 = pm->part(0).mesh();
+  auto* w = m0.tags().create<double>("weight");
+  const Ent victim = pm->part(0).elements().front();
+  m0.tags().setScalar<double>(w, victim, 42.5);
+  const std::size_t before1 = pm->part(1).elementCount();
+  dist::MigrationPlan plan(2);
+  plan[0][victim] = 1;
+  pm->migrate(plan);
+  // Find the tagged element on part 1.
+  auto& m1 = pm->part(1).mesh();
+  auto* w1 = m1.tags().find("weight");
+  ASSERT_NE(w1, nullptr);
+  std::size_t tagged = 0;
+  for (Ent e : pm->part(1).elements())
+    if (w1->has(e)) {
+      ++tagged;
+      EXPECT_EQ(m1.tags().getScalar<double>(w1, e), 42.5);
+    }
+  EXPECT_EQ(tagged, 1u);
+  EXPECT_EQ(pm->part(1).elementCount(), before1 + 1);
+}
+
+TEST(Migrate, RandomChurnPreservesInvariants) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  const int nparts = 4;
+  auto pm = dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), stripeByX(*gen.mesh, nparts),
+      flatMap(nparts));
+  common::Rng rng(2026);
+  for (int round = 0; round < 6; ++round) {
+    dist::MigrationPlan plan(nparts);
+    for (PartId p = 0; p < nparts; ++p) {
+      for (Ent e : pm->part(p).elements()) {
+        if (rng.uniform() < 0.15)
+          plan[p][e] = static_cast<PartId>(rng.below(nparts));
+      }
+    }
+    pm->migrate(plan);
+    pm->verify();
+    for (int d = 0; d <= 3; ++d)
+      EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d))
+          << "round " << round << " dim " << d;
+  }
+  for (PartId p = 0; p < nparts; ++p)
+    core::verify(pm->part(p).mesh(), {.check_volumes = true});
+}
+
+TEST(Migrate, IntoFreshlyAddedPart) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 2), flatMap(2));
+  const PartId fresh = pm->addPart();
+  EXPECT_EQ(fresh, 2);
+  dist::MigrationPlan plan(3);
+  int i = 0;
+  for (Ent e : pm->part(0).elements())
+    if (i++ % 2 == 0) plan[0][e] = fresh;
+  pm->migrate(plan);
+  pm->verify();
+  EXPECT_GT(pm->part(fresh).elementCount(), 0u);
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d));
+}
+
+TEST(Migrate, TwoDimensionalMesh) {
+  auto gen = meshgen::boxTris(6, 6);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 3), flatMap(3));
+  pm->verify();
+  dist::MigrationPlan plan(3);
+  for (Ent e : pm->part(0).elements())
+    if (core::centroid(pm->part(0).mesh(), e).y > 0.5) plan[0][e] = 2;
+  ASSERT_FALSE(plan[0].empty());
+  pm->migrate(plan);
+  pm->verify();
+  for (int d = 0; d <= 2; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d));
+}
+
+TEST(Neighbors, DetectedPerDimension) {
+  auto gen = meshgen::boxTets(4, 1, 1);
+  // Parts along x: 0 | 1 | 2 | 3; only consecutive parts are face-neighbors.
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 4), flatMap(4));
+  pm->verify();
+  const auto n1 = pm->part(1).neighborParts(2);
+  EXPECT_EQ(n1, (std::vector<PartId>{0, 2}));
+  const auto n0 = pm->part(0).neighborParts(0);
+  EXPECT_TRUE(std::find(n0.begin(), n0.end(), 1) != n0.end());
+  // Part 0 and part 3 share nothing.
+  const auto n0v = pm->part(0).neighborParts(0);
+  EXPECT_TRUE(std::find(n0v.begin(), n0v.end(), 3) == n0v.end());
+}
+
+TEST(Ghost, OneLayerCreatesReadOnlyCopies) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 3), flatMap(3));
+  const std::size_t local_before = pm->part(1).mesh().count(3);
+  pm->ghostLayers(1);
+  pm->verify();
+  EXPECT_GT(pm->part(1).ghostCount(), 0u);
+  // Ghosts do not change owned counts.
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d));
+  // elementCount excludes ghosts; raw mesh count includes them.
+  EXPECT_EQ(pm->part(1).elementCount(), local_before);
+  EXPECT_GT(pm->part(1).mesh().count(3), local_before);
+  for (PartId p = 0; p < 3; ++p) core::verify(pm->part(p).mesh());
+}
+
+TEST(Ghost, UnghostRestoresLocalCounts) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 4), flatMap(4));
+  std::vector<std::size_t> counts;
+  for (PartId p = 0; p < 4; ++p)
+    for (int d = 0; d <= 3; ++d) counts.push_back(pm->part(p).mesh().count(d));
+  pm->ghostLayers(1);
+  pm->unghost();
+  pm->verify();
+  std::size_t i = 0;
+  for (PartId p = 0; p < 4; ++p)
+    for (int d = 0; d <= 3; ++d)
+      EXPECT_EQ(pm->part(p).mesh().count(d), counts[i++])
+          << "part " << p << " dim " << d;
+}
+
+TEST(Ghost, TwoLayersStrictlyLarger) {
+  auto gen = meshgen::boxTets(6, 2, 2);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 3), flatMap(3));
+  pm->ghostLayers(1);
+  const std::size_t one = pm->part(0).ghostCount();
+  pm->unghost();
+  pm->ghostLayers(2);
+  pm->verify();
+  const std::size_t two = pm->part(0).ghostCount();
+  EXPECT_GT(two, one);
+  pm->unghost();
+  pm->verify();
+}
+
+TEST(Ghost, TagsSyncToGhosts) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 2), flatMap(2));
+  // Tag every element on its home part before ghosting.
+  for (PartId p = 0; p < 2; ++p) {
+    auto& m = pm->part(p).mesh();
+    auto* t = m.tags().create<int>("home");
+    for (Ent e : pm->part(p).elements()) m.tags().setScalar<int>(t, e, p);
+  }
+  pm->ghostLayers(1);
+  // Ghost copies carried the tag at creation.
+  for (PartId p = 0; p < 2; ++p) {
+    const auto& part = pm->part(p);
+    auto* t = part.mesh().tags().find("home");
+    ASSERT_NE(t, nullptr);
+    for (Ent e : part.mesh().entities(3)) {
+      if (!part.isGhost(e)) continue;
+      EXPECT_EQ(part.mesh().tags().getScalar<int>(t, e),
+                part.ghostSource(e).part);
+    }
+  }
+  //
+
+  // Owner updates a value; syncGhostTags pushes it to ghosts.
+  auto& m0 = pm->part(0).mesh();
+  auto* t0 = m0.tags().find("home");
+  for (Ent e : pm->part(0).elements()) m0.tags().setScalar<int>(t0, e, 100);
+  pm->syncGhostTags();
+  const auto& part1 = pm->part(1);
+  auto* t1 = part1.mesh().tags().find("home");
+  for (Ent e : part1.mesh().entities(3)) {
+    if (!part1.isGhost(e)) continue;
+    if (part1.ghostSource(e).part == 0) {
+      EXPECT_EQ(part1.mesh().tags().getScalar<int>(t1, e), 100);
+    }
+  }
+}
+
+TEST(Ghost, MigrateRefusesWhileGhosted) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 2), flatMap(2));
+  pm->ghostLayers(1);
+  dist::MigrationPlan plan(2);
+  plan[0][pm->part(0).elements().front()] = 1;
+  EXPECT_THROW(pm->migrate(plan), std::logic_error);
+  pm->unghost();
+  EXPECT_NO_THROW(pm->migrate(plan));
+  pm->verify();
+}
+
+TEST(Network, TwoLevelTrafficAccounting) {
+  auto gen = meshgen::boxTets(4, 2, 2);
+  // 4 parts on 2 nodes x 2 cores: parts {0,1} on node 0, {2,3} on node 1.
+  dist::PartMap map(4, pcu::Machine(2, 2));
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(),
+                                         stripeByX(*gen.mesh, 4), map);
+  pm->network().resetStats();
+  pm->ghostLayers(1);
+  const auto& s = pm->network().stats();
+  EXPECT_GT(s.on_node_messages, 0u);
+  EXPECT_GT(s.off_node_messages, 0u);
+  EXPECT_EQ(s.messages_sent, s.on_node_messages + s.off_node_messages);
+  EXPECT_EQ(s.bytes_sent, s.on_node_bytes + s.off_node_bytes);
+}
+
+TEST(OwnerRule, LeastLoadedPicksLighterPart) {
+  auto gen = meshgen::boxTets(4, 2, 2);
+  // Unbalanced distribution: part 0 heavy, part 1 light.
+  std::vector<PartId> dest(gen.mesh->count(3), 0);
+  for (std::size_t i = dest.size() - 12; i < dest.size(); ++i) dest[i] = 1;
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(), dest,
+                                         flatMap(2), dist::OwnerRule::LeastLoaded);
+  // distribute() uses MinPartId; migrations re-choose owners for entities
+  // they touch. Move a slab so most of the part boundary is touched.
+  dist::MigrationPlan plan(2);
+  int i = 0;
+  for (Ent e : pm->part(0).elements())
+    if (i++ % 2 == 0) plan[0][e] = 1;
+  pm->migrate(plan);
+  pm->verify();
+  // Touched shared entities are now owned by the lighter part (part 1),
+  // per LeastLoaded; untouched ones keep their previous owner.
+  std::size_t owned_by_1 = 0, shared_total = 0;
+  for (int d = 0; d < 3; ++d) {
+    for (Ent e : pm->part(1).mesh().entities(d)) {
+      if (const dist::Remote* r = pm->part(1).remote(e)) {
+        ++shared_total;
+        if (r->owner == 1) ++owned_by_1;
+      }
+    }
+  }
+  ASSERT_GT(shared_total, 0u);
+  EXPECT_GT(owned_by_1, shared_total / 2);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/measure.hpp"
+#include "gmi/builders.hpp"
+#include "gmi/model.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "part/partition.hpp"
+#include "pcu/comm.hpp"
+#include "pcu/runtime.hpp"
+
+namespace {
+
+using core::Ent;
+
+/// Odds-and-ends edge cases across modules that the main suites leave out.
+
+TEST(PcuSplit, ThreeDisjointColorsEachCollectivelyFunctional) {
+  pcu::run(9, [](pcu::Comm& c) {
+    const int color = c.rank() % 3;
+    pcu::Comm sub = c.split(color, c.rank());
+    EXPECT_EQ(sub.size(), 3);
+    // Each subgroup sums only its members' global ranks.
+    const long sum = sub.allreduceSum<long>(c.rank());
+    long expect = 0;
+    for (int r = color; r < 9; r += 3) expect += r;
+    EXPECT_EQ(sum, expect);
+    // Subgroups can message internally without crosstalk.
+    pcu::OutBuffer b;
+    b.pack<int>(c.rank());
+    sub.send((sub.rank() + 1) % sub.size(), 3, b);
+    pcu::Message m = sub.recv(pcu::kAnySource, 3);
+    EXPECT_EQ(m.body.unpack<int>() % 3, color);
+  });
+}
+
+TEST(PcuProbe, SeesOnlyMatchingMessages) {
+  pcu::run(2, [](pcu::Comm& c) {
+    if (c.rank() == 0) {
+      pcu::OutBuffer b;
+      b.pack<int>(9);
+      c.send(1, 5, b);
+      c.barrier();
+    } else {
+      c.barrier();  // message from 0 is now enqueued
+      EXPECT_TRUE(c.probe(0, 5));
+      EXPECT_FALSE(c.probe(0, 6));
+      EXPECT_TRUE(c.probe(pcu::kAnySource, 5));
+      (void)c.recv(0, 5);
+      EXPECT_FALSE(c.probe(0, 5));
+    }
+  });
+}
+
+TEST(PcuSplit, SingletonGroups) {
+  pcu::run(4, [](pcu::Comm& c) {
+    // Every rank its own color: groups of one.
+    pcu::Comm solo = c.split(c.rank(), 0);
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    EXPECT_EQ(solo.allreduceSum<int>(7), 7);
+    solo.barrier();
+  });
+}
+
+TEST(GmiTraversal, CylinderRimToRegion) {
+  auto model = gmi::makeCylinder({0, 0, 0}, {0, 0, 1}, 1.0, 2.0);
+  auto* rim = model->find(1, 0);
+  // Rim bounds side + bottom cap.
+  EXPECT_EQ(rim->bounded().size(), 2u);
+  // Multi-hop traversal: rim -> region.
+  const auto regions = rim->adjacent(3);
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0]->dim(), 3);
+  // Region -> edges gives both rims.
+  auto* region = model->find(3, 0);
+  EXPECT_EQ(region->adjacent(1).size(), 2u);
+}
+
+TEST(GmiTraversal, SphereModelMinimal) {
+  auto model = gmi::makeSphere({0, 0, 0}, 1.0);
+  auto* region = model->find(3, 0);
+  EXPECT_EQ(region->adjacent(2).size(), 1u);
+  EXPECT_TRUE(region->adjacent(1).empty());
+  EXPECT_TRUE(region->adjacent(0).empty());
+}
+
+TEST(WeightedPartition, GraphMethodRespectsWeights) {
+  auto gen = meshgen::boxTets(4, 4, 4);
+  auto g = part::buildElemGraph(*gen.mesh);
+  // Left half 5x heavier.
+  for (int i = 0; i < g.size(); ++i)
+    if (g.centroids[static_cast<std::size_t>(i)].x < 0.5)
+      g.weights[static_cast<std::size_t>(i)] = 5.0;
+  for (auto method : {part::Method::GraphRB, part::Method::HypergraphRB,
+                      part::Method::GreedyGrow}) {
+    const auto assign = part::partitionGraph(g, 4, method);
+    EXPECT_LT(part::imbalanceOf(assign, g.weights, 4), 1.25)
+        << part::methodName(method);
+  }
+}
+
+TEST(MeshEdgeCases, EmptyMeshQueries) {
+  core::Mesh m;
+  EXPECT_EQ(m.dim(), -1);
+  EXPECT_EQ(m.count(0), 0u);
+  EXPECT_EQ(m.count(3), 0u);
+  EXPECT_EQ(m.all(2).size(), 0u);
+  std::size_t seen = 0;
+  for ([[maybe_unused]] Ent e : m.entities(1)) ++seen;
+  EXPECT_EQ(seen, 0u);
+  EXPECT_FALSE(m.alive(Ent{}));
+  EXPECT_FALSE(m.alive(Ent(core::Topo::Tet, 99)));
+}
+
+TEST(MeshEdgeCases, SingleVertexMesh) {
+  core::Mesh m;
+  const Ent v = m.createVertex({1, 2, 3});
+  EXPECT_EQ(m.dim(), 0);
+  EXPECT_EQ(m.adjacent(v, 0), std::vector<Ent>{v});
+  EXPECT_TRUE(m.up(v).empty());
+  const auto box = core::bounds(m);
+  EXPECT_EQ(box.lo, common::Vec3(1, 2, 3));
+  EXPECT_EQ(box.hi, common::Vec3(1, 2, 3));
+}
+
+TEST(MeshEdgeCases, DestroyRecreateManyTimes) {
+  core::Mesh m;
+  for (int round = 0; round < 20; ++round) {
+    const Ent v0 = m.createVertex({0, 0, 0});
+    const Ent v1 = m.createVertex({1, 0, 0});
+    const Ent v2 = m.createVertex({0, 1, 0});
+    const Ent tri = m.buildElement(core::Topo::Tri, std::array{v0, v1, v2});
+    m.destroy(tri);
+    for (Ent e : m.all(1)) m.destroy(e);
+    for (Ent v : m.all(0)) m.destroy(v);
+    EXPECT_EQ(m.count(0), 0u);
+    EXPECT_EQ(m.count(1), 0u);
+    EXPECT_EQ(m.count(2), 0u);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+#include "dist/partedmesh.hpp"
+#include "field/field.hpp"
+#include "meshgen/boxmesh.hpp"
+
+namespace {
+
+using common::Vec3;
+using core::Ent;
+using dist::PartId;
+
+TEST(Field, ScalarRoundTrip) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  field::Field f(*gen.mesh, "pressure", field::ValueType::Scalar,
+                 field::Location::Vertex);
+  EXPECT_EQ(f.nodeDim(), 0);
+  const Ent v = *gen.mesh->entities(0).begin();
+  EXPECT_FALSE(f.hasValue(v));
+  f.setScalar(v, 3.25);
+  EXPECT_TRUE(f.hasValue(v));
+  EXPECT_EQ(f.getScalar(v), 3.25);
+}
+
+TEST(Field, VectorAndMatrixRoundTrip) {
+  auto gen = meshgen::boxTets(1, 1, 1);
+  field::Field vel(*gen.mesh, "velocity", field::ValueType::Vector,
+                   field::Location::Vertex);
+  field::Field hess(*gen.mesh, "hessian", field::ValueType::Matrix,
+                    field::Location::Element);
+  const Ent v = *gen.mesh->entities(0).begin();
+  vel.setVector(v, {1, 2, 3});
+  EXPECT_EQ(vel.getVector(v), Vec3(1, 2, 3));
+  const Ent e = *gen.mesh->entities(3).begin();
+  common::Mat3 m = common::Mat3::identity();
+  m(0, 2) = 7.0;
+  hess.setMatrix(e, m);
+  EXPECT_EQ(hess.getMatrix(e)(0, 2), 7.0);
+  EXPECT_EQ(hess.getMatrix(e)(1, 1), 1.0);
+}
+
+TEST(Field, ReattachFindsExistingTag) {
+  auto gen = meshgen::boxTets(1, 1, 1);
+  {
+    field::Field f(*gen.mesh, "t", field::ValueType::Scalar,
+                   field::Location::Vertex);
+    f.fillScalar(5.0);
+  }
+  field::Field again(*gen.mesh, "t", field::ValueType::Scalar,
+                     field::Location::Vertex);
+  for (Ent v : gen.mesh->entities(0)) EXPECT_EQ(again.getScalar(v), 5.0);
+  EXPECT_THROW(field::Field(*gen.mesh, "t", field::ValueType::Vector,
+                            field::Location::Vertex),
+               std::invalid_argument);
+}
+
+TEST(Field, IntegrateConstantIsVolume) {
+  auto gen = meshgen::boxTets(3, 3, 3, {0, 0, 0}, {2, 1, 1});
+  field::Field f(*gen.mesh, "one", field::ValueType::Scalar,
+                 field::Location::Vertex);
+  f.fillScalar(1.0);
+  EXPECT_NEAR(field::integrate(f), 2.0, 1e-9);
+  // Element-located field too.
+  field::Field g(*gen.mesh, "two", field::ValueType::Scalar,
+                 field::Location::Element);
+  g.fillScalar(2.0);
+  EXPECT_NEAR(field::integrate(g), 4.0, 1e-9);
+}
+
+TEST(Field, IntegrateLinearExact) {
+  // Vertex-mean element quadrature integrates linears exactly on tets.
+  auto gen = meshgen::boxTets(4, 4, 4);
+  field::Field f(*gen.mesh, "lin", field::ValueType::Scalar,
+                 field::Location::Vertex);
+  f.assign([](const Vec3& x) { return 2.0 * x.x + 3.0 * x.y - x.z + 1.0; });
+  // Integral over unit cube: 2*0.5 + 3*0.5 - 0.5 + 1 = 3.0.
+  EXPECT_NEAR(field::integrate(f), 3.0, 1e-9);
+}
+
+TEST(Field, GradientOfLinearFieldOnTets) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  field::Field f(*gen.mesh, "lin", field::ValueType::Scalar,
+                 field::Location::Vertex);
+  f.assign([](const Vec3& x) { return 4.0 * x.x - 2.0 * x.y + 0.5 * x.z; });
+  for (Ent e : gen.mesh->entities(3)) {
+    const Vec3 g = field::gradient(f, e);
+    EXPECT_NEAR(g.x, 4.0, 1e-10);
+    EXPECT_NEAR(g.y, -2.0, 1e-10);
+    EXPECT_NEAR(g.z, 0.5, 1e-10);
+  }
+}
+
+TEST(Field, GradientOnTriangles) {
+  auto gen = meshgen::boxTris(3, 3);
+  field::Field f(*gen.mesh, "lin", field::ValueType::Scalar,
+                 field::Location::Vertex);
+  f.assign([](const Vec3& x) { return x.x + 2.0 * x.y; });
+  for (Ent e : gen.mesh->entities(2)) {
+    const Vec3 g = field::gradient(f, e);
+    EXPECT_NEAR(g.x, 1.0, 1e-10);
+    EXPECT_NEAR(g.y, 2.0, 1e-10);
+    EXPECT_NEAR(g.z, 0.0, 1e-10);
+  }
+}
+
+TEST(Field, MigratesWithElements) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  std::vector<PartId> dest(gen.mesh->count(3), 0);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(), dest,
+                                         dist::PartMap(2, pcu::Machine::flat(2)));
+  // Field on part 0's vertices.
+  field::Field f(pm->part(0).mesh(), "temp", field::ValueType::Scalar,
+                 field::Location::Vertex);
+  f.assign([](const Vec3& x) { return x.x + 10.0 * x.y; });
+  // Push half the elements to part 1; field values ride along.
+  dist::MigrationPlan plan(2);
+  for (Ent e : pm->part(0).elements())
+    if (core::centroid(pm->part(0).mesh(), e).x > 0.5) plan[0][e] = 1;
+  pm->migrate(plan);
+  pm->verify();
+  field::Field f1(pm->part(1).mesh(), "temp", field::ValueType::Scalar,
+                  field::Location::Vertex);
+  for (Ent v : pm->part(1).mesh().entities(0)) {
+    ASSERT_TRUE(f1.hasValue(v));
+    const Vec3 x = pm->part(1).mesh().point(v);
+    EXPECT_NEAR(f1.getScalar(v), x.x + 10.0 * x.y, 1e-12);
+  }
+}
+
+TEST(Field, SyncSharedPushesOwnerValues) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  std::vector<PartId> dest;
+  for (Ent e : gen.mesh->entities(3))
+    dest.push_back(core::centroid(*gen.mesh, e).x < 0.5 ? 0 : 1);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(), dest,
+                                         dist::PartMap(2, pcu::Machine::flat(2)));
+  // Owners write 1.0, non-owners 0.0 on shared vertices.
+  for (PartId p = 0; p < 2; ++p) {
+    field::Field f(pm->part(p).mesh(), "u", field::ValueType::Scalar,
+                   field::Location::Vertex);
+    for (Ent v : pm->part(p).mesh().entities(0))
+      f.setScalar(v, pm->part(p).isOwned(v) ? 1.0 : 0.0);
+  }
+  pm->syncSharedTags();
+  // Every shared vertex now reads 1.0 everywhere.
+  for (PartId p = 0; p < 2; ++p) {
+    field::Field f(pm->part(p).mesh(), "u", field::ValueType::Scalar,
+                   field::Location::Vertex);
+    for (Ent v : pm->part(p).mesh().entities(0)) {
+      if (pm->part(p).isShared(v)) {
+        EXPECT_EQ(f.getScalar(v), 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace

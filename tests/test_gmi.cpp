@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/vec.hpp"
+#include "gmi/builders.hpp"
+#include "gmi/model.hpp"
+#include "gmi/shapes.hpp"
+
+namespace {
+
+using common::Vec3;
+
+TEST(GmiModel, CreateAndFind) {
+  gmi::Model model;
+  auto* v = model.create(0, 10);
+  EXPECT_EQ(v->dim(), 0);
+  EXPECT_EQ(v->tag(), 10);
+  EXPECT_EQ(model.find(0, 10), v);
+  EXPECT_EQ(model.find(0, 11), nullptr);
+  EXPECT_EQ(model.find(1, 10), nullptr);
+  EXPECT_THROW(model.create(0, 10), std::invalid_argument);
+  EXPECT_THROW(model.create(7, 0), std::invalid_argument);
+}
+
+TEST(GmiModel, AutoTagging) {
+  gmi::Model model;
+  auto* a = model.create(2);
+  auto* b = model.create(2);
+  EXPECT_NE(a->tag(), b->tag());
+  EXPECT_EQ(model.count(2), 2u);
+}
+
+TEST(GmiModel, AdjacencySymmetricAndChecked) {
+  gmi::Model model;
+  auto* v0 = model.create(0, 0);
+  auto* v1 = model.create(0, 1);
+  auto* e = model.create(1, 0);
+  gmi::Model::addAdjacency(e, v0);
+  gmi::Model::addAdjacency(e, v1);
+  gmi::Model::addAdjacency(e, v0);  // duplicate link is a no-op
+  EXPECT_EQ(e->boundary().size(), 2u);
+  EXPECT_EQ(v0->bounded().size(), 1u);
+  EXPECT_NO_THROW(model.check());
+  auto* f = model.create(2, 0);
+  EXPECT_THROW(gmi::Model::addAdjacency(f, v0), std::invalid_argument);
+}
+
+TEST(GmiModel, MultiLevelAdjacency) {
+  auto model = gmi::makeUnitCube();
+  auto* region = model->find(3, 0);
+  // Region -> vertices: all 8 corners.
+  EXPECT_EQ(region->adjacent(0).size(), 8u);
+  EXPECT_EQ(region->adjacent(1).size(), 12u);
+  EXPECT_EQ(region->adjacent(2).size(), 6u);
+  // Vertex -> regions.
+  auto* corner = model->find(0, 0);
+  EXPECT_EQ(corner->adjacent(3).size(), 1u);
+  EXPECT_EQ(corner->adjacent(1).size(), 3u);  // 3 edges meet at a cube corner
+  EXPECT_EQ(corner->adjacent(2).size(), 3u);  // 3 faces
+}
+
+TEST(GmiBox, Counts) {
+  auto model = gmi::makeUnitCube();
+  EXPECT_EQ(model->count(0), 8u);
+  EXPECT_EQ(model->count(1), 12u);
+  EXPECT_EQ(model->count(2), 6u);
+  EXPECT_EQ(model->count(3), 1u);
+  EXPECT_EQ(model->dim(), 3);
+}
+
+TEST(GmiBox, EveryFaceHasFourEdges) {
+  auto model = gmi::makeBox(Vec3{0, 0, 0}, Vec3{2, 3, 4});
+  for (const auto& f : model->entities(2)) {
+    EXPECT_EQ(f->boundary().size(), 4u);
+    EXPECT_EQ(f->bounded().size(), 1u);  // the region
+  }
+  for (const auto& e : model->entities(1)) {
+    EXPECT_EQ(e->boundary().size(), 2u);
+    EXPECT_EQ(e->bounded().size(), 2u);  // two faces share each edge
+  }
+  for (const auto& v : model->entities(0))
+    EXPECT_EQ(v->bounded().size(), 3u);  // three edges at a corner
+}
+
+TEST(GmiBox, FaceSnapProjectsOntoFace) {
+  auto model = gmi::makeBox(Vec3{0, 0, 0}, Vec3{1, 1, 1});
+  auto* bottom = model->find(2, 0);
+  const Vec3 p = bottom->snap(Vec3{0.3, 0.4, 0.7});
+  EXPECT_NEAR(p.z, 0.0, 1e-15);
+  EXPECT_NEAR(p.x, 0.3, 1e-15);
+  EXPECT_NEAR(p.y, 0.4, 1e-15);
+  // Snapping clamps to the patch.
+  const Vec3 q = bottom->snap(Vec3{2.0, -1.0, 0.5});
+  EXPECT_NEAR(q.x, 1.0, 1e-15);
+  EXPECT_NEAR(q.y, 0.0, 1e-15);
+}
+
+TEST(GmiBox, EdgeAndVertexSnap) {
+  auto model = gmi::makeUnitCube();
+  auto* e0 = model->find(1, 0);  // from (0,0,0) to (1,0,0)
+  const Vec3 p = e0->snap(Vec3{0.5, 3.0, -2.0});
+  EXPECT_EQ(p, Vec3(0.5, 0, 0));
+  auto* v0 = model->find(0, 0);
+  EXPECT_EQ(v0->snap(Vec3{9, 9, 9}), Vec3(0, 0, 0));
+}
+
+TEST(GmiRect, TwoDimensionalModel) {
+  auto model = gmi::makeRect(Vec3{0, 0, 0}, Vec3{2, 1, 0});
+  EXPECT_EQ(model->count(0), 4u);
+  EXPECT_EQ(model->count(1), 4u);
+  EXPECT_EQ(model->count(2), 1u);
+  EXPECT_EQ(model->count(3), 0u);
+  EXPECT_EQ(model->dim(), 2);
+  auto* face = model->find(2, 0);
+  EXPECT_EQ(face->adjacent(0).size(), 4u);
+}
+
+TEST(GmiCylinder, StructureAndSnap) {
+  auto model = gmi::makeCylinder(Vec3{0, 0, 0}, Vec3{0, 0, 1}, 2.0, 5.0);
+  EXPECT_EQ(model->count(2), 3u);
+  EXPECT_EQ(model->count(1), 2u);
+  EXPECT_EQ(model->count(3), 1u);
+  auto* side = model->find(2, 0);
+  const Vec3 p = side->snap(Vec3{1.0, 0.0, 2.5});
+  EXPECT_NEAR(common::norm(Vec3{p.x, p.y, 0}), 2.0, 1e-12);
+  EXPECT_NEAR(p.z, 2.5, 1e-12);
+  // Above the top: clamped axially.
+  const Vec3 q = side->snap(Vec3{0.0, 3.0, 9.0});
+  EXPECT_NEAR(q.z, 5.0, 1e-12);
+  EXPECT_NEAR(q.y, 2.0, 1e-12);
+  // Normal points radially.
+  const Vec3 n = side->shape()->normal(p);
+  EXPECT_NEAR(n.z, 0.0, 1e-12);
+  EXPECT_NEAR(common::norm(n), 1.0, 1e-12);
+}
+
+TEST(GmiSphere, SnapAndNormal) {
+  auto model = gmi::makeSphere(Vec3{1, 1, 1}, 2.0);
+  auto* surf = model->find(2, 0);
+  const Vec3 p = surf->snap(Vec3{5, 1, 1});
+  EXPECT_NEAR(common::distance(p, Vec3{1, 1, 1}), 2.0, 1e-12);
+  EXPECT_EQ(p, Vec3(3, 1, 1));
+  const Vec3 n = surf->shape()->normal(p);
+  EXPECT_NEAR(n.x, 1.0, 1e-12);
+  // Degenerate: snapping the center lands somewhere on the sphere.
+  const Vec3 c = surf->snap(Vec3{1, 1, 1});
+  EXPECT_NEAR(common::distance(c, Vec3{1, 1, 1}), 2.0, 1e-12);
+}
+
+TEST(GmiShapes, SegmentEval) {
+  gmi::SegmentShape seg(Vec3{0, 0, 0}, Vec3{2, 0, 0});
+  EXPECT_EQ(seg.eval(0.5, 0), Vec3(1, 0, 0));
+  EXPECT_DOUBLE_EQ(seg.length(), 2.0);
+  EXPECT_EQ(seg.snap(Vec3{-1, 5, 0}), Vec3(0, 0, 0));  // clamped to endpoint
+}
+
+TEST(GmiShapes, CylinderEvalOnSurface) {
+  gmi::CylinderShape cyl(Vec3{0, 0, 0}, Vec3{0, 0, 1}, 1.5, 4.0);
+  for (double u : {0.0, 1.0, 3.0}) {
+    for (double v : {0.0, 0.5, 1.0}) {
+      const Vec3 p = cyl.eval(u, v);
+      EXPECT_NEAR(common::norm(Vec3{p.x, p.y, 0}), 1.5, 1e-12);
+      EXPECT_NEAR(p.z, 4.0 * v, 1e-12);
+    }
+  }
+}
+
+TEST(GmiShapes, SphereEvalOnSurface) {
+  gmi::SphereShape s(Vec3{0, 0, 0}, 3.0);
+  for (double u : {0.0, 1.0, 2.0}) {
+    for (double v : {0.1, 1.0, 3.0}) {
+      EXPECT_NEAR(common::norm(s.eval(u, v)), 3.0, 1e-12);
+    }
+  }
+}
+
+TEST(GmiModel, TagsOnModelEntities) {
+  auto model = gmi::makeUnitCube();
+  auto* bc = model->tags().create<int>("bc_id");
+  auto* top = model->find(2, 1);
+  model->tags().setScalar<int>(bc, top, 7);
+  EXPECT_EQ(model->tags().getScalar<int>(bc, top), 7);
+  EXPECT_FALSE(bc->has(model->find(2, 0)));
+}
+
+}  // namespace

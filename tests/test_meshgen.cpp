@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/measure.hpp"
+#include "core/verify.hpp"
+#include "core/vtk.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "meshgen/workloads.hpp"
+
+namespace {
+
+using common::Vec3;
+using core::Ent;
+
+/// Grid sizes for property sweeps.
+struct GridCase {
+  int nx, ny, nz;
+};
+
+class BoxTetGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(BoxTetGrid, CountsAndInvariants) {
+  const auto [nx, ny, nz] = GetParam();
+  auto gen = meshgen::boxTets(nx, ny, nz);
+  auto& m = *gen.mesh;
+  const std::size_t nv = static_cast<std::size_t>(nx + 1) * (ny + 1) * (nz + 1);
+  EXPECT_EQ(m.count(0), nv);
+  EXPECT_EQ(m.count(3), static_cast<std::size_t>(6) * nx * ny * nz);
+  // Euler characteristic of a 3-ball: V - E + F - R = 1.
+  const long euler = static_cast<long>(m.count(0)) - static_cast<long>(m.count(1)) +
+                     static_cast<long>(m.count(2)) - static_cast<long>(m.count(3));
+  EXPECT_EQ(euler, 1);
+  core::verify(m, {.check_volumes = true});
+}
+
+TEST_P(BoxTetGrid, VolumesSumToBox) {
+  const auto [nx, ny, nz] = GetParam();
+  auto gen = meshgen::boxTets(nx, ny, nz, {0, 0, 0}, {2, 3, 1});
+  double vol = 0.0;
+  for (Ent e : gen.mesh->entities(3)) vol += core::measure(*gen.mesh, e);
+  EXPECT_NEAR(vol, 6.0, 1e-9);
+}
+
+TEST_P(BoxTetGrid, BoundaryClassification) {
+  const auto [nx, ny, nz] = GetParam();
+  auto gen = meshgen::boxTets(nx, ny, nz);
+  auto& m = *gen.mesh;
+  // Count boundary faces: 2*(2*nx*ny + 2*ny*nz + 2*nx*nz) triangles
+  // (each quad face of the surface grid is split into 2 triangles).
+  std::size_t surface_tris = 0;
+  for (Ent f : m.entities(2)) {
+    ASSERT_NE(m.classification(f), nullptr);
+    if (m.classification(f)->dim() == 2) {
+      ++surface_tris;
+      // A face classified on the model boundary bounds exactly one region.
+      EXPECT_EQ(m.up(f).size(), 1u);
+    } else {
+      EXPECT_EQ(m.classification(f)->dim(), 3);
+      EXPECT_EQ(m.up(f).size(), 2u);
+    }
+  }
+  EXPECT_EQ(surface_tris,
+            4u * static_cast<std::size_t>(nx * ny + ny * nz + nx * nz));
+  // The 8 mesh corners classify on model vertices.
+  std::size_t corner_verts = 0;
+  for (Ent v : m.entities(0))
+    if (m.classification(v)->dim() == 0) ++corner_verts;
+  EXPECT_EQ(corner_verts, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, BoxTetGrid,
+                         ::testing::Values(GridCase{1, 1, 1}, GridCase{2, 2, 2},
+                                           GridCase{3, 2, 1},
+                                           GridCase{4, 4, 4}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.nx) + "x" +
+                                  std::to_string(info.param.ny) + "x" +
+                                  std::to_string(info.param.nz);
+                         });
+
+TEST(BoxHexes, CountsAndVolume) {
+  auto gen = meshgen::boxHexes(3, 4, 5);
+  auto& m = *gen.mesh;
+  EXPECT_EQ(m.count(3), 60u);
+  EXPECT_EQ(m.count(0), 4u * 5 * 6);
+  EXPECT_EQ(m.countTopo(core::Topo::Hex), 60u);
+  double vol = 0.0;
+  for (Ent e : m.entities(3)) vol += core::measure(m, e);
+  EXPECT_NEAR(vol, 1.0, 1e-12);
+  core::verify(m, {.check_volumes = true});
+}
+
+TEST(BoxTris, CountsEulerAndArea) {
+  auto gen = meshgen::boxTris(5, 7);
+  auto& m = *gen.mesh;
+  EXPECT_EQ(m.dim(), 2);
+  EXPECT_EQ(m.count(2), 70u);
+  EXPECT_EQ(m.count(0), 48u);
+  // Euler characteristic of a disk: V - E + F = 1.
+  const long euler = static_cast<long>(m.count(0)) - static_cast<long>(m.count(1)) +
+                     static_cast<long>(m.count(2));
+  EXPECT_EQ(euler, 1);
+  double area = 0.0;
+  for (Ent f : m.entities(2)) area += core::measure(m, f);
+  EXPECT_NEAR(area, 1.0, 1e-12);
+  core::verify(m);
+}
+
+TEST(BoxQuads, CountsAndClassification) {
+  auto gen = meshgen::boxQuads(4, 4);
+  auto& m = *gen.mesh;
+  EXPECT_EQ(m.count(2), 16u);
+  // Boundary edges classify on model edges; 4 corners on model vertices.
+  std::size_t boundary_edges = 0;
+  for (Ent e : m.entities(1))
+    if (m.classification(e)->dim() == 1) ++boundary_edges;
+  EXPECT_EQ(boundary_edges, 16u);
+  core::verify(m);
+}
+
+TEST(Vessel, BuildsAndVerifies) {
+  meshgen::VesselSpec spec;
+  spec.circumferential = 4;
+  spec.axial = 10;
+  auto gen = meshgen::vessel(spec);
+  auto& m = *gen.mesh;
+  EXPECT_EQ(m.count(3), 6u * 4 * 4 * 10);
+  core::verify(m, {.check_volumes = true});
+  // Wall vertices classify on the side face or rims.
+  std::size_t wall = 0;
+  for (Ent v : m.entities(0)) {
+    auto* c = m.classification(v);
+    ASSERT_NE(c, nullptr);
+    if (c->dim() < 3) ++wall;
+  }
+  EXPECT_GT(wall, 0u);
+}
+
+TEST(Vessel, BulgeWidensMidsection) {
+  meshgen::VesselSpec spec;
+  spec.circumferential = 4;
+  spec.axial = 20;
+  spec.bend = 0.0;  // isolate the bulge
+  auto gen = meshgen::vessel(spec);
+  // Max |y| near the bulge center exceeds max |y| near the inlet.
+  double y_mid = 0.0, y_inlet = 0.0;
+  for (Ent v : gen.mesh->entities(0)) {
+    const Vec3 p = gen.mesh->point(v);
+    const double t = p.z / spec.length;
+    if (std::fabs(t - spec.bulge_center) < 0.05)
+      y_mid = std::max(y_mid, std::fabs(p.y));
+    if (t < 0.05) y_inlet = std::max(y_inlet, std::fabs(p.y));
+  }
+  EXPECT_GT(y_mid, 1.5 * y_inlet);
+}
+
+TEST(WingBox, Proportions) {
+  auto gen = meshgen::wingBox(2);
+  EXPECT_EQ(gen.mesh->count(3), 6u * 8 * 4 * 2);
+  const auto box = core::bounds(*gen.mesh);
+  EXPECT_EQ(box.extent(), Vec3(4, 2, 1));
+}
+
+TEST(Jiggle, KeepsVolumesPositiveAndBoundaryFixed) {
+  auto gen = meshgen::boxTets(4, 4, 4);
+  auto& m = *gen.mesh;
+  std::vector<Vec3> boundary_before;
+  for (Ent v : m.entities(0))
+    if (m.classification(v)->dim() < 3) boundary_before.push_back(m.point(v));
+  common::Rng rng(123);
+  meshgen::jiggle(m, 0.15, rng);
+  std::size_t i = 0;
+  for (Ent v : m.entities(0)) {
+    if (m.classification(v)->dim() < 3) {
+      EXPECT_EQ(m.point(v), boundary_before[i++]);
+    }
+  }
+  core::verify(m, {.check_volumes = true});
+}
+
+TEST(Jiggle, DeterministicForSeed) {
+  auto a = meshgen::boxTets(3, 3, 3);
+  auto b = meshgen::boxTets(3, 3, 3);
+  common::Rng ra(9), rb(9);
+  meshgen::jiggle(*a.mesh, 0.1, ra);
+  meshgen::jiggle(*b.mesh, 0.1, rb);
+  auto ita = a.mesh->entities(0).begin();
+  for (Ent vb : b.mesh->entities(0)) {
+    EXPECT_EQ(a.mesh->point(*ita), b.mesh->point(vb));
+    ++ita;
+  }
+}
+
+TEST(Vtk, WritesFile) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  core::CellScalar part_id{"part", {}};
+  int i = 0;
+  for (Ent e : gen.mesh->entities(3)) part_id.values[e] = i++ % 4;
+  const std::string path = testing::TempDir() + "/pumi_repro_test.vtk";
+  core::writeVtk(*gen.mesh, path, {part_id});
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[64] = {0};
+  ASSERT_NE(std::fgets(header, sizeof header, f), nullptr);
+  EXPECT_STREQ(header, "# vtk DataFile Version 3.0\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/measure.hpp"
+#include "core/meshio.hpp"
+#include "core/verify.hpp"
+#include "gmi/model.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "meshgen/workloads.hpp"
+
+namespace {
+
+using core::Ent;
+
+std::string tmpPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(MeshIo, RoundTripBoxTets) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  const std::string path = tmpPath("box.pumi");
+  core::writeMesh(*gen.mesh, path);
+  auto back = core::readMesh(path, gen.model.get());
+  std::remove(path.c_str());
+
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(back->count(d), gen.mesh->count(d)) << "dim " << d;
+  core::verify(*back, {.check_volumes = true});
+
+  // Coordinates and classification agree vertex-by-vertex (iteration order
+  // is preserved by the format).
+  auto ita = gen.mesh->entities(0).begin();
+  for (Ent vb : back->entities(0)) {
+    EXPECT_EQ(back->point(vb), gen.mesh->point(*ita));
+    EXPECT_EQ(back->classification(vb), gen.mesh->classification(*ita));
+    ++ita;
+  }
+  // Boundary faces kept their model-face classification.
+  std::size_t boundary = 0;
+  for (Ent f : back->entities(2))
+    if (back->classification(f)->dim() == 2) ++boundary;
+  std::size_t boundary_orig = 0;
+  for (Ent f : gen.mesh->entities(2))
+    if (gen.mesh->classification(f)->dim() == 2) ++boundary_orig;
+  EXPECT_EQ(boundary, boundary_orig);
+}
+
+TEST(MeshIo, RoundTripTagsAndCurvedClassification) {
+  auto gen = meshgen::vessel({.circumferential = 4, .axial = 8});
+  auto& m = *gen.mesh;
+  auto* weight = m.tags().create<double>("weight");
+  auto* ids = m.tags().create<long>("ids", 2);
+  std::size_t i = 0;
+  for (Ent e : m.entities(3)) {
+    m.tags().setScalar<double>(weight, e, 0.5 + static_cast<double>(i));
+    m.tags().set<long>(ids, e, {static_cast<long>(i), -static_cast<long>(i)});
+    ++i;
+  }
+  const std::string path = tmpPath("vessel.pumi");
+  core::writeMesh(m, path);
+  auto back = core::readMesh(path, gen.model.get());
+  std::remove(path.c_str());
+
+  core::verify(*back, {.check_volumes = true});
+  auto* weight2 = back->tags().find("weight");
+  auto* ids2 = back->tags().find("ids");
+  ASSERT_NE(weight2, nullptr);
+  ASSERT_NE(ids2, nullptr);
+  EXPECT_EQ(ids2->components(), 2u);
+  std::size_t j = 0;
+  for (Ent e : back->entities(3)) {
+    EXPECT_EQ(back->tags().getScalar<double>(weight2, e),
+              0.5 + static_cast<double>(j));
+    EXPECT_EQ(back->tags().get<long>(ids2, e)[1], -static_cast<long>(j));
+    ++j;
+  }
+}
+
+TEST(MeshIo, RoundTripTwoDimensional) {
+  auto gen = meshgen::boxTris(4, 4);
+  const std::string path = tmpPath("tris.pumi");
+  core::writeMesh(*gen.mesh, path);
+  auto back = core::readMesh(path, gen.model.get());
+  std::remove(path.c_str());
+  EXPECT_EQ(back->dim(), 2);
+  EXPECT_EQ(back->count(2), gen.mesh->count(2));
+  core::verify(*back);
+  double area = 0.0;
+  for (Ent f : back->entities(2)) area += core::measure(*back, f);
+  EXPECT_NEAR(area, 1.0, 1e-12);
+}
+
+TEST(MeshIo, RejectsGarbageAndMissingFiles) {
+  EXPECT_THROW(core::readMesh(tmpPath("does_not_exist.pumi"), nullptr),
+               std::runtime_error);
+  const std::string path = tmpPath("garbage.pumi");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a mesh", f);
+  std::fclose(f);
+  EXPECT_THROW(core::readMesh(path, nullptr), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(MeshIo, MissingModelEntityThrows) {
+  auto gen = meshgen::boxTets(1, 1, 1);
+  const std::string path = tmpPath("box1.pumi");
+  core::writeMesh(*gen.mesh, path);
+  gmi::Model empty;  // wrong model: no entities
+  EXPECT_THROW(core::readMesh(path, &empty), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

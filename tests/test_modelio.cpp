@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/meshio.hpp"
+#include "core/verify.hpp"
+#include "gmi/builders.hpp"
+#include "gmi/modelio.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "meshgen/workloads.hpp"
+
+namespace {
+
+using common::Vec3;
+
+std::string tmp(const char* name) { return testing::TempDir() + "/" + name; }
+
+TEST(ShapeSerialize, RoundTripsEveryKind) {
+  const std::vector<std::unique_ptr<gmi::Shape>> shapes = [] {
+    std::vector<std::unique_ptr<gmi::Shape>> v;
+    v.push_back(std::make_unique<gmi::PointShape>(Vec3{1, 2, 3}));
+    v.push_back(std::make_unique<gmi::SegmentShape>(Vec3{0, 0, 0},
+                                                    Vec3{1, 0.5, -2}));
+    v.push_back(std::make_unique<gmi::PlaneShape>(Vec3{0, 0, 1},
+                                                  Vec3{2, 0, 0},
+                                                  Vec3{0, 3, 0}));
+    v.push_back(std::make_unique<gmi::CylinderShape>(Vec3{0, 0, 0},
+                                                     Vec3{0, 0, 1}, 1.5, 4));
+    v.push_back(std::make_unique<gmi::SphereShape>(Vec3{1, 1, 1}, 2.5));
+    return v;
+  }();
+  for (const auto& s : shapes) {
+    auto back = gmi::parseShape(s->serialize());
+    ASSERT_NE(back, nullptr) << s->serialize();
+    // Functional equality: snapping arbitrary probes agrees.
+    for (const Vec3 probe : {Vec3{5, -3, 2}, Vec3{0.1, 0.2, 0.3}}) {
+      EXPECT_NEAR(common::distance(s->snap(probe), back->snap(probe)), 0.0,
+                  1e-12)
+          << s->serialize();
+    }
+  }
+  EXPECT_EQ(gmi::parseShape("none"), nullptr);
+  EXPECT_EQ(gmi::parseShape(""), nullptr);
+  EXPECT_THROW(gmi::parseShape("torus 1 2 3"), std::invalid_argument);
+}
+
+TEST(ModelIo, RoundTripBox) {
+  auto model = gmi::makeBox({0, 0, 0}, {2, 1, 3});
+  const std::string path = tmp("box.dmg");
+  gmi::writeModel(*model, path);
+  auto back = gmi::readModel(path);
+  std::remove(path.c_str());
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(back->count(d), model->count(d)) << "dim " << d;
+  back->check();
+  // Adjacency preserved: every face has 4 edges; shape snapping agrees.
+  for (const auto& f : back->entities(2)) {
+    EXPECT_EQ(f->boundary().size(), 4u);
+    gmi::Entity* orig = model->find(2, f->tag());
+    const Vec3 probe{0.3, 0.4, 1.7};
+    EXPECT_NEAR(common::distance(f->snap(probe), orig->snap(probe)), 0.0,
+                1e-12);
+  }
+}
+
+TEST(ModelIo, RoundTripCylinderAndSphere) {
+  for (auto make : {+[]() { return gmi::makeCylinder({0, 0, 0}, {0, 0, 1},
+                                                     1.0, 5.0); },
+                    +[]() { return gmi::makeSphere({1, 2, 3}, 4.0); }}) {
+    auto model = make();
+    const std::string path = tmp("m.dmg");
+    gmi::writeModel(*model, path);
+    auto back = gmi::readModel(path);
+    std::remove(path.c_str());
+    for (int d = 0; d <= 3; ++d) EXPECT_EQ(back->count(d), model->count(d));
+    back->check();
+  }
+}
+
+TEST(ModelIo, MeshAndModelPersistTogether) {
+  // The full persistence workflow: write model + mesh, read both back,
+  // classification intact (the role of .dmg + mesh files in real PUMI).
+  // Straight tube (no bulge/bend): the wall coincides with the model
+  // cylinder, so reloaded classification is geometrically checkable.
+  auto gen = meshgen::vessel(
+      {.circumferential = 4, .axial = 6, .bulge = 0.0, .bend = 0.0});
+  const std::string mpath = tmp("vessel.dmg");
+  const std::string mesh_path = tmp("vessel.pumi");
+  gmi::writeModel(*gen.model, mpath);
+  core::writeMesh(*gen.mesh, mesh_path);
+
+  auto model = gmi::readModel(mpath);
+  auto mesh = core::readMesh(mesh_path, model.get());
+  std::remove(mpath.c_str());
+  std::remove(mesh_path.c_str());
+
+  core::verify(*mesh, {.check_volumes = true});
+  // Wall vertices classify on the reloaded model's side face and still
+  // snap onto it.
+  gmi::Entity* side = model->find(2, 0);
+  std::size_t wall = 0;
+  for (core::Ent v : mesh->entities(0)) {
+    if (mesh->classification(v) != side) continue;
+    ++wall;
+    const Vec3 p = mesh->point(v);
+    EXPECT_NEAR(common::distance(p, side->snap(p)), 0.0, 1e-9);
+  }
+  EXPECT_GT(wall, 0u);
+}
+
+TEST(ModelIo, RejectsBadFiles) {
+  EXPECT_THROW(gmi::readModel(tmp("missing.dmg")), std::runtime_error);
+  const std::string path = tmp("bad.dmg");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("not a model\n", f);
+  std::fclose(f);
+  EXPECT_THROW(gmi::readModel(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

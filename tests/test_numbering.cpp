@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/measure.hpp"
+#include "dist/numbering.hpp"
+#include "dist/partedmesh.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "part/partition.hpp"
+
+namespace {
+
+using core::Ent;
+using dist::PartId;
+
+std::unique_ptr<dist::PartedMesh> parted(meshgen::Generated& gen, int nparts) {
+  const auto assign = part::partition(*gen.mesh, nparts, part::Method::RCB);
+  return dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assign,
+      dist::PartMap(nparts, pcu::Machine::flat(nparts)));
+}
+
+class NumberDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(NumberDims, IdsAreContiguousUniqueAndShared) {
+  const int d = GetParam();
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = parted(gen, 4);
+  const std::size_t total = dist::numberEntities(*pm, d);
+  EXPECT_EQ(total, gen.mesh->count(d));
+
+  // Owned ids across all parts are exactly 0..total-1.
+  std::set<long> seen;
+  for (PartId p = 0; p < pm->parts(); ++p) {
+    const auto& part = pm->part(p);
+    for (Ent e : part.mesh().entities(d)) {
+      if (!part.isOwned(e)) continue;
+      const long id = dist::globalId(*pm, p, e);
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, static_cast<long>(total));
+    }
+  }
+  EXPECT_EQ(seen.size(), total);
+
+  // Every copy of a shared entity agrees with its owner's id.
+  for (PartId p = 0; p < pm->parts(); ++p) {
+    const auto& part = pm->part(p);
+    for (Ent e : part.mesh().entities(d)) {
+      const dist::Remote* r = part.remote(e);
+      if (r == nullptr) continue;
+      const long mine = dist::globalId(*pm, p, e);
+      for (const dist::Copy& c : r->copies)
+        EXPECT_EQ(dist::globalId(*pm, c.part, c.ent), mine);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, NumberDims, ::testing::Values(0, 1, 2, 3));
+
+TEST(Numbering, SurvivesMigration) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = parted(gen, 3);
+  dist::numberEntities(*pm, 0, "vtx_gid");
+  // Snapshot: map coordinates -> id (coordinates identify vertices).
+  auto idAt = [&](const dist::PartedMesh& m, PartId p, Ent v) {
+    return dist::globalId(m, p, v, "vtx_gid");
+  };
+  std::map<std::tuple<double, double, double>, long> before;
+  for (PartId p = 0; p < pm->parts(); ++p)
+    for (Ent v : pm->part(p).mesh().entities(0)) {
+      const auto x = pm->part(p).mesh().point(v);
+      before[{x.x, x.y, x.z}] = idAt(*pm, p, v);
+    }
+  // Migrate a slab; ids ride along as tags.
+  dist::MigrationPlan plan(3);
+  for (Ent e : pm->part(0).elements())
+    if (core::centroid(pm->part(0).mesh(), e).x > 0.3) plan[0][e] = 2;
+  pm->migrate(plan);
+  pm->verify();
+  for (PartId p = 0; p < pm->parts(); ++p)
+    for (Ent v : pm->part(p).mesh().entities(0)) {
+      const auto x = pm->part(p).mesh().point(v);
+      EXPECT_EQ(idAt(*pm, p, v), before.at({x.x, x.y, x.z}));
+    }
+}
+
+TEST(Numbering, ThrowsOnUnknownName) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto pm = parted(gen, 2);
+  const Ent v = *pm->part(0).mesh().entities(0).begin();
+  EXPECT_THROW(dist::globalId(*pm, 0, v, "nope"), std::invalid_argument);
+}
+
+TEST(Numbering, RenumberOverwrites) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto pm = parted(gen, 2);
+  dist::numberEntities(*pm, 3);
+  // Move elements, then renumber: still contiguous and unique.
+  dist::MigrationPlan plan(2);
+  int i = 0;
+  for (Ent e : pm->part(0).elements())
+    if (i++ % 3 == 0) plan[0][e] = 1;
+  pm->migrate(plan);
+  const std::size_t total = dist::numberEntities(*pm, 3);
+  std::set<long> seen;
+  for (PartId p = 0; p < pm->parts(); ++p)
+    for (Ent e : pm->part(p).elements())
+      seen.insert(dist::globalId(*pm, p, e));
+  EXPECT_EQ(seen.size(), total);
+  EXPECT_EQ(*seen.begin(), 0L);
+  EXPECT_EQ(*seen.rbegin(), static_cast<long>(total) - 1);
+}
+
+}  // namespace

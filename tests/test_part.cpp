@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/measure.hpp"
+#include "dist/partedmesh.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "meshgen/workloads.hpp"
+#include "part/localsplit.hpp"
+#include "part/partition.hpp"
+
+namespace {
+
+using core::Ent;
+using dist::PartId;
+
+struct MethodCase {
+  part::Method method;
+  int nparts;
+};
+
+class AllMethods : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(AllMethods, BalancedCompleteAssignment) {
+  const auto [method, nparts] = GetParam();
+  auto gen = meshgen::boxTets(6, 6, 6);  // 1296 tets
+  const auto g = part::buildElemGraph(*gen.mesh);
+  const auto assign = part::partitionGraph(g, nparts, method);
+  ASSERT_EQ(assign.size(), gen.mesh->count(3));
+  // Every part non-empty; ids in range.
+  std::vector<int> counts(static_cast<std::size_t>(nparts), 0);
+  for (PartId p : assign) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, nparts);
+    counts[static_cast<std::size_t>(p)]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+  // Element imbalance within a reasonable bound.
+  const double imb = part::imbalanceOf(assign, g.weights, nparts);
+  EXPECT_LT(imb, 1.30) << part::methodName(method);
+}
+
+TEST_P(AllMethods, DistributesAndVerifies) {
+  const auto [method, nparts] = GetParam();
+  auto gen = meshgen::boxTets(4, 4, 4);
+  const auto assign = part::partition(*gen.mesh, nparts, method);
+  auto pm = dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assign,
+      dist::PartMap(nparts, pcu::Machine::flat(nparts)));
+  pm->verify();
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d));
+}
+
+TEST_P(AllMethods, DeterministicAcrossRuns) {
+  const auto [method, nparts] = GetParam();
+  auto gen = meshgen::boxTets(3, 3, 3);
+  const auto a = part::partition(*gen.mesh, nparts, method);
+  const auto b = part::partition(*gen.mesh, nparts, method);
+  EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, AllMethods,
+    ::testing::Values(MethodCase{part::Method::RCB, 4},
+                      MethodCase{part::Method::RCB, 7},
+                      MethodCase{part::Method::RIB, 4},
+                      MethodCase{part::Method::GreedyGrow, 6},
+                      MethodCase{part::Method::GraphRB, 4},
+                      MethodCase{part::Method::GraphRB, 8},
+                      MethodCase{part::Method::HypergraphRB, 4},
+                      MethodCase{part::Method::HypergraphRB, 8}),
+    [](const auto& info) {
+      return std::string(part::methodName(info.param.method)) + "_" +
+             std::to_string(info.param.nparts);
+    });
+
+TEST(ElemGraph, StructureMatchesMesh) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  const auto g = part::buildElemGraph(*gen.mesh);
+  EXPECT_EQ(g.size(), 48);
+  EXPECT_EQ(g.vert_nodes.size(), gen.mesh->count(0));
+  // Adjacency symmetric, no self loops, at most 4 face neighbours per tet.
+  for (int i = 0; i < g.size(); ++i) {
+    EXPECT_LE(g.adj[static_cast<std::size_t>(i)].size(), 4u);
+    for (int nb : g.adj[static_cast<std::size_t>(i)]) {
+      EXPECT_NE(nb, i);
+      const auto& back = g.adj[static_cast<std::size_t>(nb)];
+      EXPECT_TRUE(std::find(back.begin(), back.end(), i) != back.end());
+    }
+    EXPECT_EQ(g.node_verts[static_cast<std::size_t>(i)].size(), 4u);
+  }
+}
+
+TEST(ElemGraph, WeightsDefaultToOne) {
+  auto gen = meshgen::boxTris(3, 3);
+  const auto g = part::buildElemGraph(*gen.mesh);
+  for (double w : g.weights) EXPECT_EQ(w, 1.0);
+}
+
+TEST(PartitionQuality, RefinedBeatsUnrefinedCut) {
+  // Graph-refined bisection should cut no more faces than plain RCB.
+  auto gen = meshgen::vessel({.circumferential = 6, .axial = 20});
+  const auto g = part::buildElemGraph(*gen.mesh);
+  const auto rcb = part::partitionGraph(g, 8, part::Method::RCB);
+  const auto grb = part::partitionGraph(g, 8, part::Method::GraphRB);
+  EXPECT_LT(part::edgeCut(g, grb), part::edgeCut(g, rcb) * 2);
+  // Hypergraph refinement optimizes vertex connectivity.
+  const auto hg = part::partitionGraph(g, 8, part::Method::HypergraphRB);
+  EXPECT_LE(part::hyperedgeCut(g, hg), part::hyperedgeCut(g, rcb));
+}
+
+TEST(PartitionQuality, MetricsOnKnownAssignment) {
+  auto gen = meshgen::boxTets(2, 1, 1);  // 12 tets
+  const auto g = part::buildElemGraph(*gen.mesh);
+  // All in one part: zero cuts, imbalance = nparts with empties... use 1.
+  std::vector<PartId> all_zero(12, 0);
+  EXPECT_EQ(part::edgeCut(g, all_zero), 0u);
+  EXPECT_EQ(part::hyperedgeCut(g, all_zero), 0u);
+  EXPECT_DOUBLE_EQ(part::imbalanceOf(all_zero, g.weights, 1), 1.0);
+  // Split into 2 parts of 6: imbalance 1.0, cuts positive.
+  std::vector<PartId> halves(12, 0);
+  for (std::size_t i = 6; i < 12; ++i) halves[i] = 1;
+  EXPECT_DOUBLE_EQ(part::imbalanceOf(halves, g.weights, 2), 1.0);
+  EXPECT_GT(part::edgeCut(g, halves), 0u);
+  EXPECT_GT(part::hyperedgeCut(g, halves), 0u);
+}
+
+TEST(Partition, EdgeCases) {
+  auto gen = meshgen::boxTets(1, 1, 1);
+  const auto g = part::buildElemGraph(*gen.mesh);
+  // One part: all zeros.
+  const auto one = part::partitionGraph(g, 1, part::Method::GraphRB);
+  for (PartId p : one) EXPECT_EQ(p, 0);
+  // More parts than elements: rejected.
+  EXPECT_THROW(part::partitionGraph(g, 7, part::Method::RCB),
+               std::invalid_argument);
+  EXPECT_THROW(part::partitionGraph(g, 0, part::Method::RCB),
+               std::invalid_argument);
+  // nparts == elements: every part exactly one element.
+  const auto six = part::partitionGraph(g, 6, part::Method::RCB);
+  std::set<PartId> distinct(six.begin(), six.end());
+  EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(Partition, TwoDimensionalMeshes) {
+  auto gen = meshgen::boxTris(8, 8);
+  for (auto method : {part::Method::RCB, part::Method::GraphRB,
+                      part::Method::HypergraphRB}) {
+    const auto assign = part::partition(*gen.mesh, 4, method);
+    const auto g = part::buildElemGraph(*gen.mesh);
+    EXPECT_LT(part::imbalanceOf(assign, g.weights, 4), 1.2)
+        << part::methodName(method);
+  }
+}
+
+TEST(Partition, RespectsWeights) {
+  auto gen = meshgen::boxTets(4, 4, 4);
+  auto g = part::buildElemGraph(*gen.mesh);
+  // Make the left half 10x heavier; RCB should put far fewer elements in
+  // the parts covering it.
+  for (int i = 0; i < g.size(); ++i)
+    if (g.centroids[static_cast<std::size_t>(i)].x < 0.5)
+      g.weights[static_cast<std::size_t>(i)] = 10.0;
+  const auto assign = part::partitionGraph(g, 2, part::Method::RCB);
+  const double imb = part::imbalanceOf(assign, g.weights, 2);
+  EXPECT_LT(imb, 1.15);
+  // Unweighted element counts are therefore very different.
+  int c0 = 0, c1 = 0;
+  for (PartId p : assign) (p == 0 ? c0 : c1)++;
+  EXPECT_GT(std::max(c0, c1), 2 * std::min(c0, c1));
+}
+
+TEST(LocalSplit, MultipliesPartsAndVerifies) {
+  auto gen = meshgen::boxTets(4, 4, 4);
+  const auto assign = part::partition(*gen.mesh, 2, part::Method::RCB);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(), assign,
+                                         dist::PartMap(2, pcu::Machine(2, 1)));
+  const auto created = part::localSplit(*pm, 4, part::Method::GraphRB);
+  EXPECT_EQ(pm->parts(), 8);
+  EXPECT_EQ(created.size(), 6u);
+  pm->verify();
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d));
+  // All parts hold elements.
+  for (PartId p = 0; p < pm->parts(); ++p)
+    EXPECT_GT(pm->part(p).elementCount(), 0u) << "part " << p;
+}
+
+TEST(LocalSplit, RejectsFactorOne) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto pm = dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(),
+      std::vector<PartId>(gen.mesh->count(3), 0),
+      dist::PartMap(1, pcu::Machine::flat(1)));
+  EXPECT_THROW(part::localSplit(*pm, 1, part::Method::RCB),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "pcu/counters.hpp"
+
+namespace {
+
+TEST(Counters, NowIsMonotonic) {
+  const double a = pcu::now();
+  const double b = pcu::now();
+  EXPECT_GE(b, a);
+}
+
+TEST(Counters, TimerAccumulates) {
+  pcu::Timers timers;
+  {
+    pcu::Timers::Scope s(timers, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    pcu::Timers::Scope s(timers, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(timers.calls("work"), 2u);
+  EXPECT_GE(timers.seconds("work"), 0.008);
+  EXPECT_EQ(timers.calls("other"), 0u);
+  EXPECT_EQ(timers.seconds("other"), 0.0);
+}
+
+TEST(Counters, ManualAddAndEntries) {
+  pcu::Timers timers;
+  timers.add("phase", 1.5);
+  timers.add("phase", 0.5);
+  timers.add("io", 0.25);
+  EXPECT_DOUBLE_EQ(timers.seconds("phase"), 2.0);
+  EXPECT_EQ(timers.entries().size(), 2u);
+  timers.clear();
+  EXPECT_EQ(timers.entries().size(), 0u);
+}
+
+TEST(Counters, MemoryCountersReportSomething) {
+  // On Linux /proc/self/status is available; both counters should be
+  // positive and peak >= current.
+  const auto current = pcu::currentMemoryBytes();
+  const auto peak = pcu::peakMemoryBytes();
+  EXPECT_GT(current, 0u);
+  EXPECT_GE(peak, current / 2);  // loose: VmHWM >= VmRSS modulo accounting
+}
+
+TEST(Counters, MemoryGrowsWithAllocation) {
+  const auto before = pcu::currentMemoryBytes();
+  std::vector<std::vector<double>> hog;
+  for (int i = 0; i < 32; ++i) hog.emplace_back(1 << 17, 1.0);  // 32 MB
+  const auto after = pcu::currentMemoryBytes();
+  EXPECT_GT(after, before);
+  EXPECT_GT(hog.back().back(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "pcu/machine.hpp"
+
+namespace {
+
+TEST(Machine, DefaultIsOneCore) {
+  pcu::Machine m;
+  EXPECT_EQ(m.nodes(), 1);
+  EXPECT_EQ(m.coresPerNode(), 1);
+  EXPECT_EQ(m.totalCores(), 1);
+}
+
+TEST(Machine, BlockLayout) {
+  pcu::Machine m(3, 4);
+  EXPECT_EQ(m.totalCores(), 12);
+  EXPECT_EQ(m.nodeOf(0), 0);
+  EXPECT_EQ(m.nodeOf(3), 0);
+  EXPECT_EQ(m.nodeOf(4), 1);
+  EXPECT_EQ(m.nodeOf(11), 2);
+  EXPECT_EQ(m.coreOf(0), 0);
+  EXPECT_EQ(m.coreOf(5), 1);
+  EXPECT_EQ(m.coreOf(11), 3);
+}
+
+TEST(Machine, RankAtInvertsMapping) {
+  pcu::Machine m(4, 8);
+  for (int r = 0; r < m.totalCores(); ++r)
+    EXPECT_EQ(m.rankAt(m.nodeOf(r), m.coreOf(r)), r);
+}
+
+TEST(Machine, SameNode) {
+  pcu::Machine m(2, 2);
+  EXPECT_TRUE(m.sameNode(0, 1));
+  EXPECT_TRUE(m.sameNode(2, 3));
+  EXPECT_FALSE(m.sameNode(1, 2));
+  EXPECT_TRUE(m.sameNode(0, 0));
+}
+
+TEST(Machine, Factories) {
+  auto sn = pcu::Machine::singleNode(16);
+  EXPECT_EQ(sn.nodes(), 1);
+  EXPECT_EQ(sn.coresPerNode(), 16);
+  auto fl = pcu::Machine::flat(16);
+  EXPECT_EQ(fl.nodes(), 16);
+  EXPECT_EQ(fl.coresPerNode(), 1);
+  EXPECT_FALSE(fl.sameNode(0, 1));
+}
+
+TEST(Machine, Describe) {
+  pcu::Machine m(2, 32);
+  EXPECT_EQ(m.describe(), "2 node(s) x 32 core(s)");
+}
+
+TEST(Machine, Equality) {
+  EXPECT_EQ(pcu::Machine(2, 3), pcu::Machine(2, 3));
+  EXPECT_FALSE(pcu::Machine(2, 3) == pcu::Machine(3, 2));
+}
+
+}  // namespace

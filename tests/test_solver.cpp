@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/measure.hpp"
+#include "dist/partedmesh.hpp"
+#include "field/field.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "part/partition.hpp"
+#include "solver/poisson.hpp"
+
+namespace {
+
+using common::Vec3;
+using core::Ent;
+using dist::PartId;
+
+std::unique_ptr<dist::PartedMesh> parted(meshgen::Generated& gen, int nparts) {
+  const auto assign =
+      part::partition(*gen.mesh, nparts, part::Method::GraphRB);
+  return dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assign,
+      dist::PartMap(nparts, pcu::Machine::flat(nparts)));
+}
+
+/// Max |u - exact| over all parts' vertices.
+double maxError(dist::PartedMesh& pm,
+                const std::function<double(const Vec3&)>& exact) {
+  double err = 0.0;
+  for (PartId p = 0; p < pm.parts(); ++p) {
+    auto& mesh = pm.part(p).mesh();
+    field::Field u(mesh, "u", field::ValueType::Scalar,
+                   field::Location::Vertex);
+    for (Ent v : mesh.entities(0))
+      err = std::max(err, std::fabs(u.getScalar(v) - exact(mesh.point(v))));
+  }
+  return err;
+}
+
+class PoissonParts : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoissonParts, LinearSolutionIsExact) {
+  // Harmonic linear field: P1 elements represent it exactly, so the solver
+  // must reproduce it to solver tolerance for any partition.
+  const int nparts = GetParam();
+  auto gen = meshgen::boxTets(4, 4, 4);
+  auto pm = parted(gen, nparts);
+  auto exact = [](const Vec3& x) { return 1.0 + 2.0 * x.x - x.y + 0.5 * x.z; };
+  const auto report = solver::solvePoisson(
+      *pm, [](const Vec3&) { return 0.0; }, exact, {.tolerance = 1e-12});
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(maxError(*pm, exact), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, PoissonParts, ::testing::Values(1, 2, 4, 8));
+
+TEST(Poisson, SolutionConsistentAcrossCopies) {
+  auto gen = meshgen::boxTets(4, 4, 4);
+  auto pm = parted(gen, 4);
+  solver::solvePoisson(
+      *pm, [](const Vec3&) { return 1.0; }, [](const Vec3&) { return 0.0; },
+      {.tolerance = 1e-11});
+  for (PartId p = 0; p < pm->parts(); ++p) {
+    auto& mesh = pm->part(p).mesh();
+    field::Field u(mesh, "u", field::ValueType::Scalar,
+                   field::Location::Vertex);
+    for (Ent v : mesh.entities(0)) {
+      const dist::Remote* r = pm->part(p).remote(v);
+      if (r == nullptr) continue;
+      for (const dist::Copy& c : r->copies) {
+        field::Field uq(pm->part(c.part).mesh(), "u",
+                        field::ValueType::Scalar, field::Location::Vertex);
+        EXPECT_NEAR(uq.getScalar(c.ent), u.getScalar(v), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Poisson, PartitionIndependence) {
+  // The discrete solution is a property of the mesh, not the partition:
+  // different part counts must agree at matching locations.
+  auto gen1 = meshgen::boxTets(3, 3, 3);
+  auto gen2 = meshgen::boxTets(3, 3, 3);
+  auto pm1 = parted(gen1, 2);
+  auto pm2 = parted(gen2, 7);
+  auto f = [](const Vec3& x) { return x.x + 1.0; };
+  auto g = [](const Vec3& x) { return x.y; };
+  solver::solvePoisson(*pm1, f, g, {.tolerance = 1e-12});
+  solver::solvePoisson(*pm2, f, g, {.tolerance = 1e-12});
+  // Collect position -> value from both and compare.
+  std::map<std::tuple<double, double, double>, double> sol1;
+  for (PartId p = 0; p < pm1->parts(); ++p) {
+    auto& mesh = pm1->part(p).mesh();
+    field::Field u(mesh, "u", field::ValueType::Scalar,
+                   field::Location::Vertex);
+    for (Ent v : mesh.entities(0)) {
+      const auto x = mesh.point(v);
+      sol1[{x.x, x.y, x.z}] = u.getScalar(v);
+    }
+  }
+  for (PartId p = 0; p < pm2->parts(); ++p) {
+    auto& mesh = pm2->part(p).mesh();
+    field::Field u(mesh, "u", field::ValueType::Scalar,
+                   field::Location::Vertex);
+    for (Ent v : mesh.entities(0)) {
+      const auto x = mesh.point(v);
+      EXPECT_NEAR(u.getScalar(v), sol1.at({x.x, x.y, x.z}), 1e-8);
+    }
+  }
+}
+
+TEST(Poisson, ManufacturedSolutionConverges) {
+  // u = sin(pi x) sin(pi y) sin(pi z), f = 3 pi^2 u, u = 0 on the boundary.
+  auto exact = [](const Vec3& x) {
+    return std::sin(M_PI * x.x) * std::sin(M_PI * x.y) * std::sin(M_PI * x.z);
+  };
+  auto f = [&](const Vec3& x) { return 3.0 * M_PI * M_PI * exact(x); };
+  auto zero = [](const Vec3&) { return 0.0; };
+  double prev_err = 1e300;
+  for (int n : {4, 8}) {
+    auto gen = meshgen::boxTets(n, n, n);
+    auto pm = parted(gen, 4);
+    const auto report =
+        solver::solvePoisson(*pm, f, zero, {.max_iterations = 2000,
+                                            .tolerance = 1e-10});
+    EXPECT_TRUE(report.converged);
+    const double err = maxError(*pm, exact);
+    EXPECT_LT(err, prev_err * 0.45);  // ~2nd order: 4x fewer error per halving
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.03);
+}
+
+TEST(Poisson, TwoDimensionalMesh) {
+  auto gen = meshgen::boxTris(8, 8);
+  auto pm = parted(gen, 3);
+  auto exact = [](const Vec3& x) { return 2.0 * x.x + 3.0 * x.y; };
+  const auto report = solver::solvePoisson(
+      *pm, [](const Vec3&) { return 0.0; }, exact, {.tolerance = 1e-12});
+  EXPECT_TRUE(report.converged);
+  EXPECT_LT(maxError(*pm, exact), 1e-9);
+}
+
+TEST(Poisson, RefusesGhostedMesh) {
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto pm = parted(gen, 2);
+  pm->ghostLayers(1);
+  EXPECT_THROW(solver::solvePoisson(
+                   *pm, [](const Vec3&) { return 0.0; },
+                   [](const Vec3&) { return 0.0; }),
+               std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "adapt/quality.hpp"
+#include "adapt/swap.hpp"
+#include "core/measure.hpp"
+#include "core/verify.hpp"
+#include "gmi/builders.hpp"
+#include "gmi/model.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "meshgen/workloads.hpp"
+
+namespace {
+
+using common::Vec3;
+using core::Ent;
+using core::Topo;
+
+double totalArea(const core::Mesh& m) {
+  double a = 0.0;
+  for (Ent e : m.entities(2)) a += core::measure(m, e);
+  return a;
+}
+
+/// Two triangles forming a convex quad, with a skinny diagonal: flipping
+/// improves quality.
+struct Quad {
+  core::Mesh mesh;
+  Ent a, b, c, d, diag;
+};
+
+void makeQuad(Quad& q, gmi::Model* model) {
+  // Narrow kite: the long (a, b) diagonal makes two slivers; flipping to
+  // the short (c, d) diagonal makes two fat triangles.
+  q.a = q.mesh.createVertex({0, -1, 0});
+  q.b = q.mesh.createVertex({0, 1, 0});
+  q.c = q.mesh.createVertex({-0.3, 0, 0});
+  q.d = q.mesh.createVertex({0.3, 0, 0});
+  gmi::Entity* face = model ? model->find(2, 0) : nullptr;
+  q.mesh.buildElement(Topo::Tri, std::array{q.a, q.b, q.c}, face);
+  q.mesh.buildElement(Topo::Tri, std::array{q.b, q.a, q.d}, face);
+  q.diag = q.mesh.findEntity(Topo::Edge, std::array{q.a, q.b});
+  if (face != nullptr)
+    for (int dd = 0; dd < 2; ++dd)
+      for (Ent e : q.mesh.all(dd)) q.mesh.classify(e, face);
+  // Boundary edges of the quad are still classified on the face here,
+  // which canFlip allows; only the flip candidates matter for the tests.
+}
+
+TEST(Flip, ImprovesSkinnyPair) {
+  auto model = gmi::makeRect({-1, -1, 0}, {1, 1, 0});
+  Quad q;
+  makeQuad(q, model.get());
+  const double area = totalArea(q.mesh);
+  const double before = adapt::meshQuality(q.mesh).min;
+  ASSERT_TRUE(adapt::canFlip(q.mesh, q.diag));
+  ASSERT_TRUE(adapt::flipEdge(q.mesh, q.diag));
+  core::verify(q.mesh);
+  EXPECT_EQ(q.mesh.count(2), 2u);
+  EXPECT_NEAR(totalArea(q.mesh), area, 1e-12);
+  EXPECT_GT(adapt::meshQuality(q.mesh).min, before);
+  // The new diagonal exists, the old is gone.
+  EXPECT_TRUE(q.mesh.findEntity(Topo::Edge, std::array{q.c, q.d}));
+  EXPECT_FALSE(q.mesh.findEntity(Topo::Edge, std::array{q.a, q.b}));
+}
+
+TEST(Flip, RefusesNonConvexQuad) {
+  auto model = gmi::makeRect({-1, -1, 0}, {1, 1, 0});
+  core::Mesh m;
+  gmi::Entity* face = model->find(2, 0);
+  // Concave kite: d inside triangle (a, b, c)-ish arrangement.
+  const Ent a = m.createVertex({0, -1, 0});
+  const Ent b = m.createVertex({0, 1, 0});
+  const Ent c = m.createVertex({-2, 0, 0});
+  const Ent d = m.createVertex({-0.5, 0, 0});  // same side as c!
+  m.buildElement(Topo::Tri, std::array{a, b, c}, face);
+  m.buildElement(Topo::Tri, std::array{b, a, d}, face);
+  const Ent diag = m.findEntity(Topo::Edge, std::array{a, b});
+  for (int dd = 0; dd < 2; ++dd)
+    for (Ent e : m.all(dd)) m.classify(e, face);
+  EXPECT_FALSE(adapt::canFlip(m, diag));
+  EXPECT_FALSE(adapt::flipEdge(m, diag));
+  EXPECT_EQ(m.count(2), 2u);  // untouched
+}
+
+TEST(Flip, RefusesBoundaryAndGeometryEdges) {
+  auto gen = meshgen::boxTris(3, 3);
+  auto& m = *gen.mesh;
+  for (Ent e : m.entities(1)) {
+    if (m.classification(e)->dim() < 2) {
+      // Domain-boundary edge: never flippable.
+      EXPECT_FALSE(adapt::canFlip(m, e));
+      return;
+    }
+  }
+  FAIL() << "no boundary edge found";
+}
+
+TEST(Flip, RefusesWhenFlippedEdgeExists) {
+  // Two triangles of a quad plus both "diagonal neighbours" so that the
+  // flipped edge already exists: build a 1x1 quad grid split both ways is
+  // impossible in a conforming mesh, so instead check the simplest guard:
+  // a tetrahedral-fan arrangement where (c, d) already exists.
+  auto model = gmi::makeRect({-2, -2, 0}, {2, 2, 0});
+  gmi::Entity* face = model->find(2, 0);
+  core::Mesh m;
+  const Ent a = m.createVertex({0, -1, 0});
+  const Ent b = m.createVertex({0, 1, 0});
+  const Ent c = m.createVertex({-1, 0, 0});
+  const Ent d = m.createVertex({1, 0, 0});
+  const Ent e2 = m.createVertex({0, 3, 0});
+  m.buildElement(Topo::Tri, std::array{a, b, c}, face);
+  m.buildElement(Topo::Tri, std::array{b, a, d}, face);
+  // Add triangles creating edge (c, d) elsewhere... (c, d) via vertex e2
+  // is impossible without crossing; instead create edge (c,d) directly as
+  // a standalone mesh edge bounded by a sliver triangle c-d-e2.
+  m.buildElement(Topo::Tri, std::array{c, d, e2}, face);
+  const Ent diag = m.findEntity(Topo::Edge, std::array{a, b});
+  for (int dd = 0; dd < 2; ++dd)
+    for (Ent x : m.all(dd)) m.classify(x, face);
+  EXPECT_FALSE(adapt::canFlip(m, diag));
+}
+
+TEST(SwapPass, ImprovesJiggledMeshQuality) {
+  auto gen = meshgen::boxTris(10, 10);
+  auto& m = *gen.mesh;
+  common::Rng rng(5);
+  meshgen::jiggle(m, 0.3, rng);
+  const auto before = adapt::meshQuality(m);
+  const auto stats = adapt::swapToImproveQuality(m);
+  core::verify(m);
+  const auto after = adapt::meshQuality(m);
+  EXPECT_GT(stats.flips, 0u);
+  EXPECT_GE(after.min, before.min);
+  EXPECT_GT(after.mean, before.mean);
+  EXPECT_NEAR(totalArea(m), 1.0, 1e-9);
+  EXPECT_EQ(m.count(2), 200u);  // flips conserve the element count
+}
+
+TEST(SwapPass, NoOpOnStructuredMesh) {
+  // A fresh structured mesh with the better diagonal everywhere should see
+  // few or no improving flips, and never lose quality.
+  auto gen = meshgen::boxTris(4, 4);
+  const auto before = adapt::meshQuality(*gen.mesh);
+  adapt::swapToImproveQuality(*gen.mesh);
+  EXPECT_GE(adapt::meshQuality(*gen.mesh).min, before.min);
+}
+
+}  // namespace

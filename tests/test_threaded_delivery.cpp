@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "adapt/sizefield.hpp"
+#include "core/measure.hpp"
+#include "core/verify.hpp"
+#include "dist/padapt.hpp"
+#include "dist/partedmesh.hpp"
+#include "field/field.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "parma/balance.hpp"
+#include "parma/metrics.hpp"
+#include "part/partition.hpp"
+#include "solver/poisson.hpp"
+
+namespace {
+
+using core::Ent;
+using dist::PartId;
+
+/// All distributed operations must produce semantically identical results
+/// under threaded part processing (paper Sec. II-D: "part manipulations
+/// take place in parallel threads").
+
+std::unique_ptr<dist::PartedMesh> parted(meshgen::Generated& gen, int nparts,
+                                         int threads) {
+  const auto assign =
+      part::partition(*gen.mesh, nparts, part::Method::GraphRB);
+  auto pm = dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assign,
+      dist::PartMap(nparts, pcu::Machine(2, (nparts + 1) / 2)));
+  pm->network().setDeliveryThreads(threads);
+  return pm;
+}
+
+class ThreadCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCounts, MigrationUnderThreadedDelivery) {
+  const int threads = GetParam();
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = parted(gen, 4, threads);
+  dist::MigrationPlan plan(4);
+  for (Ent e : pm->part(0).elements())
+    if (core::centroid(pm->part(0).mesh(), e).x > 0.4) plan[0][e] = 2;
+  for (Ent e : pm->part(1).elements())
+    if (core::centroid(pm->part(1).mesh(), e).y > 0.6) plan[1][e] = 3;
+  pm->migrate(plan);
+  pm->verify();
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d));
+}
+
+TEST_P(ThreadCounts, GhostingUnderThreadedDelivery) {
+  const int threads = GetParam();
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = parted(gen, 4, threads);
+  pm->ghostLayers(1);
+  pm->verify();
+  std::size_t ghosts = 0;
+  for (PartId p = 0; p < 4; ++p) ghosts += pm->part(p).ghostCount();
+  EXPECT_GT(ghosts, 0u);
+  pm->unghost();
+  pm->verify();
+}
+
+TEST_P(ThreadCounts, ParallelAdaptUnderThreadedDelivery) {
+  const int threads = GetParam();
+  auto gen = meshgen::boxTets(2, 2, 2);
+  auto pm = parted(gen, 3, threads);
+  dist::refineParted(*pm, adapt::UniformSize(0.3), {.max_passes = 6});
+  pm->verify();
+  for (PartId p = 0; p < 3; ++p)
+    core::verify(pm->part(p).mesh(), {.check_volumes = true});
+}
+
+TEST_P(ThreadCounts, BalanceUnderThreadedDelivery) {
+  const int threads = GetParam();
+  auto gen = meshgen::boxTets(4, 4, 4);
+  // Spiked distribution.
+  std::vector<PartId> dest(gen.mesh->count(3));
+  std::size_t i = 0;
+  for (Ent e : gen.mesh->entities(3)) {
+    (void)e;
+    dest[i] = static_cast<PartId>(i * 8 / dest.size());
+    ++i;
+  }
+  for (auto& d : dest)
+    if (d == 3) d = 2;
+  auto pm = dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), dest,
+      dist::PartMap(8, pcu::Machine(2, 4)));
+  pm->network().setDeliveryThreads(threads);
+  const auto report = parma::balance(*pm, "Rgn", {.tolerance = 0.05});
+  pm->verify();
+  EXPECT_LE(report.final_imbalance, 1.10);
+}
+
+TEST_P(ThreadCounts, SolverUnderThreadedDelivery) {
+  const int threads = GetParam();
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = parted(gen, 4, threads);
+  auto exact = [](const common::Vec3& x) { return x.x + 2.0 * x.y - x.z; };
+  const auto report = solver::solvePoisson(
+      *pm, [](const common::Vec3&) { return 0.0; }, exact,
+      {.tolerance = 1e-11});
+  EXPECT_TRUE(report.converged);
+  for (PartId p = 0; p < 4; ++p) {
+    auto& mesh = pm->part(p).mesh();
+    field::Field u(mesh, "u", field::ValueType::Scalar,
+                   field::Location::Vertex);
+    for (Ent v : mesh.entities(0))
+      EXPECT_NEAR(u.getScalar(v), exact(mesh.point(v)), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCounts, ::testing::Values(2, 4, 8));
+
+TEST(ThreadedDelivery, SameGlobalCountsAsSequential) {
+  adapt::UniformSize size(0.3);
+  auto gen_seq = meshgen::boxTets(2, 2, 2);
+  auto pm_seq = parted(gen_seq, 4, 0);
+  dist::refineParted(*pm_seq, size, {.max_passes = 6});
+  auto gen_thr = meshgen::boxTets(2, 2, 2);
+  auto pm_thr = parted(gen_thr, 4, 4);
+  dist::refineParted(*pm_thr, size, {.max_passes = 6});
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm_thr->globalCount(d), pm_seq->globalCount(d)) << "dim " << d;
+}
+
+}  // namespace

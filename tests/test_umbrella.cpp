@@ -1,0 +1,34 @@
+// Compile-only check that the umbrella header is self-contained, plus a
+// smoke test touching one symbol from every module through it.
+#include "pumi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EveryModuleReachable) {
+  common::Rng rng(1);
+  (void)rng.next();
+  pcu::Machine machine(2, 4);
+  EXPECT_EQ(machine.totalCores(), 8);
+  auto model = gmi::makeUnitCube();
+  EXPECT_EQ(model->count(2), 6u);
+  auto gen = meshgen::boxTets(2, 2, 2);
+  EXPECT_EQ(gen.mesh->count(3), 48u);
+  core::verify(*gen.mesh);
+  const auto assign = part::partition(*gen.mesh, 2, part::Method::RCB);
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(), assign,
+                                         dist::PartMap(2, machine));
+  pm->verify();
+  field::Field f(pm->part(0).mesh(), "x", field::ValueType::Scalar,
+                 field::Location::Vertex);
+  f.fillScalar(1.0);
+  EXPECT_GT(adapt::meshQuality(*gen.mesh).min, 0.0);
+  EXPECT_LE(parma::entityBalance(*pm, 3).imbalance, 2.0);
+  const auto report = solver::solvePoisson(
+      *pm, [](const common::Vec3&) { return 0.0; },
+      [](const common::Vec3&) { return 1.0; });
+  EXPECT_TRUE(report.converged);
+}
+
+}  // namespace
