@@ -13,6 +13,8 @@
 #include "dist/partedmesh.hpp"
 #include "meshgen/boxmesh.hpp"
 #include "part/partition.hpp"
+#include "pcu/stats.hpp"
+#include "pcu/trace.hpp"
 
 namespace {
 
@@ -109,4 +111,17 @@ BENCHMARK(BM_DistributeFromSerial)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus trace surfacing: under PUMI_TRACE=1 the benchmark
+// run doubles as a profiling session — print the per-phase imbalance
+// report and flush the Chrome trace on exit.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (pcu::trace::enabled()) {
+    pcu::printTraceReport(pcu::buildTraceReport());
+    pcu::trace::flushNow();
+  }
+  return 0;
+}

@@ -18,6 +18,8 @@
 #include "parma/improve.hpp"
 #include "parma/metrics.hpp"
 #include "pcu/counters.hpp"
+#include "pcu/stats.hpp"
+#include "pcu/trace.hpp"
 #include "repro/table.hpp"
 #include "repro/workloads.hpp"
 
@@ -182,6 +184,13 @@ int main() {
     std::cout << "Table III: time usage, end-to-end rebalance (paper: T0 "
                  "249s, T1-T4 5.5-8.8s)\n";
     t.print();
+  }
+  // Under PUMI_TRACE=1 the table run doubles as a profiling session: show
+  // where balancing time went per phase and flush the Chrome trace.
+  if (pcu::trace::enabled()) {
+    std::cout << "\n";
+    pcu::printTraceReport(pcu::buildTraceReport());
+    pcu::trace::flushNow();
   }
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "dist/partedmesh.hpp"
 #include "dist/tagio.hpp"
 #include "gmi/model.hpp"
+#include "pcu/trace.hpp"
 
 namespace dist {
 
@@ -47,6 +48,7 @@ void PartedMesh::ghostLayers(int layers) {
   const int dim = dim_;
   if (dim < 2) throw std::logic_error("ghostLayers: mesh not distributed");
 
+  pcu::trace::Scope trace_scope("dist:ghostLayers");
   KeyMaps keys;
   buildKeyMaps(keys);
   std::array<Ent, core::kMaxDown> buf{};
@@ -184,6 +186,7 @@ void PartedMesh::ghostLayers(int layers) {
 }
 
 void PartedMesh::unghost() {
+  pcu::trace::Scope trace_scope("dist:unghost");
   for (const auto& pp : parts_) {
     Part& p = *pp;
     std::vector<Ent> ghosts;
@@ -204,6 +207,7 @@ void PartedMesh::unghost() {
 }
 
 void PartedMesh::syncSharedTags(const std::string& only) {
+  pcu::trace::Scope trace_scope("dist:syncSharedTags");
   for (const auto& pp : parts_) {
     Part& p = *pp;
     for (const auto& [e, r] : p.remotes_) {
@@ -224,6 +228,7 @@ void PartedMesh::syncSharedTags(const std::string& only) {
 }
 
 void PartedMesh::syncGhostTags() {
+  pcu::trace::Scope trace_scope("dist:syncGhostTags");
   for (const auto& pp : parts_) {
     Part& p = *pp;
     for (const auto& [real, ghosts] : p.ghosted_on_) {

@@ -29,6 +29,7 @@
 #include "dist/partedmesh.hpp"
 #include "dist/tagio.hpp"
 #include "gmi/model.hpp"
+#include "pcu/trace.hpp"
 
 namespace dist {
 
@@ -78,6 +79,7 @@ void PartedMesh::migrate(const MigrationPlan& plan) {
     if (pp->ghostCount() > 0)
       throw std::logic_error("migrate: unghost before migrating");
 
+  pcu::trace::Scope trace_scope("dist:migrate");
   const std::size_t nparts = parts_.size();
   KeyMaps keys;
   buildKeyMaps(keys);
@@ -105,6 +107,7 @@ void PartedMesh::migrate(const MigrationPlan& plan) {
   };
 
   // --- Phase A0: find the participating entities ---------------------------
+  pcu::trace::begin("migrate:A0-participants");
   // Only entities in the closure of a moving element ("touched"), plus
   // every copy of a touched shared entity, take part in the protocol. This
   // keeps migration cost proportional to the data moved, not to the part
@@ -160,8 +163,10 @@ void PartedMesh::migrate(const MigrationPlan& plan) {
     participating[static_cast<std::size_t>(to)].insert(
         Ent::unpack(body.unpack<std::uint64_t>()));
   });
+  pcu::trace::end("migrate:A0-participants");
 
   // --- Phase A: local residence contributions -> owners -------------------
+  pcu::trace::begin("migrate:A-residence");
   for (std::size_t pi = 0; pi < nparts; ++pi) {
     Part& p = *parts_[pi];
     std::unordered_map<Ent, std::vector<PartId>, EntHash> local_res;
@@ -191,8 +196,10 @@ void PartedMesh::migrate(const MigrationPlan& plan) {
   });
   for (auto& m : records)
     for (auto& [e, rec] : m) std::sort(rec.new_res.begin(), rec.new_res.end());
+  pcu::trace::end("migrate:A-residence");
 
   // --- Phase B: creation payloads per dimension ----------------------------
+  pcu::trace::begin("migrate:B-create");
   std::array<Ent, core::kMaxDown> vbuf{};
   auto packCreation = [&](Part& p, Ent e, pcu::OutBuffer& b) {
     packKey(b, keyOf(p, e));
@@ -280,8 +287,10 @@ void PartedMesh::migrate(const MigrationPlan& plan) {
           .new_copies.push_back(Copy{from, handle});
     });
   }
+  pcu::trace::end("migrate:B-create");
 
   // --- Phase C: finalize copies & ownership --------------------------------
+  pcu::trace::begin("migrate:C-finalize");
   for (std::size_t pi = 0; pi < nparts; ++pi) {
     Part& p = *parts_[pi];
     for (auto& [e, rec] : records[pi]) {
@@ -348,8 +357,10 @@ void PartedMesh::migrate(const MigrationPlan& plan) {
     else
       p.remotes_[local] = std::move(r);
   });
+  pcu::trace::end("migrate:C-finalize");
 
   // --- Phase D: deletion ----------------------------------------------------
+  pcu::trace::Scope delete_scope("migrate:D-delete");
   for (std::size_t pi = 0; pi < nparts; ++pi) {
     Part& p = *parts_[pi];
     for (const auto& [elem, dest] : moving[pi]) {

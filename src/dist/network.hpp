@@ -23,6 +23,7 @@
 #include "pcu/buffer.hpp"
 #include "pcu/comm.hpp"
 #include "pcu/machine.hpp"
+#include "pcu/trace.hpp"
 
 #include "dist/types.hpp"
 
@@ -86,6 +87,9 @@ class Network {
   /// Post a message; it is delivered at the next deliverAll(). Thread-safe
   /// when called from concurrent part handlers (deliverAllThreaded).
   void send(PartId from, PartId to, pcu::OutBuffer buf) {
+    if (pcu::trace::enabled())
+      pcu::trace::sendAs(from, to, static_cast<std::int64_t>(buf.size()),
+                         "net");
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.messages_sent += 1;
     stats_.bytes_sent += buf.size();
@@ -125,12 +129,8 @@ class Network {
       std::lock_guard<std::mutex> lock(mutex_);
       taken.swap(boxes_);
     }
-    for (std::size_t to = 0; to < taken.size(); ++to) {
-      for (auto& msg : taken[to]) {
-        handler(static_cast<PartId>(to), msg.from,
-                pcu::InBuffer(std::move(msg.bytes)));
-      }
-    }
+    for (std::size_t to = 0; to < taken.size(); ++to)
+      deliverTo(static_cast<PartId>(to), taken[to], handler);
   }
 
   /// Enable (n > 1) or disable (n <= 1) threaded delivery for every
@@ -162,9 +162,7 @@ class Network {
       for (;;) {
         const std::size_t to = next.fetch_add(1);
         if (to >= taken.size()) return;
-        for (auto& msg : taken[to])
-          handler(static_cast<PartId>(to), msg.from,
-                  pcu::InBuffer(std::move(msg.bytes)));
+        deliverTo(static_cast<PartId>(to), taken[to], handler);
       }
     };
     std::vector<std::thread> pool;
@@ -192,6 +190,26 @@ class Network {
     PartId from;
     std::vector<std::byte> bytes;
   };
+
+  /// Hand one destination part its pending messages, attributing the
+  /// delivery scope and each received message to that part ("rank" = part
+  /// id in the trace). Used by both sequential and threaded delivery, so
+  /// per-part trace events exist in either mode.
+  void deliverTo(
+      PartId to, std::deque<Pending>& box,
+      const std::function<void(PartId, PartId, pcu::InBuffer)>& handler) {
+    if (box.empty()) return;
+    const bool traced = pcu::trace::enabled();
+    if (traced) pcu::trace::beginAs(to, "net:deliver");
+    for (auto& msg : box) {
+      if (traced)
+        pcu::trace::recvAs(to, msg.from,
+                           static_cast<std::int64_t>(msg.bytes.size()),
+                           "net");
+      handler(to, msg.from, pcu::InBuffer(std::move(msg.bytes)));
+    }
+    if (traced) pcu::trace::endAs(to, "net:deliver");
+  }
   PartMap map_;
   mutable std::mutex mutex_;
   std::vector<std::deque<Pending>> boxes_;

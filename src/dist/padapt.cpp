@@ -10,6 +10,7 @@
 #include "adapt/split.hpp"
 #include "core/measure.hpp"
 #include "gmi/model.hpp"
+#include "pcu/trace.hpp"
 
 namespace dist {
 
@@ -65,7 +66,9 @@ PartedRefineStats refineParted(PartedMesh& pm, const adapt::SizeField& size,
   Network& net = pm.network();
   const std::size_t nparts = static_cast<std::size_t>(pm.parts());
 
+  pcu::trace::Scope trace_scope("dist:refineParted");
   for (int pass = 0; pass < opts.max_passes; ++pass) {
+    pcu::trace::Scope pass_scope("padapt:refine-pass");
     // --- 1. mark & decide ------------------------------------------------
     std::vector<std::unordered_set<Ent, EntHash>> decided(nparts);
     for (PartId p = 0; p < pm.parts(); ++p) {
@@ -302,6 +305,7 @@ PartedCoarsenStats coarsenParted(PartedMesh& pm, const adapt::SizeField& size,
       throw std::logic_error("coarsenParted: unghost first");
 
   PartedCoarsenStats stats;
+  pcu::trace::Scope trace_scope("dist:coarsenParted");
   for (int pass = 0; pass < opts.max_passes; ++pass) {
     std::size_t done = 0;
     for (PartId p = 0; p < pm.parts(); ++p) {

@@ -1,6 +1,7 @@
 #include "parma/balance.hpp"
 
 #include "parma/metrics.hpp"
+#include "pcu/trace.hpp"
 
 namespace parma {
 
@@ -9,6 +10,7 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
   const Priority parsed = parsePriority(priority);
   const int first_dim = parsed.levels.front().front();
 
+  pcu::trace::Scope trace_scope("parma:balance");
   BalanceReport report;
   report.initial_imbalance = entityBalance(pm, first_dim).imbalance;
 
@@ -18,6 +20,7 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
   split_opts.tolerance = opts.tolerance;
 
   for (int round = 0; round < opts.max_rounds; ++round) {
+    pcu::trace::Scope round_scope("parma:balance-round");
     const auto split_report = heavyPartSplit(pm, split_opts);
     const auto improved = improve(pm, parsed, improve_opts);
     report.elements_migrated +=

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "pcu/trace.hpp"
+
 namespace parma {
 
 using core::Ent;
@@ -199,6 +201,7 @@ CavityEffect cavityEffect(const dist::Part& p, const Cavity& cav, PartId q,
 
 ImproveReport improve(dist::PartedMesh& pm, const Priority& priority,
                       const ImproveOptions& opts) {
+  pcu::trace::Scope trace_scope("parma:improve");
   ImproveReport report;
   const int elem_dim = pm.dim();
   const int nparts = pm.parts();
@@ -223,6 +226,10 @@ ImproveReport improve(dist::PartedMesh& pm, const Priority& priority,
     // Dimensions whose balance this level must not harm: all higher levels
     // plus the other members of this level.
     for (int dim : priority.levels[li]) {
+      static const char* kDimScope[4] = {
+          "parma:improve-vtx", "parma:improve-edge", "parma:improve-face",
+          "parma:improve-rgn"};
+      pcu::trace::Scope dim_scope(kDimScope[static_cast<std::size_t>(dim)]);
       std::vector<int> harm = priority.higherThan(li);
       for (int other : priority.levels[li])
         if (other != dim) harm.push_back(other);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "pcu/trace.hpp"
+
 namespace pcu {
 namespace detail {
 
@@ -72,11 +74,18 @@ void Comm::sendInternal(int dest, int tag, std::vector<std::byte> bytes) {
     stats_.off_node_messages += 1;
     stats_.off_node_bytes += bytes.size();
   }
+  if (trace::enabled())
+    trace::sendAs(rank_, dest, static_cast<std::int64_t>(bytes.size()),
+                  "pcu");
   group_->boxes_[dest].push(rank_, tag, std::move(bytes));
 }
 
 Message Comm::recv(int source, int tag) {
-  return group_->boxes_[rank_].pop(source, tag);
+  Message m = group_->boxes_[rank_].pop(source, tag);
+  if (trace::enabled())
+    trace::recvAs(rank_, m.source, static_cast<std::int64_t>(m.body.size()),
+                  "pcu");
+  return m;
 }
 
 bool Comm::probe(int source, int tag) {

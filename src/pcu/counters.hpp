@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace pcu {
 
@@ -24,31 +25,36 @@ std::uint64_t peakMemoryBytes();
 /// A named accumulator of wall-clock time and call counts.
 class Timers {
  public:
-  /// RAII scope: accumulates elapsed time into the named timer.
+  /// RAII scope: accumulates elapsed time into the named timer. Holds a
+  /// view of the name (no allocation on the hot path); the referenced
+  /// characters must outlive the scope, which every caller passing a
+  /// string literal satisfies.
   class Scope {
    public:
-    Scope(Timers& timers, std::string name)
-        : timers_(timers), name_(std::move(name)), start_(now()) {}
+    Scope(Timers& timers, std::string_view name)
+        : timers_(timers), name_(name), start_(now()) {}
     ~Scope() { timers_.add(name_, now() - start_); }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
 
    private:
     Timers& timers_;
-    std::string name_;
+    std::string_view name_;
     double start_;
   };
 
-  void add(const std::string& name, double seconds) {
-    auto& e = entries_[name];
-    e.seconds += seconds;
-    e.calls += 1;
+  void add(std::string_view name, double seconds) {
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+      it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.seconds += seconds;
+    it->second.calls += 1;
   }
-  [[nodiscard]] double seconds(const std::string& name) const {
+  [[nodiscard]] double seconds(std::string_view name) const {
     auto it = entries_.find(name);
     return it == entries_.end() ? 0.0 : it->second.seconds;
   }
-  [[nodiscard]] std::uint64_t calls(const std::string& name) const {
+  [[nodiscard]] std::uint64_t calls(std::string_view name) const {
     auto it = entries_.find(name);
     return it == entries_.end() ? 0 : it->second.calls;
   }
@@ -58,12 +64,12 @@ class Timers {
     double seconds = 0.0;
     std::uint64_t calls = 0;
   };
-  [[nodiscard]] const std::map<std::string, Entry>& entries() const {
-    return entries_;
-  }
+  /// Transparent comparator: lookups by string_view allocate nothing.
+  using EntryMap = std::map<std::string, Entry, std::less<>>;
+  [[nodiscard]] const EntryMap& entries() const { return entries_; }
 
  private:
-  std::map<std::string, Entry> entries_;
+  EntryMap entries_;
 };
 
 }  // namespace pcu

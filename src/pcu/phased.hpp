@@ -16,6 +16,7 @@
 
 #include "pcu/buffer.hpp"
 #include "pcu/comm.hpp"
+#include "pcu/trace.hpp"
 
 namespace pcu {
 
@@ -29,6 +30,7 @@ inline constexpr int kPhasedTag = 1000;
 /// source rank and arrive in arbitrary source order.
 inline std::vector<Message> phasedExchange(
     Comm& comm, std::vector<std::pair<int, OutBuffer>> outgoing) {
+  trace::Scope scope("pcu:phasedExchange", comm.rank());
   const int n = comm.size();
   std::vector<long> inbound_counts(n, 0);
   for (const auto& [dest, buf] : outgoing) {

@@ -17,6 +17,7 @@
 
 #include "pcu/comm.hpp"
 #include "pcu/machine.hpp"
+#include "pcu/trace.hpp"
 
 namespace pcu {
 
@@ -30,6 +31,7 @@ void run(int nranks, const Machine& machine, Fn&& fn) {
   std::mutex error_mutex;
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      trace::setThreadRank(r);
       try {
         Comm comm(group, r);
         fn(comm);

@@ -1,0 +1,153 @@
+#include "pcu/stats.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "repro/table.hpp"
+
+namespace pcu {
+
+namespace {
+
+struct PhaseAccum {
+  // per rank: (total seconds, calls)
+  std::map<int, std::pair<double, std::uint64_t>> per_rank;
+};
+
+}  // namespace
+
+TraceReport buildTraceReport(const trace::Merged& merged) {
+  // Phase names compare by content (literals may be duplicated across
+  // translation units), so key maps by string.
+  std::map<std::string, PhaseAccum> phases;
+  std::map<std::string, ChannelStat> channels;
+  std::map<std::tuple<std::string, int, int>, PairStat> pairs;
+
+  auto pairAt = [&](const char* channel, int src, int dst) -> PairStat& {
+    auto key = std::make_tuple(std::string(channel), src, dst);
+    auto it = pairs.find(key);
+    if (it == pairs.end()) {
+      PairStat p;
+      p.channel = channel;
+      p.src = src;
+      p.dst = dst;
+      it = pairs.emplace(std::move(key), std::move(p)).first;
+    }
+    return it->second;
+  };
+
+  for (const auto& t : merged.threads) {
+    // Scope matching is per thread: a stack of open begins. Names match by
+    // content; scopes are required to nest properly within a thread.
+    std::vector<const trace::Event*> open;
+    for (const auto& e : t.events) {
+      switch (e.kind) {
+        case trace::Kind::kBegin:
+          open.push_back(&e);
+          break;
+        case trace::Kind::kEnd: {
+          if (open.empty()) break;  // stray end: drop
+          const trace::Event* b = open.back();
+          open.pop_back();
+          auto& [seconds, calls] = phases[b->name].per_rank[b->rank];
+          seconds += e.ts - b->ts;
+          calls += 1;
+          break;
+        }
+        case trace::Kind::kSend: {
+          auto& c = channels[e.name];
+          c.channel = e.name;
+          c.send_messages += 1;
+          c.send_bytes += static_cast<std::uint64_t>(e.value);
+          auto& p = pairAt(e.name, e.rank, e.peer);
+          p.send_messages += 1;
+          p.send_bytes += static_cast<std::uint64_t>(e.value);
+          break;
+        }
+        case trace::Kind::kRecv: {
+          auto& c = channels[e.name];
+          c.channel = e.name;
+          c.recv_messages += 1;
+          c.recv_bytes += static_cast<std::uint64_t>(e.value);
+          auto& p = pairAt(e.name, e.peer, e.rank);
+          p.recv_messages += 1;
+          p.recv_bytes += static_cast<std::uint64_t>(e.value);
+          break;
+        }
+        case trace::Kind::kInstant:
+        case trace::Kind::kCounter:
+          break;
+      }
+    }
+  }
+
+  TraceReport report;
+  for (auto& [name, accum] : phases) {
+    PhaseStat s;
+    s.name = name;
+    s.ranks = static_cast<int>(accum.per_rank.size());
+    bool first = true;
+    for (const auto& [rank, sc] : accum.per_rank) {
+      (void)rank;
+      const auto& [seconds, calls] = sc;
+      s.total_seconds += seconds;
+      s.calls += calls;
+      s.min_seconds = first ? seconds : std::min(s.min_seconds, seconds);
+      s.max_seconds = first ? seconds : std::max(s.max_seconds, seconds);
+      first = false;
+    }
+    s.mean_seconds = s.ranks > 0 ? s.total_seconds / s.ranks : 0.0;
+    s.imbalance = s.mean_seconds > 0.0 ? s.max_seconds / s.mean_seconds : 1.0;
+    report.phases.push_back(std::move(s));
+  }
+  std::sort(report.phases.begin(), report.phases.end(),
+            [](const PhaseStat& a, const PhaseStat& b) {
+              return a.max_seconds > b.max_seconds;
+            });
+  for (auto& [name, c] : channels) {
+    (void)name;
+    report.channels.push_back(std::move(c));
+  }
+  for (auto& [key, p] : pairs) {
+    (void)key;
+    report.pairs.push_back(std::move(p));
+  }
+  return report;
+}
+
+TraceReport buildTraceReport() { return buildTraceReport(trace::snapshot()); }
+
+void printTraceReport(const TraceReport& report, std::ostream& os) {
+  os << "== pcu::trace per-phase report (times across ranks) ==\n";
+  {
+    repro::Table t({"Phase", "Ranks", "Calls", "Min s", "Mean s", "Max s",
+                    "Imbalance"});
+    for (const auto& p : report.phases)
+      t.row({p.name, repro::fmt(p.ranks),
+             repro::fmt(static_cast<std::size_t>(p.calls)),
+             repro::fmt(p.min_seconds, 4), repro::fmt(p.mean_seconds, 4),
+             repro::fmt(p.max_seconds, 4), repro::fmt(p.imbalance, 2)});
+    t.print(os);
+  }
+  os << "\n== message volume per channel ==\n";
+  {
+    repro::Table t({"Channel", "Sent", "Sent bytes", "Received",
+                    "Received bytes"});
+    for (const auto& c : report.channels)
+      t.row({c.channel, repro::fmt(static_cast<std::size_t>(c.send_messages)),
+             repro::fmt(static_cast<std::size_t>(c.send_bytes)),
+             repro::fmt(static_cast<std::size_t>(c.recv_messages)),
+             repro::fmt(static_cast<std::size_t>(c.recv_bytes))});
+    t.print(os);
+  }
+}
+
+void printTraceReport(const TraceReport& report) {
+  printTraceReport(report, std::cout);
+}
+
+}  // namespace pcu

@@ -1,0 +1,498 @@
+/// \file test_trace.cpp
+/// \brief Validation harness for the pcu::trace observability subsystem:
+/// multi-rank workloads must produce consistent traces (every begin has a
+/// matching end, per-rank-pair send bytes equal recv bytes, rank count and
+/// phase names round-trip through the Chrome trace JSON).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/partedmesh.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "parma/balance.hpp"
+#include "part/partition.hpp"
+#include "pcu/phased.hpp"
+#include "pcu/runtime.hpp"
+#include "pcu/stats.hpp"
+#include "pcu/trace.hpp"
+
+namespace {
+
+/// Enable tracing for one test body, restoring the disabled state after.
+struct TraceSession {
+  TraceSession() {
+    pcu::trace::clear();
+    pcu::trace::setEnabled(true);
+  }
+  ~TraceSession() {
+    pcu::trace::setEnabled(false);
+    pcu::trace::clear();
+  }
+};
+
+/// --- a minimal JSON reader (enough to validate a Chrome trace) ----------
+
+struct Json {
+  enum Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  /// Parses the whole document; ok() reports success.
+  Json parse() {
+    Json v = value();
+    skipWs();
+    if (p_ != end_) ok_ = false;
+    return v;
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  void skipWs() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+  bool consume(char c) {
+    skipWs();
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+  Json value() {
+    skipWs();
+    if (p_ == end_) return fail();
+    switch (*p_) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't':
+      case 'f': return boolean();
+      case 'n': return null();
+      default: return number();
+    }
+  }
+  Json fail() {
+    ok_ = false;
+    p_ = end_;
+    return Json{};
+  }
+  Json object() {
+    Json v;
+    v.type = Json::kObject;
+    ++p_;  // '{'
+    skipWs();
+    if (consume('}')) return v;
+    for (;;) {
+      Json key = string();
+      if (!ok_ || !consume(':')) return fail();
+      v.object.emplace(key.str, value());
+      if (!ok_) return fail();
+      if (consume('}')) return v;
+      if (!consume(',')) return fail();
+      skipWs();
+    }
+  }
+  Json array() {
+    Json v;
+    v.type = Json::kArray;
+    ++p_;  // '['
+    if (consume(']')) return v;
+    for (;;) {
+      v.array.push_back(value());
+      if (!ok_) return fail();
+      if (consume(']')) return v;
+      if (!consume(',')) return fail();
+    }
+  }
+  Json string() {
+    skipWs();
+    if (p_ == end_ || *p_ != '"') return fail();
+    ++p_;
+    Json v;
+    v.type = Json::kString;
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return fail();
+        switch (*p_) {
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          case 'r': v.str += '\r'; break;
+          case 'u':
+            if (end_ - p_ < 5) return fail();
+            p_ += 4;  // keep validation simple: skip the code point
+            v.str += '?';
+            break;
+          default: v.str += *p_;
+        }
+        ++p_;
+      } else {
+        v.str += *p_++;
+      }
+    }
+    if (p_ == end_) return fail();
+    ++p_;  // closing quote
+    return v;
+  }
+  Json boolean() {
+    Json v;
+    v.type = Json::kBool;
+    if (end_ - p_ >= 4 && std::strncmp(p_, "true", 4) == 0) {
+      v.boolean = true;
+      p_ += 4;
+      return v;
+    }
+    if (end_ - p_ >= 5 && std::strncmp(p_, "false", 5) == 0) {
+      v.boolean = false;
+      p_ += 5;
+      return v;
+    }
+    return fail();
+  }
+  Json null() {
+    if (end_ - p_ >= 4 && std::strncmp(p_, "null", 4) == 0) {
+      p_ += 4;
+      return Json{};
+    }
+    return fail();
+  }
+  Json number() {
+    const char* start = p_;
+    while (p_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '-' ||
+            *p_ == '+' || *p_ == '.' || *p_ == 'e' || *p_ == 'E'))
+      ++p_;
+    if (p_ == start) return fail();
+    Json v;
+    v.type = Json::kNumber;
+    v.number = std::stod(std::string(start, p_));
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+/// --- workloads -----------------------------------------------------------
+
+/// Every rank scopes some work, exchanges with its ring neighbours, and
+/// reduces — the traffic pattern of a mesh boundary update.
+void ringWorkload(int ranks, int rounds) {
+  pcu::run(ranks, [&](pcu::Comm& c) {
+    pcu::trace::Scope s("test:rank-work");
+    for (int round = 0; round < rounds; ++round) {
+      std::vector<std::pair<int, pcu::OutBuffer>> out;
+      for (int d : {(c.rank() + 1) % ranks, (c.rank() + ranks - 1) % ranks}) {
+        pcu::OutBuffer b;
+        b.pack<int>(c.rank());
+        std::vector<double> payload(16 + 8 * static_cast<std::size_t>(c.rank()),
+                                    1.0);
+        b.packVector(payload);
+        out.emplace_back(d, std::move(b));
+      }
+      auto msgs = pcu::phasedExchange(c, std::move(out));
+      ASSERT_EQ(msgs.size(), 2u);
+      (void)c.allreduceSum<long>(c.rank());
+    }
+  });
+}
+
+std::unique_ptr<dist::PartedMesh> makeParted(meshgen::Generated& gen,
+                                             int nparts) {
+  const auto assign = part::partition(*gen.mesh, nparts, part::Method::RCB);
+  return dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assign,
+      dist::PartMap(nparts, pcu::Machine(2, nparts / 2)));
+}
+
+/// Begin/end pairing with name agreement, per recording thread; returns
+/// the phase names seen, attributed rank -> names.
+std::map<int, std::set<std::string>> checkScopePairing(
+    const pcu::trace::Merged& merged) {
+  std::map<int, std::set<std::string>> by_rank;
+  for (const auto& t : merged.threads) {
+    std::vector<const pcu::trace::Event*> stack;
+    for (const auto& e : t.events) {
+      if (e.kind == pcu::trace::Kind::kBegin) {
+        stack.push_back(&e);
+      } else if (e.kind == pcu::trace::Kind::kEnd) {
+        if (stack.empty()) {
+          ADD_FAILURE() << "end without begin: " << e.name << " (thread "
+                        << t.tid << ")";
+          continue;
+        }
+        EXPECT_STREQ(stack.back()->name, e.name)
+            << "interleaved scopes in thread " << t.tid;
+        EXPECT_EQ(stack.back()->rank, e.rank) << e.name;
+        EXPECT_LE(stack.back()->ts, e.ts) << e.name;
+        by_rank[e.rank].insert(e.name);
+        stack.pop_back();
+      }
+    }
+    EXPECT_TRUE(stack.empty())
+        << "unclosed scope " << stack.size() << " in thread " << t.tid
+        << " (first: " << (stack.empty() ? "" : stack.front()->name) << ")";
+  }
+  return by_rank;
+}
+
+/// Per (channel, src, dst): bytes and message counts recorded by the
+/// sender must equal those recorded by the receiver.
+void checkPairBalance(const pcu::TraceReport& report) {
+  for (const auto& p : report.pairs) {
+    EXPECT_EQ(p.send_messages, p.recv_messages)
+        << p.channel << " " << p.src << "->" << p.dst;
+    EXPECT_EQ(p.send_bytes, p.recv_bytes)
+        << p.channel << " " << p.src << "->" << p.dst;
+  }
+}
+
+/// --- tests ---------------------------------------------------------------
+
+TEST(Trace, DisabledRecordsNothingAndScopesAreFree) {
+  pcu::trace::clear();
+  pcu::trace::setEnabled(false);
+  ringWorkload(4, 2);
+  { pcu::trace::Scope s("test:disabled"); }
+  EXPECT_EQ(pcu::trace::snapshot().totalEvents(), 0u);
+}
+
+TEST(Trace, RankWorkloadScopesPairAndCoverEveryRank) {
+  TraceSession session;
+  const int ranks = 8;
+  ringWorkload(ranks, 3);
+  const auto merged = pcu::trace::snapshot();
+  ASSERT_GT(merged.totalEvents(), 0u);
+  const auto by_rank = checkScopePairing(merged);
+  for (int r = 0; r < ranks; ++r) {
+    ASSERT_TRUE(by_rank.count(r)) << "no scopes from rank " << r;
+    EXPECT_TRUE(by_rank.at(r).count("test:rank-work")) << "rank " << r;
+    EXPECT_TRUE(by_rank.at(r).count("pcu:phasedExchange")) << "rank " << r;
+  }
+}
+
+TEST(Trace, SendRecvBytesBalancePerRankPair) {
+  TraceSession session;
+  ringWorkload(8, 3);
+  const auto report = pcu::buildTraceReport();
+  ASSERT_FALSE(report.pairs.empty());
+  checkPairBalance(report);
+  // The ring pattern sends to both neighbours every round: every adjacent
+  // ordered pair of the "pcu" channel must appear.
+  std::set<std::pair<int, int>> seen;
+  for (const auto& p : report.pairs)
+    if (p.channel == "pcu") seen.emplace(p.src, p.dst);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_TRUE(seen.count({r, (r + 1) % 8})) << r;
+    EXPECT_TRUE(seen.count({r, (r + 7) % 8})) << r;
+  }
+  // Channel totals are self-consistent with the pair totals.
+  for (const auto& c : report.channels) {
+    std::uint64_t bytes = 0;
+    for (const auto& p : report.pairs)
+      if (p.channel == c.channel) bytes += p.send_bytes;
+    EXPECT_EQ(bytes, c.send_bytes) << c.channel;
+    EXPECT_EQ(c.send_bytes, c.recv_bytes) << c.channel;
+    EXPECT_EQ(c.send_messages, c.recv_messages) << c.channel;
+  }
+}
+
+TEST(Trace, DistWorkloadTracesMigrationGhostingAndBalance) {
+  TraceSession session;
+  auto gen = meshgen::boxTets(4, 4, 4);
+  const int nparts = 4;
+  auto pm = makeParted(gen, nparts);
+
+  // A boundary-shift migration, one ghost/unghost cycle, one ParMA round.
+  dist::MigrationPlan plan(static_cast<std::size_t>(nparts));
+  int i = 0;
+  for (core::Ent e : pm->part(0).elements())
+    if (i++ % 4 == 0) plan[0][e] = 1;
+  pm->migrate(plan);
+  pm->ghostLayers(1);
+  pm->syncGhostTags();
+  pm->unghost();
+  parma::balance(*pm, "Rgn", {.tolerance = 0.05, .max_rounds = 1});
+  pm->verify();
+
+  const auto merged = pcu::trace::snapshot();
+  const auto by_rank = checkScopePairing(merged);
+  // Driver-phase scopes (rank -1): the migration sub-phases, ghosting, and
+  // the ParMA iteration structure.
+  ASSERT_TRUE(by_rank.count(-1));
+  const auto& driver = by_rank.at(-1);
+  for (const char* phase :
+       {"dist:migrate", "migrate:A0-participants", "migrate:A-residence",
+        "migrate:B-create", "migrate:C-finalize", "migrate:D-delete",
+        "dist:ghostLayers", "dist:syncGhostTags", "dist:unghost",
+        "parma:balance", "parma:balance-round", "parma:improve"})
+    EXPECT_TRUE(driver.count(phase)) << "missing phase " << phase;
+  // Per-part delivery scopes: every part received something.
+  for (int p = 0; p < nparts; ++p) {
+    ASSERT_TRUE(by_rank.count(p)) << "no delivery events for part " << p;
+    EXPECT_TRUE(by_rank.at(p).count("net:deliver")) << "part " << p;
+  }
+  // Message volume on the "net" channel balances per part pair.
+  const auto report = pcu::buildTraceReport(merged);
+  checkPairBalance(report);
+  bool has_net = false;
+  for (const auto& c : report.channels)
+    if (c.channel == "net") {
+      has_net = true;
+      EXPECT_GT(c.send_bytes, 0u);
+    }
+  EXPECT_TRUE(has_net);
+}
+
+TEST(Trace, ChromeJsonIsValidAndRoundTripsRanksAndPhases) {
+  TraceSession session;
+  const int ranks = 6;
+  ringWorkload(ranks, 2);
+  const auto merged = pcu::trace::snapshot();
+
+  std::ostringstream os;
+  pcu::trace::writeChromeTrace(os, merged);
+  const std::string text = os.str();
+
+  JsonParser parser(text);
+  const Json doc = parser.parse();
+  ASSERT_TRUE(parser.ok()) << "Chrome trace is not valid JSON";
+  ASSERT_EQ(doc.type, Json::kObject);
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, Json::kArray);
+  ASSERT_GT(events->array.size(), 0u);
+
+  std::set<int> phase_tids;
+  std::set<std::string> names;
+  std::size_t begins = 0, ends = 0;
+  for (const Json& e : events->array) {
+    ASSERT_EQ(e.type, Json::kObject);
+    const Json* name = e.find("name");
+    const Json* ph = e.find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    ASSERT_EQ(ph->type, Json::kString);
+    if (ph->str == "M") continue;  // metadata
+    const Json* ts = e.find("ts");
+    const Json* pid = e.find("pid");
+    const Json* tid = e.find("tid");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    EXPECT_GE(ts->number, 0.0);
+    names.insert(name->str);
+    if (ph->str == "B" || ph->str == "E") {
+      phase_tids.insert(static_cast<int>(tid->number));
+      if (ph->str == "B")
+        ++begins;
+      else
+        ++ends;
+    }
+  }
+  EXPECT_EQ(begins, ends);
+  // Rank count round-trips: one trace lane per rank, no extras below the
+  // driver range.
+  std::set<int> expected;
+  for (int r = 0; r < ranks; ++r) expected.insert(r);
+  EXPECT_EQ(phase_tids, expected);
+  EXPECT_TRUE(names.count("test:rank-work"));
+  EXPECT_TRUE(names.count("pcu:phasedExchange"));
+  EXPECT_TRUE(names.count("pcu"));  // message records survive as instants
+}
+
+TEST(Trace, ReportAggregatesMinMaxMeanImbalance) {
+  using pcu::trace::Event;
+  using pcu::trace::Kind;
+  pcu::trace::Merged merged;
+  // Rank 0 spends 1s, rank 1 spends 3s in "phase"; rank 1 twice.
+  pcu::trace::ThreadEvents t0;
+  t0.tid = 0;
+  t0.events = {Event{Kind::kBegin, 0, -1, 0, 10.0, "phase"},
+               Event{Kind::kEnd, 0, -1, 0, 11.0, "phase"},
+               Event{Kind::kSend, 0, 1, 256, 11.5, "chan"}};
+  pcu::trace::ThreadEvents t1;
+  t1.tid = 1;
+  t1.events = {Event{Kind::kBegin, 1, -1, 0, 10.0, "phase"},
+               Event{Kind::kEnd, 1, -1, 0, 12.0, "phase"},
+               Event{Kind::kBegin, 1, -1, 0, 13.0, "phase"},
+               Event{Kind::kEnd, 1, -1, 0, 14.0, "phase"},
+               Event{Kind::kRecv, 1, 0, 256, 14.5, "chan"}};
+  merged.threads = {t0, t1};
+
+  const auto report = pcu::buildTraceReport(merged);
+  ASSERT_EQ(report.phases.size(), 1u);
+  const auto& p = report.phases.front();
+  EXPECT_EQ(p.name, "phase");
+  EXPECT_EQ(p.ranks, 2);
+  EXPECT_EQ(p.calls, 3u);
+  EXPECT_DOUBLE_EQ(p.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(p.max_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(p.mean_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(p.imbalance, 1.5);
+
+  ASSERT_EQ(report.pairs.size(), 1u);
+  EXPECT_EQ(report.pairs[0].src, 0);
+  EXPECT_EQ(report.pairs[0].dst, 1);
+  EXPECT_EQ(report.pairs[0].send_bytes, 256u);
+  EXPECT_EQ(report.pairs[0].recv_bytes, 256u);
+
+  // And the printer runs without tripping anything.
+  std::ostringstream os;
+  pcu::printTraceReport(report, os);
+  EXPECT_NE(os.str().find("phase"), std::string::npos);
+  EXPECT_NE(os.str().find("chan"), std::string::npos);
+}
+
+TEST(Trace, ClearDropsEventsAndInternedNamesAreStable) {
+  TraceSession session;
+  const char* a = pcu::trace::intern("dynamic-phase-1");
+  const char* b = pcu::trace::intern("dynamic-phase-1");
+  EXPECT_EQ(a, b);  // same pooled pointer
+  {
+    pcu::trace::Scope s(a);
+  }
+  EXPECT_GT(pcu::trace::snapshot().totalEvents(), 0u);
+  pcu::trace::clear();
+  EXPECT_EQ(pcu::trace::snapshot().totalEvents(), 0u);
+  EXPECT_STREQ(a, "dynamic-phase-1");
+}
+
+TEST(Trace, ThreadedDeliveryStillPairsAndBalances) {
+  TraceSession session;
+  auto gen = meshgen::boxTets(4, 4, 4);
+  auto pm = makeParted(gen, 4);
+  pm->network().setDeliveryThreads(4);
+  dist::MigrationPlan plan(4);
+  int i = 0;
+  for (core::Ent e : pm->part(0).elements())
+    if (i++ % 3 == 0) plan[0][e] = (i % 2) ? 1 : 2;
+  pm->migrate(plan);
+  pm->verify();
+  const auto merged = pcu::trace::snapshot();
+  (void)checkScopePairing(merged);
+  checkPairBalance(pcu::buildTraceReport(merged));
+}
+
+}  // namespace
