@@ -11,10 +11,13 @@
 #include <benchmark/benchmark.h>
 
 #include "pcu/comm.hpp"
+#include "pcu/faults.hpp"
 #include "pcu/phased.hpp"
 #include "pcu/runtime.hpp"
 
 namespace {
+
+namespace faults = pcu::faults;
 
 void BM_PingPong(benchmark::State& state) {
   const auto payload = static_cast<std::size_t>(state.range(0));
@@ -86,6 +89,39 @@ void BM_PhasedExchangeNeighbors(benchmark::State& state) {
                           ranks * 2);
 }
 BENCHMARK(BM_PhasedExchangeNeighbors)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// Framing/CRC overhead guard: the same ping-pong with checksum-verify mode
+/// on (frame + CRC32 + verified receive, no fault injection). Comparing
+/// bytes_per_second against BM_PingPong at the same payload measures the
+/// hardening tax; the counter `framing_bytes` records the per-message
+/// header cost. With no plan active the hot path pays one relaxed atomic
+/// load, so default-mode numbers are unchanged.
+void BM_PingPongChecksum(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  faults::FaultPlan plan;
+  plan.checksum_only = true;
+  faults::setPlan(plan);
+  for (auto _ : state) {
+    pcu::run(2, [&](pcu::Comm& c) {
+      std::vector<std::byte> data(payload);
+      for (int i = 0; i < 8; ++i) {
+        if (c.rank() == 0) {
+          c.send(1, 1, std::vector<std::byte>(data));
+          (void)c.recv(1, 2);
+        } else {
+          (void)c.recv(0, 1);
+          c.send(0, 2, std::vector<std::byte>(data));
+        }
+      }
+    });
+  }
+  faults::clearPlan();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          static_cast<std::int64_t>(payload));
+  state.counters["framing_bytes"] = benchmark::Counter(
+      static_cast<double>(faults::kFrameHeaderBytes));
+}
+BENCHMARK(BM_PingPongChecksum)->Arg(64)->Arg(4096)->Arg(262144);
 
 void BM_SpawnTeardown(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));

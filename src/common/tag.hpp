@@ -42,6 +42,8 @@ class TagBase {
   virtual void copy(const Handle& from, const Handle& to) = 0;
   /// Number of items carrying a value.
   [[nodiscard]] virtual std::size_t count() const = 0;
+  /// Deep copy of this tag and every value it holds (registry snapshots).
+  [[nodiscard]] virtual std::unique_ptr<TagBase<Handle>> clone() const = 0;
 
  private:
   std::string name_;
@@ -63,6 +65,12 @@ class TagData final : public TagBase<Handle> {
     if (it != values.end()) values[to] = it->second;
   }
   [[nodiscard]] std::size_t count() const override { return values.size(); }
+  [[nodiscard]] std::unique_ptr<TagBase<Handle>> clone() const override {
+    auto out = std::make_unique<TagData<Handle, T, Hash>>(
+        this->name(), this->components(), this->type());
+    out->values = values;
+    return out;
+  }
 
   std::unordered_map<Handle, std::vector<T>, Hash> values;
 };
@@ -72,6 +80,21 @@ template <typename Handle, typename Hash = std::hash<Handle>>
 class TagRegistry {
  public:
   using Tag = TagBase<Handle>*;
+
+  TagRegistry() = default;
+  TagRegistry(TagRegistry&&) noexcept = default;
+  TagRegistry& operator=(TagRegistry&&) noexcept = default;
+  /// Deep copy: every tag and all its values are cloned. Tag handles held
+  /// by callers keep pointing at the *source* registry — re-find() by name
+  /// against the copy (the transactional-rollback caveat in PartedMesh).
+  TagRegistry(const TagRegistry& other) { copyFrom(other); }
+  TagRegistry& operator=(const TagRegistry& other) {
+    if (this != &other) {
+      tags_.clear();
+      copyFrom(other);
+    }
+    return *this;
+  }
 
   /// Create a tag; throws if the name is already taken.
   template <typename T>
@@ -169,6 +192,11 @@ class TagRegistry {
     if (typed == nullptr)
       throw std::invalid_argument("tag type mismatch: " + tag->name());
     return *typed;
+  }
+
+  void copyFrom(const TagRegistry& other) {
+    tags_.reserve(other.tags_.size());
+    for (const auto& t : other.tags_) tags_.push_back(t->clone());
   }
 
   std::vector<std::unique_ptr<TagBase<Handle>>> tags_;

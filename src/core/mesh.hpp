@@ -60,6 +60,21 @@ class Mesh {
   Mesh(const Mesh&) = delete;
   Mesh& operator=(const Mesh&) = delete;
 
+  /// Deep-copy another mesh's full state into this one (entities, coords,
+  /// classification, tags, sets). Ent handles are (type, index) pool slots,
+  /// so handles taken against `other` address the same entities here; Tag
+  /// pointers do NOT carry over — re-find() them by name. Classification
+  /// pointers are shared with `other`'s model, which must outlive both.
+  /// This is the snapshot primitive behind transactional distributed
+  /// operations (dist::PartedMesh rollback).
+  void copyFrom(const Mesh& other) {
+    pools_ = other.pools_;
+    coords_ = other.coords_;
+    model_ = other.model_;
+    tags_ = other.tags_;
+    sets_ = other.sets_;
+  }
+
   [[nodiscard]] gmi::Model* model() const { return model_; }
 
   /// --- entity creation & deletion -------------------------------------

@@ -45,9 +45,12 @@ void PartedMesh::ghostLayers(int layers) {
   for (const auto& pp : parts_)
     if (pp->ghostCount() > 0)
       throw std::logic_error("ghostLayers: already ghosted; unghost first");
-  const int dim = dim_;
-  if (dim < 2) throw std::logic_error("ghostLayers: mesh not distributed");
+  if (dim_ < 2) throw std::logic_error("ghostLayers: mesh not distributed");
+  runTransactional("ghostLayers", [&] { ghostLayersBody(layers); });
+}
 
+void PartedMesh::ghostLayersBody(int layers) {
+  const int dim = dim_;
   pcu::trace::Scope trace_scope("dist:ghostLayers");
   KeyMaps keys;
   buildKeyMaps(keys);
@@ -207,6 +210,10 @@ void PartedMesh::unghost() {
 }
 
 void PartedMesh::syncSharedTags(const std::string& only) {
+  runTransactional("syncSharedTags", [&] { syncSharedTagsBody(only); });
+}
+
+void PartedMesh::syncSharedTagsBody(const std::string& only) {
   pcu::trace::Scope trace_scope("dist:syncSharedTags");
   for (const auto& pp : parts_) {
     Part& p = *pp;
@@ -228,6 +235,10 @@ void PartedMesh::syncSharedTags(const std::string& only) {
 }
 
 void PartedMesh::syncGhostTags() {
+  runTransactional("syncGhostTags", [&] { syncGhostTagsBody(); });
+}
+
+void PartedMesh::syncGhostTagsBody() {
   pcu::trace::Scope trace_scope("dist:syncGhostTags");
   for (const auto& pp : parts_) {
     Part& p = *pp;

@@ -29,6 +29,7 @@
 #include "dist/partedmesh.hpp"
 #include "dist/tagio.hpp"
 #include "gmi/model.hpp"
+#include "pcu/error.hpp"
 #include "pcu/trace.hpp"
 
 namespace dist {
@@ -79,6 +80,37 @@ void PartedMesh::migrate(const MigrationPlan& plan) {
     if (pp->ghostCount() > 0)
       throw std::logic_error("migrate: unghost before migrating");
 
+  // Validate plan contents up front, before any message or mutation: a bad
+  // plan is a structured validation error naming the offending part and
+  // entry, and the mesh is untouched.
+  for (std::size_t pi = 0; pi < parts_.size(); ++pi) {
+    const Part& p = *parts_[pi];
+    for (const auto& [elem, dest] : plan[pi]) {
+      const auto where = std::string(core::topoName(elem.topo())) + " #" +
+                         std::to_string(elem.index());
+      if (dest < 0 || dest >= static_cast<PartId>(parts_.size()))
+        throw pcu::Error(pcu::ErrorCode::kValidation,
+                         static_cast<int>(pi),
+                         "migrate: destination part " + std::to_string(dest) +
+                             " out of range [0, " +
+                             std::to_string(parts_.size()) + ") for " + where);
+      if (!p.mesh().alive(elem))
+        throw pcu::Error(pcu::ErrorCode::kValidation, static_cast<int>(pi),
+                         "migrate: plan names dead entity " + where);
+      if (core::topoDim(elem.topo()) != dim)
+        throw pcu::Error(
+            pcu::ErrorCode::kValidation, static_cast<int>(pi),
+            "migrate: plan entry " + where + " is not an element (dim " +
+                std::to_string(core::topoDim(elem.topo())) + ", expected " +
+                std::to_string(dim) + ")");
+    }
+  }
+
+  runTransactional("migrate", [&] { migrateBody(plan); });
+}
+
+void PartedMesh::migrateBody(const MigrationPlan& plan) {
+  const int dim = dim_;
   pcu::trace::Scope trace_scope("dist:migrate");
   const std::size_t nparts = parts_.size();
   KeyMaps keys;
@@ -121,11 +153,7 @@ void PartedMesh::migrate(const MigrationPlan& plan) {
     Part& p = *parts_[pi];
     std::array<Ent, core::kMaxDown> buf{};
     for (const auto& [elem, dest] : plan[pi]) {
-      if (!p.mesh().alive(elem))
-        throw std::invalid_argument("migrate: plan names a dead element");
-      if (dest < 0 || dest >= static_cast<PartId>(nparts))
-        throw std::invalid_argument("migrate: destination out of range");
-      if (dest == p.id()) continue;
+      if (dest == p.id()) continue;  // contents validated by migrate()
       moving[pi].emplace_back(elem, dest);
       for (int d = 0; d < dim; ++d) {
         const int n = p.mesh().downward(elem, d, buf.data());

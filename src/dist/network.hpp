@@ -12,22 +12,34 @@
 /// (shared memory in the paper's hybrid design, Figs. 5-6) or off-node
 /// (explicit message passing), which the two-level benches report.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "pcu/buffer.hpp"
 #include "pcu/comm.hpp"
+#include "pcu/error.hpp"
+#include "pcu/faults.hpp"
 #include "pcu/machine.hpp"
 #include "pcu/trace.hpp"
 
 #include "dist/types.hpp"
 
 namespace dist {
+
+/// Pseudo-tag identifying the part-to-part transport in fault-injection
+/// decisions and error reports (decorrelates its deterministic fault
+/// stream from same-numbered pcu::Comm channels).
+inline constexpr int kNetChannelTag = 1 << 20;
 
 /// Maps parts onto the machine: part p runs on core (p % coresTotal) by
 /// default (block layout over nodes is applied by the caller choosing the
@@ -77,9 +89,20 @@ class PartMap {
 };
 
 /// Bulk-synchronous message transport between parts.
+///
+/// While a fault plan or checksum-verify mode is active
+/// (pcu::faults::framingEnabled()) every message is framed with a
+/// per-(from,to)-channel sequence number and payload CRC. Delivery then
+/// verifies each destination's batch before any handler runs: corruption,
+/// duplication and loss are surfaced as structured pcu::Error values, and
+/// per-channel FIFO order is restored under injected reordering. Because
+/// the transport is bulk-synchronous, loss is detected deterministically at
+/// the phase boundary (a sequence gap against the sender's counter) — no
+/// timeout needed at this layer.
 class Network {
  public:
-  explicit Network(PartMap map) : map_(map), boxes_(map.parts()) {}
+  explicit Network(PartMap map)
+      : map_(map), boxes_(map.parts()), recv_seq_(boxes_.size()) {}
 
   [[nodiscard]] const PartMap& partMap() const { return map_; }
   [[nodiscard]] int parts() const { return map_.parts(); }
@@ -91,6 +114,7 @@ class Network {
       pcu::trace::sendAs(from, to, static_cast<std::int64_t>(buf.size()),
                          "net");
     std::lock_guard<std::mutex> lock(mutex_);
+    // Stats account the payload the operation posted, framed or not.
     stats_.messages_sent += 1;
     stats_.bytes_sent += buf.size();
     if (map_.sameNode(from, to)) {
@@ -100,8 +124,34 @@ class Network {
       stats_.off_node_messages += 1;
       stats_.off_node_bytes += buf.size();
     }
-    boxes_[static_cast<std::size_t>(to)].push_back(
-        Pending{from, std::move(buf).take()});
+    auto& box = boxes_[static_cast<std::size_t>(to)];
+    if (!pcu::faults::framingEnabled()) {
+      box.push_back(Pending{from, std::move(buf).take(), 0});
+      return;
+    }
+    const std::uint64_t seq = send_seq_[channelKey(from, to)]++;
+    auto framed = pcu::faults::frame(seq, std::move(buf).take());
+    switch (pcu::faults::decide(from, to, kNetChannelTag, seq)) {
+      case pcu::faults::Action::kDeliver:
+        break;
+      case pcu::faults::Action::kCorrupt:
+        pcu::faults::corruptFrame(framed, from, to, kNetChannelTag, seq);
+        break;
+      case pcu::faults::Action::kDrop:
+        return;  // detected at delivery as a sequence gap
+      case pcu::faults::Action::kDuplicate:
+        box.push_back(Pending{from, std::vector<std::byte>(framed), seq});
+        break;
+      case pcu::faults::Action::kDelay:
+        // Deliver behind the message currently at the back of the box (a
+        // per-channel reorder when that message shares the channel).
+        if (!box.empty()) {
+          box.insert(box.end() - 1, Pending{from, std::move(framed), seq});
+          return;
+        }
+        break;
+    }
+    box.push_back(Pending{from, std::move(framed), seq});
   }
 
   /// True when any message is pending.
@@ -124,11 +174,7 @@ class Network {
       deliverAllThreaded(handler, delivery_threads_);
       return;
     }
-    std::vector<std::deque<Pending>> taken(boxes_.size());
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      taken.swap(boxes_);
-    }
+    auto taken = takeVerified();
     for (std::size_t to = 0; to < taken.size(); ++to)
       deliverTo(static_cast<PartId>(to), taken[to], handler);
   }
@@ -152,11 +198,7 @@ class Network {
       const std::function<void(PartId to, PartId from, pcu::InBuffer body)>&
           handler,
       int threads) {
-    std::vector<std::deque<Pending>> taken(boxes_.size());
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      taken.swap(boxes_);
-    }
+    auto taken = takeVerified();
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
       for (;;) {
@@ -177,7 +219,18 @@ class Network {
   /// Add one part (empty mailbox) to the transport.
   void addPart() {
     boxes_.emplace_back();
+    recv_seq_.emplace_back();
     map_.setParts(static_cast<int>(boxes_.size()));
+  }
+
+  /// Forget every pending message and all channel sequence state. Used by
+  /// the transactional abort path (PartedMesh) so a rolled-back operation
+  /// leaves the transport exactly as if it had never run.
+  void resetTransport() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& box : boxes_) box.clear();
+    send_seq_.clear();
+    for (auto& chan : recv_seq_) chan.clear();
   }
 
   /// Pin parts to ranks explicitly (see PartMap::setPartRanks).
@@ -189,7 +242,116 @@ class Network {
   struct Pending {
     PartId from;
     std::vector<std::byte> bytes;
+    std::uint64_t seq = 0;
   };
+
+  [[nodiscard]] static std::uint64_t channelKey(PartId from, PartId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+
+  /// Swap out the pending boxes and, while framing is active, verify every
+  /// destination's batch before any handler runs. Verification is
+  /// single-threaded and happens up front in both delivery modes, so a bad
+  /// batch aborts the phase deterministically with no handler side effects.
+  std::vector<std::deque<Pending>> takeVerified() {
+    std::vector<std::deque<Pending>> taken(boxes_.size());
+    const bool framed = pcu::faults::framingEnabled();
+    std::vector<std::unordered_map<PartId, std::uint64_t>> posted;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      taken.swap(boxes_);
+      if (framed) {
+        // Snapshot the per-channel send counters: bulk synchrony means
+        // everything posted before this point must be in `taken`, so a
+        // receiver-side sequence short of the snapshot is a lost message.
+        posted.resize(taken.size());
+        for (const auto& [key, count] : send_seq_) {
+          const auto to = static_cast<std::size_t>(
+              static_cast<std::uint32_t>(key & 0xffffffffu));
+          if (to < posted.size())
+            posted[to][static_cast<PartId>(key >> 32)] = count;
+        }
+      }
+    }
+    if (framed)
+      for (std::size_t to = 0; to < taken.size(); ++to)
+        verifyBatch(static_cast<PartId>(to), taken[to], posted[to]);
+    return taken;
+  }
+
+  /// Verify one destination's batch: unframe (magic + CRC), restore
+  /// per-channel FIFO order, reject duplicates, and check the batch is
+  /// contiguous up to the sender-side counter snapshot. Leaves plain
+  /// payloads in the box on success.
+  void verifyBatch(PartId to, std::deque<Pending>& box,
+                   const std::unordered_map<PartId, std::uint64_t>& posted) {
+    for (auto& msg : box)
+      msg.bytes = pcu::faults::unframe(std::move(msg.bytes), msg.seq,
+                                       static_cast<int>(to),
+                                       static_cast<int>(msg.from),
+                                       kNetChannelTag);
+    // Group the box slots by source channel, sources in deterministic order.
+    std::unordered_map<PartId, std::vector<std::size_t>> slots;
+    std::vector<PartId> sources;
+    for (std::size_t i = 0; i < box.size(); ++i) {
+      auto& idx = slots[box[i].from];
+      if (idx.empty()) sources.push_back(box[i].from);
+      idx.push_back(i);
+    }
+    std::sort(sources.begin(), sources.end());
+    auto& expected_map = recv_seq_[static_cast<std::size_t>(to)];
+    for (PartId from : sources) {
+      auto& idx = slots[from];
+      // Sort this channel's messages by verified sequence number back into
+      // the slots the channel occupies: per-channel FIFO is restored while
+      // the cross-channel interleave of the box is preserved.
+      std::vector<Pending> chan;
+      chan.reserve(idx.size());
+      for (std::size_t i : idx) chan.push_back(std::move(box[i]));
+      std::sort(chan.begin(), chan.end(),
+                [](const Pending& a, const Pending& b) {
+                  return a.seq < b.seq;
+                });
+      std::uint64_t expect = expected_map[from];
+      for (const auto& m : chan) {
+        if (m.seq < expect)
+          throw pcu::Error(pcu::ErrorCode::kDuplicateMessage,
+                           static_cast<int>(to), static_cast<int>(from),
+                           kNetChannelTag,
+                           "channel seq " + std::to_string(m.seq) +
+                               " already delivered");
+        if (m.seq > expect)
+          throw pcu::Error(pcu::ErrorCode::kMessageLost, static_cast<int>(to),
+                           static_cast<int>(from), kNetChannelTag,
+                           "sequence gap: expected " + std::to_string(expect) +
+                               ", got " + std::to_string(m.seq));
+        ++expect;
+      }
+      expected_map[from] = expect;
+      for (std::size_t k = 0; k < idx.size(); ++k)
+        box[idx[k]] = std::move(chan[k]);
+    }
+    // A fully-dropped channel (or dropped batch tail) leaves no frame to
+    // flag a gap; the sender-side counter snapshot catches it.
+    std::vector<PartId> senders;
+    senders.reserve(posted.size());
+    for (const auto& [from, count] : posted) {
+      (void)count;
+      senders.push_back(from);
+    }
+    std::sort(senders.begin(), senders.end());
+    for (PartId from : senders) {
+      const std::uint64_t need = posted.at(from);
+      const std::uint64_t got = expected_map[from];
+      if (got < need)
+        throw pcu::Error(pcu::ErrorCode::kMessageLost, static_cast<int>(to),
+                         static_cast<int>(from), kNetChannelTag,
+                         std::to_string(need - got) +
+                             " message(s) posted but never delivered");
+    }
+  }
 
   /// Hand one destination part its pending messages, attributing the
   /// delivery scope and each received message to that part ("rank" = part
@@ -215,6 +377,12 @@ class Network {
   std::vector<std::deque<Pending>> boxes_;
   pcu::CommStats stats_;
   int delivery_threads_ = 0;
+  // Framed-channel state (active only while faults::framingEnabled()).
+  // send_seq_ is guarded by mutex_ (handlers send concurrently in threaded
+  // delivery); recv_seq_ is touched only by the single-threaded
+  // verification pass in takeVerified().
+  std::unordered_map<std::uint64_t, std::uint64_t> send_seq_;
+  std::vector<std::unordered_map<PartId, std::uint64_t>> recv_seq_;
 };
 
 }  // namespace dist

@@ -1,12 +1,15 @@
 #include "dist/partedmesh.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <sstream>
 #include <stdexcept>
 
 #include "dist/tagio.hpp"
 #include "gmi/model.hpp"
+#include "pcu/error.hpp"
+#include "pcu/faults.hpp"
 
 namespace dist {
 
@@ -186,14 +189,127 @@ std::unique_ptr<PartedMesh> PartedMesh::distribute(
   return out;
 }
 
+/// --- transactional execution -------------------------------------------------
+
+void PartedMesh::runTransactional(const char* opname,
+                                  const std::function<void()>& body) {
+  const bool active = transactional_ || pcu::faults::enabled();
+  if (!active) {
+    body();
+    return;
+  }
+  // Stage: deep-copy every part's full state (mesh, boundary and ghost
+  // records) so an abort can restore it exactly.
+  struct Saved {
+    std::unique_ptr<core::Mesh> mesh;
+    std::unordered_map<Ent, Remote, EntHash> remotes;
+    std::unordered_map<Ent, Copy, EntHash> ghost_source;
+    std::unordered_map<Ent, std::vector<Copy>, EntHash> ghosted_on;
+  };
+  std::vector<Saved> saved;
+  saved.reserve(parts_.size());
+  for (const auto& pp : parts_) {
+    Saved s;
+    s.mesh = std::make_unique<core::Mesh>(model_);
+    s.mesh->copyFrom(pp->mesh_);
+    s.remotes = pp->remotes_;
+    s.ghost_source = pp->ghost_source_;
+    s.ghosted_on = pp->ghosted_on_;
+    saved.push_back(std::move(s));
+  }
+  const auto nparts_before = parts_.size();
+  const int dim_before = dim_;
+  try {
+    body();
+    verify();  // commit gate: structural invariants must hold
+  } catch (...) {
+    // Abort: restore every part, drop parts added mid-operation, and clear
+    // any messages or channel state the failed phases left behind.
+    while (parts_.size() > nparts_before) parts_.pop_back();
+    for (std::size_t i = 0; i < saved.size(); ++i) {
+      Part& p = *parts_[i];
+      p.mesh_.copyFrom(*saved[i].mesh);
+      p.remotes_ = std::move(saved[i].remotes);
+      p.ghost_source_ = std::move(saved[i].ghost_source);
+      p.ghosted_on_ = std::move(saved[i].ghosted_on);
+    }
+    dim_ = dim_before;
+    net_.resetTransport();
+    try {
+      throw;
+    } catch (const pcu::Error&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw pcu::Error(pcu::ErrorCode::kProtocol, -1,
+                       std::string(opname) + " aborted: " + e.what());
+    }
+  }
+}
+
+std::uint64_t PartedMesh::fingerprint() const {
+  auto mix = [](std::uint64_t& h, std::uint64_t v) {
+    v *= 0x9e3779b97f4a7c15ull;
+    v ^= v >> 32;
+    h = (h ^ v) * 0xff51afd7ed558ccdull;
+    h ^= h >> 29;
+  };
+  std::uint64_t h = 0x243f6a8885a308d3ull;
+  mix(h, parts_.size());
+  mix(h, static_cast<std::uint64_t>(dim_ + 1));
+  for (const auto& pp : parts_) {
+    const Part& p = *pp;
+    const int pd = p.mesh().dim();
+    for (int d = 0; d <= pd; ++d) {
+      // Entity iteration is deterministic (type then index), so the digest
+      // is order-stable without sorting.
+      for (Ent e : p.mesh().entities(d)) {
+        mix(h, e.packed());
+        if (d == 0) {
+          const common::Vec3 x = p.mesh().point(e);
+          mix(h, std::bit_cast<std::uint64_t>(x.x));
+          mix(h, std::bit_cast<std::uint64_t>(x.y));
+          mix(h, std::bit_cast<std::uint64_t>(x.z));
+        }
+        mix(h, reinterpret_cast<std::uintptr_t>(p.mesh().classification(e)));
+        if (const Remote* r = p.remote(e)) {
+          mix(h, static_cast<std::uint64_t>(r->owner) + 1);
+          for (const Copy& c : r->copies) {
+            mix(h, static_cast<std::uint64_t>(c.part));
+            mix(h, c.ent.packed());
+          }
+        }
+        if (p.isGhost(e)) {
+          const Copy src = p.ghostSource(e);
+          mix(h, static_cast<std::uint64_t>(src.part) + 2);
+          mix(h, src.ent.packed());
+        }
+        if (const auto* gcopies = p.ghostCopies(e)) {
+          for (const Copy& c : *gcopies) {
+            mix(h, static_cast<std::uint64_t>(c.part) + 3);
+            mix(h, c.ent.packed());
+          }
+        }
+        pcu::OutBuffer tags;
+        packTags(p.mesh(), e, tags);
+        const auto bytes = std::move(tags).take();
+        mix(h, bytes.size());
+        mix(h, pcu::faults::crc32(bytes.data(), bytes.size()));
+      }
+    }
+  }
+  return h;
+}
+
 /// --- verify -------------------------------------------------------------------
 
 namespace {
 
-[[noreturn]] void vfail(const std::string& what, PartId p, Ent e) {
+[[noreturn]] void vfail(const std::string& what, PartId p, Ent e,
+                        const std::string& detail = "") {
   std::ostringstream os;
   os << "parallel verify failed: " << what << " [part " << p << ", "
      << core::topoName(e.topo()) << " #" << e.index() << "]";
+  if (!detail.empty()) os << " (" << detail << ")";
   throw std::logic_error(os.str());
 }
 
@@ -265,6 +381,39 @@ void PartedMesh::verify() const {
           if (r != nullptr) vfail("element is shared", p.id(), e);
         }
         // Owned ghost-copy tracking only on real entities; checked above.
+      }
+    }
+    // Ghost-map consistency beyond what live-entity iteration covers: the
+    // maps themselves must not reference dead entities or invalid parts,
+    // and every tracked ghost copy (a syncGhostTags target) must exist, be
+    // a ghost, and point back at its source.
+    for (const auto& [g, src] : p.ghost_source_) {
+      if (!p.mesh().alive(g))
+        vfail("ghost-source record for dead entity", p.id(), g);
+      if (src.part < 0 || src.part >= parts() || src.part == p.id())
+        vfail("ghost source names invalid part", p.id(), g,
+              "source part " + std::to_string(src.part));
+    }
+    for (const auto& [e, gcopies] : p.ghosted_on_) {
+      if (!p.mesh().alive(e))
+        vfail("ghost-copy record for dead entity", p.id(), e);
+      if (p.isGhost(e))
+        vfail("ghost entity tracks ghost copies of its own", p.id(), e);
+      for (const Copy& c : gcopies) {
+        if (c.part < 0 || c.part >= parts() || c.part == p.id())
+          vfail("tracked ghost copy names invalid part", p.id(), e,
+                "ghost part " + std::to_string(c.part));
+        const Part& q = part(c.part);
+        if (!q.mesh().alive(c.ent))
+          vfail("tracked ghost copy is dead", p.id(), e,
+                "on part " + std::to_string(c.part));
+        if (!q.isGhost(c.ent))
+          vfail("tracked ghost copy is not a ghost", p.id(), e,
+                "on part " + std::to_string(c.part));
+        const Copy back = q.ghostSource(c.ent);
+        if (back.part != p.id() || !(back.ent == e))
+          vfail("ghost copy does not point back at its source", p.id(), e,
+                "on part " + std::to_string(c.part));
       }
     }
   }

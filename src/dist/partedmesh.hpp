@@ -15,7 +15,10 @@
 /// Figs. 5-6). "Multiple parts per process" is first-class: every part
 /// lives in this process; addPart() grows the part set dynamically.
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -195,19 +198,48 @@ class PartedMesh {
 
   /// Validate all distributed invariants (copy symmetry, ownership
   /// agreement, residence rule, coordinate/classification agreement,
-  /// ghost link symmetry). Throws std::logic_error on violation.
+  /// ghost link symmetry, ghost-map consistency). Throws std::logic_error
+  /// naming the failed invariant with part/entity context.
   void verify() const;
+
+  /// --- transactional execution ------------------------------------------
+  /// When transactional mode is on (or a fault plan is active,
+  /// pcu::faults::enabled()), every distributed operation above runs as a
+  /// transaction: the full per-part state is snapshotted up front, verify()
+  /// gates the commit, and any failure — injected fault, validation error,
+  /// broken invariant — rolls the mesh back bit-identically to its pre-op
+  /// state (fingerprint()-equal), resets the transport, and rethrows a
+  /// structured pcu::Error. Caveat: rollback re-creates tag storage, so
+  /// cached Tag pointers must be re-find()-ed by name afterwards.
+  void setTransactional(bool on) { transactional_ = on; }
+  [[nodiscard]] bool transactional() const { return transactional_; }
+
+  /// Deterministic digest of the full distributed state (entities, coords,
+  /// classification, remote/ghost records, tag payloads). Equal before and
+  /// after an aborted transaction; valid for comparisons within one
+  /// process run.
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
  private:
   struct KeyMaps;
   void buildKeyMaps(KeyMaps& maps) const;
   [[nodiscard]] GKey keyOf(const Part& p, Ent e) const;
+  /// Run `body` under the transactional protocol described at
+  /// setTransactional(); plain pass-through when inactive.
+  void runTransactional(const char* opname, const std::function<void()>& body);
+  /// Migration phases A0..D (migrate() validates, then runs this
+  /// transactionally).
+  void migrateBody(const MigrationPlan& plan);
+  void ghostLayersBody(int layers);
+  void syncSharedTagsBody(const std::string& only);
+  void syncGhostTagsBody();
 
   gmi::Model* model_;
   PartMap map_;
   Network net_;
   OwnerRule rule_;
   int dim_ = -1;
+  bool transactional_ = false;
   std::vector<std::unique_ptr<Part>> parts_;
 };
 

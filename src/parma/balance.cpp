@@ -1,6 +1,7 @@
 #include "parma/balance.hpp"
 
 #include "parma/metrics.hpp"
+#include "pcu/error.hpp"
 #include "pcu/trace.hpp"
 
 namespace parma {
@@ -21,10 +22,20 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
 
   for (int round = 0; round < opts.max_rounds; ++round) {
     pcu::trace::Scope round_scope("parma:balance-round");
-    const auto split_report = heavyPartSplit(pm, split_opts);
-    const auto improved = improve(pm, parsed, improve_opts);
-    report.elements_migrated +=
-        split_report.elements_moved + improved.totalMigrated();
+    // A faulted round aborts transactionally inside the migration layer:
+    // the mesh is already rolled back, so record the error and move on to
+    // the next round rather than giving up on balancing altogether.
+    try {
+      const auto split_report = heavyPartSplit(pm, split_opts);
+      const auto improved = improve(pm, parsed, improve_opts);
+      report.elements_migrated +=
+          split_report.elements_moved + improved.totalMigrated();
+    } catch (const pcu::Error& e) {
+      report.rounds_faulted += 1;
+      report.last_error = e.what();
+      report.rounds = round + 1;
+      continue;
+    }
     report.rounds = round + 1;
     bool all_ok = true;
     for (int d : parsed.allDims())

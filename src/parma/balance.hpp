@@ -26,6 +26,11 @@ struct BalanceReport {
   double final_imbalance = 0.0;
   bool converged = false;
   std::size_t elements_migrated = 0;
+  /// Rounds whose migrations aborted under a fault (pcu::Error). Each
+  /// aborted round rolled the mesh back transactionally and was skipped;
+  /// balancing degrades gracefully instead of corrupting the mesh.
+  int rounds_faulted = 0;
+  std::string last_error;  ///< what() of the most recent aborted round
 };
 
 /// Balance `pm` for `priority` (e.g. "Vtx>Rgn"); alternates heavy part

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <string>
 
+#include "pcu/error.hpp"
+#include "pcu/faults.hpp"
 #include "pcu/trace.hpp"
 
 namespace pcu {
@@ -11,32 +15,35 @@ namespace detail {
 void Mailbox::push(int source, int tag, std::vector<std::byte> bytes) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(Stored{source, tag, std::move(bytes)});
+    queue_.push_back(Raw{source, tag, std::move(bytes)});
   }
   cv_.notify_all();
 }
 
-Message Mailbox::pop(int source, int tag) {
+bool Mailbox::pop(int source, int tag, int timeout_ms, Raw& out) {
   std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   for (;;) {
     auto it = std::find_if(queue_.begin(), queue_.end(),
-                           [&](const Stored& s) { return matches(s, source, tag); });
+                           [&](const Raw& s) { return matches(s, source, tag); });
     if (it != queue_.end()) {
-      Message m;
-      m.source = it->source;
-      m.tag = it->tag;
-      m.body = InBuffer(std::move(it->bytes));
+      out = std::move(*it);
       queue_.erase(it);
-      return m;
+      return true;
     }
-    cv_.wait(lock);
+    if (timeout_ms <= 0) {
+      cv_.wait(lock);
+    } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return false;
+    }
   }
 }
 
 bool Mailbox::probe(int source, int tag) {
   std::lock_guard<std::mutex> lock(mutex_);
   return std::any_of(queue_.begin(), queue_.end(),
-                     [&](const Stored& s) { return matches(s, source, tag); });
+                     [&](const Raw& s) { return matches(s, source, tag); });
 }
 
 }  // namespace detail
@@ -60,32 +67,137 @@ void Comm::send(int dest, int tag, const OutBuffer& buf) {
 
 void Comm::send(int dest, int tag, std::vector<std::byte> bytes) {
   assert(tag >= 0 && "negative tags are reserved for collectives");
+  if (faults::framingEnabled()) {
+    sendFramed(dest, tag, std::move(bytes));
+    return;
+  }
   sendInternal(dest, tag, std::move(bytes));
 }
 
-void Comm::sendInternal(int dest, int tag, std::vector<std::byte> bytes) {
-  assert(dest >= 0 && dest < size());
+void Comm::accountSend(int dest, std::size_t payload_bytes) {
   stats_.messages_sent += 1;
-  stats_.bytes_sent += bytes.size();
+  stats_.bytes_sent += payload_bytes;
   if (sameNode(dest)) {
     stats_.on_node_messages += 1;
-    stats_.on_node_bytes += bytes.size();
+    stats_.on_node_bytes += payload_bytes;
   } else {
     stats_.off_node_messages += 1;
-    stats_.off_node_bytes += bytes.size();
+    stats_.off_node_bytes += payload_bytes;
   }
   if (trace::enabled())
-    trace::sendAs(rank_, dest, static_cast<std::int64_t>(bytes.size()),
+    trace::sendAs(rank_, dest, static_cast<std::int64_t>(payload_bytes),
                   "pcu");
+}
+
+void Comm::push(int dest, int tag, std::vector<std::byte> bytes) {
+  assert(dest >= 0 && dest < size());
   group_->boxes_[dest].push(rank_, tag, std::move(bytes));
 }
 
+void Comm::sendInternal(int dest, int tag, std::vector<std::byte> bytes) {
+  accountSend(dest, bytes.size());
+  push(dest, tag, std::move(bytes));
+}
+
+void Comm::sendFramed(int dest, int tag, std::vector<std::byte> payload) {
+  // Stats and trace account the payload (what the application sent), so
+  // byte-conservation invariants hold whether or not framing is active.
+  accountSend(dest, payload.size());
+  const std::uint64_t seq = send_seq_[channelKey(dest, tag)]++;
+  auto framed = faults::frame(seq, std::move(payload));
+  switch (faults::decide(rank_, dest, tag, seq)) {
+    case faults::Action::kDeliver:
+      break;
+    case faults::Action::kCorrupt:
+      faults::corruptFrame(framed, rank_, dest, tag, seq);
+      break;
+    case faults::Action::kDrop:
+      return;  // the network ate it; the receiver's watchdog will notice
+    case faults::Action::kDuplicate:
+      push(dest, tag, std::vector<std::byte>(framed));
+      break;
+    case faults::Action::kDelay:
+      delayed_.push_back(Delayed{dest, tag, std::move(framed)});
+      return;  // held back; flushed after later traffic -> reordering
+  }
+  push(dest, tag, std::move(framed));
+}
+
+void Comm::flushDelayed() {
+  for (auto& d : delayed_) push(d.dest, d.tag, std::move(d.bytes));
+  delayed_.clear();
+}
+
+detail::Mailbox::Raw Comm::popWatchdog(int source, int tag) {
+  const int wd = faults::watchdogMs();
+  detail::Mailbox::Raw raw;
+  if (!group_->boxes_[rank_].pop(source, tag, wd, raw))
+    throw Error(ErrorCode::kTimeout, rank_, source, tag,
+                "recv watchdog fired after " + std::to_string(wd) +
+                    "ms; last phase: " + trace::lastPhase(rank_));
+  return raw;
+}
+
 Message Comm::recv(int source, int tag) {
-  Message m = group_->boxes_[rank_].pop(source, tag);
+  if (faults::framingEnabled()) {
+    // Our own held-back messages must not deadlock us while we block.
+    flushDelayed();
+    if (tag >= 0) return recvFramed(source, tag);
+  }
+  auto raw = popWatchdog(source, tag);
+  Message m;
+  m.source = raw.source;
+  m.tag = raw.tag;
+  m.body = InBuffer(std::move(raw.bytes));
   if (trace::enabled())
     trace::recvAs(rank_, m.source, static_cast<std::int64_t>(m.body.size()),
                   "pcu");
   return m;
+}
+
+Message Comm::recvFramed(int source, int tag) {
+  for (;;) {
+    // Serve any stashed out-of-order message that has become current.
+    for (auto it = reorder_stash_.begin(); it != reorder_stash_.end(); ++it) {
+      if (it->msg.tag != tag) continue;
+      if (source != kAnySource && it->msg.source != source) continue;
+      auto& expected = recv_seq_[channelKey(it->msg.source, tag)];
+      if (it->seq != expected) continue;
+      ++expected;
+      Message m = std::move(it->msg);
+      reorder_stash_.erase(it);
+      if (trace::enabled())
+        trace::recvAs(rank_, m.source,
+                      static_cast<std::int64_t>(m.body.size()), "pcu");
+      return m;
+    }
+    auto raw = popWatchdog(source, tag);
+    std::uint64_t seq = 0;
+    auto payload =
+        faults::unframe(std::move(raw.bytes), seq, rank_, raw.source, tag);
+    auto& expected = recv_seq_[channelKey(raw.source, tag)];
+    if (seq < expected)
+      throw Error(ErrorCode::kDuplicateMessage, rank_, raw.source, tag,
+                  "channel seq " + std::to_string(seq) +
+                      " already delivered (expected " +
+                      std::to_string(expected) + ")");
+    Message m;
+    m.source = raw.source;
+    m.tag = raw.tag;
+    m.body = InBuffer(std::move(payload));
+    if (seq > expected) {
+      // Arrived early (reordered): stash it and keep waiting for the
+      // in-sequence message. If that one was dropped, the watchdog turns
+      // this wait into a diagnosed kTimeout instead of a hang.
+      reorder_stash_.push_back(Stashed{std::move(m), seq});
+      continue;
+    }
+    ++expected;
+    if (trace::enabled())
+      trace::recvAs(rank_, m.source, static_cast<std::int64_t>(m.body.size()),
+                    "pcu");
+    return m;
+  }
 }
 
 bool Comm::probe(int source, int tag) {

@@ -20,6 +20,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "pcu/buffer.hpp"
@@ -64,24 +65,28 @@ namespace detail {
 /// (source, tag) matching semantics like MPI_Recv.
 class Mailbox {
  public:
-  void push(int source, int tag, std::vector<std::byte> bytes);
-  /// Blocks until a message matching (source-or-any, tag) arrives.
-  Message pop(int source, int tag);
-  /// Non-blocking probe; true when a matching message is queued.
-  bool probe(int source, int tag);
-
- private:
-  struct Stored {
+  /// A queued message in raw (possibly framed) form.
+  struct Raw {
     int source;
     int tag;
     std::vector<std::byte> bytes;
   };
-  bool matches(const Stored& s, int source, int tag) const {
+
+  void push(int source, int tag, std::vector<std::byte> bytes);
+  /// Blocks until a message matching (source-or-any, tag) arrives. When
+  /// timeout_ms > 0, gives up after that long and returns false (the
+  /// watchdog path); with timeout_ms == 0 it waits forever.
+  bool pop(int source, int tag, int timeout_ms, Raw& out);
+  /// Non-blocking probe; true when a matching message is queued.
+  bool probe(int source, int tag);
+
+ private:
+  bool matches(const Raw& s, int source, int tag) const {
     return (source == kAnySource || s.source == source) && s.tag == tag;
   }
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Stored> queue_;
+  std::deque<Raw> queue_;
 };
 
 }  // namespace detail
@@ -122,10 +127,19 @@ class Comm {
   }
 
   /// --- point to point -------------------------------------------------
+  /// While a fault plan or checksum-verify mode is active
+  /// (pcu::faults::framingEnabled()), user-tag messages are framed with a
+  /// sequence number and CRC: recv() then verifies integrity, restores
+  /// per-channel FIFO order under injected reordering, and throws a
+  /// structured pcu::Error on corruption, duplication, or watchdog timeout.
   void send(int dest, int tag, const OutBuffer& buf);
   void send(int dest, int tag, std::vector<std::byte> bytes);
   Message recv(int source, int tag);
   bool probe(int source, int tag);
+  /// Post any delay-injected messages still held back by the fault layer.
+  /// Called automatically at recv() entry and by phasedExchange after its
+  /// posting loop; harmless no-op otherwise.
+  void flushDelayed();
 
   /// --- collectives (every rank of the group must call) ----------------
   void barrier();
@@ -186,10 +200,43 @@ class Comm {
     kTagSplit = -7,
   };
   void sendInternal(int dest, int tag, std::vector<std::byte> bytes);
+  /// Framed send path (active while faults::framingEnabled()): assigns the
+  /// channel sequence number, applies the fault decision, pushes frames.
+  void sendFramed(int dest, int tag, std::vector<std::byte> payload);
+  /// Stats + trace accounting for one outgoing payload.
+  void accountSend(int dest, std::size_t payload_bytes);
+  /// Raw mailbox push, no accounting.
+  void push(int dest, int tag, std::vector<std::byte> bytes);
+  /// Blocking pop with the faults watchdog applied; throws
+  /// Error(kTimeout) naming the channel and this rank's last-known phase.
+  detail::Mailbox::Raw popWatchdog(int source, int tag);
+  /// Framed receive: verify, deduplicate, restore per-channel order.
+  Message recvFramed(int source, int tag);
+
+  [[nodiscard]] static std::uint64_t channelKey(int peer, int tag) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
 
   std::shared_ptr<Group> group_;
   int rank_;
   CommStats stats_;
+  // Framed-channel state; touched only while framing is enabled. All
+  // members are used by the owning rank's thread only.
+  std::unordered_map<std::uint64_t, std::uint64_t> send_seq_;
+  std::unordered_map<std::uint64_t, std::uint64_t> recv_seq_;
+  struct Stashed {
+    Message msg;
+    std::uint64_t seq;
+  };
+  std::vector<Stashed> reorder_stash_;
+  struct Delayed {
+    int dest;
+    int tag;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<Delayed> delayed_;
 };
 
 /// ---- templated member implementations ---------------------------------

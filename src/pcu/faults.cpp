@@ -1,0 +1,311 @@
+#include "pcu/faults.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "pcu/comm.hpp"
+
+namespace pcu::faults {
+
+namespace {
+
+/// Global injector state. The plan itself is only written at quiescent
+/// points (setPlan/clearPlan contract); the enabled flags are atomics so
+/// the hot-path check is one relaxed load.
+struct State {
+  std::mutex mutex;
+  FaultPlan plan;
+  std::vector<int> stall_budget;  // per-rank remaining stall steps
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+std::atomic<bool> g_injecting{false};
+std::atomic<bool> g_framing{false};
+std::atomic<int> g_watchdog_ms{0};
+
+void installLocked(State& s, const FaultPlan& p) {
+  s.plan = p;
+  s.stall_budget.clear();
+  if (p.stall_rank >= 0 && p.stall_steps > 0) {
+    s.stall_budget.assign(static_cast<std::size_t>(p.stall_rank) + 1, 0);
+    s.stall_budget[static_cast<std::size_t>(p.stall_rank)] = p.stall_steps;
+  }
+  g_injecting.store(p.injects(), std::memory_order_relaxed);
+  g_framing.store(p.injects() || p.checksum_only, std::memory_order_relaxed);
+  g_watchdog_ms.store(p.watchdog_ms, std::memory_order_relaxed);
+}
+
+/// Latch PUMI_FAULTS once, before the first enabled()/framingEnabled()
+/// query; setPlan()/clearPlan() override it.
+void envLatch() {
+  static const bool latched = [] {
+    const char* spec = std::getenv("PUMI_FAULTS");
+    if (spec != nullptr && *spec != '\0') {
+      auto& s = state();
+      std::lock_guard<std::mutex> lock(s.mutex);
+      installLocked(s, parsePlan(spec));
+    }
+    return true;
+  }();
+  (void)latched;
+}
+
+/// splitmix64 finalizer: decorrelates the packed decision key.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t decisionKey(std::uint64_t seed, int src, int dst, int tag,
+                          std::uint64_t seq) {
+  std::uint64_t h = mix(seed);
+  h = mix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) |
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst))
+                << 32)));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)));
+  return mix(h ^ seq);
+}
+
+double unitUniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// CRC32 lookup table (IEEE polynomial 0xEDB88320, reflected).
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put64(std::byte* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+std::uint32_t get32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+FaultPlan parsePlan(const std::string& spec) {
+  FaultPlan p;
+  std::size_t pos = 0;
+  auto fail = [&](const std::string& why) -> void {
+    throw Error(ErrorCode::kValidation, -1,
+                "PUMI_FAULTS: " + why + " in \"" + spec + "\"");
+  };
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) fail("missing '=' in \"" + item + "\"");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        p.seed = std::stoull(val);
+      } else if (key == "corrupt") {
+        p.corrupt = std::stod(val);
+      } else if (key == "drop") {
+        p.drop = std::stod(val);
+      } else if (key == "dup") {
+        p.duplicate = std::stod(val);
+      } else if (key == "delay") {
+        p.delay = std::stod(val);
+      } else if (key == "stall") {
+        const std::size_t colon = val.find(':');
+        if (colon == std::string::npos)
+          fail("stall wants RANK:STEPS, got \"" + val + "\"");
+        p.stall_rank = std::stoi(val.substr(0, colon));
+        p.stall_steps = std::stoi(val.substr(colon + 1));
+      } else if (key == "stallms") {
+        p.stall_ms = std::stoi(val);
+      } else if (key == "watchdog") {
+        p.watchdog_ms = std::stoi(val);
+      } else if (key == "checksum") {
+        p.checksum_only = val != "0" && val != "false" && val != "off";
+      } else {
+        fail("unknown key \"" + key + "\"");
+      }
+    } catch (const Error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("bad value \"" + val + "\" for \"" + key + "\"");
+    }
+  }
+  for (double prob : {p.corrupt, p.drop, p.duplicate, p.delay})
+    if (prob < 0.0 || prob > 1.0) fail("probability outside [0,1]");
+  if (p.watchdog_ms < 0) fail("negative watchdog");
+  return p;
+}
+
+void setPlan(const FaultPlan& plan) {
+  envLatch();
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  installLocked(s, plan);
+}
+
+void clearPlan() {
+  envLatch();
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  installLocked(s, FaultPlan{});
+}
+
+FaultPlan plan() {
+  envLatch();
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.plan;
+}
+
+bool enabled() {
+  envLatch();
+  return g_injecting.load(std::memory_order_relaxed);
+}
+
+bool framingEnabled() {
+  envLatch();
+  return g_framing.load(std::memory_order_relaxed);
+}
+
+int watchdogMs() {
+  envLatch();
+  return g_watchdog_ms.load(std::memory_order_relaxed);
+}
+
+Action decide(int src, int dst, int tag, std::uint64_t seq) {
+  if (!enabled()) return Action::kDeliver;
+  auto& s = state();
+  FaultPlan p;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    p = s.plan;
+  }
+  const double u = unitUniform(decisionKey(p.seed, src, dst, tag, seq));
+  // Stack the probability bands: [0,corrupt) corrupt, [corrupt,+drop) drop,
+  // then duplicate, then delay, else deliver.
+  double edge = p.corrupt;
+  if (u < edge) return Action::kCorrupt;
+  edge += p.drop;
+  if (u < edge) return Action::kDrop;
+  edge += p.duplicate;
+  if (u < edge) return Action::kDuplicate;
+  edge += p.delay;
+  if (u < edge) return Action::kDelay;
+  return Action::kDeliver;
+}
+
+void maybeStall(int rank) {
+  if (!enabled() || rank < 0) return;
+  auto& s = state();
+  int sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (static_cast<std::size_t>(rank) < s.stall_budget.size() &&
+        s.stall_budget[static_cast<std::size_t>(rank)] > 0) {
+      --s.stall_budget[static_cast<std::size_t>(rank)];
+      sleep_ms = s.plan.stall_ms;
+    }
+  }
+  if (sleep_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
+std::uint32_t crc32(const std::byte* data, std::size_t n) {
+  const auto& table = crcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ static_cast<std::uint8_t>(data[i])) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::byte> frame(std::uint64_t seq,
+                             std::vector<std::byte> payload) {
+  std::vector<std::byte> out(kFrameHeaderBytes + payload.size());
+  put64(out.data() + 8, seq);
+  if (!payload.empty())
+    std::memcpy(out.data() + kFrameHeaderBytes, payload.data(),
+                payload.size());
+  // CRC covers seq + payload, i.e. everything after the crc field.
+  put32(out.data(), kFrameMagic);
+  put32(out.data() + 4, crc32(out.data() + 8, out.size() - 8));
+  return out;
+}
+
+void corruptFrame(std::vector<std::byte>& framed, int src, int dst, int tag,
+                  std::uint64_t seq) {
+  if (framed.size() <= 8) return;
+  // Flip one deterministic byte in the CRC-checked region (seq + payload),
+  // so the receiver's verification is guaranteed to catch it.
+  const std::uint64_t h = decisionKey(0xC044557Bull, src, dst, tag, seq);
+  const std::size_t idx = 8 + static_cast<std::size_t>(h % (framed.size() - 8));
+  framed[idx] ^= std::byte{0x5A};
+}
+
+std::vector<std::byte> unframe(std::vector<std::byte> framed,
+                               std::uint64_t& seq_out, int self, int src,
+                               int tag) {
+  if (framed.size() < kFrameHeaderBytes || get32(framed.data()) != kFrameMagic)
+    throw Error(ErrorCode::kCorruptPayload, self, src, tag,
+                "bad frame magic/size (" + std::to_string(framed.size()) +
+                    " bytes)");
+  const std::uint32_t want = get32(framed.data() + 4);
+  const std::uint32_t got = crc32(framed.data() + 8, framed.size() - 8);
+  if (want != got)
+    throw Error(ErrorCode::kCorruptPayload, self, src, tag,
+                "payload CRC mismatch");
+  seq_out = get64(framed.data() + 8);
+  framed.erase(framed.begin(),
+               framed.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes));
+  return framed;
+}
+
+void agreeOnError(Comm& comm, const Error* local) {
+  // Encode (has-error ? rank : INT_MAX, code): the allreduce-min picks the
+  // lowest failing rank deterministically.
+  const long self_key =
+      local != nullptr
+          ? (static_cast<long>(comm.rank()) << 8) |
+                static_cast<long>(static_cast<std::uint8_t>(local->code()))
+          : (static_cast<long>(comm.size()) << 8);
+  const long min_key = comm.allreduceMin<long>(self_key);
+  const int fail_rank = static_cast<int>(min_key >> 8);
+  if (fail_rank >= comm.size()) return;  // nobody failed
+  if (local != nullptr) throw *local;
+  const auto code = static_cast<ErrorCode>(min_key & 0xFF);
+  throw Error(ErrorCode::kRemoteAbort, comm.rank(),
+              std::string("collective abort: rank ") +
+                  std::to_string(fail_rank) + " reported " +
+                  errorCodeName(code));
+}
+
+}  // namespace pcu::faults

@@ -1,0 +1,144 @@
+#ifndef PUMI_PCU_FAULTS_HPP
+#define PUMI_PCU_FAULTS_HPP
+
+/// \file faults.hpp
+/// \brief Deterministic fault injection and message framing/verification.
+///
+/// The paper's algorithms assume a perfectly reliable transport. This
+/// subsystem makes that assumption testable: under an explicit FaultPlan
+/// (programmatic via setPlan(), or from the PUMI_FAULTS environment
+/// variable) the send paths of pcu::Comm and dist::Network deterministically
+/// corrupt payload bytes, drop or duplicate messages, delay/reorder
+/// deliveries, and stall a rank — every decision is a pure function of
+/// (seed, src, dst, tag, per-channel sequence number), so a seeded chaos
+/// run replays bit-identically.
+///
+/// Hardening rides on the same switch: whenever a plan is active (or
+/// checksum-verify mode is on) every user-tag message is framed with a
+/// header carrying a magic word, a per-(src,dst,tag)-channel sequence
+/// number, and a CRC32 of the payload. Receivers verify the frame and
+/// surface corruption, duplication, loss and reordering as structured
+/// pcu::Error values instead of undefined behaviour. With no plan active
+/// the framing code is never entered: the hot path pays one relaxed atomic
+/// load.
+///
+/// PUMI_FAULTS syntax (comma-separated key=value):
+///   seed=42            deterministic stream seed
+///   corrupt=0.01       per-message probability of payload corruption
+///   drop=0.01          per-message probability of dropping
+///   dup=0.01           per-message probability of duplication
+///   delay=0.02         per-message probability of delayed (reordered) delivery
+///   stall=R:N          rank R sleeps at its next N phased-exchange steps
+///   stallms=M          stall sleep per step, milliseconds (default 2)
+///   watchdog=MS        blocking-receive watchdog timeout, ms (0 = off)
+///   checksum=1         frame+verify only, no injection ("checksum-verify")
+///
+/// Plans must only be installed/cleared at quiescent points (no concurrent
+/// sends/receives) — typically around a pcu::run() or a distributed mesh
+/// operation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcu/error.hpp"
+
+namespace pcu {
+class Comm;
+}
+
+namespace pcu::faults {
+
+/// A deterministic fault schedule. Probabilities are per message in [0,1].
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double corrupt = 0.0;
+  double drop = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+  int stall_rank = -1;   ///< rank to stall (-1: none)
+  int stall_steps = 0;   ///< phased-exchange steps the rank stalls for
+  int stall_ms = 2;      ///< sleep per stalled step
+  int watchdog_ms = 0;   ///< blocking-recv timeout; 0 disables the watchdog
+  bool checksum_only = false;  ///< frame + verify without injecting faults
+
+  [[nodiscard]] bool injects() const {
+    return corrupt > 0 || drop > 0 || duplicate > 0 || delay > 0 ||
+           stall_steps > 0;
+  }
+};
+
+/// Parse a PUMI_FAULTS-style spec. Throws pcu::Error(kValidation) on
+/// malformed input.
+FaultPlan parsePlan(const std::string& spec);
+
+/// Install a plan (enables framing; enables injection when plan.injects()).
+void setPlan(const FaultPlan& plan);
+/// Remove any active plan: no framing, no injection, watchdog off.
+void clearPlan();
+/// The active plan. Meaningful only while framingEnabled().
+FaultPlan plan();
+
+/// True when fault injection is active (a plan with injecting knobs is
+/// installed). First call latches PUMI_FAULTS from the environment.
+bool enabled();
+/// True when messages must be framed/verified: injection active or
+/// checksum-verify mode on.
+bool framingEnabled();
+/// Watchdog timeout for blocking receives; 0 when off.
+int watchdogMs();
+
+/// What the injector decides for one message.
+enum class Action : std::uint8_t {
+  kDeliver,
+  kCorrupt,
+  kDrop,
+  kDuplicate,
+  kDelay,
+};
+
+/// Deterministic per-message decision: pure in (plan seed, src, dst, tag,
+/// seq). Returns kDeliver when injection is off.
+Action decide(int src, int dst, int tag, std::uint64_t seq);
+
+/// Sleep if `rank` has stall steps scheduled and budget remaining; consumes
+/// one step. Called at phased-exchange entry.
+void maybeStall(int rank);
+
+/// --- framing ------------------------------------------------------------
+
+inline constexpr std::uint32_t kFrameMagic = 0x50435546u;  // "PCUF"
+/// Header layout: magic(u32) crc32(u32) seq(u64); crc covers seq + payload.
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// CRC32 (IEEE 802.3, reflected) of a byte span.
+std::uint32_t crc32(const std::byte* data, std::size_t n);
+
+/// Wrap a payload in a frame carrying `seq`.
+std::vector<std::byte> frame(std::uint64_t seq, std::vector<std::byte> payload);
+
+/// Deterministically flip one byte in the framed message's checked region
+/// (so verification must catch it).
+void corruptFrame(std::vector<std::byte>& framed, int src, int dst, int tag,
+                  std::uint64_t seq);
+
+/// Verify a frame and strip the header. Throws pcu::Error(kCorruptPayload)
+/// naming (self, src, tag) on magic/CRC mismatch. Returns the payload and
+/// writes the channel sequence number to `seq_out`.
+std::vector<std::byte> unframe(std::vector<std::byte> framed,
+                               std::uint64_t& seq_out, int self, int src,
+                               int tag);
+
+/// --- collective error agreement ----------------------------------------
+
+/// Collective: every rank passes its local error (or nullptr). If any rank
+/// reported one, all ranks throw together — the reporting rank rethrows its
+/// own error, the others throw kRemoteAbort naming the lowest failing rank.
+/// Runs over the comm's internal (never fault-injected) collectives, so it
+/// always terminates. Returns normally iff no rank had an error.
+void agreeOnError(Comm& comm, const Error* local);
+
+}  // namespace pcu::faults
+
+#endif  // PUMI_PCU_FAULTS_HPP

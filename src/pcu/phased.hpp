@@ -11,11 +11,14 @@
 /// non-blocking exchange. All PUMI distributed-mesh operations are built
 /// from a sequence of such phases.
 
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "pcu/buffer.hpp"
 #include "pcu/comm.hpp"
+#include "pcu/error.hpp"
+#include "pcu/faults.hpp"
 #include "pcu/trace.hpp"
 
 namespace pcu {
@@ -28,6 +31,12 @@ inline constexpr int kPhasedTag = 1000;
 /// addressed to this rank in the same phase. Every rank of the comm must
 /// call this (possibly with an empty list). Received messages carry their
 /// source rank and arrive in arbitrary source order.
+///
+/// While a fault plan is active the exchange is hardened: payloads are
+/// framed and verified, injected stalls are applied, and any rank's
+/// structured error (corruption, duplication, watchdog timeout) is agreed
+/// on collectively so every rank throws together — a faulty phase aborts
+/// cleanly instead of hanging or silently corrupting the caller.
 inline std::vector<Message> phasedExchange(
     Comm& comm, std::vector<std::pair<int, OutBuffer>> outgoing) {
   trace::Scope scope("pcu:phasedExchange", comm.rank());
@@ -40,12 +49,27 @@ inline std::vector<Message> phasedExchange(
   inbound_counts = comm.allreduce(std::move(inbound_counts),
                                   [](long a, long b) { return a + b; });
   const long expected = inbound_counts[comm.rank()];
-  for (auto& [dest, buf] : outgoing)
-    comm.send(dest, kPhasedTag, std::move(buf).take());
   std::vector<Message> received;
   received.reserve(expected);
-  for (long i = 0; i < expected; ++i)
-    received.push_back(comm.recv(kAnySource, kPhasedTag));
+  if (!faults::framingEnabled()) {
+    for (auto& [dest, buf] : outgoing)
+      comm.send(dest, kPhasedTag, std::move(buf).take());
+    for (long i = 0; i < expected; ++i)
+      received.push_back(comm.recv(kAnySource, kPhasedTag));
+    return received;
+  }
+  faults::maybeStall(comm.rank());
+  std::optional<Error> local;
+  try {
+    for (auto& [dest, buf] : outgoing)
+      comm.send(dest, kPhasedTag, std::move(buf).take());
+    comm.flushDelayed();
+    for (long i = 0; i < expected; ++i)
+      received.push_back(comm.recv(kAnySource, kPhasedTag));
+  } catch (const Error& e) {
+    local = e;
+  }
+  faults::agreeOnError(comm, local ? &*local : nullptr);
   return received;
 }
 

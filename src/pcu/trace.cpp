@@ -117,6 +117,20 @@ bool envEnabled() {
 thread_local Buffer* tls_buffer = nullptr;
 thread_local int tls_rank = -1;
 
+/// Last begin()-phase per rank, for watchdog failure reports. Fixed size:
+/// ranks beyond the window are simply not tracked.
+constexpr int kPhaseRanks = 1024;
+std::array<std::atomic<const char*>, kPhaseRanks>& phaseRegistry() {
+  static std::array<std::atomic<const char*>, kPhaseRanks> a{};
+  return a;
+}
+
+void notePhase(int rank, const char* name) {
+  if (rank >= 0 && rank < kPhaseRanks)
+    phaseRegistry()[static_cast<std::size_t>(rank)].store(
+        name, std::memory_order_relaxed);
+}
+
 Buffer* threadBuffer() {
   if (tls_buffer == nullptr) {
     auto& r = registry();
@@ -171,6 +185,14 @@ void setEnabled(bool on) {
 void setThreadRank(int rank) { tls_rank = rank; }
 int threadRank() { return tls_rank; }
 
+const char* lastPhase(int rank) {
+  if (rank < 0 || rank >= kPhaseRanks) return "?";
+  const char* p =
+      phaseRegistry()[static_cast<std::size_t>(rank)].load(
+          std::memory_order_relaxed);
+  return p != nullptr ? p : "?";
+}
+
 const char* intern(std::string_view name) {
   auto& p = internPool();
   std::lock_guard<std::mutex> lock(p.mutex);
@@ -178,12 +200,14 @@ const char* intern(std::string_view name) {
 }
 
 void begin(const char* name) {
+  notePhase(tls_rank, name);
   if (enabled()) record(Kind::kBegin, tls_rank, -1, 0, name);
 }
 void end(const char* name) {
   if (enabled()) record(Kind::kEnd, tls_rank, -1, 0, name);
 }
 void beginAs(int rank, const char* name) {
+  notePhase(rank, name);
   if (enabled()) record(Kind::kBegin, rank, -1, 0, name);
 }
 void endAs(int rank, const char* name) {

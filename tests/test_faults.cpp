@@ -1,0 +1,602 @@
+/// \file test_faults.cpp
+/// \brief Chaos suite for the fault-injection subsystem and the hardened
+/// distributed operations.
+///
+/// The contract under test (ISSUE: robustness): with any seeded fault
+/// schedule active, every distributed operation either COMMITS — completes
+/// with PartedMesh::verify() and the independent invariants passing — or
+/// ABORTS collectively with a structured pcu::Error naming the failing
+/// part/channel, leaving the mesh bit-identical (fingerprint-equal) to its
+/// pre-operation state. No hangs, no silent corruption.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/measure.hpp"
+#include "dist/partedmesh.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "parma/balance.hpp"
+#include "part/partition.hpp"
+#include "pcu/error.hpp"
+#include "pcu/faults.hpp"
+#include "pcu/phased.hpp"
+#include "pcu/runtime.hpp"
+
+namespace {
+
+using core::Ent;
+using dist::PartId;
+using pcu::Error;
+using pcu::ErrorCode;
+namespace faults = pcu::faults;
+
+/// Installs a plan for the scope of one test body; always clears on exit so
+/// a failing assertion cannot leak fault state into later tests.
+struct PlanGuard {
+  explicit PlanGuard(const faults::FaultPlan& p) { faults::setPlan(p); }
+  ~PlanGuard() { faults::clearPlan(); }
+  PlanGuard(const PlanGuard&) = delete;
+  PlanGuard& operator=(const PlanGuard&) = delete;
+};
+
+/// --- plan parsing --------------------------------------------------------
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const auto p = faults::parsePlan(
+      "seed=42,corrupt=0.01,drop=0.02,dup=0.03,delay=0.04,stall=2:5,"
+      "stallms=7,watchdog=250,checksum=1");
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_DOUBLE_EQ(p.corrupt, 0.01);
+  EXPECT_DOUBLE_EQ(p.drop, 0.02);
+  EXPECT_DOUBLE_EQ(p.duplicate, 0.03);
+  EXPECT_DOUBLE_EQ(p.delay, 0.04);
+  EXPECT_EQ(p.stall_rank, 2);
+  EXPECT_EQ(p.stall_steps, 5);
+  EXPECT_EQ(p.stall_ms, 7);
+  EXPECT_EQ(p.watchdog_ms, 250);
+  EXPECT_TRUE(p.checksum_only);
+  EXPECT_TRUE(p.injects());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  for (const char* bad : {"corrupt", "corrupt=x", "corrupt=1.5", "drop=-0.1",
+                          "unknown=1", "stall=3", "seed="}) {
+    try {
+      faults::parsePlan(bad);
+      FAIL() << "accepted malformed spec: " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kValidation) << bad;
+    }
+  }
+}
+
+TEST(FaultPlan, DefaultPlanInjectsNothing) {
+  EXPECT_FALSE(faults::FaultPlan{}.injects());
+  if (std::getenv("PUMI_FAULTS") != nullptr) {
+    GTEST_SKIP() << "PUMI_FAULTS is set in the environment; the latched "
+                    "plan makes the disabled-state checks meaningless here";
+  }
+  EXPECT_FALSE(faults::enabled());
+  EXPECT_FALSE(faults::framingEnabled());
+}
+
+/// --- determinism ---------------------------------------------------------
+
+TEST(FaultDecide, PureFunctionOfSeedAndChannel) {
+  faults::FaultPlan p;
+  p.seed = 7;
+  p.corrupt = p.drop = p.duplicate = p.delay = 0.1;
+  std::vector<faults::Action> first;
+  {
+    PlanGuard g(p);
+    for (std::uint64_t s = 0; s < 512; ++s)
+      first.push_back(faults::decide(1, 2, 5, s));
+  }
+  {
+    PlanGuard g(p);  // same seed: identical decision stream
+    for (std::uint64_t s = 0; s < 512; ++s)
+      EXPECT_EQ(faults::decide(1, 2, 5, s), first[s]) << "seq " << s;
+  }
+  p.seed = 8;
+  {
+    PlanGuard g(p);  // different seed: the stream must differ somewhere
+    bool differs = false;
+    for (std::uint64_t s = 0; s < 512; ++s)
+      differs = differs || faults::decide(1, 2, 5, s) != first[s];
+    EXPECT_TRUE(differs);
+  }
+  // Distinct channels get decorrelated streams under one seed.
+  p.seed = 7;
+  {
+    PlanGuard g(p);
+    bool differs = false;
+    for (std::uint64_t s = 0; s < 512; ++s)
+      differs = differs || faults::decide(2, 1, 5, s) != first[s];
+    EXPECT_TRUE(differs);
+  }
+}
+
+/// --- framing -------------------------------------------------------------
+
+TEST(Framing, RoundTripPreservesPayload) {
+  std::vector<std::byte> payload;
+  for (int i = 0; i < 300; ++i) payload.push_back(std::byte(i * 7));
+  auto framed = faults::frame(42, payload);
+  EXPECT_EQ(framed.size(), payload.size() + faults::kFrameHeaderBytes);
+  std::uint64_t seq = 0;
+  auto out = faults::unframe(std::move(framed), seq, 0, 1, 5);
+  EXPECT_EQ(seq, 42u);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(Framing, DetectsCorruptionAnywhereInCheckedRegion) {
+  std::vector<std::byte> payload(64, std::byte{0xAB});
+  for (std::uint64_t seq = 0; seq < 32; ++seq) {
+    auto framed = faults::frame(seq, payload);
+    faults::corruptFrame(framed, 3, 4, 9, seq);
+    std::uint64_t got = 0;
+    try {
+      faults::unframe(std::move(framed), got, 4, 3, 9);
+      FAIL() << "corruption not detected at seq " << seq;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kCorruptPayload);
+      EXPECT_EQ(e.rank(), 4);
+      EXPECT_EQ(e.peer(), 3);
+      EXPECT_EQ(e.tag(), 9);
+    }
+  }
+}
+
+TEST(Framing, RejectsTruncatedFrame) {
+  auto framed = faults::frame(1, std::vector<std::byte>(16, std::byte{1}));
+  framed.resize(faults::kFrameHeaderBytes - 2);
+  std::uint64_t seq = 0;
+  EXPECT_THROW(faults::unframe(std::move(framed), seq, 0, 1, 2), Error);
+}
+
+/// --- pcu-level chaos -----------------------------------------------------
+
+/// Random phased exchanges on n ranks; returns the payload sum every rank
+/// received (for conservation checks in clean modes).
+long chaosExchanges(int n, int rounds, std::uint64_t seed) {
+  std::atomic<long> received_total{0};
+  pcu::run(n, [&](pcu::Comm& c) {
+    common::Rng rng(seed + 1000 * static_cast<std::uint64_t>(c.rank()));
+    for (int r = 0; r < rounds; ++r) {
+      std::vector<std::pair<int, pcu::OutBuffer>> out;
+      const int nmsg = static_cast<int>(rng.below(4));
+      for (int m = 0; m < nmsg; ++m) {
+        pcu::OutBuffer b;
+        b.pack<long>(static_cast<long>(rng.below(1000)));
+        out.emplace_back(static_cast<int>(rng.below(
+                             static_cast<std::uint64_t>(n))),
+                         std::move(b));
+      }
+      auto msgs = pcu::phasedExchange(c, std::move(out));
+      for (auto& m : msgs) received_total += m.body.unpack<long>();
+    }
+  });
+  return received_total.load();
+}
+
+TEST(PcuChaos, ChecksumOnlyModeDeliversIntactPayloads) {
+  faults::FaultPlan p;
+  p.checksum_only = true;
+  PlanGuard g(p);
+  // Framing on, injection off: every exchange completes with intact data.
+  EXPECT_NO_THROW(chaosExchanges(6, 10, 77));
+}
+
+TEST(PcuChaos, DelayOnlyPlanRestoresOrderAndCompletes) {
+  faults::FaultPlan p;
+  p.seed = 5;
+  p.delay = 0.3;
+  p.watchdog_ms = 2000;
+  PlanGuard g(p);
+  // Reordering is injected aggressively; the receive path must restore
+  // per-channel order and terminate without error.
+  EXPECT_NO_THROW(chaosExchanges(6, 10, 91));
+}
+
+TEST(PcuChaos, SeededFaultsCompleteOrFailStructurally) {
+  // 20 seeds of mixed corruption/drop/duplication. Every run must either
+  // complete or abort with a structured error on every rank — never hang
+  // (the watchdog converts any wait-on-dropped-message into kTimeout) and
+  // never deliver corrupted bytes.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    faults::FaultPlan p;
+    p.seed = seed;
+    p.corrupt = 0.05;
+    p.drop = 0.05;
+    p.duplicate = 0.05;
+    p.watchdog_ms = 500;
+    PlanGuard g(p);
+    try {
+      chaosExchanges(5, 6, seed * 31);
+    } catch (const Error& e) {
+      const auto c = e.code();
+      EXPECT_TRUE(c == ErrorCode::kCorruptPayload ||
+                  c == ErrorCode::kDuplicateMessage ||
+                  c == ErrorCode::kMessageLost || c == ErrorCode::kTimeout ||
+                  c == ErrorCode::kRemoteAbort)
+          << "seed " << seed << ": unexpected " << e.what();
+    }
+  }
+}
+
+TEST(PcuChaos, StalledRankIsToleratedByWatchdog) {
+  faults::FaultPlan p;
+  p.seed = 3;
+  p.stall_rank = 1;
+  p.stall_steps = 4;
+  p.stall_ms = 5;
+  p.watchdog_ms = 2000;
+  PlanGuard g(p);
+  // A slow rank is not an error: the watchdog outlasts the stall.
+  EXPECT_NO_THROW(chaosExchanges(4, 8, 13));
+}
+
+TEST(PcuChaos, CertainDropTriggersCollectiveAbortNotHang) {
+  faults::FaultPlan p;
+  p.seed = 9;
+  p.drop = 1.0;
+  p.watchdog_ms = 200;
+  PlanGuard g(p);
+  // Every message is dropped; receivers must time out and all ranks must
+  // agree on the abort instead of waiting forever.
+  try {
+    pcu::run(4, [&](pcu::Comm& c) {
+      std::vector<std::pair<int, pcu::OutBuffer>> out;
+      pcu::OutBuffer b;
+      b.pack<int>(c.rank());
+      out.emplace_back((c.rank() + 1) % 4, std::move(b));
+      pcu::phasedExchange(c, std::move(out));
+    });
+    FAIL() << "dropped exchange completed";
+  } catch (const Error& e) {
+    EXPECT_TRUE(e.code() == ErrorCode::kTimeout ||
+                e.code() == ErrorCode::kRemoteAbort)
+        << e.what();
+    if (e.code() == ErrorCode::kTimeout) {
+      EXPECT_NE(e.detail().find("last phase"), std::string::npos)
+          << "timeout must dump the rank's last-known phase: " << e.what();
+    }
+  }
+}
+
+/// --- dist-level chaos ----------------------------------------------------
+
+double globalMeasure(dist::PartedMesh& pm) {
+  double v = 0.0;
+  for (PartId p = 0; p < pm.parts(); ++p)
+    for (Ent e : pm.part(p).elements())
+      v += core::measure(pm.part(p).mesh(), e);
+  return v;
+}
+
+struct MeshCase {
+  bool three_d;
+  std::uint64_t seed;
+};
+
+std::unique_ptr<dist::PartedMesh> makeMesh(const meshgen::Generated& gen,
+                                           int nparts) {
+  const auto assign = part::partition(*gen.mesh, nparts, part::Method::RCB);
+  return dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assign,
+      dist::PartMap(nparts, pcu::Machine::flat(nparts)));
+}
+
+dist::MigrationPlan randomPlan(dist::PartedMesh& pm, common::Rng& rng,
+                               double move_prob) {
+  dist::MigrationPlan plan(static_cast<std::size_t>(pm.parts()));
+  for (PartId p = 0; p < pm.parts(); ++p)
+    for (Ent e : pm.part(p).elements()) {
+      if (rng.uniform() >= move_prob) continue;
+      const auto dest = static_cast<PartId>(
+          rng.below(static_cast<std::uint64_t>(pm.parts())));
+      if (dest != p) plan[static_cast<std::size_t>(p)][e] = dest;
+    }
+  return plan;
+}
+
+class DistChaos : public ::testing::TestWithParam<MeshCase> {};
+
+TEST_P(DistChaos, OpsCommitCleanOrAbortToExactPreState) {
+  const auto [three_d, seed] = GetParam();
+  auto gen = three_d ? meshgen::boxTets(4, 4, 4) : meshgen::boxTris(6, 6);
+  const int nparts = three_d ? 5 : 4;
+  auto pm = makeMesh(gen, nparts);
+  const int dim = pm->dim();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(dim) + 1);
+  for (int d = 0; d <= dim; ++d)
+    counts[static_cast<std::size_t>(d)] = pm->globalCount(d);
+  const double volume = globalMeasure(*pm);
+  common::Rng rng(seed);
+
+  faults::FaultPlan p;
+  p.seed = seed;
+  p.corrupt = 0.01;
+  p.drop = 0.01;
+  p.duplicate = 0.01;
+  p.delay = 0.03;
+
+  int commits = 0;
+  int aborts = 0;
+  for (int round = 0; round < 6; ++round) {
+    // Each op is its own transaction: commit, or abort to the exact state
+    // fingerprinted immediately before that op.
+    auto attempt = [&](const std::function<void()>& op) {
+      const std::uint64_t before = pm->fingerprint();
+      try {
+        op();
+        ++commits;
+      } catch (const Error& e) {
+        EXPECT_NE(e.code(), ErrorCode::kNone);
+        EXPECT_EQ(pm->fingerprint(), before)
+            << "seed " << seed << " round " << round
+            << ": aborted op left a different mesh: " << e.what();
+        ++aborts;
+      }
+    };
+    {
+      PlanGuard g(p);
+      if (round % 3 != 2) {
+        const auto plan = randomPlan(*pm, rng, 0.15);
+        attempt([&] { pm->migrate(plan); });
+      } else {
+        attempt([&] { pm->ghostLayers(1); });
+        attempt([&] { pm->syncGhostTags(); });
+      }
+    }
+    // Committed or rolled back, all invariants must hold, faults cleared.
+    ASSERT_NO_THROW(pm->verify()) << "seed " << seed << " round " << round;
+    bool any_ghosts = false;
+    for (PartId q = 0; q < pm->parts(); ++q)
+      any_ghosts = any_ghosts || pm->part(q).ghostCount() > 0;
+    if (any_ghosts) pm->unghost();
+    for (int d = 0; d <= dim; ++d)
+      ASSERT_EQ(pm->globalCount(d), counts[static_cast<std::size_t>(d)])
+          << "seed " << seed << " round " << round << " dim " << d;
+    ASSERT_NEAR(globalMeasure(*pm), volume, 1e-9);
+  }
+  // The schedule must exercise at least one of the two outcomes; both
+  // counters are reported for seed tuning.
+  EXPECT_GT(commits + aborts, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DistChaos, ::testing::ValuesIn([] {
+      std::vector<MeshCase> cases;
+      for (std::uint64_t s = 1; s <= 11; ++s) {
+        cases.push_back({false, s});
+        cases.push_back({true, s});
+      }
+      return cases;
+    }()),
+    [](const ::testing::TestParamInfo<MeshCase>& info) {
+      return std::string(info.param.three_d ? "tets" : "tris") + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(DistChaos, CertainLossAbortsMigrationWithExactRollback) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = makeMesh(gen, 4);
+  common::Rng rng(17);
+  const auto plan = randomPlan(*pm, rng, 0.3);
+  const std::uint64_t before = pm->fingerprint();
+
+  faults::FaultPlan p;
+  p.seed = 2;
+  p.drop = 1.0;
+  PlanGuard g(p);
+  try {
+    pm->migrate(plan);
+    FAIL() << "migration with all messages dropped committed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kMessageLost) << e.what();
+    EXPECT_EQ(e.tag(), dist::kNetChannelTag);
+  }
+  EXPECT_EQ(pm->fingerprint(), before);
+  EXPECT_NO_THROW(pm->verify());
+}
+
+TEST(DistChaos, BalanceSkipsFaultedRoundsAndKeepsMeshValid) {
+  auto gen = meshgen::boxTets(4, 4, 4);
+  auto pm = makeMesh(gen, 5);
+  const auto n3 = pm->globalCount(3);
+
+  faults::FaultPlan p;
+  p.seed = 6;
+  p.corrupt = 0.02;
+  p.drop = 0.02;
+  PlanGuard g(p);
+  parma::BalanceOptions opts;
+  opts.max_rounds = 4;
+  const auto report = parma::balance(*pm, "Rgn", opts);
+  // Faulted rounds are recorded and skipped; the mesh survives them all.
+  if (report.rounds_faulted > 0) {
+    EXPECT_NE(report.last_error.find("pcu::Error"), std::string::npos);
+  }
+  EXPECT_NO_THROW(pm->verify());
+  EXPECT_EQ(pm->globalCount(3), n3);
+}
+
+TEST(DistChaos, ChecksumOnlyModeIsTransparentToMigration) {
+  auto gen = meshgen::boxTris(6, 6);
+  auto pm = makeMesh(gen, 4);
+  common::Rng rng(23);
+  const auto n2 = pm->globalCount(2);
+
+  faults::FaultPlan p;
+  p.checksum_only = true;
+  PlanGuard g(p);
+  for (int round = 0; round < 3; ++round) {
+    pm->migrate(randomPlan(*pm, rng, 0.2));
+    pm->verify();
+  }
+  EXPECT_EQ(pm->globalCount(2), n2);
+}
+
+/// --- plan validation (satellite a) ---------------------------------------
+
+TEST(MigrateValidation, OutOfRangeDestinationIsStructuredError) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  const std::uint64_t before = pm->fingerprint();
+  dist::MigrationPlan plan(3);
+  plan[0][pm->part(0).elements().front()] = 99;
+  try {
+    pm->migrate(plan);
+    FAIL() << "accepted out-of-range destination";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_EQ(e.rank(), 0);
+    EXPECT_NE(e.detail().find("out of range"), std::string::npos);
+  }
+  EXPECT_EQ(pm->fingerprint(), before) << "validation must not mutate";
+}
+
+TEST(MigrateValidation, DeadEntityInPlanIsStructuredError) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  // An element of part 1 is not a live handle on part 0.
+  dist::MigrationPlan plan(3);
+  Ent foreign = pm->part(1).elements().front();
+  // Make sure the handle really is dead on part 0 (pool sizes may differ).
+  if (pm->part(0).mesh().alive(foreign)) {
+    // Destroy the same-handle element on part 0 to force deadness.
+    pm->part(0).mesh().destroy(foreign);
+    pm->part(0).sweepDeadRemotes();
+  }
+  plan[0][foreign] = 1;
+  const std::uint64_t before = pm->fingerprint();
+  try {
+    pm->migrate(plan);
+    FAIL() << "accepted dead entity";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_NE(e.detail().find("dead entity"), std::string::npos);
+  }
+  EXPECT_EQ(pm->fingerprint(), before);
+}
+
+TEST(MigrateValidation, NonElementEntryIsStructuredError) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  dist::MigrationPlan plan(3);
+  // A vertex is not an element; the plan must be rejected up front.
+  Ent v;
+  for (Ent e : pm->part(0).mesh().entities(0)) {
+    v = e;
+    break;
+  }
+  plan[0][v] = 1;
+  const std::uint64_t before = pm->fingerprint();
+  try {
+    pm->migrate(plan);
+    FAIL() << "accepted non-element entry";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_NE(e.detail().find("not an element"), std::string::npos);
+  }
+  EXPECT_EQ(pm->fingerprint(), before);
+}
+
+/// --- verify() ghost diagnostics (satellite b) ----------------------------
+
+TEST(VerifyGhosts, DetectsDeadGhostWithNamedInvariant) {
+  auto gen = meshgen::boxTris(5, 5);
+  auto pm = makeMesh(gen, 3);
+  pm->ghostLayers(1);
+  ASSERT_NO_THROW(pm->verify());
+  // Destroy one ghost element behind the bookkeeping's back: verify() must
+  // name the broken ghost invariant instead of passing or crashing.
+  bool destroyed = false;
+  for (PartId p = 0; p < pm->parts() && !destroyed; ++p) {
+    auto& part = pm->part(p);
+    for (Ent e : part.mesh().entities(pm->dim())) {
+      if (!part.isGhost(e)) continue;
+      part.mesh().destroy(e);
+      destroyed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(destroyed) << "ghosting produced no ghost elements";
+  try {
+    pm->verify();
+    FAIL() << "verify passed with a dead ghost";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(VerifyGhosts, DetectsGhostTrackingBrokenOnOwner) {
+  auto gen = meshgen::boxTris(5, 5);
+  auto pm = makeMesh(gen, 3);
+  pm->ghostLayers(1);
+  // Break one owner-side tracked copy by corrupting the ghost's source
+  // part's record via a round-trip: destroy the ghost AND remove its
+  // ghost_source record, leaving the owner pointing at a dead target (a
+  // stale syncGhostTags destination).
+  bool broke = false;
+  for (PartId p = 0; p < pm->parts() && !broke; ++p) {
+    auto& part = pm->part(p);
+    for (Ent e : part.mesh().entities(pm->dim())) {
+      if (part.ghostCopies(e) == nullptr) continue;
+      // e is a real entity with tracked ghost copies; kill one target.
+      const auto copies = *part.ghostCopies(e);
+      auto& qpart = pm->part(copies.front().part);
+      qpart.mesh().destroy(copies.front().ent);
+      broke = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(broke) << "no tracked ghost copies found";
+  EXPECT_THROW(pm->verify(), std::logic_error);
+}
+
+/// --- explicit transactional mode ----------------------------------------
+
+TEST(Transactional, ModeIsStickyAndHarmlessWithoutFaults) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  pm->setTransactional(true);
+  EXPECT_TRUE(pm->transactional());
+  common::Rng rng(3);
+  const auto n2 = pm->globalCount(2);
+  // Clean run under transactional mode: snapshots taken, commits happen.
+  for (int round = 0; round < 3; ++round) {
+    pm->migrate(randomPlan(*pm, rng, 0.2));
+    pm->verify();
+  }
+  EXPECT_EQ(pm->globalCount(2), n2);
+}
+
+TEST(Transactional, FingerprintIsStateSensitive) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  const auto before = pm->fingerprint();
+  EXPECT_EQ(before, pm->fingerprint()) << "fingerprint must be deterministic";
+  common::Rng rng(5);
+  dist::MigrationPlan plan;
+  do {
+    plan = randomPlan(*pm, rng, 0.3);
+  } while (std::all_of(plan.begin(), plan.end(),
+                       [](const auto& m) { return m.empty(); }));
+  pm->migrate(plan);
+  EXPECT_NE(pm->fingerprint(), before)
+      << "fingerprint must change when elements move";
+}
+
+}  // namespace
