@@ -25,16 +25,24 @@ void BM_GhostOneLayer(benchmark::State& state) {
   auto gen = meshgen::boxTets(12, 12, 12);
   auto pm = makeParted(gen, nparts);
   std::size_t ghosts = 0;
+  std::uint64_t logical_msgs = 0, physical_msgs = 0;
   for (auto _ : state) {
+    pm->network().resetStats();
     pm->ghostLayers(1);
     ghosts = 0;
     for (dist::PartId p = 0; p < pm->parts(); ++p)
       ghosts += pm->part(p).ghostCount();
+    logical_msgs = pm->network().stats().messages_sent;
+    physical_msgs = pm->network().stats().physical_messages;
     state.PauseTiming();
     pm->unghost();
     state.ResumeTiming();
   }
   state.SetLabel(std::to_string(ghosts) + " ghost entities");
+  state.counters["logical_msgs"] =
+      benchmark::Counter(static_cast<double>(logical_msgs));
+  state.counters["physical_msgs"] =
+      benchmark::Counter(static_cast<double>(physical_msgs));
 }
 BENCHMARK(BM_GhostOneLayer)
     ->Arg(2)

@@ -90,15 +90,24 @@ class PartMap {
 
 /// Bulk-synchronous message transport between parts.
 ///
+/// Posting is cheap and delivery is batched: send() stages the payload in a
+/// per-thread vector (no lock from handler threads), and the next phase
+/// boundary merges all stages, coalescing every payload bound for the same
+/// (from, to) pair into one *physical* message — a segment of
+/// length-prefixed sub-messages, split back into individual handler calls
+/// on delivery. Stats follow the same contract as pcu::CommStats:
+/// logical/on-node/off-node counters always count the payloads the
+/// operation posted; `physical_*` counts coalesced segments.
+///
 /// While a fault plan or checksum-verify mode is active
-/// (pcu::faults::framingEnabled()) every message is framed with a
-/// per-(from,to)-channel sequence number and payload CRC. Delivery then
-/// verifies each destination's batch before any handler runs: corruption,
-/// duplication and loss are surfaced as structured pcu::Error values, and
-/// per-channel FIFO order is restored under injected reordering. Because
-/// the transport is bulk-synchronous, loss is detected deterministically at
-/// the phase boundary (a sequence gap against the sender's counter) — no
-/// timeout needed at this layer.
+/// (pcu::faults::framingEnabled()) every physical message is framed with a
+/// per-(from,to)-channel sequence number and payload CRC — one seq/CRC per
+/// coalesced segment. Delivery then verifies each destination's batch
+/// before any handler runs: corruption, duplication and loss are surfaced
+/// as structured pcu::Error values, and per-channel FIFO order is restored
+/// under injected reordering. Because the transport is bulk-synchronous,
+/// loss is detected deterministically at the phase boundary (a sequence gap
+/// against the sender's counter) — no timeout needed at this layer.
 class Network {
  public:
   explicit Network(PartMap map)
@@ -108,55 +117,35 @@ class Network {
   [[nodiscard]] int parts() const { return map_.parts(); }
 
   /// Post a message; it is delivered at the next deliverAll(). Thread-safe
-  /// when called from concurrent part handlers (deliverAllThreaded).
+  /// when called from concurrent part handlers (deliverAllThreaded): a
+  /// worker thread's sends go to its private staging vector without
+  /// touching the transport mutex; sends from any other thread stage under
+  /// the mutex. Per-channel posting order is preserved either way (one
+  /// destination part's handler runs entirely on one worker).
   void send(PartId from, PartId to, pcu::OutBuffer buf) {
     if (pcu::trace::enabled())
       pcu::trace::sendAs(from, to, static_cast<std::int64_t>(buf.size()),
                          "net");
-    std::lock_guard<std::mutex> lock(mutex_);
-    // Stats account the payload the operation posted, framed or not.
-    stats_.messages_sent += 1;
-    stats_.bytes_sent += buf.size();
-    if (map_.sameNode(from, to)) {
-      stats_.on_node_messages += 1;
-      stats_.on_node_bytes += buf.size();
-    } else {
-      stats_.off_node_messages += 1;
-      stats_.off_node_bytes += buf.size();
-    }
-    auto& box = boxes_[static_cast<std::size_t>(to)];
-    if (!pcu::faults::framingEnabled()) {
-      box.push_back(Pending{from, std::move(buf).take(), 0});
+    auto& slot = tlsSlot();
+    if (slot.net == this) {
+      slot.stage->push_back(StagedMsg{from, to, std::move(buf).take()});
       return;
     }
-    const std::uint64_t seq = send_seq_[channelKey(from, to)]++;
-    auto framed = pcu::faults::frame(seq, std::move(buf).take());
-    switch (pcu::faults::decide(from, to, kNetChannelTag, seq)) {
-      case pcu::faults::Action::kDeliver:
-        break;
-      case pcu::faults::Action::kCorrupt:
-        pcu::faults::corruptFrame(framed, from, to, kNetChannelTag, seq);
-        break;
-      case pcu::faults::Action::kDrop:
-        return;  // detected at delivery as a sequence gap
-      case pcu::faults::Action::kDuplicate:
-        box.push_back(Pending{from, std::vector<std::byte>(framed), seq});
-        break;
-      case pcu::faults::Action::kDelay:
-        // Deliver behind the message currently at the back of the box (a
-        // per-channel reorder when that message shares the channel).
-        if (!box.empty()) {
-          box.insert(box.end() - 1, Pending{from, std::move(framed), seq});
-          return;
-        }
-        break;
-    }
-    box.push_back(Pending{from, std::move(framed), seq});
+    std::lock_guard<std::mutex> lock(mutex_);
+    stageLocked(from, to, std::move(buf).take());
   }
 
-  /// True when any message is pending.
+  /// Enable (default) or disable per-(from,to) coalescing of staged
+  /// payloads into one physical message. With coalescing off each payload
+  /// travels as its own physical message (physical == logical), which is
+  /// the A/B baseline the benches and equivalence tests compare against.
+  void setCoalescing(bool on) { coalesce_ = on; }
+  [[nodiscard]] bool coalescing() const { return coalesce_; }
+
+  /// True when any message is pending (staged or already flushed).
   [[nodiscard]] bool pending() const {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (!staged_groups_.empty()) return true;
     for (const auto& box : boxes_)
       if (!box.empty()) return true;
     return false;
@@ -199,8 +188,14 @@ class Network {
           handler,
       int threads) {
     auto taken = takeVerified();
+    // Each worker stages its handlers' replies privately; the stages are
+    // merged (in worker order) after the join, so handler sends never
+    // contend on the transport mutex.
+    std::vector<std::vector<StagedMsg>> stages(
+        static_cast<std::size_t>(threads));
     std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
+    auto worker = [&](std::vector<StagedMsg>* stage) {
+      TlsGuard guard(this, stage);
       for (;;) {
         const std::size_t to = next.fetch_add(1);
         if (to >= taken.size()) return;
@@ -209,8 +204,12 @@ class Network {
     };
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < threads; ++t)
+      pool.emplace_back(worker, &stages[static_cast<std::size_t>(t)]);
     for (auto& t : pool) t.join();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& stage : stages)
+      for (auto& m : stage) stageLocked(m.from, m.to, std::move(m.bytes));
   }
 
   [[nodiscard]] const pcu::CommStats& stats() const { return stats_; }
@@ -223,11 +222,15 @@ class Network {
     map_.setParts(static_cast<int>(boxes_.size()));
   }
 
-  /// Forget every pending message and all channel sequence state. Used by
-  /// the transactional abort path (PartedMesh) so a rolled-back operation
-  /// leaves the transport exactly as if it had never run.
+  /// Forget every pending message (staged or flushed) and all channel
+  /// sequence state. Used by the transactional abort path (PartedMesh) so a
+  /// rolled-back operation leaves the transport exactly as if it had never
+  /// run.
   void resetTransport() {
     std::lock_guard<std::mutex> lock(mutex_);
+    staged_groups_.clear();
+    group_of_.clear();
+    last_key_ = kNoKey;
     for (auto& box : boxes_) box.clear();
     send_seq_.clear();
     for (auto& chan : recv_seq_) chan.clear();
@@ -239,10 +242,57 @@ class Network {
   }
 
  private:
+  /// One physical (possibly coalesced) message queued for delivery. In the
+  /// fast path (no fault framing) the logical payloads ride in `bodies`,
+  /// moved end to end with zero copies; while framing is active they are
+  /// serialized into `bytes` as one contiguous length-prefixed segment so a
+  /// single seq/CRC covers the whole physical message.
   struct Pending {
     PartId from;
     std::vector<std::byte> bytes;
+    std::vector<std::vector<std::byte>> bodies;
     std::uint64_t seq = 0;
+  };
+
+  /// One logical payload as posted by send() from a worker thread, before
+  /// it is merged into the staged groups.
+  struct StagedMsg {
+    PartId from;
+    PartId to;
+    std::vector<std::byte> bytes;
+  };
+
+  /// One open coalescing group: every payload staged for (from, to) since
+  /// the last flush, in posting order.
+  struct Group {
+    PartId from = 0;
+    PartId to = 0;
+    std::vector<std::vector<std::byte>> bodies;
+    std::uint64_t logical_bytes = 0;
+  };
+
+  /// Thread-local binding of a worker thread to its staging vector; set by
+  /// deliverAllThreaded for the duration of the worker loop.
+  struct TlsSlot {
+    const Network* net = nullptr;
+    std::vector<StagedMsg>* stage = nullptr;
+  };
+  static TlsSlot& tlsSlot() {
+    thread_local TlsSlot slot;
+    return slot;
+  }
+  class TlsGuard {
+   public:
+    TlsGuard(const Network* net, std::vector<StagedMsg>* stage)
+        : saved_(tlsSlot()) {
+      tlsSlot() = TlsSlot{net, stage};
+    }
+    ~TlsGuard() { tlsSlot() = saved_; }
+    TlsGuard(const TlsGuard&) = delete;
+    TlsGuard& operator=(const TlsGuard&) = delete;
+
+   private:
+    TlsSlot saved_;
   };
 
   [[nodiscard]] static std::uint64_t channelKey(PartId from, PartId to) {
@@ -251,16 +301,126 @@ class Network {
            static_cast<std::uint32_t>(to);
   }
 
-  /// Swap out the pending boxes and, while framing is active, verify every
-  /// destination's batch before any handler runs. Verification is
-  /// single-threaded and happens up front in both delivery modes, so a bad
-  /// batch aborts the phase deterministically with no handler side effects.
+  /// Stage one logical payload, coalescing it into the open (from, to)
+  /// group — created on first appearance, so groups keep first-appearance
+  /// order and payloads within a group keep posting order. The payload is
+  /// moved straight into its group (no intermediate queue); a one-entry
+  /// channel cache skips the map lookup for the common case of consecutive
+  /// sends to the same destination. Caller holds mutex_.
+  void stageLocked(PartId from, PartId to, std::vector<std::byte> bytes) {
+    std::size_t gi;
+    if (coalesce_) {
+      const std::uint64_t key = channelKey(from, to);
+      if (key == last_key_) {
+        gi = last_group_;
+      } else {
+        auto [it, fresh] = group_of_.try_emplace(key, staged_groups_.size());
+        if (fresh) {
+          staged_groups_.emplace_back();
+          staged_groups_.back().from = from;
+          staged_groups_.back().to = to;
+        }
+        gi = it->second;
+        last_key_ = key;
+        last_group_ = gi;
+      }
+    } else {
+      gi = staged_groups_.size();
+      staged_groups_.emplace_back();
+      staged_groups_.back().from = from;
+      staged_groups_.back().to = to;
+    }
+    auto& g = staged_groups_[gi];
+    g.logical_bytes += bytes.size();
+    g.bodies.push_back(std::move(bytes));
+  }
+
+  /// Post every staged group as one physical message (stats, framing, and
+  /// fault injection apply per physical message). Caller holds mutex_.
+  void flushStageLocked() {
+    if (staged_groups_.empty()) return;
+    for (auto& g : staged_groups_)
+      postSegmentLocked(g.from, g.to, std::move(g.bodies), g.logical_bytes);
+    staged_groups_.clear();
+    group_of_.clear();
+    last_key_ = kNoKey;
+  }
+
+  /// Account and enqueue one physical (coalesced) message. Caller holds
+  /// mutex_.
+  void postSegmentLocked(PartId from, PartId to,
+                         std::vector<std::vector<std::byte>> bodies,
+                         std::uint64_t logical_bytes) {
+    // Logical counters account what the operations posted; physical
+    // counters account what crosses the transport (see class comment). The
+    // physical byte size is the segment form either way: payload bytes plus
+    // one u32 length prefix per logical sub-message.
+    const auto logical_count = static_cast<std::uint64_t>(bodies.size());
+    stats_.messages_sent += logical_count;
+    stats_.bytes_sent += logical_bytes;
+    stats_.physical_messages += 1;
+    stats_.physical_bytes += logical_bytes + sizeof(std::uint32_t) * logical_count;
+    if (map_.sameNode(from, to)) {
+      stats_.on_node_messages += logical_count;
+      stats_.on_node_bytes += logical_bytes;
+    } else {
+      stats_.off_node_messages += logical_count;
+      stats_.off_node_bytes += logical_bytes;
+    }
+    auto& box = boxes_[static_cast<std::size_t>(to)];
+    if (!pcu::faults::framingEnabled()) {
+      // Fast path: logical payloads are moved, never re-serialized.
+      box.push_back(Pending{from, {}, std::move(bodies), 0});
+      return;
+    }
+    // Framed path: one contiguous segment so a single seq/CRC covers the
+    // whole physical message.
+    pcu::OutBuffer segment;
+    segment.reserve(static_cast<std::size_t>(logical_bytes) +
+                    sizeof(std::uint32_t) * bodies.size());
+    for (const auto& b : bodies) {
+      segment.pack<std::uint32_t>(static_cast<std::uint32_t>(b.size()));
+      segment.packBytes(b.data(), b.size());
+    }
+    bodies.clear();
+    const std::uint64_t seq = send_seq_[channelKey(from, to)]++;
+    auto framed = pcu::faults::frame(seq, std::move(segment).take());
+    switch (pcu::faults::decide(from, to, kNetChannelTag, seq)) {
+      case pcu::faults::Action::kDeliver:
+        break;
+      case pcu::faults::Action::kCorrupt:
+        pcu::faults::corruptFrame(framed, from, to, kNetChannelTag, seq);
+        break;
+      case pcu::faults::Action::kDrop:
+        return;  // detected at delivery as a sequence gap
+      case pcu::faults::Action::kDuplicate:
+        box.push_back(Pending{from, std::vector<std::byte>(framed), {}, seq});
+        break;
+      case pcu::faults::Action::kDelay:
+        // Deliver behind the message currently at the back of the box (a
+        // per-channel reorder when that message shares the channel).
+        if (!box.empty()) {
+          box.insert(box.end() - 1,
+                     Pending{from, std::move(framed), {}, seq});
+          return;
+        }
+        break;
+    }
+    box.push_back(Pending{from, std::move(framed), {}, seq});
+  }
+
+  /// Flush the stage, swap out the pending boxes and, while framing is
+  /// active, verify every destination's batch before any handler runs.
+  /// Verification is single-threaded and happens up front in both delivery
+  /// modes, so a bad batch aborts the phase deterministically with no
+  /// handler side effects.
   std::vector<std::deque<Pending>> takeVerified() {
     std::vector<std::deque<Pending>> taken(boxes_.size());
     const bool framed = pcu::faults::framingEnabled();
     std::vector<std::unordered_map<PartId, std::uint64_t>> posted;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      flushStageLocked();
       taken.swap(boxes_);
       if (framed) {
         // Snapshot the per-channel send counters: bulk synchrony means
@@ -353,10 +513,11 @@ class Network {
     }
   }
 
-  /// Hand one destination part its pending messages, attributing the
-  /// delivery scope and each received message to that part ("rank" = part
-  /// id in the trace). Used by both sequential and threaded delivery, so
-  /// per-part trace events exist in either mode.
+  /// Hand one destination part its pending messages, splitting each
+  /// physical segment back into its logical sub-messages and attributing
+  /// the delivery scope and each logical message to that part ("rank" =
+  /// part id in the trace, in logical units). Used by both sequential and
+  /// threaded delivery, so per-part trace events exist in either mode.
   void deliverTo(
       PartId to, std::deque<Pending>& box,
       const std::function<void(PartId, PartId, pcu::InBuffer)>& handler) {
@@ -364,18 +525,43 @@ class Network {
     const bool traced = pcu::trace::enabled();
     if (traced) pcu::trace::beginAs(to, "net:deliver");
     for (auto& msg : box) {
-      if (traced)
-        pcu::trace::recvAs(to, msg.from,
-                           static_cast<std::int64_t>(msg.bytes.size()),
-                           "net");
-      handler(to, msg.from, pcu::InBuffer(std::move(msg.bytes)));
+      if (!msg.bodies.empty()) {
+        // Fast path: logical payloads arrive pre-split, moved with no copy.
+        for (auto& b : msg.bodies) {
+          if (traced)
+            pcu::trace::recvAs(to, msg.from,
+                               static_cast<std::int64_t>(b.size()), "net");
+          handler(to, msg.from, pcu::InBuffer(std::move(b)));
+        }
+        continue;
+      }
+      // Framed path: split the verified contiguous segment.
+      pcu::InBuffer segment(std::move(msg.bytes));
+      while (!segment.done()) {
+        const auto len = segment.unpack<std::uint32_t>();
+        pcu::InBuffer body(segment.unpackRaw(len));
+        if (traced)
+          pcu::trace::recvAs(to, msg.from,
+                             static_cast<std::int64_t>(body.size()), "net");
+        handler(to, msg.from, std::move(body));
+      }
     }
     if (traced) pcu::trace::endAs(to, "net:deliver");
   }
   PartMap map_;
   mutable std::mutex mutex_;
   std::vector<std::deque<Pending>> boxes_;
+  /// Payloads staged since the last flush, already coalesced into
+  /// per-(from, to) groups: driver-thread sends stage directly, worker-stage
+  /// replies merge in after each threaded delivery. Guarded by mutex_, with
+  /// a one-entry cache for the channel of the previous send.
+  static constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+  std::vector<Group> staged_groups_;
+  std::unordered_map<std::uint64_t, std::size_t> group_of_;
+  std::uint64_t last_key_ = kNoKey;
+  std::size_t last_group_ = 0;
   pcu::CommStats stats_;
+  bool coalesce_ = true;
   int delivery_threads_ = 0;
   // Framed-channel state (active only while faults::framingEnabled()).
   // send_seq_ is guarded by mutex_ (handlers send concurrently in threaded

@@ -14,6 +14,7 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
   pcu::trace::Scope trace_scope("parma:balance");
   BalanceReport report;
   report.initial_imbalance = entityBalance(pm, first_dim).imbalance;
+  const pcu::CommStats net_before = pm.network().stats();
 
   ImproveOptions improve_opts = opts.improve;
   improve_opts.tolerance = opts.tolerance;
@@ -47,6 +48,10 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
     }
   }
   report.final_imbalance = entityBalance(pm, first_dim).imbalance;
+  const pcu::CommStats& net_after = pm.network().stats();
+  report.messages_logical = net_after.messages_sent - net_before.messages_sent;
+  report.messages_physical =
+      net_after.physical_messages - net_before.physical_messages;
   return report;
 }
 

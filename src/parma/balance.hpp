@@ -8,6 +8,8 @@
 /// Sec. III procedures "work independently of, or in conjunction with",
 /// each other — this is the conjunction).
 
+#include <cstdint>
+
 #include "parma/heavysplit.hpp"
 #include "parma/improve.hpp"
 
@@ -31,6 +33,11 @@ struct BalanceReport {
   /// balancing degrades gracefully instead of corrupting the mesh.
   int rounds_faulted = 0;
   std::string last_error;  ///< what() of the most recent aborted round
+  /// Transport traffic this balance run generated, from the Network stats
+  /// delta: payloads the rounds posted (logical) vs coalesced messages
+  /// that actually crossed the transport (physical ≤ logical).
+  std::uint64_t messages_logical = 0;
+  std::uint64_t messages_physical = 0;
 };
 
 /// Balance `pm` for `priority` (e.g. "Vtx>Rgn"); alternates heavy part

@@ -56,6 +56,10 @@ class OutBuffer {
     bytes_.insert(bytes_.end(), src, src + n);
   }
 
+  /// Pre-size the underlying storage (e.g. when the total coalesced
+  /// segment size is known up front).
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
   [[nodiscard]] std::size_t size() const { return bytes_.size(); }
   [[nodiscard]] bool empty() const { return bytes_.empty(); }
   [[nodiscard]] const std::byte* data() const { return bytes_.data(); }
@@ -106,6 +110,17 @@ class InBuffer {
     std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
     return v;
+  }
+
+  /// Consume `n` raw bytes (no length prefix) into a fresh buffer. Used to
+  /// split a coalesced segment back into its logical sub-messages.
+  std::vector<std::byte> unpackRaw(std::size_t n) {
+    assert(pos_ + n <= bytes_.size() && "unpackRaw past end of buffer");
+    std::vector<std::byte> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                               bytes_.begin() +
+                                   static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
   }
 
   /// Bytes not yet consumed.

@@ -15,22 +15,54 @@ namespace detail {
 void Mailbox::push(int source, int tag, std::vector<std::byte> bytes) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(Raw{source, tag, std::move(bytes)});
+    inbox_.push_back(Raw{source, tag, std::move(bytes)});
   }
-  cv_.notify_all();
+  cv_.notify_one();
+}
+
+void Mailbox::pushMany(std::vector<Raw> batch) {
+  if (batch.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (inbox_.empty()) {
+      inbox_ = std::move(batch);
+    } else {
+      inbox_.reserve(inbox_.size() + batch.size());
+      for (auto& m : batch) inbox_.push_back(std::move(m));
+    }
+  }
+  cv_.notify_one();
+}
+
+void Mailbox::reserveInbound(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  inbox_.reserve(inbox_.size() + n);
+}
+
+bool Mailbox::takeLocal(int source, int tag, Raw& out) {
+  auto it = std::find_if(local_.begin(), local_.end(),
+                         [&](const Raw& s) { return matches(s, source, tag); });
+  if (it == local_.end()) return false;
+  out = std::move(*it);
+  local_.erase(it);
+  return true;
 }
 
 bool Mailbox::pop(int source, int tag, int timeout_ms, Raw& out) {
+  // Fast path: the consumer-private queue already holds a match — no lock.
+  if (takeLocal(source, tag, out)) return true;
   std::unique_lock<std::mutex> lock(mutex_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
-    auto it = std::find_if(queue_.begin(), queue_.end(),
-                           [&](const Raw& s) { return matches(s, source, tag); });
-    if (it != queue_.end()) {
-      out = std::move(*it);
-      queue_.erase(it);
-      return true;
+    if (!inbox_.empty()) {
+      // Drain the whole inbox in one swap; scan it outside the lock.
+      for (auto& m : inbox_) local_.push_back(std::move(m));
+      inbox_.clear();
+      lock.unlock();
+      if (takeLocal(source, tag, out)) return true;
+      lock.lock();
+      continue;  // inbox may have refilled while unlocked
     }
     if (timeout_ms <= 0) {
       cv_.wait(lock);
@@ -41,8 +73,12 @@ bool Mailbox::pop(int source, int tag, int timeout_ms, Raw& out) {
 }
 
 bool Mailbox::probe(int source, int tag) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return std::any_of(queue_.begin(), queue_.end(),
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& m : inbox_) local_.push_back(std::move(m));
+    inbox_.clear();
+  }
+  return std::any_of(local_.begin(), local_.end(),
                      [&](const Raw& s) { return matches(s, source, tag); });
 }
 
@@ -77,6 +113,8 @@ void Comm::send(int dest, int tag, std::vector<std::byte> bytes) {
 void Comm::accountSend(int dest, std::size_t payload_bytes) {
   stats_.messages_sent += 1;
   stats_.bytes_sent += payload_bytes;
+  stats_.physical_messages += 1;
+  stats_.physical_bytes += payload_bytes;
   if (sameNode(dest)) {
     stats_.on_node_messages += 1;
     stats_.on_node_bytes += payload_bytes;
@@ -87,6 +125,24 @@ void Comm::accountSend(int dest, std::size_t payload_bytes) {
   if (trace::enabled())
     trace::sendAs(rank_, dest, static_cast<std::int64_t>(payload_bytes),
                   "pcu");
+}
+
+void Comm::accountSendCoalesced(int dest, std::uint64_t logical_count,
+                                std::uint64_t logical_bytes,
+                                std::size_t physical_bytes) {
+  stats_.messages_sent += logical_count;
+  stats_.bytes_sent += logical_bytes;
+  stats_.physical_messages += 1;
+  stats_.physical_bytes += physical_bytes;
+  if (sameNode(dest)) {
+    stats_.on_node_messages += logical_count;
+    stats_.on_node_bytes += logical_bytes;
+  } else {
+    stats_.off_node_messages += logical_count;
+    stats_.off_node_bytes += logical_bytes;
+  }
+  // No trace event here: the caller attributes logical payloads itself so
+  // the trace report stays in logical units (byte conservation per pair).
 }
 
 void Comm::push(int dest, int tag, std::vector<std::byte> bytes) {
@@ -103,6 +159,10 @@ void Comm::sendFramed(int dest, int tag, std::vector<std::byte> payload) {
   // Stats and trace account the payload (what the application sent), so
   // byte-conservation invariants hold whether or not framing is active.
   accountSend(dest, payload.size());
+  postFramed(dest, tag, std::move(payload));
+}
+
+void Comm::postFramed(int dest, int tag, std::vector<std::byte> payload) {
   const std::uint64_t seq = send_seq_[channelKey(dest, tag)]++;
   auto framed = faults::frame(seq, std::move(payload));
   switch (faults::decide(rank_, dest, tag, seq)) {
@@ -128,6 +188,22 @@ void Comm::flushDelayed() {
   delayed_.clear();
 }
 
+void Comm::sendCoalesced(int dest, int tag, std::vector<std::byte> segment,
+                         std::uint64_t logical_count,
+                         std::uint64_t logical_bytes) {
+  assert(tag >= 0 && "negative tags are reserved for collectives");
+  accountSendCoalesced(dest, logical_count, logical_bytes, segment.size());
+  if (faults::framingEnabled()) {
+    postFramed(dest, tag, std::move(segment));
+    return;
+  }
+  push(dest, tag, std::move(segment));
+}
+
+void Comm::reserveInbound(std::size_t n) {
+  group_->boxes_[rank_].reserveInbound(n);
+}
+
 detail::Mailbox::Raw Comm::popWatchdog(int source, int tag) {
   const int wd = faults::watchdogMs();
   detail::Mailbox::Raw raw;
@@ -138,24 +214,30 @@ detail::Mailbox::Raw Comm::popWatchdog(int source, int tag) {
   return raw;
 }
 
-Message Comm::recv(int source, int tag) {
+Message Comm::recv(int source, int tag) { return recvImpl(source, tag, true); }
+
+Message Comm::recvUntraced(int source, int tag) {
+  return recvImpl(source, tag, false);
+}
+
+Message Comm::recvImpl(int source, int tag, bool traced) {
   if (faults::framingEnabled()) {
     // Our own held-back messages must not deadlock us while we block.
     flushDelayed();
-    if (tag >= 0) return recvFramed(source, tag);
+    if (tag >= 0) return recvFramed(source, tag, traced);
   }
   auto raw = popWatchdog(source, tag);
   Message m;
   m.source = raw.source;
   m.tag = raw.tag;
   m.body = InBuffer(std::move(raw.bytes));
-  if (trace::enabled())
+  if (traced && trace::enabled())
     trace::recvAs(rank_, m.source, static_cast<std::int64_t>(m.body.size()),
                   "pcu");
   return m;
 }
 
-Message Comm::recvFramed(int source, int tag) {
+Message Comm::recvFramed(int source, int tag, bool traced) {
   for (;;) {
     // Serve any stashed out-of-order message that has become current.
     for (auto it = reorder_stash_.begin(); it != reorder_stash_.end(); ++it) {
@@ -166,7 +248,7 @@ Message Comm::recvFramed(int source, int tag) {
       ++expected;
       Message m = std::move(it->msg);
       reorder_stash_.erase(it);
-      if (trace::enabled())
+      if (traced && trace::enabled())
         trace::recvAs(rank_, m.source,
                       static_cast<std::int64_t>(m.body.size()), "pcu");
       return m;
@@ -193,7 +275,7 @@ Message Comm::recvFramed(int source, int tag) {
       continue;
     }
     ++expected;
-    if (trace::enabled())
+    if (traced && trace::enabled())
       trace::recvAs(rank_, m.source, static_cast<std::int64_t>(m.body.size()),
                     "pcu");
     return m;
@@ -293,18 +375,132 @@ std::vector<std::vector<std::byte>> Comm::gather(int root,
 
 std::vector<std::vector<std::byte>> Comm::allgather(
     std::vector<std::byte> bytes) {
-  auto gathered = gather(0, std::move(bytes));
-  OutBuffer b;
-  if (rank_ == 0) {
-    b.pack<std::uint32_t>(static_cast<std::uint32_t>(gathered.size()));
-    for (auto& g : gathered) b.packVector(g);
+  // Recursive doubling: every rank carries a growing set of
+  // (origin rank, payload) pairs; after log2(P) pairwise swaps everyone
+  // holds all P payloads. This removes the root-0 serialization bottleneck
+  // of the old gather+broadcast (root packed and re-sent all P payloads).
+  // Non-power-of-two sizes fold the extra ranks in up front (as allreduce).
+  const int n = size();
+  std::vector<std::pair<int, std::vector<std::byte>>> carried;
+  carried.reserve(static_cast<std::size_t>(n));
+  carried.emplace_back(rank_, std::move(bytes));
+  auto packSet = [&]() {
+    OutBuffer b;
+    b.pack<std::uint32_t>(static_cast<std::uint32_t>(carried.size()));
+    for (auto& [r, payload] : carried) {
+      b.pack<std::int32_t>(r);
+      b.packVector(payload);
+    }
+    return std::move(b).take();
+  };
+  auto mergeSet = [&](Message m) {
+    const auto count = m.body.unpack<std::uint32_t>();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto r = m.body.unpack<std::int32_t>();
+      carried.emplace_back(r, m.body.unpackVector<std::byte>());
+    }
+  };
+  if (n > 1) {
+    int pof2 = 1;
+    while (pof2 * 2 <= n) pof2 *= 2;
+    const int rem = n - pof2;
+    if (rank_ >= pof2) {
+      // Extra rank: contribute to the partner, then receive the full set.
+      sendInternal(rank_ - pof2, kTagAllgather, packSet());
+      carried.clear();
+      mergeSet(recv(rank_ - pof2, kTagAllgather));
+    } else {
+      if (rank_ < rem) mergeSet(recv(rank_ + pof2, kTagAllgather));
+      for (int mask = 1; mask < pof2; mask <<= 1) {
+        const int peer = rank_ ^ mask;
+        sendInternal(peer, kTagAllgather, packSet());
+        mergeSet(recv(peer, kTagAllgather));
+      }
+      if (rank_ < rem) sendInternal(rank_ + pof2, kTagAllgather, packSet());
+    }
   }
-  auto flat = broadcast(0, std::move(b).take());
-  InBuffer in(std::move(flat));
-  const auto count = in.unpack<std::uint32_t>();
-  std::vector<std::vector<std::byte>> out(count);
-  for (std::uint32_t i = 0; i < count; ++i) out[i] = in.unpackVector<std::byte>();
+  std::vector<std::vector<std::byte>> out(n);
+  for (auto& [r, payload] : carried) out[r] = std::move(payload);
   return out;
+}
+
+long Comm::reduceScatterSum(
+    const std::vector<std::pair<int, long>>& contributions) {
+  const int n = size();
+  // Local pre-reduction into a sparse dest -> sum map.
+  std::unordered_map<int, long> acc;
+  for (const auto& [d, v] : contributions) {
+    assert(d >= 0 && d < n && "reduceScatterSum destination out of range");
+    acc[d] += v;
+  }
+  auto packMap = [](const std::unordered_map<int, long>& m) {
+    OutBuffer b;
+    b.pack<std::uint32_t>(static_cast<std::uint32_t>(m.size()));
+    for (const auto& [d, v] : m) {
+      b.pack<std::int32_t>(d);
+      b.pack<std::int64_t>(static_cast<std::int64_t>(v));
+    }
+    return std::move(b).take();
+  };
+  auto mergeMap = [](Message m, std::unordered_map<int, long>& into) {
+    const auto count = m.body.unpack<std::uint32_t>();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto d = m.body.unpack<std::int32_t>();
+      into[d] += static_cast<long>(m.body.unpack<std::int64_t>());
+    }
+  };
+  if (n > 1) {
+    int pof2 = 1;
+    while (pof2 * 2 <= n) pof2 *= 2;
+    const int rem = n - pof2;
+    if (rank_ >= pof2) {
+      // Extra rank: ship the whole sparse map to the partner, then receive
+      // the single scalar destined for this rank.
+      sendInternal(rank_ - pof2, kTagCount, packMap(acc));
+      Message m = recv(rank_ - pof2, kTagCount);
+      return static_cast<long>(m.body.unpack<std::int64_t>());
+    }
+    if (rank_ < rem) mergeMap(recv(rank_ + pof2, kTagCount), acc);
+    // Recursive halving over the power-of-two participants: each round the
+    // active index window [lo, lo+sz) splits in half; every rank ships the
+    // entries owned by the other half to its mirror partner and keeps its
+    // own half. Folded destinations d >= pof2 are owned by rank d - pof2.
+    // Per-rank traffic is O(map entries * log2 P), independent of P itself
+    // when the contribution pattern is sparse (the neighbour-count use).
+    int lo = 0;
+    int sz = pof2;
+    while (sz > 1) {
+      const int half = sz / 2;
+      const bool lower = rank_ < lo + half;
+      const int partner = lower ? rank_ + half : rank_ - half;
+      std::unordered_map<int, long> keep, give;
+      for (const auto& [d, v] : acc) {
+        const int owner = d < pof2 ? d : d - pof2;
+        const bool owner_lower = owner < lo + half;
+        if (owner_lower == lower)
+          keep[d] += v;
+        else
+          give[d] += v;
+      }
+      sendInternal(partner, kTagCount, packMap(give));
+      acc = std::move(keep);
+      mergeMap(recv(partner, kTagCount), acc);
+      if (!lower) lo += half;
+      sz = half;
+    }
+    // acc now holds only destinations owned by this rank: rank_ itself and,
+    // when rank_ < rem, the folded extra rank_ + pof2 — send the latter its
+    // scalar.
+    if (rank_ < rem) {
+      long extra = 0;
+      if (auto it = acc.find(rank_ + pof2); it != acc.end()) extra = it->second;
+      OutBuffer b;
+      b.pack<std::int64_t>(static_cast<std::int64_t>(extra));
+      sendInternal(rank_ + pof2, kTagCount, std::move(b).take());
+    }
+  }
+  const auto it = acc.find(rank_);
+  return it == acc.end() ? 0 : it->second;
 }
 
 Comm Comm::split(int color, int key) {

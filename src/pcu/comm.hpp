@@ -8,9 +8,10 @@
 /// the shared state for a fixed set of ranks, each rank runs on its own
 /// thread (see runtime.hpp), and a Comm is one rank's handle into the group.
 /// Point-to-point messages are copied through per-rank mailboxes; collectives
-/// (barrier, broadcast, reduce, allreduce, gather, allgather, exscan) are
-/// built on binomial trees over the same p2p layer, so they exercise the
-/// messaging code path exactly as an application message would.
+/// (barrier, broadcast, reduce, allreduce, gather, allgather, exscan,
+/// sparse reduce-scatter) are built on binomial trees and recursive
+/// doubling over the same p2p layer, so they exercise the messaging code
+/// path exactly as an application message would.
 ///
 /// Tags >= 0 are user tags; negative tags are reserved for collectives.
 
@@ -39,6 +40,14 @@ struct Message {
 };
 
 /// Per-Comm communication statistics, used by the two-level benches.
+///
+/// Accounting contract (coalescing-aware): `messages_sent`/`bytes_sent` and
+/// the on/off-node splits always count *logical* payloads — what the
+/// application posted — so byte-conservation invariants (and the trace
+/// report) are unchanged by transport-level coalescing. The `physical_*`
+/// counters record what actually crossed the transport: one physical
+/// message per coalesced segment, bytes including sub-message framing.
+/// Without coalescing, logical == physical.
 struct CommStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
@@ -46,6 +55,8 @@ struct CommStats {
   std::uint64_t on_node_bytes = 0;
   std::uint64_t off_node_messages = 0;
   std::uint64_t off_node_bytes = 0;
+  std::uint64_t physical_messages = 0;
+  std::uint64_t physical_bytes = 0;
 
   void reset() { *this = CommStats{}; }
   CommStats& operator+=(const CommStats& o) {
@@ -55,6 +66,8 @@ struct CommStats {
     on_node_bytes += o.on_node_bytes;
     off_node_messages += o.off_node_messages;
     off_node_bytes += o.off_node_bytes;
+    physical_messages += o.physical_messages;
+    physical_bytes += o.physical_bytes;
     return *this;
   }
 };
@@ -63,6 +76,13 @@ namespace detail {
 
 /// One rank's inbound message queue. Senders push; the owning rank pops with
 /// (source, tag) matching semantics like MPI_Recv.
+///
+/// Two-queue design: producers append to a mutex-protected inbox; the
+/// owning rank drains the whole inbox into a consumer-private queue in one
+/// lock acquisition and then matches against that queue lock-free. A
+/// receiver working through a batch of already-arrived messages therefore
+/// takes the lock once per batch, not once per message, and pushMany()
+/// posts a whole batch under one lock with a single wakeup.
 class Mailbox {
  public:
   /// A queued message in raw (possibly framed) form.
@@ -73,6 +93,11 @@ class Mailbox {
   };
 
   void push(int source, int tag, std::vector<std::byte> bytes);
+  /// Push a batch of messages under one lock with one wakeup.
+  void pushMany(std::vector<Raw> batch);
+  /// Capacity hint from a collectively agreed inbound count: pre-sizes the
+  /// inbox so a burst of pushes does not reallocate under the lock.
+  void reserveInbound(std::size_t n);
   /// Blocks until a message matching (source-or-any, tag) arrives. When
   /// timeout_ms > 0, gives up after that long and returns false (the
   /// watchdog path); with timeout_ms == 0 it waits forever.
@@ -84,9 +109,12 @@ class Mailbox {
   bool matches(const Raw& s, int source, int tag) const {
     return (source == kAnySource || s.source == source) && s.tag == tag;
   }
+  /// Owner-thread scan of the consumer-private queue; no lock.
+  bool takeLocal(int source, int tag, Raw& out);
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Raw> queue_;
+  std::vector<Raw> inbox_;  ///< producer side, guarded by mutex_
+  std::deque<Raw> local_;   ///< consumer side, owner thread only
 };
 
 }  // namespace detail
@@ -134,8 +162,23 @@ class Comm {
   /// structured pcu::Error on corruption, duplication, or watchdog timeout.
   void send(int dest, int tag, const OutBuffer& buf);
   void send(int dest, int tag, std::vector<std::byte> bytes);
+  /// Post one *physical* message whose payload packs `logical_count`
+  /// logical sub-messages totalling `logical_bytes` payload bytes
+  /// (phasedExchange's coalescing fast path). Stats count the logical
+  /// payloads on the logical/on-node/off-node counters and one message on
+  /// the physical counters; no trace event is recorded — the caller
+  /// attributes the logical payloads itself. Framing (when active) wraps
+  /// the whole segment: one seq/CRC per physical message.
+  void sendCoalesced(int dest, int tag, std::vector<std::byte> segment,
+                     std::uint64_t logical_count, std::uint64_t logical_bytes);
   Message recv(int source, int tag);
+  /// recv() without the per-message trace record: receives one physical
+  /// (possibly coalesced) message whose logical sub-messages the caller
+  /// traces individually after unpacking.
+  Message recvUntraced(int source, int tag);
   bool probe(int source, int tag);
+  /// Capacity hint for this rank's mailbox (see Mailbox::reserveInbound).
+  void reserveInbound(std::size_t n);
   /// Post any delay-injected messages still held back by the fault layer.
   /// Called automatically at recv() entry and by phasedExchange after its
   /// posting loop; harmless no-op otherwise.
@@ -171,6 +214,15 @@ class Comm {
   template <typename T>
   T exscanSum(T v);
 
+  /// Sparse reduce-scatter: every rank passes (destination rank, value)
+  /// contributions; each rank receives the sum of every value contributed
+  /// for *it*, across all ranks. Implemented as a hypercube recursive
+  /// halving over the sparse maps, so collective traffic is proportional to
+  /// the number of contributed entries (times at most log2 P hops) — not to
+  /// P. This is how phasedExchange agrees on per-rank inbound message
+  /// counts without shipping a size-P vector through an allreduce.
+  long reduceScatterSum(const std::vector<std::pair<int, long>>& contributions);
+
   /// --- communicator splitting -----------------------------------------
   /// Ranks with equal color form a subgroup; ranks ordered by (key, rank).
   /// Returns the new comm. The subgroup inherits a single-node machine (on
@@ -198,20 +250,31 @@ class Comm {
     kTagGather = -5,
     kTagScan = -6,
     kTagSplit = -7,
+    kTagAllreduce = -8,
+    kTagAllgather = -9,
+    kTagCount = -10,
   };
   void sendInternal(int dest, int tag, std::vector<std::byte> bytes);
   /// Framed send path (active while faults::framingEnabled()): assigns the
   /// channel sequence number, applies the fault decision, pushes frames.
   void sendFramed(int dest, int tag, std::vector<std::byte> payload);
+  /// Frame (seq + fault decision) and push one already-accounted payload.
+  void postFramed(int dest, int tag, std::vector<std::byte> payload);
   /// Stats + trace accounting for one outgoing payload.
   void accountSend(int dest, std::size_t payload_bytes);
+  /// Stats accounting for one coalesced segment (logical counters get the
+  /// payload totals, physical counters get the single segment); no trace.
+  void accountSendCoalesced(int dest, std::uint64_t logical_count,
+                            std::uint64_t logical_bytes,
+                            std::size_t physical_bytes);
   /// Raw mailbox push, no accounting.
   void push(int dest, int tag, std::vector<std::byte> bytes);
   /// Blocking pop with the faults watchdog applied; throws
   /// Error(kTimeout) naming the channel and this rank's last-known phase.
   detail::Mailbox::Raw popWatchdog(int source, int tag);
+  Message recvImpl(int source, int tag, bool traced);
   /// Framed receive: verify, deduplicate, restore per-channel order.
-  Message recvFramed(int source, int tag);
+  Message recvFramed(int source, int tag, bool traced);
 
   [[nodiscard]] static std::uint64_t channelKey(int peer, int tag) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
@@ -279,12 +342,43 @@ std::vector<T> Comm::reduce(int root, std::vector<T> local, Op op) {
 
 template <typename T, typename Op>
 std::vector<T> Comm::allreduce(std::vector<T> local, Op op) {
-  auto reduced = reduce(0, std::move(local), op);
-  OutBuffer b;
-  b.packVector(reduced);
-  auto bytes = broadcast(0, std::move(b).take());
-  InBuffer in(std::move(bytes));
-  return in.template unpackVector<T>();
+  // Recursive doubling: log2(P) rounds of pairwise exchange instead of a
+  // reduce-to-root followed by a broadcast, halving both the latency depth
+  // and the root's serialization bottleneck. `op` must be associative and
+  // commutative (sum/min/max — everything this library reduces with).
+  // Non-power-of-two sizes fold the extra ranks into the power-of-two set
+  // up front and ship them the result afterwards (MPICH-style).
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int n = size();
+  if (n == 1) return local;
+  int pof2 = 1;
+  while (pof2 * 2 <= n) pof2 *= 2;
+  const int rem = n - pof2;
+  auto packed = [&]() {
+    OutBuffer b;
+    b.packVector(local);
+    return std::move(b).take();
+  };
+  auto combine = [&](Message m) {
+    auto theirs = m.body.template unpackVector<T>();
+    assert(theirs.size() == local.size());
+    for (std::size_t i = 0; i < local.size(); ++i)
+      local[i] = op(local[i], theirs[i]);
+  };
+  if (rank_ >= pof2) {
+    // Extra rank: contribute to the partner, then wait for its result.
+    sendInternal(rank_ - pof2, kTagAllreduce, packed());
+    Message m = recv(rank_ - pof2, kTagAllreduce);
+    return m.body.template unpackVector<T>();
+  }
+  if (rank_ < rem) combine(recv(rank_ + pof2, kTagAllreduce));
+  for (int mask = 1; mask < pof2; mask <<= 1) {
+    const int peer = rank_ ^ mask;
+    sendInternal(peer, kTagAllreduce, packed());
+    combine(recv(peer, kTagAllreduce));
+  }
+  if (rank_ < rem) sendInternal(rank_ + pof2, kTagAllreduce, packed());
+  return local;
 }
 
 template <typename T>
@@ -320,20 +414,28 @@ std::vector<T> Comm::allgatherValue(T v) {
 template <typename T>
 T Comm::exscanSum(T v) {
   static_assert(std::is_trivially_copyable_v<T>);
-  // Linear chain scan: rank r receives the prefix from r-1, adds its value,
-  // forwards to r+1. O(P) latency is acceptable at in-process scales and
-  // keeps the implementation transparently correct.
-  T prefix{};
-  if (rank() > 0) {
-    Message m = recv(rank() - 1, kTagScan);
-    prefix = m.body.template unpack<T>();
+  // Distance-doubling scan (Hillis–Steele): after round k this rank's
+  // inclusive partial covers the 2^k ranks ending at it, so log2(P) rounds
+  // replace the old linear chain's O(P) latency. The exclusive prefix is
+  // carried alongside (excl = incl - v, maintained without subtraction so
+  // any additive T works). Works for every P, not just powers of two.
+  const int n = size();
+  T incl = v;
+  T excl{};
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (rank_ + mask < n) {
+      OutBuffer b;
+      b.pack(incl);
+      sendInternal(rank_ + mask, kTagScan, std::move(b).take());
+    }
+    if (rank_ - mask >= 0) {
+      Message m = recv(rank_ - mask, kTagScan);
+      const T theirs = m.body.template unpack<T>();
+      incl = static_cast<T>(theirs + incl);
+      excl = static_cast<T>(theirs + excl);
+    }
   }
-  if (rank() + 1 < size()) {
-    OutBuffer b;
-    b.pack(static_cast<T>(prefix + v));
-    sendInternal(rank() + 1, kTagScan, std::move(b).take());
-  }
-  return prefix;
+  return excl;
 }
 
 }  // namespace pcu

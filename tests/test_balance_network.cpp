@@ -70,6 +70,58 @@ TEST(Network, DeterministicDeliveryOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+/// Run one fixed traffic pattern through a Network: `per_pair` payloads for
+/// each (from, to) pair of a 2-node/4-part machine, crossing both on-node
+/// and off-node edges. Returns the stats after delivery.
+pcu::CommStats runPattern(bool coalesce, int per_pair,
+                          std::size_t* delivered = nullptr) {
+  dist::Network net(dist::PartMap(4, pcu::Machine(2, 2)));
+  net.setCoalescing(coalesce);
+  for (PartId from = 0; from < 4; ++from)
+    for (PartId to = 0; to < 4; ++to) {
+      if (to == from) continue;
+      for (int i = 0; i < per_pair; ++i) {
+        pcu::OutBuffer b;
+        b.pack<int>(i);
+        b.pack<int>(static_cast<int>(from) * 100 + static_cast<int>(to));
+        net.send(from, to, std::move(b));
+      }
+    }
+  std::size_t count = 0;
+  net.deliverAll([&](PartId to, PartId from, pcu::InBuffer body) {
+    EXPECT_LT(body.unpack<int>(), per_pair);
+    EXPECT_EQ(body.unpack<int>(),
+              static_cast<int>(from) * 100 + static_cast<int>(to));
+    ++count;
+  });
+  if (delivered) *delivered = count;
+  return net.stats();
+}
+
+TEST(Network, StatsSplitLogicalFromPhysicalAndCoalescingPreservesTotals) {
+  const int per_pair = 8;
+  std::size_t delivered_on = 0, delivered_off = 0;
+  const auto with = runPattern(true, per_pair, &delivered_on);
+  const auto without = runPattern(false, per_pair, &delivered_off);
+  // Same logical traffic delivered either way.
+  EXPECT_EQ(delivered_on, delivered_off);
+  EXPECT_EQ(delivered_on, static_cast<std::size_t>(4 * 3 * per_pair));
+  // Logical counters and the on/off-node byte split are invariant under
+  // coalescing; only the physical counters may differ.
+  EXPECT_EQ(with.messages_sent, without.messages_sent);
+  EXPECT_EQ(with.bytes_sent, without.bytes_sent);
+  EXPECT_EQ(with.on_node_messages, without.on_node_messages);
+  EXPECT_EQ(with.on_node_bytes, without.on_node_bytes);
+  EXPECT_EQ(with.off_node_messages, without.off_node_messages);
+  EXPECT_EQ(with.off_node_bytes, without.off_node_bytes);
+  // Physical never exceeds logical; coalescing collapses each pair's
+  // `per_pair` payloads into one segment, uncoalesced ships one each.
+  EXPECT_LE(with.physical_messages, with.messages_sent);
+  EXPECT_LE(without.physical_messages, without.messages_sent);
+  EXPECT_EQ(with.physical_messages, 4u * 3u);
+  EXPECT_EQ(without.physical_messages, without.messages_sent);
+}
+
 TEST(PartMap, ExplicitRanksOverrideBlockLayout) {
   dist::PartMap map(4, pcu::Machine(2, 2));
   EXPECT_EQ(map.rankOf(0), 0);
@@ -104,6 +156,10 @@ TEST(Balance, FacadeFixesAdaptationSpike) {
   EXPECT_LE(report.final_imbalance, 1.05 + 1e-9);
   EXPECT_GT(report.initial_imbalance, 1.5);
   EXPECT_GT(report.elements_migrated, 0u);
+  // Balance rounds ride on the coalescing transport: the report's traffic
+  // delta must show fewer (never more) physical messages than payloads.
+  EXPECT_GT(report.messages_logical, 0u);
+  EXPECT_LE(report.messages_physical, report.messages_logical);
 }
 
 TEST(Balance, MultiCriteriaFacade) {

@@ -273,6 +273,41 @@ TEST(PcuChaos, CertainDropTriggersCollectiveAbortNotHang) {
   }
 }
 
+TEST(PcuChaos, CorruptedCoalescedFrameAbortsPhaseCollectively) {
+  // With >= 8 payloads per peer the exchange ships one coalesced segment
+  // per neighbour, framed with a single seq/CRC. Corrupting every physical
+  // frame must abort the phase on *every* rank (local detection or
+  // kRemoteAbort via the error agreement), never deliver a payload.
+  faults::FaultPlan p;
+  p.seed = 4;
+  p.corrupt = 1.0;
+  p.watchdog_ms = 1000;
+  PlanGuard g(p);
+  std::atomic<int> aborted{0};
+  try {
+    pcu::run(6, [&](pcu::Comm& c) {
+      std::vector<std::pair<int, pcu::OutBuffer>> out;
+      for (int i = 0; i < 8; ++i) {
+        pcu::OutBuffer b;
+        b.pack<int>(i);
+        out.emplace_back((c.rank() + 1) % 6, std::move(b));
+      }
+      try {
+        pcu::phasedExchange(c, std::move(out));
+      } catch (const Error& e) {
+        EXPECT_TRUE(e.code() == ErrorCode::kCorruptPayload ||
+                    e.code() == ErrorCode::kRemoteAbort)
+            << e.what();
+        ++aborted;
+        throw;
+      }
+    });
+    FAIL() << "exchange with every coalesced frame corrupted completed";
+  } catch (const Error&) {
+  }
+  EXPECT_EQ(aborted.load(), 6) << "abort must be collective across ranks";
+}
+
 /// --- dist-level chaos ----------------------------------------------------
 
 double globalMeasure(dist::PartedMesh& pm) {
@@ -404,6 +439,32 @@ TEST(DistChaos, CertainLossAbortsMigrationWithExactRollback) {
     FAIL() << "migration with all messages dropped committed";
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kMessageLost) << e.what();
+    EXPECT_EQ(e.tag(), dist::kNetChannelTag);
+  }
+  EXPECT_EQ(pm->fingerprint(), before);
+  EXPECT_NO_THROW(pm->verify());
+}
+
+TEST(DistChaos, CertainCorruptionAbortsMigrationWithExactRollback) {
+  // Migration traffic is coalesced into one segment per (from, to) pair;
+  // corrupting every segment's frame must surface as a structured
+  // kCorruptPayload on the transport channel and roll the mesh back to the
+  // exact pre-migration state.
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = makeMesh(gen, 4);
+  common::Rng rng(29);
+  const auto plan = randomPlan(*pm, rng, 0.3);
+  const std::uint64_t before = pm->fingerprint();
+
+  faults::FaultPlan p;
+  p.seed = 8;
+  p.corrupt = 1.0;
+  PlanGuard g(p);
+  try {
+    pm->migrate(plan);
+    FAIL() << "migration with every coalesced segment corrupted committed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptPayload) << e.what();
     EXPECT_EQ(e.tag(), dist::kNetChannelTag);
   }
   EXPECT_EQ(pm->fingerprint(), before);

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -132,6 +134,94 @@ TEST(PcuStress, AllRanksSilentPhaseTerminates) {
       EXPECT_TRUE(msgs.empty());
       EXPECT_EQ(c.allreduceSum<long>(1), 16);
     }
+  });
+}
+
+/// Build one deterministic phase worth of outgoing payloads: `per_peer`
+/// messages to each ring neighbour at distance 1 and 2, each payload
+/// regenerable from its (src, dst, index) coordinates.
+std::vector<std::pair<int, pcu::OutBuffer>> ringPayloads(int rank, int ranks,
+                                                         int per_peer) {
+  std::vector<std::pair<int, pcu::OutBuffer>> out;
+  for (int dist = 1; dist <= 2; ++dist) {
+    const int dst = (rank + dist) % ranks;
+    for (int i = 0; i < per_peer; ++i) {
+      common::Rng payload(payloadSeed(777, i, rank, dst));
+      pcu::OutBuffer b;
+      b.pack<std::int32_t>(i);
+      std::vector<std::uint64_t> body(8);
+      for (auto& w : body) w = payload.next();
+      b.packVector(body);
+      out.emplace_back(dst, std::move(b));
+    }
+  }
+  return out;
+}
+
+/// Flatten received messages into a sorted, comparable form.
+std::vector<std::pair<int, std::vector<std::uint64_t>>> canonical(
+    std::vector<pcu::Message> msgs) {
+  std::vector<std::pair<int, std::vector<std::uint64_t>>> flat;
+  flat.reserve(msgs.size());
+  for (auto& m : msgs) {
+    std::vector<std::uint64_t> words;
+    words.push_back(static_cast<std::uint64_t>(m.body.unpack<std::int32_t>()));
+    for (auto w : m.body.unpackVector<std::uint64_t>()) words.push_back(w);
+    flat.emplace_back(m.source, std::move(words));
+  }
+  std::sort(flat.begin(), flat.end());
+  return flat;
+}
+
+/// Coalesced and uncoalesced exchanges must deliver the same logical
+/// messages (arbitrary order), and coalescing must cut the physical message
+/// count at least in half with >= 8 payloads per peer — the headline
+/// property of this transport (one segment per neighbour instead of one
+/// mailbox message per payload).
+TEST(PcuStress, CoalescedMatchesUncoalescedAndHalvesPhysicalMessages) {
+  const int ranks = 16;
+  const int per_peer = 8;
+  pcu::run(ranks, [&](pcu::Comm& c) {
+    c.resetStats();
+    auto coalesced =
+        canonical(pcu::phasedExchange(c, ringPayloads(c.rank(), ranks, per_peer),
+                                      pcu::PhasedOptions{true}));
+    const auto with = c.stats();
+    c.resetStats();
+    auto plain =
+        canonical(pcu::phasedExchange(c, ringPayloads(c.rank(), ranks, per_peer),
+                                      pcu::PhasedOptions{false}));
+    const auto without = c.stats();
+    // Same logical traffic either way, payload for payload.
+    ASSERT_EQ(coalesced, plain);
+    EXPECT_EQ(with.messages_sent, without.messages_sent);
+    EXPECT_EQ(with.bytes_sent, without.bytes_sent);
+    // >= 2x fewer physical messages (16 payloads collapse into 2 segments;
+    // the remainder is the shared termination collective).
+    EXPECT_LE(with.physical_messages * 2, without.physical_messages)
+        << "coalesced " << with.physical_messages << " vs uncoalesced "
+        << without.physical_messages;
+  });
+}
+
+/// Phase termination must cost O(neighbours), not O(P): with a 2-neighbour
+/// ring at 32 ranks, the non-payload (collective) bytes a rank sends in one
+/// phase must stay below the size of a single size-P long vector — the old
+/// allreduce shipped several of those per rank.
+TEST(PcuStress, TerminationTrafficScalesWithNeighboursNotRanks) {
+  const int ranks = 32;
+  pcu::run(ranks, [&](pcu::Comm& c) {
+    auto out = ringPayloads(c.rank(), ranks, 1);
+    std::uint64_t payload_bytes = 0;
+    for (const auto& [dst, buf] : out) payload_bytes += buf.size();
+    c.resetStats();
+    auto msgs = pcu::phasedExchange(c, std::move(out));
+    ASSERT_EQ(msgs.size(), 2u);
+    const auto overhead = c.stats().bytes_sent - payload_bytes;
+    EXPECT_LT(overhead, static_cast<std::uint64_t>(ranks) * sizeof(long))
+        << "termination overhead " << overhead
+        << " bytes; a size-P allreduce would send at least "
+        << ranks * sizeof(long) << " per message";
   });
 }
 
