@@ -12,6 +12,7 @@
 
 #include <atomic>
 
+#include "pcu/arq.hpp"
 #include "pcu/comm.hpp"
 #include "pcu/faults.hpp"
 #include "pcu/phased.hpp"
@@ -184,6 +185,62 @@ void BM_PingPongChecksum(benchmark::State& state) {
       static_cast<double>(faults::kFrameHeaderBytes));
 }
 BENCHMARK(BM_PingPongChecksum)->Arg(64)->Arg(4096)->Arg(262144);
+
+/// Reliable-delivery (ARQ) overhead guard. Args are {payload bytes, drop
+/// probability in permille}: at 0‰ this measures the pure bookkeeping tax
+/// of reliable mode (frame store + ack pruning) over BM_PingPongChecksum;
+/// at 10‰ (the 1% acceptance point) the loss beacons and retransmissions
+/// are live, and comparing bytes_per_second against the 0‰ run of the same
+/// payload yields the retransmit tax that tools/bench_recovery.sh asserts
+/// stays under 10%. Counters export the recovery activity so a vacuous run
+/// (nothing dropped, nothing recovered) is visible in the output.
+void BM_PingPongReliable(benchmark::State& state) {
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  const double drop =
+      static_cast<double>(state.range(1)) / 1000.0;
+  pcu::arq::resetStats();
+  pcu::Comm::setReliable(true);
+  faults::FaultPlan plan;
+  if (drop > 0.0) {
+    plan.seed = 12;
+    plan.drop = drop;
+  } else {
+    plan.checksum_only = true;  // framing on either way: isolate the ARQ tax
+  }
+  faults::setPlan(plan);
+  for (auto _ : state) {
+    pcu::run(2, [&](pcu::Comm& c) {
+      std::vector<std::byte> data(payload);
+      for (int i = 0; i < 8; ++i) {
+        if (c.rank() == 0) {
+          c.send(1, 1, std::vector<std::byte>(data));
+          (void)c.recv(1, 2);
+        } else {
+          (void)c.recv(0, 1);
+          c.send(0, 2, std::vector<std::byte>(data));
+        }
+      }
+    });
+  }
+  faults::clearPlan();
+  pcu::Comm::setReliable(false);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          static_cast<std::int64_t>(payload));
+  const auto st = pcu::arq::stats();
+  state.counters["beacons"] =
+      benchmark::Counter(static_cast<double>(st.beacons_sent));
+  state.counters["retransmits"] =
+      benchmark::Counter(static_cast<double>(st.retransmits));
+  state.counters["recovered"] =
+      benchmark::Counter(static_cast<double>(st.recovered));
+}
+BENCHMARK(BM_PingPongReliable)
+    ->Args({64, 0})
+    ->Args({64, 10})
+    ->Args({4096, 0})
+    ->Args({4096, 10})
+    ->Args({262144, 0})
+    ->Args({262144, 10});
 
 void BM_SpawnTeardown(benchmark::State& state) {
   const int ranks = static_cast<int>(state.range(0));

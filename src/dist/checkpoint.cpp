@@ -1,0 +1,387 @@
+#include "dist/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/meshio.hpp"
+#include "pcu/buffer.hpp"
+#include "pcu/error.hpp"
+#include "pcu/faults.hpp"
+
+namespace dist {
+
+/// Private-state backdoor for (de)serialization: checkpointing must read
+/// and rebuild the ghost maps and the cached element dimension, which have
+/// no public mutators (and should not grow any for this one internal use).
+struct CheckpointAccess {
+  static const std::unordered_map<Ent, Copy, EntHash>& ghostSource(
+      const Part& p) {
+    return p.ghost_source_;
+  }
+  static const std::unordered_map<Ent, std::vector<Copy>, EntHash>& ghostedOn(
+      const Part& p) {
+    return p.ghosted_on_;
+  }
+  static void setGhost(Part& p, Ent ghost, Copy source) {
+    p.ghost_source_[ghost] = source;
+  }
+  static void setGhostedOn(Part& p, Ent real, std::vector<Copy> copies) {
+    p.ghosted_on_[real] = std::move(copies);
+  }
+  static void setDim(PartedMesh& pm, int dim) { pm.dim_ = dim; }
+};
+
+namespace {
+
+constexpr std::uint64_t kManifestMagic = 0x50554d494d414e31ull;  // "PUMIMAN1"
+constexpr std::uint64_t kMetaMagic = 0x50554d43504b5031ull;      // "PUMCPKP1"
+constexpr std::uint32_t kVersion = 1;
+
+/// Cross-restart entity reference: (dim << 48) | ordinal, where ordinal is
+/// the entity's position in its part's entities(dim) iteration order.
+/// writeMesh/readMesh preserve that order, so references stay valid after
+/// the handle rebuild on restore.
+constexpr std::uint64_t entref(int dim, std::uint64_t ordinal) {
+  return (static_cast<std::uint64_t>(dim) << 48) | ordinal;
+}
+
+using OrdinalMap = std::unordered_map<Ent, std::uint64_t, EntHash>;
+
+OrdinalMap buildOrdinals(const core::Mesh& m) {
+  OrdinalMap ord;
+  for (int d = 0; d <= m.dim(); ++d) {
+    std::uint64_t k = 0;
+    for (Ent e : m.entities(d)) ord.emplace(e, entref(d, k++));
+  }
+  return ord;
+}
+
+std::string meshPath(const std::string& dir, int i) {
+  return dir + "/part" + std::to_string(i) + ".mesh";
+}
+std::string metaPath(const std::string& dir, int i) {
+  return dir + "/part" + std::to_string(i) + ".meta";
+}
+std::string manifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
+
+[[noreturn]] void failValidation(const std::string& what) {
+  throw pcu::Error(pcu::ErrorCode::kValidation, -1, what);
+}
+
+std::vector<std::byte> readFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) failValidation("checkpoint: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size())
+    failValidation("checkpoint: short read from " + path);
+  return bytes;
+}
+
+void writeFileBytes(const std::string& path,
+                    const std::vector<std::byte>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) failValidation("checkpoint: cannot open " + path);
+  const std::size_t put = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (put != bytes.size())
+    failValidation("checkpoint: short write to " + path);
+}
+
+/// Serialize one part's boundary/ghost records. All three maps are written
+/// sorted by entity reference so the byte stream (and therefore its CRC in
+/// the MANIFEST) is deterministic.
+std::vector<std::byte> buildMeta(const Part& p, const OrdinalMap& ord,
+                                 const std::vector<OrdinalMap>& all) {
+  auto refIn = [&all](PartId part, Ent e) {
+    return all[static_cast<std::size_t>(part)].at(e);
+  };
+  pcu::OutBuffer b;
+  b.pack(kMetaMagic);
+
+  std::vector<std::pair<std::uint64_t, const Remote*>> remotes;
+  remotes.reserve(p.remotes().size());
+  for (const auto& [e, r] : p.remotes()) remotes.emplace_back(ord.at(e), &r);
+  std::sort(remotes.begin(), remotes.end());
+  b.pack<std::uint64_t>(remotes.size());
+  for (const auto& [ref, r] : remotes) {
+    b.pack<std::uint64_t>(ref);
+    b.pack<std::int32_t>(r->owner);
+    b.pack<std::uint64_t>(r->copies.size());
+    for (const Copy& c : r->copies) {
+      b.pack<std::int32_t>(c.part);
+      b.pack<std::uint64_t>(refIn(c.part, c.ent));
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, Copy>> ghosts;
+  ghosts.reserve(CheckpointAccess::ghostSource(p).size());
+  for (const auto& [e, src] : CheckpointAccess::ghostSource(p))
+    ghosts.emplace_back(ord.at(e), src);
+  std::sort(ghosts.begin(), ghosts.end(),
+            [](const auto& a, const auto& b2) { return a.first < b2.first; });
+  b.pack<std::uint64_t>(ghosts.size());
+  for (const auto& [ref, src] : ghosts) {
+    b.pack<std::uint64_t>(ref);
+    b.pack<std::int32_t>(src.part);
+    b.pack<std::uint64_t>(refIn(src.part, src.ent));
+  }
+
+  std::vector<std::pair<std::uint64_t, const std::vector<Copy>*>> ghosted;
+  ghosted.reserve(CheckpointAccess::ghostedOn(p).size());
+  for (const auto& [e, cps] : CheckpointAccess::ghostedOn(p))
+    ghosted.emplace_back(ord.at(e), &cps);
+  std::sort(ghosted.begin(), ghosted.end());
+  b.pack<std::uint64_t>(ghosted.size());
+  for (const auto& [ref, cps] : ghosted) {
+    b.pack<std::uint64_t>(ref);
+    b.pack<std::uint64_t>(cps->size());
+    for (const Copy& c : *cps) {
+      b.pack<std::int32_t>(c.part);
+      b.pack<std::uint64_t>(refIn(c.part, c.ent));
+    }
+  }
+  return std::move(b).take();
+}
+
+struct FileRecord {
+  std::uint64_t mesh_size = 0;
+  std::uint32_t mesh_crc = 0;
+  std::uint64_t meta_size = 0;
+  std::uint32_t meta_crc = 0;
+};
+
+struct Manifest {
+  int nparts = 0;
+  int dim = -1;
+  OwnerRule rule = OwnerRule::MinPartId;
+  std::uint64_t fingerprint = 0;
+  std::vector<FileRecord> files;
+};
+
+constexpr std::size_t kManifestHeaderBytes =
+    8 + 4 + 4 + 4 + 1 + 8;                       // magic..fingerprint
+constexpr std::size_t kManifestRecordBytes = 24;  // per-part sizes + CRCs
+
+Manifest loadManifest(const std::string& dir) {
+  const std::string path = manifestPath(dir);
+  if (!std::filesystem::exists(path))
+    failValidation("restore: no MANIFEST in " + dir);
+  std::vector<std::byte> bytes = readFileBytes(path);
+  if (bytes.size() < kManifestHeaderBytes)
+    failValidation("restore: truncated MANIFEST in " + dir);
+  pcu::InBuffer b(std::move(bytes));
+  if (b.unpack<std::uint64_t>() != kManifestMagic)
+    failValidation("restore: " + path + " is not a checkpoint manifest");
+  const auto version = b.unpack<std::uint32_t>();
+  if (version != kVersion)
+    failValidation("restore: " + path + " has unsupported version " +
+                   std::to_string(version));
+  Manifest m;
+  m.nparts = static_cast<int>(b.unpack<std::uint32_t>());
+  m.dim = b.unpack<std::int32_t>();
+  const auto rule = b.unpack<std::uint8_t>();
+  if (m.nparts < 1 || m.nparts > (1 << 24))
+    failValidation("restore: " + path + " has bad part count " +
+                   std::to_string(m.nparts));
+  if (rule > 1)
+    failValidation("restore: " + path + " has bad owner rule " +
+                   std::to_string(rule));
+  m.rule = static_cast<OwnerRule>(rule);
+  m.fingerprint = b.unpack<std::uint64_t>();
+  if (b.remaining() !=
+      static_cast<std::size_t>(m.nparts) * kManifestRecordBytes)
+    failValidation("restore: " + path + " has wrong length for " +
+                   std::to_string(m.nparts) + " parts");
+  m.files.resize(static_cast<std::size_t>(m.nparts));
+  for (auto& f : m.files) {
+    f.mesh_size = b.unpack<std::uint64_t>();
+    f.mesh_crc = b.unpack<std::uint32_t>();
+    f.meta_size = b.unpack<std::uint64_t>();
+    f.meta_crc = b.unpack<std::uint32_t>();
+  }
+  return m;
+}
+
+/// Re-read every per-part file and compare size and CRC32 to the MANIFEST;
+/// throws kCorruptPayload naming the first disagreeing file.
+std::vector<std::vector<std::byte>> validateFiles(const std::string& dir,
+                                                  const Manifest& m,
+                                                  bool keep_meta) {
+  std::vector<std::vector<std::byte>> metas;
+  for (int i = 0; i < m.nparts; ++i) {
+    const auto& rec = m.files[static_cast<std::size_t>(i)];
+    const auto check = [&](const std::string& path, std::uint64_t want_size,
+                           std::uint32_t want_crc) {
+      if (!std::filesystem::exists(path))
+        failValidation("restore: missing " + path);
+      std::vector<std::byte> bytes = readFileBytes(path);
+      if (bytes.size() != want_size ||
+          pcu::faults::crc32(bytes.data(), bytes.size()) != want_crc)
+        throw pcu::Error(pcu::ErrorCode::kCorruptPayload, -1,
+                         "restore: " + path +
+                             " does not match its MANIFEST size/CRC");
+      return bytes;
+    };
+    check(meshPath(dir, i), rec.mesh_size, rec.mesh_crc);
+    auto meta = check(metaPath(dir, i), rec.meta_size, rec.meta_crc);
+    if (keep_meta) metas.push_back(std::move(meta));
+  }
+  return metas;
+}
+
+}  // namespace
+
+void checkpoint(const PartedMesh& pm, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec)
+    failValidation("checkpoint: cannot create directory " + dir + ": " +
+                   ec.message());
+
+  const int nparts = pm.parts();
+  std::vector<OrdinalMap> ords;
+  ords.reserve(static_cast<std::size_t>(nparts));
+  for (PartId p = 0; p < nparts; ++p)
+    ords.push_back(buildOrdinals(pm.part(p).mesh()));
+
+  pcu::OutBuffer man;
+  man.pack(kManifestMagic);
+  man.pack<std::uint32_t>(kVersion);
+  man.pack<std::uint32_t>(static_cast<std::uint32_t>(nparts));
+  man.pack<std::int32_t>(pm.dim());
+  man.pack<std::uint8_t>(static_cast<std::uint8_t>(pm.ownerRule()));
+  man.pack<std::uint64_t>(pm.fingerprint());
+  for (PartId p = 0; p < nparts; ++p) {
+    const Part& part = pm.part(p);
+    core::writeMesh(part.mesh(), meshPath(dir, p));
+    const auto mesh_bytes = readFileBytes(meshPath(dir, p));
+    const auto meta_bytes =
+        buildMeta(part, ords[static_cast<std::size_t>(p)], ords);
+    writeFileBytes(metaPath(dir, p), meta_bytes);
+    man.pack<std::uint64_t>(mesh_bytes.size());
+    man.pack<std::uint32_t>(
+        pcu::faults::crc32(mesh_bytes.data(), mesh_bytes.size()));
+    man.pack<std::uint64_t>(meta_bytes.size());
+    man.pack<std::uint32_t>(
+        pcu::faults::crc32(meta_bytes.data(), meta_bytes.size()));
+  }
+  // The MANIFEST commits the checkpoint: write it last, atomically, so a
+  // crash anywhere above leaves either the previous valid checkpoint's
+  // manifest or none at all — never a manifest describing partial files.
+  const std::string tmp = manifestPath(dir) + ".tmp";
+  writeFileBytes(tmp, std::move(man).take());
+  if (std::rename(tmp.c_str(), manifestPath(dir).c_str()) != 0)
+    failValidation("checkpoint: cannot commit " + manifestPath(dir));
+}
+
+std::unique_ptr<PartedMesh> restore(const std::string& dir,
+                                    gmi::Model* model) {
+  const Manifest m = loadManifest(dir);
+  return restore(dir, model, PartMap(m.nparts, pcu::Machine()));
+}
+
+std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
+                                    PartMap map) {
+  const Manifest man = loadManifest(dir);
+  auto metas = validateFiles(dir, man, /*keep_meta=*/true);
+
+  auto pm = std::make_unique<PartedMesh>(model, man.nparts, std::move(map),
+                                         man.rule);
+  // Rebuild each part's serial mesh, then the (part, ordinal) -> entity
+  // tables the metadata references are resolved against.
+  std::vector<std::vector<std::vector<Ent>>> ents(
+      static_cast<std::size_t>(man.nparts));
+  for (PartId p = 0; p < man.nparts; ++p) {
+    auto loaded = core::readMesh(meshPath(dir, p), model);
+    Part& part = pm->part(p);
+    part.mesh().copyFrom(*loaded);
+    auto& table = ents[static_cast<std::size_t>(p)];
+    table.resize(4);
+    for (int d = 0; d <= part.mesh().dim(); ++d)
+      for (Ent e : part.mesh().entities(d))
+        table[static_cast<std::size_t>(d)].push_back(e);
+  }
+  auto entOf = [&ents, &dir](PartId part, std::uint64_t ref) -> Ent {
+    const int d = static_cast<int>(ref >> 48);
+    const std::uint64_t k = ref & ((std::uint64_t{1} << 48) - 1);
+    const auto& table = ents[static_cast<std::size_t>(part)];
+    if (d < 0 || d > 3 || k >= table[static_cast<std::size_t>(d)].size())
+      failValidation("restore: " + dir + " references entity (dim " +
+                     std::to_string(d) + ", ordinal " + std::to_string(k) +
+                     ") absent from part " + std::to_string(part));
+    return table[static_cast<std::size_t>(d)][k];
+  };
+
+  for (PartId p = 0; p < man.nparts; ++p) {
+    Part& part = pm->part(p);
+    pcu::InBuffer b(std::move(metas[static_cast<std::size_t>(p)]));
+    if (b.remaining() < sizeof(std::uint64_t) ||
+        b.unpack<std::uint64_t>() != kMetaMagic)
+      failValidation("restore: " + metaPath(dir, p) +
+                     " is not a checkpoint metadata file");
+    const auto nremotes = b.unpack<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nremotes; ++i) {
+      const Ent e = entOf(p, b.unpack<std::uint64_t>());
+      Remote r;
+      r.owner = b.unpack<std::int32_t>();
+      const auto ncopies = b.unpack<std::uint64_t>();
+      r.copies.reserve(ncopies);
+      for (std::uint64_t c = 0; c < ncopies; ++c) {
+        const auto cpart = b.unpack<std::int32_t>();
+        r.copies.push_back(Copy{cpart, entOf(cpart, b.unpack<std::uint64_t>())});
+      }
+      part.setRemote(e, std::move(r));
+    }
+    const auto nghosts = b.unpack<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nghosts; ++i) {
+      const Ent e = entOf(p, b.unpack<std::uint64_t>());
+      const auto spart = b.unpack<std::int32_t>();
+      CheckpointAccess::setGhost(
+          part, e, Copy{spart, entOf(spart, b.unpack<std::uint64_t>())});
+    }
+    const auto nghosted = b.unpack<std::uint64_t>();
+    for (std::uint64_t i = 0; i < nghosted; ++i) {
+      const Ent e = entOf(p, b.unpack<std::uint64_t>());
+      const auto ncopies = b.unpack<std::uint64_t>();
+      std::vector<Copy> cps;
+      cps.reserve(ncopies);
+      for (std::uint64_t c = 0; c < ncopies; ++c) {
+        const auto cpart = b.unpack<std::int32_t>();
+        cps.push_back(Copy{cpart, entOf(cpart, b.unpack<std::uint64_t>())});
+      }
+      CheckpointAccess::setGhostedOn(part, e, std::move(cps));
+    }
+    if (!b.done())
+      failValidation("restore: trailing bytes in " + metaPath(dir, p));
+  }
+
+  CheckpointAccess::setDim(*pm, man.dim);
+  pm->verify();
+  if (pm->fingerprint() != man.fingerprint)
+    throw pcu::Error(pcu::ErrorCode::kCorruptPayload, -1,
+                     "restore: " + dir +
+                         " rebuilt to a different fingerprint than its "
+                         "MANIFEST records");
+  return pm;
+}
+
+bool checkpointValid(const std::string& dir) {
+  try {
+    const Manifest m = loadManifest(dir);
+    validateFiles(dir, m, /*keep_meta=*/false);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace dist

@@ -1,0 +1,58 @@
+#ifndef PUMI_DIST_CHECKPOINT_HPP
+#define PUMI_DIST_CHECKPOINT_HPP
+
+/// \file checkpoint.hpp
+/// \brief Checkpoint/restart for the distributed mesh (recovery tier 3).
+///
+/// checkpoint() writes one directory holding the full distributed state:
+/// per part a serial mesh file (core::writeMesh — entities, coordinates,
+/// classification, transportable tags) plus a metadata file with the
+/// part-boundary and ghost records, and a MANIFEST binding them together.
+/// Cross-part entity references are stored as (dim, ordinal) pairs —
+/// the entity's position in its part's entities(dim) iteration order —
+/// which the mesh file format preserves, so references survive the handle
+/// rebuild on restore.
+///
+/// Durability and integrity:
+///  - the MANIFEST is written last, via a temp file + atomic rename, so a
+///    crash mid-checkpoint leaves no directory that validates;
+///  - the MANIFEST records every file's size and CRC32, and the mesh
+///    fingerprint() at checkpoint time; restore() re-verifies all of them
+///    and runs verify(), so a restored mesh is bit-equivalent (fingerprint-
+///    equal) to the checkpointed one or restore throws.
+///
+/// Errors are structured pcu::Error values: kValidation for a missing or
+/// malformed checkpoint (names the file and reason), kCorruptPayload for a
+/// file whose size or CRC disagrees with the MANIFEST.
+
+#include <memory>
+#include <string>
+
+#include "dist/partedmesh.hpp"
+
+namespace dist {
+
+/// Write `pm`'s full distributed state into directory `dir` (created if
+/// missing; an existing valid checkpoint there is replaced atomically from
+/// the reader's point of view — the old MANIFEST stays valid until the new
+/// one is renamed in).
+void checkpoint(const PartedMesh& pm, const std::string& dir);
+
+/// Rebuild a PartedMesh from a checkpoint directory, classifying against
+/// `model` (the same model — or an equivalent one — that was active at
+/// checkpoint time). The part map defaults to a flat machine sized to the
+/// checkpoint's part count; the second overload supplies an explicit map.
+/// Validates the MANIFEST, every per-part file CRC, the distributed
+/// invariants (verify()) and fingerprint equality before returning.
+std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model);
+std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
+                                    PartMap map);
+
+/// True when `dir` holds a complete, CRC-clean checkpoint (cheap scan: no
+/// mesh rebuild). A crash mid-checkpoint yields false, so a restart loop
+/// can pick the newest directory that answers true.
+bool checkpointValid(const std::string& dir);
+
+}  // namespace dist
+
+#endif  // PUMI_DIST_CHECKPOINT_HPP

@@ -25,6 +25,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include <map>
+
+#include "pcu/arq.hpp"
 #include "pcu/buffer.hpp"
 #include "pcu/comm.hpp"
 #include "pcu/error.hpp"
@@ -108,6 +111,17 @@ class PartMap {
 /// under injected reordering. Because the transport is bulk-synchronous,
 /// loss is detected deterministically at the phase boundary (a sequence gap
 /// against the sender's counter) — no timeout needed at this layer.
+///
+/// With reliable delivery on (pcu::arq::enabled()) the phase boundary
+/// *recovers* instead of aborting: every framed segment keeps a clean copy
+/// in a resend buffer until its receiver verifies it, and verification
+/// re-fetches corrupt segments, silently drops duplicates, and pulls every
+/// missing sequence number from the buffer — each retransmission attempt
+/// re-running the fault plan's decision under an attempt salt, so only a
+/// permanent fault exhausts the bounded budget and surfaces as
+/// pcu::Error(kMessageLost). The transactional layer bumps a fault epoch
+/// between operation replays (bumpFaultEpoch) so a retried operation does
+/// not deterministically replay the exact faults that aborted it.
 class Network {
  public:
   explicit Network(PartMap map)
@@ -222,10 +236,10 @@ class Network {
     map_.setParts(static_cast<int>(boxes_.size()));
   }
 
-  /// Forget every pending message (staged or flushed) and all channel
-  /// sequence state. Used by the transactional abort path (PartedMesh) so a
-  /// rolled-back operation leaves the transport exactly as if it had never
-  /// run.
+  /// Forget every pending message (staged or flushed), all channel
+  /// sequence state and the reliable-mode resend buffer. Used by the
+  /// transactional abort path (PartedMesh) so a rolled-back operation
+  /// leaves the transport exactly as if it had never run.
   void resetTransport() {
     std::lock_guard<std::mutex> lock(mutex_);
     staged_groups_.clear();
@@ -234,6 +248,22 @@ class Network {
     for (auto& box : boxes_) box.clear();
     send_seq_.clear();
     for (auto& chan : recv_seq_) chan.clear();
+    resend_.clear();
+  }
+
+  /// Advance the fault-decision epoch. resetTransport() clears the channel
+  /// sequence counters, so a replayed operation would re-run the exact
+  /// (src, dst, tag, seq) decision stream that just aborted it; the epoch
+  /// salts every post-replay decision so retries see fresh (still
+  /// deterministic) draws. Epoch 0 reproduces the historical stream
+  /// bit-for-bit.
+  void bumpFaultEpoch() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++fault_epoch_;
+  }
+  [[nodiscard]] std::uint64_t faultEpoch() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fault_epoch_;
   }
 
   /// Pin parts to ranks explicitly (see PartMap::setPartRanks).
@@ -299,6 +329,15 @@ class Network {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
             << 32) |
            static_cast<std::uint32_t>(to);
+  }
+
+  /// Salt parameter for fault decisions: epoch 0 / attempt 0 degenerates
+  /// to the unsalted historical stream (arq::saltSeq(seq, 0) == seq), so
+  /// every seeded test written before reliability existed replays
+  /// bit-identically. Retransmission attempts occupy [1, budget]; epochs
+  /// shift by 2^20 to stay clear of them. Caller holds mutex_.
+  [[nodiscard]] std::uint64_t epochSalt(std::uint64_t attempt) const {
+    return fault_epoch_ * (std::uint64_t{1} << 20) + attempt;
   }
 
   /// Stage one logical payload, coalescing it into the open (from, to)
@@ -385,7 +424,13 @@ class Network {
     bodies.clear();
     const std::uint64_t seq = send_seq_[channelKey(from, to)]++;
     auto framed = pcu::faults::frame(seq, std::move(segment).take());
-    switch (pcu::faults::decide(from, to, kNetChannelTag, seq)) {
+    if (pcu::arq::enabled())
+      // Keep the clean framed segment until its receiver verifies it: the
+      // phase-boundary recovery pulls retransmissions from here. One copy,
+      // one CRC, whole coalesced segments — never re-split for resend.
+      resend_[channelKey(from, to)][seq] = framed;
+    switch (pcu::faults::decide(from, to, kNetChannelTag,
+                                pcu::arq::saltSeq(seq, epochSalt(0)))) {
       case pcu::faults::Action::kDeliver:
         break;
       case pcu::faults::Action::kCorrupt:
@@ -444,9 +489,14 @@ class Network {
   /// Verify one destination's batch: unframe (magic + CRC), restore
   /// per-channel FIFO order, reject duplicates, and check the batch is
   /// contiguous up to the sender-side counter snapshot. Leaves plain
-  /// payloads in the box on success.
+  /// payloads in the box on success. In reliable mode the batch is
+  /// salvaged (recoverBatch) instead of aborted.
   void verifyBatch(PartId to, std::deque<Pending>& box,
                    const std::unordered_map<PartId, std::uint64_t>& posted) {
+    if (pcu::arq::enabled()) {
+      recoverBatch(to, box, posted);
+      return;
+    }
     for (auto& msg : box)
       msg.bytes = pcu::faults::unframe(std::move(msg.bytes), msg.seq,
                                        static_cast<int>(to),
@@ -513,6 +563,114 @@ class Network {
     }
   }
 
+  /// Reliable-mode phase boundary: instead of aborting on the first bad
+  /// frame, salvage the whole batch. Corrupt frames are discarded (their
+  /// seq field cannot be trusted) and re-fetched as missing; duplicate
+  /// sequence numbers are silently dropped; every sequence the sender
+  /// counters say was posted but did not survive is pulled from the resend
+  /// buffer under attempt-salted fault decisions. The rebuilt box is
+  /// ordered (sender, seq) — per-channel FIFO exactly as posted; the
+  /// cross-channel interleave is normalized, which the handlers tolerate
+  /// by the same contract that makes threaded delivery legal.
+  void recoverBatch(PartId to, std::deque<Pending>& box,
+                    const std::unordered_map<PartId, std::uint64_t>& posted) {
+    const pcu::arq::Config cfg = pcu::arq::config();
+    auto& expected_map = recv_seq_[static_cast<std::size_t>(to)];
+    std::unordered_map<PartId, std::map<std::uint64_t, Pending>> chans;
+    for (auto& msg : box) {
+      try {
+        msg.bytes = pcu::faults::unframe(std::move(msg.bytes), msg.seq,
+                                         static_cast<int>(to),
+                                         static_cast<int>(msg.from),
+                                         kNetChannelTag);
+      } catch (const pcu::Error&) {
+        pcu::arq::noteCorruptDropped();
+        continue;  // recovered below as a missing sequence number
+      }
+      if (msg.seq < expected_map[msg.from]) {
+        pcu::arq::noteDuplicateDropped();
+        continue;
+      }
+      const PartId from = msg.from;
+      const std::uint64_t seq = msg.seq;
+      if (!chans[from].try_emplace(seq, std::move(msg)).second)
+        pcu::arq::noteDuplicateDropped();
+    }
+    box.clear();
+    std::vector<PartId> senders;
+    senders.reserve(posted.size());
+    for (const auto& [from, count] : posted) {
+      (void)count;
+      senders.push_back(from);
+    }
+    std::sort(senders.begin(), senders.end());
+    for (PartId from : senders) {
+      const std::uint64_t need = posted.at(from);
+      auto& have = chans[from];
+      for (std::uint64_t seq = expected_map[from]; seq < need; ++seq) {
+        auto hit = have.find(seq);
+        if (hit != have.end())
+          box.push_back(std::move(hit->second));
+        else
+          box.push_back(recoverSegment(to, from, seq, cfg));
+      }
+      expected_map[from] = need;
+      // Acknowledge the verified prefix: the resend buffer can forget it.
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto cit = resend_.find(channelKey(from, to));
+      if (cit != resend_.end()) {
+        cit->second.erase(cit->second.begin(), cit->second.lower_bound(need));
+        if (cit->second.empty()) resend_.erase(cit);
+        pcu::arq::noteAcked();
+      }
+    }
+  }
+
+  /// Pull one lost/corrupt segment back from the resend buffer, modelling
+  /// each retransmission crossing the same faulty transport (attempt-salted
+  /// decisions). Throws pcu::Error(kMessageLost) when the budget runs out.
+  Pending recoverSegment(PartId to, PartId from, std::uint64_t seq,
+                         const pcu::arq::Config& cfg) {
+    std::vector<std::byte> framed;
+    std::uint64_t salt0 = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      salt0 = epochSalt(0);
+      auto cit = resend_.find(channelKey(from, to));
+      auto fit = cit != resend_.end() ? cit->second.find(seq)
+                                      : std::map<std::uint64_t,
+                                                 std::vector<std::byte>>::
+                                            iterator{};
+      if (cit == resend_.end() || fit == cit->second.end())
+        throw pcu::Error(pcu::ErrorCode::kMessageLost, static_cast<int>(to),
+                         static_cast<int>(from), kNetChannelTag,
+                         "channel seq " + std::to_string(seq) +
+                             " lost and absent from the resend buffer");
+      framed = fit->second;
+    }
+    for (int attempt = 1; attempt <= cfg.retry_budget; ++attempt) {
+      pcu::arq::noteRetransmit();
+      const auto action = pcu::faults::decide(
+          from, to, kNetChannelTag,
+          pcu::arq::saltSeq(seq, salt0 + static_cast<std::uint64_t>(attempt)));
+      if (action == pcu::faults::Action::kCorrupt ||
+          action == pcu::faults::Action::kDrop)
+        continue;  // this retransmission was lost too
+      std::uint64_t got = 0;
+      auto payload =
+          pcu::faults::unframe(std::move(framed), got, static_cast<int>(to),
+                               static_cast<int>(from), kNetChannelTag);
+      pcu::arq::noteRecovered();
+      return Pending{from, std::move(payload), {}, got};
+    }
+    throw pcu::Error(pcu::ErrorCode::kMessageLost, static_cast<int>(to),
+                     static_cast<int>(from), kNetChannelTag,
+                     "retransmission budget exhausted after " +
+                         std::to_string(cfg.retry_budget) +
+                         " attempts (channel seq " + std::to_string(seq) +
+                         ")");
+  }
+
   /// Hand one destination part its pending messages, splitting each
   /// physical segment back into its logical sub-messages and attributing
   /// the delivery scope and each logical message to that part ("rank" =
@@ -569,6 +727,14 @@ class Network {
   // verification pass in takeVerified().
   std::unordered_map<std::uint64_t, std::uint64_t> send_seq_;
   std::vector<std::unordered_map<PartId, std::uint64_t>> recv_seq_;
+  /// Reliable-mode resend buffer: clean framed segments kept per channel
+  /// until their receiver verifies the phase (guarded by mutex_). Cleared
+  /// by resetTransport().
+  std::unordered_map<std::uint64_t,
+                     std::map<std::uint64_t, std::vector<std::byte>>>
+      resend_;
+  /// Fault-decision epoch (see bumpFaultEpoch); guarded by mutex_.
+  std::uint64_t fault_epoch_ = 0;
 };
 
 }  // namespace dist

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
 #include "dist/tagio.hpp"
 #include "gmi/model.hpp"
+#include "pcu/arq.hpp"
 #include "pcu/error.hpp"
 #include "pcu/faults.hpp"
 
@@ -198,50 +200,69 @@ void PartedMesh::runTransactional(const char* opname,
     body();
     return;
   }
-  // Stage: deep-copy every part's full state (mesh, boundary and ghost
-  // records) so an abort can restore it exactly.
-  struct Saved {
-    std::unique_ptr<core::Mesh> mesh;
-    std::unordered_map<Ent, Remote, EntHash> remotes;
-    std::unordered_map<Ent, Copy, EntHash> ghost_source;
-    std::unordered_map<Ent, std::vector<Copy>, EntHash> ghosted_on;
-  };
-  std::vector<Saved> saved;
-  saved.reserve(parts_.size());
-  for (const auto& pp : parts_) {
-    Saved s;
-    s.mesh = std::make_unique<core::Mesh>(model_);
-    s.mesh->copyFrom(pp->mesh_);
-    s.remotes = pp->remotes_;
-    s.ghost_source = pp->ghost_source_;
-    s.ghosted_on = pp->ghosted_on_;
-    saved.push_back(std::move(s));
-  }
-  const auto nparts_before = parts_.size();
-  const int dim_before = dim_;
-  try {
-    body();
-    verify();  // commit gate: structural invariants must hold
-  } catch (...) {
-    // Abort: restore every part, drop parts added mid-operation, and clear
-    // any messages or channel state the failed phases left behind.
-    while (parts_.size() > nparts_before) parts_.pop_back();
-    for (std::size_t i = 0; i < saved.size(); ++i) {
-      Part& p = *parts_[i];
-      p.mesh_.copyFrom(*saved[i].mesh);
-      p.remotes_ = std::move(saved[i].remotes);
-      p.ghost_source_ = std::move(saved[i].ghost_source);
-      p.ghosted_on_ = std::move(saved[i].ghosted_on);
+  // Retry budget: explicit setOpRetries() wins; otherwise reliable mode
+  // (PUMI_RELIABLE) supplies a default, and plain transactional mode keeps
+  // the historical abort-on-first-failure behaviour.
+  const int retries =
+      op_retries_ >= 0
+          ? op_retries_
+          : (pcu::arq::enabled() ? pcu::arq::config().op_retries : 0);
+  for (int attempt = 0;; ++attempt) {
+    // Stage: deep-copy every part's full state (mesh, boundary and ghost
+    // records) so an abort can restore it exactly.
+    struct Saved {
+      std::unique_ptr<core::Mesh> mesh;
+      std::unordered_map<Ent, Remote, EntHash> remotes;
+      std::unordered_map<Ent, Copy, EntHash> ghost_source;
+      std::unordered_map<Ent, std::vector<Copy>, EntHash> ghosted_on;
+    };
+    std::vector<Saved> saved;
+    saved.reserve(parts_.size());
+    for (const auto& pp : parts_) {
+      Saved s;
+      s.mesh = std::make_unique<core::Mesh>(model_);
+      s.mesh->copyFrom(pp->mesh_);
+      s.remotes = pp->remotes_;
+      s.ghost_source = pp->ghost_source_;
+      s.ghosted_on = pp->ghosted_on_;
+      saved.push_back(std::move(s));
     }
-    dim_ = dim_before;
-    net_.resetTransport();
+    const auto nparts_before = parts_.size();
+    const int dim_before = dim_;
     try {
-      throw;
-    } catch (const pcu::Error&) {
-      throw;
-    } catch (const std::exception& e) {
-      throw pcu::Error(pcu::ErrorCode::kProtocol, -1,
-                       std::string(opname) + " aborted: " + e.what());
+      body();
+      verify();  // commit gate: structural invariants must hold
+      return;
+    } catch (...) {
+      // Abort: restore every part, drop parts added mid-operation, and
+      // clear any messages or channel state the failed phases left behind.
+      while (parts_.size() > nparts_before) parts_.pop_back();
+      for (std::size_t i = 0; i < saved.size(); ++i) {
+        Part& p = *parts_[i];
+        p.mesh_.copyFrom(*saved[i].mesh);
+        p.remotes_ = std::move(saved[i].remotes);
+        p.ghost_source_ = std::move(saved[i].ghost_source);
+        p.ghosted_on_ = std::move(saved[i].ghosted_on);
+      }
+      dim_ = dim_before;
+      net_.resetTransport();
+      std::optional<pcu::Error> err;
+      try {
+        throw;
+      } catch (const pcu::Error& e) {
+        err.emplace(e);
+      } catch (const std::exception& e) {
+        err.emplace(pcu::ErrorCode::kProtocol, -1,
+                    std::string(opname) + " aborted: " + e.what());
+      }
+      // Validation errors reject the operation's *input* — retrying can
+      // never succeed. Everything else may be a transient fault: roll the
+      // fault epoch (so the replay does not deterministically re-draw the
+      // same injected failures) and try again while budget remains.
+      if (err->code() == pcu::ErrorCode::kValidation || attempt >= retries)
+        throw *err;
+      ++ops_retried_;
+      net_.bumpFaultEpoch();
     }
   }
 }
@@ -256,37 +277,61 @@ std::uint64_t PartedMesh::fingerprint() const {
   std::uint64_t h = 0x243f6a8885a308d3ull;
   mix(h, parts_.size());
   mix(h, static_cast<std::uint64_t>(dim_ + 1));
-  for (const auto& pp : parts_) {
-    const Part& p = *pp;
+  // The digest must survive a checkpoint/restore, where entity handles and
+  // classification pointers are rebuilt. Entities are therefore named by
+  // (dim, position in iteration order) — which writeMesh/readMesh preserve
+  // (entities are written and re-created dimension-ascending in iteration
+  // order) — and classification by its model (dim, tag).
+  std::vector<std::unordered_map<Ent, std::uint64_t, EntHash>> ord(
+      parts_.size());
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    const core::Mesh& m = parts_[i]->mesh();
+    for (int d = 0; d <= m.dim(); ++d) {
+      std::uint64_t k = 0;
+      for (Ent e : m.entities(d))
+        ord[i].emplace(e, (static_cast<std::uint64_t>(d) << 48) | k++);
+    }
+  }
+  auto refOf = [&ord](PartId part, Ent e) -> std::uint64_t {
+    const auto& map = ord[static_cast<std::size_t>(part)];
+    const auto it = map.find(e);
+    // Dead cross-part handle (never in a verified mesh): fall back to the
+    // raw handle so the digest stays total instead of crashing.
+    return it == map.end() ? e.packed() : it->second;
+  };
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    const Part& p = *parts_[i];
     const int pd = p.mesh().dim();
     for (int d = 0; d <= pd; ++d) {
       // Entity iteration is deterministic (type then index), so the digest
       // is order-stable without sorting.
       for (Ent e : p.mesh().entities(d)) {
-        mix(h, e.packed());
+        mix(h, static_cast<std::uint64_t>(e.topo()) + 1);
         if (d == 0) {
           const common::Vec3 x = p.mesh().point(e);
           mix(h, std::bit_cast<std::uint64_t>(x.x));
           mix(h, std::bit_cast<std::uint64_t>(x.y));
           mix(h, std::bit_cast<std::uint64_t>(x.z));
         }
-        mix(h, reinterpret_cast<std::uintptr_t>(p.mesh().classification(e)));
+        const gmi::Entity* cls = p.mesh().classification(e);
+        mix(h, cls ? static_cast<std::uint64_t>(cls->dim()) + 1 : 0);
+        mix(h, cls ? static_cast<std::uint64_t>(cls->tag()) + 1 : 0);
         if (const Remote* r = p.remote(e)) {
           mix(h, static_cast<std::uint64_t>(r->owner) + 1);
           for (const Copy& c : r->copies) {
             mix(h, static_cast<std::uint64_t>(c.part));
-            mix(h, c.ent.packed());
+            mix(h, refOf(c.part, c.ent));
           }
         }
         if (p.isGhost(e)) {
           const Copy src = p.ghostSource(e);
           mix(h, static_cast<std::uint64_t>(src.part) + 2);
-          mix(h, src.ent.packed());
+          mix(h, refOf(src.part, src.ent));
         }
         if (const auto* gcopies = p.ghostCopies(e)) {
           for (const Copy& c : *gcopies) {
             mix(h, static_cast<std::uint64_t>(c.part) + 3);
-            mix(h, c.ent.packed());
+            mix(h, refOf(c.part, c.ent));
           }
         }
         pcu::OutBuffer tags;

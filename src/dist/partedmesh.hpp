@@ -127,6 +127,7 @@ class Part {
 
  private:
   friend class PartedMesh;
+  friend struct CheckpointAccess;  ///< checkpoint.cpp (de)serializes the maps
   PartId id_;
   core::Mesh mesh_;
   std::unordered_map<Ent, Remote, EntHash> remotes_;
@@ -214,6 +215,16 @@ class PartedMesh {
   void setTransactional(bool on) { transactional_ = on; }
   [[nodiscard]] bool transactional() const { return transactional_; }
 
+  /// How many times an aborted transactional operation is automatically
+  /// replayed (rollback, fault-epoch bump, re-run) before its error
+  /// propagates. -1 (default) = automatic: use the PUMI_RELIABLE
+  /// `opretries` budget when reliable mode is on, else 0 (historical
+  /// abort-on-first-failure). kValidation errors are never retried.
+  void setOpRetries(int n) { op_retries_ = n; }
+  [[nodiscard]] int opRetries() const { return op_retries_; }
+  /// Total operation replays performed by the retry loop so far.
+  [[nodiscard]] std::uint64_t opsRetried() const { return ops_retried_; }
+
   /// Deterministic digest of the full distributed state (entities, coords,
   /// classification, remote/ghost records, tag payloads). Equal before and
   /// after an aborted transaction; valid for comparisons within one
@@ -221,6 +232,7 @@ class PartedMesh {
   [[nodiscard]] std::uint64_t fingerprint() const;
 
  private:
+  friend struct CheckpointAccess;  ///< checkpoint.cpp restores dim_
   struct KeyMaps;
   void buildKeyMaps(KeyMaps& maps) const;
   [[nodiscard]] GKey keyOf(const Part& p, Ent e) const;
@@ -240,6 +252,8 @@ class PartedMesh {
   OwnerRule rule_;
   int dim_ = -1;
   bool transactional_ = false;
+  int op_retries_ = -1;
+  std::uint64_t ops_retried_ = 0;
   std::vector<std::unique_ptr<Part>> parts_;
 };
 

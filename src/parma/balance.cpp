@@ -24,16 +24,26 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
   for (int round = 0; round < opts.max_rounds; ++round) {
     pcu::trace::Scope round_scope("parma:balance-round");
     // A faulted round aborts transactionally inside the migration layer:
-    // the mesh is already rolled back, so record the error and move on to
-    // the next round rather than giving up on balancing altogether.
-    try {
-      const auto split_report = heavyPartSplit(pm, split_opts);
-      const auto improved = improve(pm, parsed, improve_opts);
-      report.elements_migrated +=
-          split_report.elements_moved + improved.totalMigrated();
-    } catch (const pcu::Error& e) {
+    // the mesh is already rolled back, so re-plan and re-run the same round
+    // up to round_retries times (rollback means the retry sees clean state
+    // and fresh imbalance metrics); only once every retry is also lost does
+    // the round count as faulted and balancing move on.
+    bool round_ok = false;
+    for (int tries = 0; tries <= opts.round_retries; ++tries) {
+      try {
+        const auto split_report = heavyPartSplit(pm, split_opts);
+        const auto improved = improve(pm, parsed, improve_opts);
+        report.elements_migrated +=
+            split_report.elements_moved + improved.totalMigrated();
+        round_ok = true;
+        break;
+      } catch (const pcu::Error& e) {
+        report.last_error = e.what();
+        if (tries < opts.round_retries) report.rounds_retried += 1;
+      }
+    }
+    if (!round_ok) {
       report.rounds_faulted += 1;
-      report.last_error = e.what();
       report.rounds = round + 1;
       continue;
     }

@@ -18,6 +18,10 @@ namespace parma {
 struct BalanceOptions {
   double tolerance = 0.05;
   int max_rounds = 3;       ///< heavy-split + diffusion rounds
+  /// How many times a faulted round is re-planned and re-run (the mesh was
+  /// rolled back transactionally, so the retry starts from clean state)
+  /// before the round is skipped and counted in rounds_faulted.
+  int round_retries = 2;
   ImproveOptions improve{}; ///< per-round diffusion settings
   HeavySplitOptions split{};
 };
@@ -32,6 +36,9 @@ struct BalanceReport {
   /// aborted round rolled the mesh back transactionally and was skipped;
   /// balancing degrades gracefully instead of corrupting the mesh.
   int rounds_faulted = 0;
+  /// Faulted rounds that were re-planned and re-run in place (they only
+  /// count in rounds_faulted once every retry was also lost).
+  int rounds_retried = 0;
   std::string last_error;  ///< what() of the most recent aborted round
   /// Transport traffic this balance run generated, from the Network stats
   /// delta: payloads the rounds posted (logical) vs coalesced messages

@@ -1,0 +1,160 @@
+#include "pcu/arq.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "pcu/envspec.hpp"
+
+namespace pcu::arq {
+
+namespace {
+
+struct State {
+  std::mutex mutex;
+  Config config;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// Hot-path gate: one relaxed load, like faults::framingEnabled().
+std::atomic<bool> g_on{false};
+
+std::atomic<std::uint64_t> g_frames_stored{0};
+std::atomic<std::uint64_t> g_beacons_sent{0};
+std::atomic<std::uint64_t> g_retransmits{0};
+std::atomic<std::uint64_t> g_recovered{0};
+std::atomic<std::uint64_t> g_duplicates_dropped{0};
+std::atomic<std::uint64_t> g_corrupt_dropped{0};
+std::atomic<std::uint64_t> g_acked{0};
+
+void installLocked(State& s, const Config& c) {
+  s.config = c;
+  g_on.store(c.on, std::memory_order_relaxed);
+}
+
+/// Latch PUMI_RELIABLE once, before the first enabled()/config() query;
+/// setConfig()/setReliable() override it.
+void envLatch() {
+  static const bool latched = [] {
+    const char* spec = std::getenv("PUMI_RELIABLE");
+    if (spec != nullptr && *spec != '\0') {
+      auto& s = state();
+      std::lock_guard<std::mutex> lock(s.mutex);
+      installLocked(s, parseConfig(spec));
+    }
+    return true;
+  }();
+  (void)latched;
+}
+
+}  // namespace
+
+Config parseConfig(const std::string& spec) {
+  const std::string env = "PUMI_RELIABLE";
+  Config c;
+  // Single-token on/off form.
+  if (spec.find('=') == std::string::npos && spec.find(',') == std::string::npos) {
+    c.on = envspec::parseBool(env, "PUMI_RELIABLE", spec);
+    return c;
+  }
+  // key=value list form implies on unless on=0 appears.
+  c.on = true;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? spec.size() : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      envspec::fail(env, "missing '=' in \"" + item + "\"");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    if (key == "on") {
+      c.on = envspec::parseBool(env, key, val);
+    } else if (key == "budget") {
+      c.retry_budget = envspec::parseInt(env, key, val, 1, 1000000);
+    } else if (key == "rto_us") {
+      c.rto_us = envspec::parseInt(env, key, val, 1, 1000000000);
+    } else if (key == "maxrto_us") {
+      c.max_rto_us = envspec::parseInt(env, key, val, 1, 1000000000);
+    } else if (key == "opretries") {
+      c.op_retries = envspec::parseInt(env, key, val, 0, 1000);
+    } else {
+      envspec::fail(env, "unknown key \"" + key + "\"");
+    }
+  }
+  if (c.max_rto_us < c.rto_us)
+    envspec::fail(env, "maxrto_us " + std::to_string(c.max_rto_us) +
+                           " below rto_us " + std::to_string(c.rto_us));
+  return c;
+}
+
+void setConfig(const Config& config) {
+  envLatch();
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  installLocked(s, config);
+}
+
+void setReliable(bool on) {
+  envLatch();
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  Config c = s.config;
+  c.on = on;
+  installLocked(s, c);
+}
+
+bool enabled() {
+  envLatch();
+  return g_on.load(std::memory_order_relaxed);
+}
+
+Config config() {
+  envLatch();
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.config;
+}
+
+Stats stats() {
+  Stats out;
+  out.frames_stored = g_frames_stored.load(std::memory_order_relaxed);
+  out.beacons_sent = g_beacons_sent.load(std::memory_order_relaxed);
+  out.retransmits = g_retransmits.load(std::memory_order_relaxed);
+  out.recovered = g_recovered.load(std::memory_order_relaxed);
+  out.duplicates_dropped = g_duplicates_dropped.load(std::memory_order_relaxed);
+  out.corrupt_dropped = g_corrupt_dropped.load(std::memory_order_relaxed);
+  out.acked = g_acked.load(std::memory_order_relaxed);
+  return out;
+}
+
+void resetStats() {
+  g_frames_stored.store(0, std::memory_order_relaxed);
+  g_beacons_sent.store(0, std::memory_order_relaxed);
+  g_retransmits.store(0, std::memory_order_relaxed);
+  g_recovered.store(0, std::memory_order_relaxed);
+  g_duplicates_dropped.store(0, std::memory_order_relaxed);
+  g_corrupt_dropped.store(0, std::memory_order_relaxed);
+  g_acked.store(0, std::memory_order_relaxed);
+}
+
+void noteStored() { g_frames_stored.fetch_add(1, std::memory_order_relaxed); }
+void noteBeacon() { g_beacons_sent.fetch_add(1, std::memory_order_relaxed); }
+void noteRetransmit() { g_retransmits.fetch_add(1, std::memory_order_relaxed); }
+void noteRecovered() { g_recovered.fetch_add(1, std::memory_order_relaxed); }
+void noteDuplicateDropped() {
+  g_duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+void noteCorruptDropped() {
+  g_corrupt_dropped.fetch_add(1, std::memory_order_relaxed);
+}
+void noteAcked() { g_acked.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace pcu::arq

@@ -1,0 +1,108 @@
+#ifndef PUMI_PCU_ARQ_HPP
+#define PUMI_PCU_ARQ_HPP
+
+/// \file arq.hpp
+/// \brief Reliable-delivery (ARQ) configuration and accounting.
+///
+/// Tier 1 of the recovery stack: when reliability is on (PUMI_RELIABLE in
+/// the environment, or pcu::Comm::setReliable / arq::setReliable), the
+/// framed messaging paths stop treating injected faults as fatal and
+/// recover instead:
+///
+///  - every framed send keeps a clean copy of the frame in a per-group
+///    retransmit store until the receiver acknowledges delivery (in-order
+///    receipt prunes the channel's stored prefix);
+///  - a dropped frame leaves a loss beacon behind, so the receiver pulls
+///    the retransmission immediately instead of waiting out a timeout;
+///  - receivers also scan the store on a capped exponential-backoff timer
+///    (the RTO path), which covers delayed and reordered traffic;
+///  - corrupt frames are discarded and re-fetched; duplicate sequence
+///    numbers are silently dropped instead of raising kDuplicateMessage;
+///  - each retransmission attempt re-runs the fault plan's deterministic
+///    decision under an attempt salt, so a transient plan eventually lets
+///    a retransmission through while a permanent (p = 1) plan exhausts the
+///    bounded retry budget and converts to a structured
+///    pcu::Error(kMessageLost) naming the channel and sequence number.
+///
+/// dist::Network recovers the same way at its bulk-synchronous phase
+/// boundary (see network.hpp). Reliability implies framing: enabling it
+/// turns pcu::faults::framingEnabled() on even without a fault plan.
+///
+/// PUMI_RELIABLE syntax: "1"/"on"/"true" (defaults), "0"/"off"/"false",
+/// or comma-separated key=value:
+///   budget=16        retransmission attempts per missing frame
+///   rto_us=200       first receiver store-scan interval, microseconds
+///   maxrto_us=20000  backoff cap, microseconds
+///   opretries=3      tier-2 transactional operation replays (dist ops)
+/// Malformed specs are rejected with pcu::Error(kValidation) naming the
+/// bad token (same strict parser as PUMI_FAULTS).
+
+#include <cstdint>
+#include <string>
+
+namespace pcu::arq {
+
+/// Reliable-delivery knobs. `on` gates everything; the rest tune it.
+struct Config {
+  bool on = false;
+  int retry_budget = 16;   ///< retransmission attempts per missing frame
+  int rto_us = 200;        ///< first receiver store-scan interval
+  int max_rto_us = 20000;  ///< exponential-backoff cap
+  int op_retries = 3;      ///< default tier-2 transactional replays
+};
+
+/// Parse a PUMI_RELIABLE-style spec. Throws pcu::Error(kValidation) naming
+/// the bad token on malformed input.
+Config parseConfig(const std::string& spec);
+
+/// Install a full config (latches PUMI_RELIABLE from the environment
+/// first, so a programmatic setting always wins). Only call at quiescent
+/// points, like faults::setPlan.
+void setConfig(const Config& config);
+
+/// Switch reliability on (default knobs) or off, preserving tuned knobs.
+void setReliable(bool on);
+
+/// True when reliable delivery is active. First call latches PUMI_RELIABLE.
+bool enabled();
+
+/// The active config (meaningful knobs even while off).
+Config config();
+
+/// Deterministic salt for retransmission-attempt fault decisions: attempt 0
+/// returns `seq` unchanged (the original transmission's decision stream is
+/// exactly what a non-reliable run sees); attempts >= 1 decorrelate so a
+/// transient fault plan does not deterministically re-fault every
+/// retransmission of the same frame.
+inline std::uint64_t saltSeq(std::uint64_t seq, std::uint64_t attempt) {
+  if (attempt == 0) return seq;
+  return seq ^ (0x9e3779b97f4a7c15ull * attempt) ^ (attempt << 48);
+}
+
+/// --- accounting ---------------------------------------------------------
+/// Process-global counters (relaxed atomics): what reliability actually did.
+
+struct Stats {
+  std::uint64_t frames_stored = 0;      ///< clean frames kept for resend
+  std::uint64_t beacons_sent = 0;       ///< loss beacons left by drops
+  std::uint64_t retransmits = 0;        ///< retransmission attempts made
+  std::uint64_t recovered = 0;          ///< frames recovered via the store
+  std::uint64_t duplicates_dropped = 0; ///< dedup discards (vs kDuplicate)
+  std::uint64_t corrupt_dropped = 0;    ///< corrupt frames discarded
+  std::uint64_t acked = 0;              ///< store prunes on in-order receipt
+};
+
+Stats stats();
+void resetStats();
+
+void noteStored();
+void noteBeacon();
+void noteRetransmit();
+void noteRecovered();
+void noteDuplicateDropped();
+void noteCorruptDropped();
+void noteAcked();
+
+}  // namespace pcu::arq
+
+#endif  // PUMI_PCU_ARQ_HPP

@@ -4,7 +4,9 @@
 #include <cassert>
 #include <chrono>
 #include <string>
+#include <tuple>
 
+#include "pcu/arq.hpp"
 #include "pcu/error.hpp"
 #include "pcu/faults.hpp"
 #include "pcu/trace.hpp"
@@ -48,12 +50,12 @@ bool Mailbox::takeLocal(int source, int tag, Raw& out) {
   return true;
 }
 
-bool Mailbox::pop(int source, int tag, int timeout_ms, Raw& out) {
+bool Mailbox::pop(int source, int tag, long timeout_us, Raw& out) {
   // Fast path: the consumer-private queue already holds a match — no lock.
   if (takeLocal(source, tag, out)) return true;
   std::unique_lock<std::mutex> lock(mutex_);
   const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(timeout_ms);
+                        std::chrono::microseconds(timeout_us);
   for (;;) {
     if (!inbox_.empty()) {
       // Drain the whole inbox in one swap; scan it outside the lock.
@@ -64,7 +66,7 @@ bool Mailbox::pop(int source, int tag, int timeout_ms, Raw& out) {
       lock.lock();
       continue;  // inbox may have refilled while unlocked
     }
-    if (timeout_ms <= 0) {
+    if (timeout_us <= 0) {
       cv_.wait(lock);
     } else if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       return false;
@@ -80,6 +82,64 @@ bool Mailbox::probe(int source, int tag) {
   }
   return std::any_of(local_.begin(), local_.end(),
                      [&](const Raw& s) { return matches(s, source, tag); });
+}
+
+void RetransmitStore::store(int src, int dst, int tag, std::uint64_t seq,
+                            const std::vector<std::byte>& framed) {
+  auto& shard = shards_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.chans[(static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+               << 32) |
+              static_cast<std::uint32_t>(tag)][seq] = framed;
+}
+
+void RetransmitStore::ack(int src, int dst, int tag, std::uint64_t upto) {
+  auto& shard = shards_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(tag);
+  auto it = shard.chans.find(key);
+  if (it == shard.chans.end()) return;
+  it->second.erase(it->second.begin(), it->second.lower_bound(upto));
+  if (it->second.empty()) shard.chans.erase(it);
+}
+
+std::optional<std::vector<std::byte>> RetransmitStore::fetch(
+    int dst, int src, int tag, std::uint64_t seq) {
+  auto& shard = shards_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(tag);
+  auto it = shard.chans.find(key);
+  if (it == shard.chans.end()) return std::nullopt;
+  auto fit = it->second.find(seq);
+  if (fit == it->second.end()) return std::nullopt;
+  return fit->second;
+}
+
+std::vector<RetransmitStore::PendingFrame> RetransmitStore::pending(
+    int dst, int src, int tag,
+    const std::function<std::uint64_t(int)>& expected) {
+  auto& shard = shards_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<PendingFrame> out;
+  for (const auto& [key, frames] : shard.chans) {
+    const int chan_src = static_cast<int>(key >> 32);
+    const int chan_tag = static_cast<int>(static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(key & 0xffffffffu)));
+    if (chan_tag != tag) continue;
+    if (src != kAnySource && chan_src != src) continue;
+    const std::uint64_t from_seq = expected(chan_src);
+    for (auto it = frames.lower_bound(from_seq); it != frames.end(); ++it)
+      out.push_back(PendingFrame{chan_src, it->first, it->second});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PendingFrame& a, const PendingFrame& b) {
+              return std::tie(a.src, a.seq) < std::tie(b.src, b.seq);
+            });
+  return out;
 }
 
 }  // namespace detail
@@ -165,6 +225,13 @@ void Comm::sendFramed(int dest, int tag, std::vector<std::byte> payload) {
 void Comm::postFramed(int dest, int tag, std::vector<std::byte> payload) {
   const std::uint64_t seq = send_seq_[channelKey(dest, tag)]++;
   auto framed = faults::frame(seq, std::move(payload));
+  const bool reliable = arq::enabled();
+  if (reliable) {
+    // Deposit the clean frame before the fault decision can touch it: the
+    // receiver pulls from here on loss/corruption and prunes on delivery.
+    group_->arq_store_.store(rank_, dest, tag, seq, framed);
+    arq::noteStored();
+  }
   switch (faults::decide(rank_, dest, tag, seq)) {
     case faults::Action::kDeliver:
       break;
@@ -172,6 +239,12 @@ void Comm::postFramed(int dest, int tag, std::vector<std::byte> payload) {
       faults::corruptFrame(framed, rank_, dest, tag, seq);
       break;
     case faults::Action::kDrop:
+      if (reliable) {
+        // Leave a loss beacon so the receiver recovers immediately from
+        // the store instead of waiting out its RTO timer.
+        push(dest, tag, faults::lossBeacon(seq));
+        arq::noteBeacon();
+      }
       return;  // the network ate it; the receiver's watchdog will notice
     case faults::Action::kDuplicate:
       push(dest, tag, std::vector<std::byte>(framed));
@@ -207,7 +280,7 @@ void Comm::reserveInbound(std::size_t n) {
 detail::Mailbox::Raw Comm::popWatchdog(int source, int tag) {
   const int wd = faults::watchdogMs();
   detail::Mailbox::Raw raw;
-  if (!group_->boxes_[rank_].pop(source, tag, wd, raw))
+  if (!group_->boxes_[rank_].pop(source, tag, wd * 1000L, raw))
     throw Error(ErrorCode::kTimeout, rank_, source, tag,
                 "recv watchdog fired after " + std::to_string(wd) +
                     "ms; last phase: " + trace::lastPhase(rank_));
@@ -224,7 +297,9 @@ Message Comm::recvImpl(int source, int tag, bool traced) {
   if (faults::framingEnabled()) {
     // Our own held-back messages must not deadlock us while we block.
     flushDelayed();
-    if (tag >= 0) return recvFramed(source, tag, traced);
+    if (tag >= 0)
+      return arq::enabled() ? recvReliable(source, tag, traced)
+                            : recvFramed(source, tag, traced);
   }
   auto raw = popWatchdog(source, tag);
   Message m;
@@ -237,22 +312,29 @@ Message Comm::recvImpl(int source, int tag, bool traced) {
   return m;
 }
 
+std::optional<Message> Comm::serveStash(int source, int tag, bool traced) {
+  // Serve any stashed out-of-order message that has become current.
+  for (auto it = reorder_stash_.begin(); it != reorder_stash_.end(); ++it) {
+    if (it->msg.tag != tag) continue;
+    if (source != kAnySource && it->msg.source != source) continue;
+    auto& expected = recv_seq_[channelKey(it->msg.source, tag)];
+    if (it->seq != expected) continue;
+    ++expected;
+    Message m = std::move(it->msg);
+    reorder_stash_.erase(it);
+    if (arq::enabled())
+      group_->arq_store_.ack(m.source, rank_, tag, expected);
+    if (traced && trace::enabled())
+      trace::recvAs(rank_, m.source, static_cast<std::int64_t>(m.body.size()),
+                    "pcu");
+    return m;
+  }
+  return std::nullopt;
+}
+
 Message Comm::recvFramed(int source, int tag, bool traced) {
   for (;;) {
-    // Serve any stashed out-of-order message that has become current.
-    for (auto it = reorder_stash_.begin(); it != reorder_stash_.end(); ++it) {
-      if (it->msg.tag != tag) continue;
-      if (source != kAnySource && it->msg.source != source) continue;
-      auto& expected = recv_seq_[channelKey(it->msg.source, tag)];
-      if (it->seq != expected) continue;
-      ++expected;
-      Message m = std::move(it->msg);
-      reorder_stash_.erase(it);
-      if (traced && trace::enabled())
-        trace::recvAs(rank_, m.source,
-                      static_cast<std::int64_t>(m.body.size()), "pcu");
-      return m;
-    }
+    if (auto m = serveStash(source, tag, traced)) return std::move(*m);
     auto raw = popWatchdog(source, tag);
     std::uint64_t seq = 0;
     auto payload =
@@ -281,6 +363,129 @@ Message Comm::recvFramed(int source, int tag, bool traced) {
     return m;
   }
 }
+
+void Comm::pullRetransmit(int src, int tag, std::uint64_t seq,
+                          std::vector<std::byte> framed) {
+  // Model each retransmission crossing the same faulty network: re-run the
+  // plan's deterministic decision under an attempt salt. A transient plan
+  // soon delivers; a permanent one (p = 1) faults every attempt and the
+  // bounded budget converts to a structured error. kDuplicate and kDelay
+  // collapse to one immediate delivery — the pull is synchronous, so
+  // neither changes what the receiver observes.
+  const arq::Config cfg = arq::config();
+  for (int attempt = 1; attempt <= cfg.retry_budget; ++attempt) {
+    arq::noteRetransmit();
+    const auto action = faults::decide(
+        src, rank_, tag, arq::saltSeq(seq, static_cast<std::uint64_t>(attempt)));
+    if (action == faults::Action::kCorrupt || action == faults::Action::kDrop)
+      continue;  // this retransmission was lost too
+    group_->boxes_[rank_].push(src, tag, std::move(framed));
+    arq::noteRecovered();
+    return;
+  }
+  throw Error(ErrorCode::kMessageLost, rank_, src, tag,
+              "retransmission budget exhausted after " +
+                  std::to_string(cfg.retry_budget) +
+                  " attempts (channel seq " + std::to_string(seq) + ")");
+}
+
+Message Comm::recvReliable(int source, int tag, bool traced) {
+  const arq::Config cfg = arq::config();
+  auto& box = group_->boxes_[rank_];
+  auto& store = group_->arq_store_;
+  const int wd = faults::watchdogMs();
+  const auto start = std::chrono::steady_clock::now();
+  long interval_us = cfg.rto_us;
+  // What this receiver has delivered so far on (src, tag): frames below
+  // this are duplicates, frames at it are next in line.
+  auto expectedOf = [&](int src) {
+    auto it = recv_seq_.find(channelKey(src, tag));
+    return it == recv_seq_.end() ? std::uint64_t{0} : it->second;
+  };
+  // Pull every store frame on the channel(s) not yet delivered; true when
+  // at least one came through (it will surface via the mailbox).
+  auto pullChannel = [&](int src) {
+    bool recovered = false;
+    for (auto& f : store.pending(rank_, src, tag, expectedOf)) {
+      pullRetransmit(f.src, tag, f.seq, std::move(f.bytes));
+      recovered = true;
+    }
+    return recovered;
+  };
+  for (;;) {
+    if (auto m = serveStash(source, tag, traced)) return std::move(*m);
+    // Bound the wait by the backoff interval (the RTO scan) and, when the
+    // watchdog is armed, by its deadline.
+    long wait_us = interval_us;
+    if (wd > 0) {
+      const auto elapsed_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      const long remain_us = wd * 1000L - static_cast<long>(elapsed_us);
+      if (remain_us <= 0)
+        throw Error(ErrorCode::kTimeout, rank_, source, tag,
+                    "recv watchdog fired after " + std::to_string(wd) +
+                        "ms; last phase: " + trace::lastPhase(rank_));
+      wait_us = std::min(wait_us, remain_us);
+    }
+    detail::Mailbox::Raw raw;
+    if (!box.pop(source, tag, wait_us, raw)) {
+      // RTO fired: scan the store for undelivered frames (covers delayed
+      // and reordered traffic whose beacon never existed), then back off.
+      if (!pullChannel(source))
+        interval_us = std::min(interval_us * 2, static_cast<long>(cfg.max_rto_us));
+      continue;
+    }
+    if (faults::isLossBeacon(raw.bytes)) {
+      // The injector dropped (raw.source, tag, seq): recover it from the
+      // store right now — this is what keeps the retransmit tax small.
+      const std::uint64_t seq = faults::beaconSeq(raw.bytes);
+      if (seq >= expectedOf(raw.source))
+        if (auto bytes = store.fetch(rank_, raw.source, tag, seq))
+          pullRetransmit(raw.source, tag, seq, std::move(*bytes));
+      continue;
+    }
+    std::uint64_t seq = 0;
+    std::vector<std::byte> payload;
+    try {
+      payload = faults::unframe(std::move(raw.bytes), seq, rank_, raw.source,
+                                tag);
+    } catch (const Error&) {
+      // Corrupt frame: its seq field cannot be trusted, so discard it and
+      // re-fetch everything undelivered on the source channel.
+      arq::noteCorruptDropped();
+      pullChannel(raw.source);
+      continue;
+    }
+    auto& expected = recv_seq_[channelKey(raw.source, tag)];
+    if (seq < expected) {
+      // Sequence-based dedup: injected duplicates and double-recovered
+      // frames vanish here instead of raising kDuplicateMessage.
+      arq::noteDuplicateDropped();
+      continue;
+    }
+    Message m;
+    m.source = raw.source;
+    m.tag = raw.tag;
+    m.body = InBuffer(std::move(payload));
+    if (seq > expected) {
+      reorder_stash_.push_back(Stashed{std::move(m), seq});
+      continue;
+    }
+    ++expected;
+    // In-order delivery acknowledges the channel prefix: the sender-side
+    // store prunes everything below `expected`.
+    store.ack(raw.source, rank_, tag, expected);
+    arq::noteAcked();
+    if (traced && trace::enabled())
+      trace::recvAs(rank_, m.source, static_cast<std::int64_t>(m.body.size()),
+                    "pcu");
+    return m;
+  }
+}
+
+void Comm::setReliable(bool on) { arq::setReliable(on); }
 
 bool Comm::probe(int source, int tag) {
   return group_->boxes_[rank_].probe(source, tag);

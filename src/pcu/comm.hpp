@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -99,9 +101,10 @@ class Mailbox {
   /// inbox so a burst of pushes does not reallocate under the lock.
   void reserveInbound(std::size_t n);
   /// Blocks until a message matching (source-or-any, tag) arrives. When
-  /// timeout_ms > 0, gives up after that long and returns false (the
-  /// watchdog path); with timeout_ms == 0 it waits forever.
-  bool pop(int source, int tag, int timeout_ms, Raw& out);
+  /// timeout_us > 0, gives up after that long and returns false (the
+  /// watchdog and ARQ store-scan paths); with timeout_us == 0 it waits
+  /// forever.
+  bool pop(int source, int tag, long timeout_us, Raw& out);
   /// Non-blocking probe; true when a matching message is queued.
   bool probe(int source, int tag);
 
@@ -115,6 +118,55 @@ class Mailbox {
   std::condition_variable cv_;
   std::vector<Raw> inbox_;  ///< producer side, guarded by mutex_
   std::deque<Raw> local_;   ///< consumer side, owner thread only
+};
+
+/// Sender-side store of clean framed copies for receiver-pulled
+/// retransmission (reliable mode, pcu::arq). Each framed send deposits its
+/// frame here before fault injection can touch it; the receiver pulls the
+/// clean copy when it detects loss (a beacon or an RTO scan) and prunes
+/// the channel's prefix on every in-order delivery (the "ack").
+///
+/// Receiver-pulled rather than sender-driven on purpose: under the
+/// bulk-synchronous patterns this library runs, a sender may be blocked in
+/// a collective when its frame is lost, so it could never service a
+/// retransmit *request*; a shared store the receiver reads directly cannot
+/// deadlock. Sharded by destination rank so concurrent ranks do not
+/// contend on one mutex.
+class RetransmitStore {
+ public:
+  explicit RetransmitStore(int ranks)
+      : shards_(static_cast<std::size_t>(ranks)) {}
+
+  /// Keep a clean framed copy of (src -> dst, tag, seq).
+  void store(int src, int dst, int tag, std::uint64_t seq,
+             const std::vector<std::byte>& framed);
+  /// Receiver acknowledgement: drop channel frames with seq < upto.
+  void ack(int src, int dst, int tag, std::uint64_t upto);
+  /// Fetch one stored frame; nullopt when absent (never stored or pruned).
+  std::optional<std::vector<std::byte>> fetch(int dst, int src, int tag,
+                                              std::uint64_t seq);
+  struct PendingFrame {
+    int src;
+    std::uint64_t seq;
+    std::vector<std::byte> bytes;
+  };
+  /// Every stored frame addressed to `dst` on `tag` (any source when
+  /// src == kAnySource) whose seq is not below the receiver's expectation
+  /// (queried per source channel): the RTO scan's pull candidates, in
+  /// (source, seq) order.
+  std::vector<PendingFrame> pending(
+      int dst, int src, int tag,
+      const std::function<std::uint64_t(int)>& expected);
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    /// channelKey(src, tag) -> seq -> clean framed bytes.
+    std::unordered_map<std::uint64_t,
+                       std::map<std::uint64_t, std::vector<std::byte>>>
+        chans;
+  };
+  std::vector<Shard> shards_;
 };
 
 }  // namespace detail
@@ -136,6 +188,7 @@ class Group {
   int size_;
   Machine machine_;
   std::vector<detail::Mailbox> boxes_;
+  detail::RetransmitStore arq_store_{size_};
   // Scratch used by split() to publish subgroup pointers across ranks.
   std::mutex split_mutex_;
   std::vector<std::shared_ptr<Group>> split_scratch_;
@@ -240,6 +293,12 @@ class Comm {
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   void resetStats() { stats_.reset(); }
 
+  /// Switch reliable delivery (pcu::arq) on or off for the whole process —
+  /// convenience forwarder to arq::setReliable, kept here because the ARQ
+  /// layer lives inside Comm's framed send/recv paths. Only call at
+  /// quiescent points (no in-flight messages).
+  static void setReliable(bool on);
+
  private:
   // Internal tags for collectives; user tags are >= 0.
   enum InternalTag : int {
@@ -275,6 +334,23 @@ class Comm {
   Message recvImpl(int source, int tag, bool traced);
   /// Framed receive: verify, deduplicate, restore per-channel order.
   Message recvFramed(int source, int tag, bool traced);
+  /// Reliable framed receive (arq::enabled()): same ordering contract as
+  /// recvFramed, but corruption/duplication/loss are *recovered* — corrupt
+  /// frames discarded and re-fetched, duplicates silently dropped, lost
+  /// frames pulled from the group's retransmit store (loss beacons make
+  /// that immediate; a capped-backoff RTO scan covers delayed traffic).
+  /// Only a retransmit budget exhausted under a permanent fault converts
+  /// to Error(kMessageLost).
+  Message recvReliable(int source, int tag, bool traced);
+  /// Model retransmission attempts of one stored frame across the faulty
+  /// network (attempt-salted fault decisions); pushes the clean frame into
+  /// this rank's mailbox on success. Throws Error(kMessageLost) when the
+  /// retry budget is exhausted.
+  void pullRetransmit(int src, int tag, std::uint64_t seq,
+                      std::vector<std::byte> framed);
+  /// Serve a stashed reordered message that has become current; nullopt
+  /// when none matches.
+  std::optional<Message> serveStash(int source, int tag, bool traced);
 
   [[nodiscard]] static std::uint64_t channelKey(int peer, int tag) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))

@@ -1,0 +1,103 @@
+#ifndef PUMI_PCU_ENVSPEC_HPP
+#define PUMI_PCU_ENVSPEC_HPP
+
+/// \file envspec.hpp
+/// \brief Strict parsing of comma-separated key=value environment specs.
+///
+/// Shared by the PUMI_FAULTS and PUMI_RELIABLE parsers so both reject
+/// malformed input the same way: every value must consume its whole token
+/// (no trailing characters), unsigned fields reject signs, and every error
+/// is a structured pcu::Error(kValidation) naming the bad token. The old
+/// std::stod/stoull-based parsing silently accepted "drop=0.5xyz" (as 0.5)
+/// and "seed=-1" (wrapped); these helpers exist so that can never happen
+/// again.
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "pcu/error.hpp"
+
+namespace pcu::envspec {
+
+/// Fail parsing of `env`'s spec with a kValidation error; `why` must name
+/// the offending token.
+[[noreturn]] inline void fail(const std::string& env, const std::string& why) {
+  throw Error(ErrorCode::kValidation, -1, env + ": " + why);
+}
+
+[[noreturn]] inline void badValue(const std::string& env,
+                                  const std::string& key,
+                                  const std::string& val,
+                                  const std::string& want) {
+  fail(env, "bad value \"" + val + "\" for \"" + key + "\" (want " + want +
+                ")");
+}
+
+/// Full-token unsigned integer: rejects empty values, signs, trailing
+/// characters, and overflow.
+inline std::uint64_t parseU64(const std::string& env, const std::string& key,
+                              const std::string& val) {
+  std::uint64_t v = 0;
+  const char* b = val.data();
+  const char* e = b + val.size();
+  const auto [p, ec] = std::from_chars(b, e, v);
+  if (val.empty() || ec != std::errc{} || p != e)
+    badValue(env, key, val, "a non-negative integer");
+  return v;
+}
+
+/// Full-token integer constrained to [lo, hi].
+inline int parseInt(const std::string& env, const std::string& key,
+                    const std::string& val, int lo, int hi) {
+  int v = 0;
+  const char* b = val.data();
+  const char* e = b + val.size();
+  const auto [p, ec] = std::from_chars(b, e, v);
+  if (val.empty() || ec != std::errc{} || p != e)
+    badValue(env, key, val, "an integer");
+  if (v < lo || v > hi)
+    badValue(env, key, val,
+             "an integer in [" + std::to_string(lo) + ", " +
+                 std::to_string(hi) + "]");
+  return v;
+}
+
+/// Full-token finite double (strtod-based so it works on toolchains without
+/// floating-point from_chars); rejects inf/nan, empty and partial tokens.
+inline double parseDouble(const std::string& env, const std::string& key,
+                          const std::string& val) {
+  if (val.empty() || std::isspace(static_cast<unsigned char>(val.front())))
+    badValue(env, key, val, "a finite number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(val.c_str(), &end);
+  if (end != val.c_str() + val.size() || errno == ERANGE || !std::isfinite(v))
+    badValue(env, key, val, "a finite number");
+  return v;
+}
+
+/// Full-token probability in [0, 1].
+inline double parseProb(const std::string& env, const std::string& key,
+                        const std::string& val) {
+  const double v = parseDouble(env, key, val);
+  if (v < 0.0 || v > 1.0)
+    badValue(env, key, val, "a probability in [0, 1]");
+  return v;
+}
+
+/// Strict boolean: exactly 1/0/on/off/true/false.
+inline bool parseBool(const std::string& env, const std::string& key,
+                      const std::string& val) {
+  if (val == "1" || val == "on" || val == "true") return true;
+  if (val == "0" || val == "off" || val == "false") return false;
+  badValue(env, key, val, "one of 1/0/on/off/true/false");
+}
+
+}  // namespace pcu::envspec
+
+#endif  // PUMI_PCU_ENVSPEC_HPP

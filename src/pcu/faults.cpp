@@ -8,7 +8,9 @@
 #include <mutex>
 #include <thread>
 
+#include "pcu/arq.hpp"
 #include "pcu/comm.hpp"
+#include "pcu/envspec.hpp"
 
 namespace pcu::faults {
 
@@ -112,12 +114,14 @@ std::uint64_t get64(const std::byte* p) {
 }  // namespace
 
 FaultPlan parsePlan(const std::string& spec) {
+  // Strict token-by-token parsing (pcu/envspec.hpp): each value must
+  // consume its whole token, unsigned fields reject signs, probabilities
+  // live in [0,1]; every rejection is a kValidation error naming the bad
+  // token. The previous stoull/stod parsing silently accepted trailing
+  // garbage ("drop=0.5xyz"), negative stallms, and wrapping seeds.
+  const std::string env = "PUMI_FAULTS";
   FaultPlan p;
   std::size_t pos = 0;
-  auto fail = [&](const std::string& why) -> void {
-    throw Error(ErrorCode::kValidation, -1,
-                "PUMI_FAULTS: " + why + " in \"" + spec + "\"");
-  };
   while (pos < spec.size()) {
     const std::size_t comma = spec.find(',', pos);
     const std::string item =
@@ -125,44 +129,38 @@ FaultPlan parsePlan(const std::string& spec) {
     pos = comma == std::string::npos ? spec.size() : comma + 1;
     if (item.empty()) continue;
     const std::size_t eq = item.find('=');
-    if (eq == std::string::npos) fail("missing '=' in \"" + item + "\"");
+    if (eq == std::string::npos)
+      envspec::fail(env, "missing '=' in \"" + item + "\"");
     const std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
-    try {
-      if (key == "seed") {
-        p.seed = std::stoull(val);
-      } else if (key == "corrupt") {
-        p.corrupt = std::stod(val);
-      } else if (key == "drop") {
-        p.drop = std::stod(val);
-      } else if (key == "dup") {
-        p.duplicate = std::stod(val);
-      } else if (key == "delay") {
-        p.delay = std::stod(val);
-      } else if (key == "stall") {
-        const std::size_t colon = val.find(':');
-        if (colon == std::string::npos)
-          fail("stall wants RANK:STEPS, got \"" + val + "\"");
-        p.stall_rank = std::stoi(val.substr(0, colon));
-        p.stall_steps = std::stoi(val.substr(colon + 1));
-      } else if (key == "stallms") {
-        p.stall_ms = std::stoi(val);
-      } else if (key == "watchdog") {
-        p.watchdog_ms = std::stoi(val);
-      } else if (key == "checksum") {
-        p.checksum_only = val != "0" && val != "false" && val != "off";
-      } else {
-        fail("unknown key \"" + key + "\"");
-      }
-    } catch (const Error&) {
-      throw;
-    } catch (const std::exception&) {
-      fail("bad value \"" + val + "\" for \"" + key + "\"");
+    if (key == "seed") {
+      p.seed = envspec::parseU64(env, key, val);
+    } else if (key == "corrupt") {
+      p.corrupt = envspec::parseProb(env, key, val);
+    } else if (key == "drop") {
+      p.drop = envspec::parseProb(env, key, val);
+    } else if (key == "dup") {
+      p.duplicate = envspec::parseProb(env, key, val);
+    } else if (key == "delay") {
+      p.delay = envspec::parseProb(env, key, val);
+    } else if (key == "stall") {
+      const std::size_t colon = val.find(':');
+      if (colon == std::string::npos)
+        envspec::fail(env, "stall wants RANK:STEPS, got \"" + val + "\"");
+      p.stall_rank = envspec::parseInt(env, "stall rank", val.substr(0, colon),
+                                       0, 1 << 24);
+      p.stall_steps = envspec::parseInt(env, "stall steps",
+                                        val.substr(colon + 1), 0, 1 << 30);
+    } else if (key == "stallms") {
+      p.stall_ms = envspec::parseInt(env, key, val, 0, 1 << 30);
+    } else if (key == "watchdog") {
+      p.watchdog_ms = envspec::parseInt(env, key, val, 0, 1 << 30);
+    } else if (key == "checksum") {
+      p.checksum_only = envspec::parseBool(env, key, val);
+    } else {
+      envspec::fail(env, "unknown key \"" + key + "\" in \"" + item + "\"");
     }
   }
-  for (double prob : {p.corrupt, p.drop, p.duplicate, p.delay})
-    if (prob < 0.0 || prob > 1.0) fail("probability outside [0,1]");
-  if (p.watchdog_ms < 0) fail("negative watchdog");
   return p;
 }
 
@@ -194,7 +192,9 @@ bool enabled() {
 
 bool framingEnabled() {
   envLatch();
-  return g_framing.load(std::memory_order_relaxed);
+  // Reliable delivery needs the frame seq/CRC machinery even with no fault
+  // plan installed (sequence-based dedup and acknowledgement ride on it).
+  return g_framing.load(std::memory_order_relaxed) || arq::enabled();
 }
 
 int watchdogMs() {
@@ -287,6 +287,21 @@ std::vector<std::byte> unframe(std::vector<std::byte> framed,
   framed.erase(framed.begin(),
                framed.begin() + static_cast<std::ptrdiff_t>(kFrameHeaderBytes));
   return framed;
+}
+
+std::vector<std::byte> lossBeacon(std::uint64_t seq) {
+  std::vector<std::byte> out(kBeaconBytes);
+  put32(out.data(), kBeaconMagic);
+  put64(out.data() + 4, seq);
+  return out;
+}
+
+bool isLossBeacon(const std::vector<std::byte>& bytes) {
+  return bytes.size() == kBeaconBytes && get32(bytes.data()) == kBeaconMagic;
+}
+
+std::uint64_t beaconSeq(const std::vector<std::byte>& bytes) {
+  return get64(bytes.data() + 4);
 }
 
 void agreeOnError(Comm& comm, const Error* local) {

@@ -69,8 +69,10 @@ struct FaultPlan {
   }
 };
 
-/// Parse a PUMI_FAULTS-style spec. Throws pcu::Error(kValidation) on
-/// malformed input.
+/// Parse a PUMI_FAULTS-style spec. Strict: every value must consume its
+/// whole token (no trailing characters, no signs on unsigned fields, no
+/// out-of-range probabilities); malformed input throws
+/// pcu::Error(kValidation) naming the bad token.
 FaultPlan parsePlan(const std::string& spec);
 
 /// Install a plan (enables framing; enables injection when plan.injects()).
@@ -83,8 +85,9 @@ FaultPlan plan();
 /// True when fault injection is active (a plan with injecting knobs is
 /// installed). First call latches PUMI_FAULTS from the environment.
 bool enabled();
-/// True when messages must be framed/verified: injection active or
-/// checksum-verify mode on.
+/// True when messages must be framed/verified: injection active,
+/// checksum-verify mode on, or reliable delivery (pcu::arq) enabled —
+/// the ARQ layer rides on frame sequence numbers and CRCs.
 bool framingEnabled();
 /// Watchdog timeout for blocking receives; 0 when off.
 int watchdogMs();
@@ -129,6 +132,23 @@ void corruptFrame(std::vector<std::byte>& framed, int src, int dst, int tag,
 std::vector<std::byte> unframe(std::vector<std::byte> framed,
                                std::uint64_t& seq_out, int self, int src,
                                int tag);
+
+/// --- loss beacons (reliable mode) ---------------------------------------
+/// When reliable delivery is on, a dropped frame is replaced by a tiny
+/// beacon carrying the lost sequence number, so the receiver pulls the
+/// retransmission from the sender's store immediately instead of waiting
+/// out the RTO timer. Beacons use a distinct magic word; they only exist
+/// on framed channels, so they can never be mistaken for payload.
+
+inline constexpr std::uint32_t kBeaconMagic = 0x5043554Cu;  // "PCUL"
+inline constexpr std::size_t kBeaconBytes = 12;  // magic(u32) + seq(u64)
+
+/// Build a loss beacon for channel sequence `seq`.
+std::vector<std::byte> lossBeacon(std::uint64_t seq);
+/// True when `bytes` is a loss beacon.
+bool isLossBeacon(const std::vector<std::byte>& bytes);
+/// The lost sequence number a beacon names (call only when isLossBeacon).
+std::uint64_t beaconSeq(const std::vector<std::byte>& bytes);
 
 /// --- collective error agreement ----------------------------------------
 

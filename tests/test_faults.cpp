@@ -79,6 +79,31 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   }
 }
 
+TEST(FaultPlan, RejectsPartialAndOutOfRangeTokens) {
+  // Strict parsing: every value must consume its whole token. The old
+  // stod/stoull-based parser silently accepted all of these.
+  for (const char* bad :
+       {"drop=0.5xyz", "seed=-1", "seed=+1", "stallms=-5", "checksum=yes",
+        "watchdog=10ms", "corrupt=inf", "corrupt=nan", "drop= 0.5",
+        "stall=1:2:3", "stall=-1:4"}) {
+    try {
+      faults::parsePlan(bad);
+      FAIL() << "accepted malformed spec: " << bad;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kValidation) << bad;
+      // The error must name the offending token so the user can fix it.
+      const std::string what = e.what();
+      const std::string spec(bad);
+      const std::string val = spec.substr(spec.find('=') + 1);
+      if (!val.empty() && spec.find(':') == std::string::npos) {
+        EXPECT_NE(what.find(val), std::string::npos)
+            << "error for \"" << bad << "\" does not name the bad token: "
+            << what;
+      }
+    }
+  }
+}
+
 TEST(FaultPlan, DefaultPlanInjectsNothing) {
   EXPECT_FALSE(faults::FaultPlan{}.injects());
   if (std::getenv("PUMI_FAULTS") != nullptr) {
@@ -161,6 +186,28 @@ TEST(Framing, RejectsTruncatedFrame) {
   framed.resize(faults::kFrameHeaderBytes - 2);
   std::uint64_t seq = 0;
   EXPECT_THROW(faults::unframe(std::move(framed), seq, 0, 1, 2), Error);
+}
+
+TEST(Crc32, MatchesStandardKnownAnswers) {
+  // IEEE 802.3 reflected CRC32 test vectors (the "check" value CBF43926
+  // plus the classic string set). Pins the framing checksum against any
+  // regression in table generation or bit order.
+  const auto crcOf = [](const std::string& s) {
+    return faults::crc32(reinterpret_cast<const std::byte*>(s.data()),
+                         s.size());
+  };
+  EXPECT_EQ(crcOf(""), 0x00000000u);
+  EXPECT_EQ(crcOf("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crcOf("abc"), 0x352441C2u);
+  EXPECT_EQ(crcOf("message digest"), 0x20159D7Fu);
+  EXPECT_EQ(crcOf("abcdefghijklmnopqrstuvwxyz"), 0x4C2750BDu);
+  EXPECT_EQ(crcOf("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crcOf("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+  const std::byte zero{0};
+  EXPECT_EQ(faults::crc32(&zero, 1), 0xD202EF8Du);
+  const std::byte ff{0xff};
+  EXPECT_EQ(faults::crc32(&ff, 1), 0xFF000000u);
 }
 
 /// --- pcu-level chaos -----------------------------------------------------

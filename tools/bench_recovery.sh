@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# Recovery benchmark smoke: measures the reliable-delivery (ARQ) tax and
+# the end-to-end recovery success rate, and merges them into one
+# BENCH_RECOVERY.json.
+#
+#   * BM_PingPongReliable/{payload}/{drop_permille} runs the hardened
+#     ping-pong with reliable mode on; comparing the 10-permille (1% drop)
+#     median against the 0-permille median of the same payload yields the
+#     retransmit tax. The merge script asserts it stays under 10%.
+#   * The 20-seed chaos suites from test_recovery are replayed and their
+#     pass/fail becomes success_rate (asserted == 1.0): every seeded
+#     transient fault schedule must complete with zero aborts.
+#
+# Usage: tools/bench_recovery.sh <build-dir> [out.json]
+# The build dir must contain bench/bench_pcu_msg and tests/test_recovery
+# (build with -DCMAKE_BUILD_TYPE=Release for meaningful numbers).
+set -eu
+
+BUILD="${1:?usage: tools/bench_recovery.sh <build-dir> [out.json]}"
+OUT="${2:-BENCH_RECOVERY.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Note: this google-benchmark build takes --benchmark_min_time as a plain
+# double (seconds), not the newer "0.05x"/"0.05s" suffixed forms.
+"$BUILD/bench/bench_pcu_msg" \
+  --benchmark_filter='BM_PingPongReliable' \
+  --benchmark_min_time=0.05 \
+  --benchmark_repetitions=5 \
+  --benchmark_out="$TMP/reliable.json" --benchmark_out_format=json >&2
+
+# The acceptance chaos matrix: 20 seeds of mixed transient faults at the
+# pcu layer and the dist layer, reliability on, zero aborts tolerated.
+SUCCESS=1
+"$BUILD/tests/test_recovery" --gtest_filter=\
+'PcuReliable.TransientChaosDeliversEverySeed:'\
+'DistReliable.TwentySeedsMixedChaosZeroAborts' >&2 || SUCCESS=0
+
+python3 - "$TMP/reliable.json" "$SUCCESS" "$OUT" <<'EOF'
+import json, sys
+
+src, success, out = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+summary = {"description": (
+    "Reliable-delivery (ARQ) overhead and recovery success rate. "
+    "retransmit_tax compares the median reliable ping-pong time at 1% "
+    "message drop against the same run with no injected loss; "
+    "success_rate is the fraction of seeded 20-seed chaos suites that "
+    "complete with zero aborts. Produced by tools/bench_recovery.sh."),
+    "ping_pong_reliable": [], "success_rate": None}
+
+# With --benchmark_repetitions the JSON carries per-repetition rows plus
+# aggregate rows; keep the medians.
+rows = {}
+for b in json.load(open(src))["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    name = b["run_name"]  # BM_PingPongReliable/<payload>/<permille>
+    _, payload, permille = name.split("/")
+    rows[(int(payload), int(permille))] = b
+    summary["ping_pong_reliable"].append({
+        "payload_bytes": int(payload),
+        "drop_permille": int(permille),
+        "median_ns_per_op": round(b["real_time"], 1),
+    })
+
+# The headline claim: <= 10% retransmit tax at 1% drop. Fail the smoke
+# run if it ever stops holding.
+for (payload, permille), b in sorted(rows.items()):
+    if permille == 0:
+        continue
+    clean = rows.get((payload, 0))
+    assert clean is not None, f"no clean baseline for payload {payload}"
+    tax = b["real_time"] / clean["real_time"] - 1.0
+    for row in summary["ping_pong_reliable"]:
+        if (row["payload_bytes"], row["drop_permille"]) == (payload, permille):
+            row["retransmit_tax_vs_clean"] = round(tax, 4)
+    assert tax < 0.10, (
+        f"payload {payload} at {permille/10:.1f}% drop: "
+        f"retransmit tax {tax:.1%} >= 10%")
+
+summary["success_rate"] = 1.0 if success else 0.0
+assert summary["success_rate"] == 1.0, \
+    "seeded chaos suites did not complete with zero aborts"
+
+json.dump(summary, open(out, "w"), indent=2)
+print(f"wrote {out}")
+EOF
