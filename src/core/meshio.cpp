@@ -33,7 +33,7 @@ gmi::Entity* unpackCls(pcu::InBuffer& b, gmi::Model* model) {
 
 }  // namespace
 
-void writeMesh(const Mesh& mesh, const std::string& path) {
+std::vector<std::byte> meshToBytes(const Mesh& mesh) {
   pcu::OutBuffer b;
   b.pack(kMagic);
 
@@ -59,29 +59,25 @@ void writeMesh(const Mesh& mesh, const std::string& path) {
     }
   }
 
+  return std::move(b).take();
+}
+
+void writeMesh(const Mesh& mesh, const std::string& path) {
+  const auto bytes = meshToBytes(mesh);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) throw std::runtime_error("writeMesh: cannot open " + path);
-  const std::size_t written = std::fwrite(b.data(), 1, b.size(), f);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
   std::fclose(f);
-  if (written != b.size())
+  if (written != bytes.size())
     throw std::runtime_error("writeMesh: short write to " + path);
 }
 
-std::unique_ptr<Mesh> readMesh(const std::string& path, gmi::Model* model) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw std::runtime_error("readMesh: cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (got != bytes.size())
-    throw std::runtime_error("readMesh: short read from " + path);
+std::unique_ptr<Mesh> meshFromBytes(std::vector<std::byte> bytes,
+                                    gmi::Model* model) {
   pcu::InBuffer b(std::move(bytes));
 
   if (b.unpack<std::uint64_t>() != kMagic)
-    throw std::runtime_error("readMesh: not a pumi-repro mesh file: " + path);
+    throw std::runtime_error("meshFromBytes: not a pumi-repro mesh stream");
 
   auto mesh = std::make_unique<Mesh>(model);
   const auto nverts = b.unpack<std::uint64_t>();
@@ -113,8 +109,23 @@ std::unique_ptr<Mesh> readMesh(const std::string& path, gmi::Model* model) {
       unpackTags(*mesh, e, b);
     }
   }
-  if (!b.done()) throw std::runtime_error("readMesh: trailing bytes in " + path);
+  if (!b.done())
+    throw std::runtime_error("meshFromBytes: trailing bytes in mesh stream");
   return mesh;
+}
+
+std::unique_ptr<Mesh> readMesh(const std::string& path, gmi::Model* model) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw std::runtime_error("readMesh: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size())
+    throw std::runtime_error("readMesh: short read from " + path);
+  return meshFromBytes(std::move(bytes), model);
 }
 
 }  // namespace core

@@ -12,8 +12,10 @@
 /// (dim, tag), so the same gmi::Model (or an equivalent one) must be
 /// supplied at load time.
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/mesh.hpp"
 
@@ -22,6 +24,15 @@ class Model;
 }
 
 namespace core {
+
+/// Serialize `mesh` to bytes (the writeMesh file format, no file involved).
+/// This is what the failure-tolerance buddy journal streams between ranks.
+std::vector<std::byte> meshToBytes(const Mesh& mesh);
+
+/// Rebuild a mesh from meshToBytes output, classifying against `model`.
+/// Throws std::runtime_error on format mismatch.
+std::unique_ptr<Mesh> meshFromBytes(std::vector<std::byte> bytes,
+                                    gmi::Model* model);
 
 /// Write `mesh` to `path`. Throws std::runtime_error on I/O failure.
 void writeMesh(const Mesh& mesh, const std::string& path);

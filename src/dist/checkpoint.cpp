@@ -8,57 +8,21 @@
 #include <vector>
 
 #include "core/meshio.hpp"
+#include "dist/partio.hpp"
 #include "pcu/buffer.hpp"
 #include "pcu/error.hpp"
 #include "pcu/faults.hpp"
 
 namespace dist {
 
-/// Private-state backdoor for (de)serialization: checkpointing must read
-/// and rebuild the ghost maps and the cached element dimension, which have
-/// no public mutators (and should not grow any for this one internal use).
-struct CheckpointAccess {
-  static const std::unordered_map<Ent, Copy, EntHash>& ghostSource(
-      const Part& p) {
-    return p.ghost_source_;
-  }
-  static const std::unordered_map<Ent, std::vector<Copy>, EntHash>& ghostedOn(
-      const Part& p) {
-    return p.ghosted_on_;
-  }
-  static void setGhost(Part& p, Ent ghost, Copy source) {
-    p.ghost_source_[ghost] = source;
-  }
-  static void setGhostedOn(Part& p, Ent real, std::vector<Copy> copies) {
-    p.ghosted_on_[real] = std::move(copies);
-  }
-  static void setDim(PartedMesh& pm, int dim) { pm.dim_ = dim; }
-};
-
 namespace {
 
+using partio::OrdinalMap;
+using partio::buildMeta;
+using partio::buildOrdinals;
+
 constexpr std::uint64_t kManifestMagic = 0x50554d494d414e31ull;  // "PUMIMAN1"
-constexpr std::uint64_t kMetaMagic = 0x50554d43504b5031ull;      // "PUMCPKP1"
 constexpr std::uint32_t kVersion = 1;
-
-/// Cross-restart entity reference: (dim << 48) | ordinal, where ordinal is
-/// the entity's position in its part's entities(dim) iteration order.
-/// writeMesh/readMesh preserve that order, so references stay valid after
-/// the handle rebuild on restore.
-constexpr std::uint64_t entref(int dim, std::uint64_t ordinal) {
-  return (static_cast<std::uint64_t>(dim) << 48) | ordinal;
-}
-
-using OrdinalMap = std::unordered_map<Ent, std::uint64_t, EntHash>;
-
-OrdinalMap buildOrdinals(const core::Mesh& m) {
-  OrdinalMap ord;
-  for (int d = 0; d <= m.dim(); ++d) {
-    std::uint64_t k = 0;
-    for (Ent e : m.entities(d)) ord.emplace(e, entref(d, k++));
-  }
-  return ord;
-}
 
 std::string meshPath(const std::string& dir, int i) {
   return dir + "/part" + std::to_string(i) + ".mesh";
@@ -94,62 +58,6 @@ void writeFileBytes(const std::string& path,
   std::fclose(f);
   if (put != bytes.size())
     failValidation("checkpoint: short write to " + path);
-}
-
-/// Serialize one part's boundary/ghost records. All three maps are written
-/// sorted by entity reference so the byte stream (and therefore its CRC in
-/// the MANIFEST) is deterministic.
-std::vector<std::byte> buildMeta(const Part& p, const OrdinalMap& ord,
-                                 const std::vector<OrdinalMap>& all) {
-  auto refIn = [&all](PartId part, Ent e) {
-    return all[static_cast<std::size_t>(part)].at(e);
-  };
-  pcu::OutBuffer b;
-  b.pack(kMetaMagic);
-
-  std::vector<std::pair<std::uint64_t, const Remote*>> remotes;
-  remotes.reserve(p.remotes().size());
-  for (const auto& [e, r] : p.remotes()) remotes.emplace_back(ord.at(e), &r);
-  std::sort(remotes.begin(), remotes.end());
-  b.pack<std::uint64_t>(remotes.size());
-  for (const auto& [ref, r] : remotes) {
-    b.pack<std::uint64_t>(ref);
-    b.pack<std::int32_t>(r->owner);
-    b.pack<std::uint64_t>(r->copies.size());
-    for (const Copy& c : r->copies) {
-      b.pack<std::int32_t>(c.part);
-      b.pack<std::uint64_t>(refIn(c.part, c.ent));
-    }
-  }
-
-  std::vector<std::pair<std::uint64_t, Copy>> ghosts;
-  ghosts.reserve(CheckpointAccess::ghostSource(p).size());
-  for (const auto& [e, src] : CheckpointAccess::ghostSource(p))
-    ghosts.emplace_back(ord.at(e), src);
-  std::sort(ghosts.begin(), ghosts.end(),
-            [](const auto& a, const auto& b2) { return a.first < b2.first; });
-  b.pack<std::uint64_t>(ghosts.size());
-  for (const auto& [ref, src] : ghosts) {
-    b.pack<std::uint64_t>(ref);
-    b.pack<std::int32_t>(src.part);
-    b.pack<std::uint64_t>(refIn(src.part, src.ent));
-  }
-
-  std::vector<std::pair<std::uint64_t, const std::vector<Copy>*>> ghosted;
-  ghosted.reserve(CheckpointAccess::ghostedOn(p).size());
-  for (const auto& [e, cps] : CheckpointAccess::ghostedOn(p))
-    ghosted.emplace_back(ord.at(e), &cps);
-  std::sort(ghosted.begin(), ghosted.end());
-  b.pack<std::uint64_t>(ghosted.size());
-  for (const auto& [ref, cps] : ghosted) {
-    b.pack<std::uint64_t>(ref);
-    b.pack<std::uint64_t>(cps->size());
-    for (const Copy& c : *cps) {
-      b.pack<std::int32_t>(c.part);
-      b.pack<std::uint64_t>(refIn(c.part, c.ent));
-    }
-  }
-  return std::move(b).take();
 }
 
 struct FileRecord {
@@ -298,17 +206,13 @@ std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
                                          man.rule);
   // Rebuild each part's serial mesh, then the (part, ordinal) -> entity
   // tables the metadata references are resolved against.
-  std::vector<std::vector<std::vector<Ent>>> ents(
-      static_cast<std::size_t>(man.nparts));
+  std::vector<partio::EntTable> ents;
+  ents.reserve(static_cast<std::size_t>(man.nparts));
   for (PartId p = 0; p < man.nparts; ++p) {
     auto loaded = core::readMesh(meshPath(dir, p), model);
     Part& part = pm->part(p);
     part.mesh().copyFrom(*loaded);
-    auto& table = ents[static_cast<std::size_t>(p)];
-    table.resize(4);
-    for (int d = 0; d <= part.mesh().dim(); ++d)
-      for (Ent e : part.mesh().entities(d))
-        table[static_cast<std::size_t>(d)].push_back(e);
+    ents.push_back(partio::buildEntTable(part.mesh()));
   }
   auto entOf = [&ents, &dir](PartId part, std::uint64_t ref) -> Ent {
     const int d = static_cast<int>(ref >> 48);
@@ -321,48 +225,10 @@ std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
     return table[static_cast<std::size_t>(d)][k];
   };
 
-  for (PartId p = 0; p < man.nparts; ++p) {
-    Part& part = pm->part(p);
-    pcu::InBuffer b(std::move(metas[static_cast<std::size_t>(p)]));
-    if (b.remaining() < sizeof(std::uint64_t) ||
-        b.unpack<std::uint64_t>() != kMetaMagic)
-      failValidation("restore: " + metaPath(dir, p) +
-                     " is not a checkpoint metadata file");
-    const auto nremotes = b.unpack<std::uint64_t>();
-    for (std::uint64_t i = 0; i < nremotes; ++i) {
-      const Ent e = entOf(p, b.unpack<std::uint64_t>());
-      Remote r;
-      r.owner = b.unpack<std::int32_t>();
-      const auto ncopies = b.unpack<std::uint64_t>();
-      r.copies.reserve(ncopies);
-      for (std::uint64_t c = 0; c < ncopies; ++c) {
-        const auto cpart = b.unpack<std::int32_t>();
-        r.copies.push_back(Copy{cpart, entOf(cpart, b.unpack<std::uint64_t>())});
-      }
-      part.setRemote(e, std::move(r));
-    }
-    const auto nghosts = b.unpack<std::uint64_t>();
-    for (std::uint64_t i = 0; i < nghosts; ++i) {
-      const Ent e = entOf(p, b.unpack<std::uint64_t>());
-      const auto spart = b.unpack<std::int32_t>();
-      CheckpointAccess::setGhost(
-          part, e, Copy{spart, entOf(spart, b.unpack<std::uint64_t>())});
-    }
-    const auto nghosted = b.unpack<std::uint64_t>();
-    for (std::uint64_t i = 0; i < nghosted; ++i) {
-      const Ent e = entOf(p, b.unpack<std::uint64_t>());
-      const auto ncopies = b.unpack<std::uint64_t>();
-      std::vector<Copy> cps;
-      cps.reserve(ncopies);
-      for (std::uint64_t c = 0; c < ncopies; ++c) {
-        const auto cpart = b.unpack<std::int32_t>();
-        cps.push_back(Copy{cpart, entOf(cpart, b.unpack<std::uint64_t>())});
-      }
-      CheckpointAccess::setGhostedOn(part, e, std::move(cps));
-    }
-    if (!b.done())
-      failValidation("restore: trailing bytes in " + metaPath(dir, p));
-  }
+  for (PartId p = 0; p < man.nparts; ++p)
+    partio::applyMeta(pm->part(p), p,
+                      std::move(metas[static_cast<std::size_t>(p)]), entOf,
+                      "restore: " + metaPath(dir, p));
 
   CheckpointAccess::setDim(*pm, man.dim);
   pm->verify();
@@ -372,6 +238,49 @@ std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
                          " rebuilt to a different fingerprint than its "
                          "MANIFEST records");
   return pm;
+}
+
+std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
+                                    int target_ranks) {
+  if (target_ranks < 1)
+    failValidation("restore: target rank count " +
+                   std::to_string(target_ranks) + " is not positive");
+  const Manifest m = loadManifest(dir);
+  // Deterministic orphan assignment: part p lands on rank p % target_ranks,
+  // so a checkpoint written by N ranks restores cleanly onto any smaller
+  // group and every survivor computes the same map without communicating.
+  std::vector<int> ranks(static_cast<std::size_t>(m.nparts));
+  for (int p = 0; p < m.nparts; ++p)
+    ranks[static_cast<std::size_t>(p)] = p % target_ranks;
+  PartMap map(m.nparts, pcu::Machine::flat(target_ranks));
+  map.setPartRanks(std::move(ranks));
+  return restore(dir, model, std::move(map));
+}
+
+std::pair<std::vector<std::byte>, std::vector<std::byte>> checkpointPartBytes(
+    const std::string& dir, PartId p) {
+  const Manifest m = loadManifest(dir);
+  if (p < 0 || p >= m.nparts)
+    failValidation("checkpointPartBytes: part " + std::to_string(p) +
+                   " out of range for " + dir + " (" + std::to_string(m.nparts) +
+                   " parts)");
+  const auto& rec = m.files[static_cast<std::size_t>(p)];
+  const auto check = [&](const std::string& path, std::uint64_t want_size,
+                         std::uint32_t want_crc) {
+    if (!std::filesystem::exists(path))
+      failValidation("checkpointPartBytes: missing " + path);
+    std::vector<std::byte> bytes = readFileBytes(path);
+    if (bytes.size() != want_size ||
+        pcu::faults::crc32(bytes.data(), bytes.size()) != want_crc)
+      throw pcu::Error(
+          pcu::ErrorCode::kCorruptPayload, -1,
+          "checkpointPartBytes: " + path +
+              " does not match its MANIFEST size/CRC");
+    return bytes;
+  };
+  auto mesh = check(meshPath(dir, p), rec.mesh_size, rec.mesh_crc);
+  auto meta = check(metaPath(dir, p), rec.meta_size, rec.meta_crc);
+  return {std::move(mesh), std::move(meta)};
 }
 
 bool checkpointValid(const std::string& dir) {

@@ -25,8 +25,11 @@
 /// malformed checkpoint (names the file and reason), kCorruptPayload for a
 /// file whose size or CRC disagrees with the MANIFEST.
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dist/partedmesh.hpp"
 
@@ -47,6 +50,23 @@ void checkpoint(const PartedMesh& pm, const std::string& dir);
 std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model);
 std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
                                     PartMap map);
+
+/// Restore onto `target_ranks` ranks — possibly fewer than wrote the
+/// checkpoint (a post-shrink restart). Every part p, including those whose
+/// writing rank no longer exists, is deterministically assigned to rank
+/// p % target_ranks over a flat machine, so orphaned parts land on
+/// surviving ranks and every rank computes the same assignment without
+/// communicating. Throws kValidation when target_ranks < 1.
+std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
+                                    int target_ranks);
+
+/// Validated raw bytes of one part in a checkpoint: (mesh stream, metadata
+/// stream), each checked against the MANIFEST's size and CRC32. Used by
+/// failover evacuation as the fallback source for parts the buddy journal
+/// lacks. Throws kValidation for a missing/malformed checkpoint or part id
+/// out of range, kCorruptPayload on a CRC mismatch.
+std::pair<std::vector<std::byte>, std::vector<std::byte>> checkpointPartBytes(
+    const std::string& dir, PartId p);
 
 /// True when `dir` holds a complete, CRC-clean checkpoint (cheap scan: no
 /// mesh rebuild). A crash mid-checkpoint yields false, so a restart loop

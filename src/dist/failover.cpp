@@ -1,0 +1,224 @@
+#include "dist/failover.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "core/meshio.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/partio.hpp"
+#include "pcu/error.hpp"
+#include "pcu/failure.hpp"
+#include "pcu/faults.hpp"
+#include "pcu/trace.hpp"
+
+namespace dist {
+namespace failover {
+
+namespace {
+
+[[noreturn]] void failValidation(const std::string& what) {
+  throw pcu::Error(pcu::ErrorCode::kValidation, -1, what);
+}
+
+double msSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+void BuddyJournal::record(const PartedMesh& pm) {
+  const int nparts = pm.parts();
+  std::vector<partio::OrdinalMap> ords;
+  ords.reserve(static_cast<std::size_t>(nparts));
+  for (PartId p = 0; p < nparts; ++p)
+    ords.push_back(partio::buildOrdinals(pm.part(p).mesh()));
+  ++records_;
+  std::uint64_t streamed = 0;
+  for (PartId p = 0; p < nparts; ++p) {
+    auto mesh = core::meshToBytes(pm.part(p).mesh());
+    auto meta = partio::buildMeta(pm.part(p),
+                                  ords[static_cast<std::size_t>(p)], ords);
+    const std::uint32_t mesh_crc =
+        pcu::faults::crc32(mesh.data(), mesh.size());
+    const std::uint32_t meta_crc =
+        pcu::faults::crc32(meta.data(), meta.size());
+    auto it = parts_.find(p);
+    if (it != parts_.end() && it->second.mesh_crc == mesh_crc &&
+        it->second.meta_crc == meta_crc &&
+        it->second.mesh.size() == mesh.size() &&
+        it->second.meta.size() == meta.size()) {
+      ++records_skipped_;  // unchanged since the last record: no traffic
+      continue;
+    }
+    streamed += mesh.size() + meta.size();
+    parts_[p] = Snapshot{std::move(mesh), std::move(meta), mesh_crc, meta_crc};
+  }
+  bytes_streamed_ += streamed;
+  if (pcu::trace::enabled() && streamed > 0)
+    pcu::trace::counter("fo:journal_bytes",
+                        static_cast<std::int64_t>(streamed));
+}
+
+int buddyOf(int r, int nranks, const std::vector<int>& dead) {
+  const std::set<int> gone(dead.begin(), dead.end());
+  for (int step = 1; step <= nranks; ++step) {
+    const int cand = (r + step) % nranks;
+    if (gone.count(cand) == 0) return cand;
+  }
+  failValidation("buddyOf: all " + std::to_string(nranks) +
+                 " ranks are dead; nothing can adopt rank " +
+                 std::to_string(r) + "'s parts");
+}
+
+EvacuationReport evacuate(PartedMesh& pm, const BuddyJournal& journal,
+                          const std::string& checkpoint_dir) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EvacuationReport rep;
+  rep.ranks_lost = pm.network().deadRanks();
+  if (rep.ranks_lost.empty())
+    failValidation("evacuate: no rank is dead");
+  const std::set<int> gone(rep.ranks_lost.begin(), rep.ranks_lost.end());
+
+  const PartMap& map = pm.network().partMap();
+  const int nparts = pm.parts();
+  for (PartId p = 0; p < nparts; ++p)
+    if (gone.count(map.rankOf(p)) > 0) rep.parts_evacuated.push_back(p);
+  if (rep.parts_evacuated.empty())
+    failValidation("evacuate: dead ranks host no parts");
+
+  // 1. Fetch every dead part's newest replica — the buddy journal first,
+  //    the checkpoint directory as fallback — BEFORE touching the mesh, so
+  //    a missing or corrupt replica aborts with nothing wiped.
+  std::vector<std::vector<std::byte>> meshes(static_cast<std::size_t>(nparts));
+  std::vector<std::vector<std::byte>> metas(static_cast<std::size_t>(nparts));
+  for (PartId p : rep.parts_evacuated) {
+    std::vector<std::byte> mesh_bytes;
+    std::vector<std::byte> meta_bytes;
+    if (const BuddyJournal::Snapshot* snap = journal.find(p)) {
+      mesh_bytes = snap->mesh;
+      meta_bytes = snap->meta;
+    } else if (!checkpoint_dir.empty()) {
+      std::tie(mesh_bytes, meta_bytes) =
+          checkpointPartBytes(checkpoint_dir, p);
+    } else {
+      failValidation("evacuate: part " + std::to_string(p) +
+                     " (dead rank " + std::to_string(map.rankOf(p)) +
+                     ") has no journal replica and no checkpoint fallback");
+    }
+    rep.journal_bytes_replayed += mesh_bytes.size() + meta_bytes.size();
+    meshes[static_cast<std::size_t>(p)] = std::move(mesh_bytes);
+    metas[static_cast<std::size_t>(p)] = std::move(meta_bytes);
+  }
+  for (PartId p : rep.parts_evacuated) {
+    auto rebuilt = core::meshFromBytes(
+        std::move(meshes[static_cast<std::size_t>(p)]), pm.model());
+    CheckpointAccess::resetPart(pm.part(p), *rebuilt);
+  }
+
+  // 2. Resolve the replicas' (part, ordinal) references against the
+  //    rebuilt handles. Survivor tables are built from their CURRENT
+  //    meshes: the transactional rollback landed them on the same
+  //    quiescent state the journal recorded, so their ordinals agree.
+  std::vector<partio::EntTable> ents;
+  ents.reserve(static_cast<std::size_t>(nparts));
+  for (PartId p = 0; p < nparts; ++p)
+    ents.push_back(partio::buildEntTable(pm.part(p).mesh()));
+  auto entOf = [&ents](PartId part, std::uint64_t ref) -> Ent {
+    const int d = static_cast<int>(ref >> 48);
+    const std::uint64_t k = ref & ((std::uint64_t{1} << 48) - 1);
+    const auto& table = ents[static_cast<std::size_t>(part)];
+    if (d < 0 || d > 3 || k >= table[static_cast<std::size_t>(d)].size())
+      failValidation(
+          "evacuate: replica references entity (dim " + std::to_string(d) +
+          ", ordinal " + std::to_string(k) + ") absent from part " +
+          std::to_string(part) +
+          " — the journal is stale relative to the rollback point");
+    return table[static_cast<std::size_t>(d)][k];
+  };
+  for (PartId p : rep.parts_evacuated)
+    partio::applyMeta(pm.part(p), p,
+                      std::move(metas[static_cast<std::size_t>(p)]), entOf,
+                      "evacuate: part " + std::to_string(p) + " replica");
+
+  // 3. Patch the survivors' mirror records through copy symmetry: their
+  //    stored handles into each dead part died with the old mesh, but the
+  //    dead part's rebuilt records name the same links from the other end
+  //    (with valid handles on both sides).
+  const std::set<PartId> evac(rep.parts_evacuated.begin(),
+                              rep.parts_evacuated.end());
+  for (PartId p : rep.parts_evacuated) {
+    const Part& dp = pm.part(p);
+    for (const auto& [e, r] : dp.remotes()) {
+      for (const Copy& c : r.copies) {
+        if (evac.count(c.part) > 0) continue;  // both ends already rebuilt
+        Part& sq = pm.part(c.part);
+        const Remote* mirror = sq.remote(c.ent);
+        if (mirror == nullptr) continue;  // verify() reports the asymmetry
+        Remote patched = *mirror;
+        for (Copy& mc : patched.copies)
+          if (mc.part == p) mc.ent = e;
+        sq.setRemote(c.ent, std::move(patched));
+      }
+    }
+    for (const auto& [g, src] : CheckpointAccess::ghostSource(dp)) {
+      if (evac.count(src.part) > 0) continue;
+      Part& sq = pm.part(src.part);
+      const auto& ghosted = CheckpointAccess::ghostedOn(sq);
+      auto it = ghosted.find(src.ent);
+      if (it == ghosted.end()) continue;
+      std::vector<Copy> patched = it->second;
+      for (Copy& mc : patched)
+        if (mc.part == p) mc.ent = g;
+      CheckpointAccess::setGhostedOn(sq, src.ent, std::move(patched));
+    }
+    for (const auto& [e, cps] : CheckpointAccess::ghostedOn(dp)) {
+      for (const Copy& c : cps) {
+        if (evac.count(c.part) > 0) continue;
+        Part& sq = pm.part(c.part);
+        if (sq.isGhost(c.ent))
+          CheckpointAccess::setGhost(sq, c.ent, Copy{p, e});
+      }
+    }
+  }
+
+  // 4. Re-pin every evacuated part to its buddy rank. This is what lifts
+  //    the transport's dead-rank gate: from here on the whole mesh lives
+  //    on surviving ranks only.
+  const int nranks = map.machine().totalCores();
+  std::vector<int> ranks(static_cast<std::size_t>(nparts));
+  for (PartId p = 0; p < nparts; ++p) {
+    const int r = map.rankOf(p);
+    ranks[static_cast<std::size_t>(p)] =
+        gone.count(r) > 0 ? buddyOf(r, nranks, rep.ranks_lost) : r;
+  }
+  pm.network().setPartRanks(std::move(ranks));
+
+  for (PartId p : rep.parts_evacuated) {
+    const core::Mesh& m = pm.part(p).mesh();
+    for (int d = 0; d <= m.dim(); ++d) rep.entities_adopted += m.count(d);
+  }
+
+  pm.verify();
+
+  rep.detect_ms =
+      static_cast<double>(pcu::failure::stats().last_detect_us) / 1000.0;
+  rep.evacuate_ms = msSince(t0);
+  if (pcu::trace::enabled()) {
+    pcu::trace::counter(
+        "fo:parts_evacuated",
+        static_cast<std::int64_t>(rep.parts_evacuated.size()));
+    pcu::trace::counter("fo:entities_adopted",
+                        static_cast<std::int64_t>(rep.entities_adopted));
+    pcu::trace::counter(
+        "fo:bytes_replayed",
+        static_cast<std::int64_t>(rep.journal_bytes_replayed));
+  }
+  return rep;
+}
+
+}  // namespace failover
+}  // namespace dist

@@ -1,0 +1,116 @@
+#ifndef PUMI_DIST_FAILOVER_HPP
+#define PUMI_DIST_FAILOVER_HPP
+
+/// \file failover.hpp
+/// \brief Live part evacuation after a rank failure (recovery tier 4).
+///
+/// When the failure detector declares a rank dead mid-operation, the
+/// transactional layer rolls every surviving part back to the last
+/// quiescent point and the transport poisons all traffic to the dead
+/// rank's parts (Network::deadRanks). This layer finishes the job without
+/// a restart: survivors rebuild the dead rank's parts from replicated
+/// state and adopt them.
+///
+/// BuddyJournal is the replication side: record(pm) at every quiescent
+/// point (between distributed operations) serializes each part — mesh
+/// stream plus partio metadata stream — and retains the newest copy,
+/// attributing the bytes to the part's buddy rank (the next rank
+/// cyclically). A CRC-based dedup skips parts unchanged since the last
+/// record, so steady-state phases stream only deltas.
+///
+/// evacuate(pm, journal[, checkpoint_dir]) runs on the survivors after an
+/// operation aborts with pcu::ErrorCode::kRankFailed:
+///  1. every part pinned to a dead rank is wiped and rebuilt in place from
+///     the journal (falling back to `checkpoint_dir` for parts the journal
+///     lacks);
+///  2. its boundary/ghost records are re-resolved against the rebuilt
+///     handles, and the surviving parts' mirror records — whose stored
+///     handles died with the old mesh — are patched through copy symmetry;
+///  3. the parts are re-pinned to their buddy ranks (lifting the
+///     transport's dead-rank gate) and the whole mesh is verify()-ed.
+///
+/// Correctness contract: the journal (or checkpoint) must hold the same
+/// quiescent state the transactional rollback restored — i.e. record (or
+/// checkpoint) at each phase boundary, exactly where the rollback lands.
+/// Evacuation then reproduces the pre-fault state bit-identically
+/// (fingerprint-equal), just hosted on fewer ranks.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/partedmesh.hpp"
+
+namespace dist {
+namespace failover {
+
+/// Newest serialized copy of every part, replicated for its buddy rank.
+class BuddyJournal {
+ public:
+  /// One part's replicated state: the two partio streams plus their CRCs
+  /// (used for delta dedup between records).
+  struct Snapshot {
+    std::vector<std::byte> mesh;
+    std::vector<std::byte> meta;
+    std::uint32_t mesh_crc = 0;
+    std::uint32_t meta_crc = 0;
+  };
+
+  /// Serialize every part of `pm` at a quiescent point, keeping the newest
+  /// copy. Parts whose streams are byte-identical to the previous record
+  /// are skipped (delta dedup) and counted in recordsSkipped().
+  void record(const PartedMesh& pm);
+
+  [[nodiscard]] bool hasPart(PartId p) const {
+    return parts_.count(p) > 0;
+  }
+  [[nodiscard]] const Snapshot* find(PartId p) const {
+    auto it = parts_.find(p);
+    return it == parts_.end() ? nullptr : &it->second;
+  }
+  /// Total bytes streamed to buddies across all record() calls (dedup'd
+  /// parts stream nothing).
+  [[nodiscard]] std::uint64_t bytesStreamed() const { return bytes_streamed_; }
+  /// Per-part records skipped because the part was unchanged.
+  [[nodiscard]] std::uint64_t recordsSkipped() const {
+    return records_skipped_;
+  }
+  [[nodiscard]] std::uint64_t records() const { return records_; }
+
+ private:
+  std::unordered_map<PartId, Snapshot> parts_;
+  std::uint64_t bytes_streamed_ = 0;
+  std::uint64_t records_skipped_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+/// What one evacuation did, for operators and the parma repair pass.
+struct EvacuationReport {
+  std::vector<int> ranks_lost;          ///< ranks declared dead
+  std::vector<PartId> parts_evacuated;  ///< parts rebuilt onto survivors
+  std::size_t entities_adopted = 0;     ///< entities (all dims) re-hosted
+  std::uint64_t journal_bytes_replayed = 0;
+  double detect_ms = 0;    ///< failure-detector latency for this incident
+  double evacuate_ms = 0;  ///< rebuild + re-pin + verify wall time
+};
+
+/// Rebuild every part pinned to a dead rank from `journal` (falling back
+/// to the checkpoint in `checkpoint_dir` when non-empty), patch the
+/// surviving parts' mirror records, re-pin the rebuilt parts to their
+/// buddy ranks and verify() the result. Throws kValidation when no rank is
+/// dead or a dead part has no replica anywhere; propagates verify()
+/// failures. On return the mesh is fully operational on the surviving
+/// ranks.
+EvacuationReport evacuate(PartedMesh& pm, const BuddyJournal& journal,
+                          const std::string& checkpoint_dir = "");
+
+/// The rank adopting dead rank `r`'s parts: the next rank cyclically that
+/// is not in `dead`. Throws kValidation when every rank is dead.
+int buddyOf(int r, int nranks, const std::vector<int>& dead);
+
+}  // namespace failover
+}  // namespace dist
+
+#endif  // PUMI_DIST_FAILOVER_HPP

@@ -14,12 +14,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -31,6 +33,7 @@
 #include "pcu/buffer.hpp"
 #include "pcu/comm.hpp"
 #include "pcu/error.hpp"
+#include "pcu/failure.hpp"
 #include "pcu/faults.hpp"
 #include "pcu/machine.hpp"
 #include "pcu/trace.hpp"
@@ -271,6 +274,15 @@ class Network {
     map_.setPartRanks(std::move(ranks));
   }
 
+  /// --- rank-failure tolerance ------------------------------------------
+  /// Ranks (of the part map's machine) declared dead by a kill=/hang= fault.
+  /// Deliberately NOT cleared by resetTransport(): a transactional rollback
+  /// must not resurrect a dead rank — only re-pinning its parts onto
+  /// survivors (failover::evacuate) lifts the poison gate.
+  [[nodiscard]] std::vector<int> deadRanks() const {
+    return {dead_ranks_.begin(), dead_ranks_.end()};
+  }
+
  private:
   /// One physical (possibly coalesced) message queued for delivery. In the
   /// fast path (no fault framing) the logical payloads ride in `bodies`,
@@ -459,7 +471,67 @@ class Network {
   /// Verification is single-threaded and happens up front in both delivery
   /// modes, so a bad batch aborts the phase deterministically with no
   /// handler side effects.
+  /// Every phase on a part map that still pins a part to a dead rank fails:
+  /// the dead rank's parts are unreachable until evacuation re-owns them.
+  void checkDeadRanks() const {
+    if (dead_ranks_.empty()) return;
+    for (PartId p = 0; p < parts(); ++p)
+      if (dead_ranks_.count(map_.rankOf(p)) > 0)
+        throw pcu::Error(pcu::ErrorCode::kRankFailed, static_cast<int>(p),
+                         map_.rankOf(p), kNetChannelTag,
+                         "part " + std::to_string(p) +
+                             " is pinned to dead rank " +
+                             std::to_string(map_.rankOf(p)) +
+                             "; evacuate before communicating");
+  }
+
+  /// Phase-boundary rank-fault hook (the dist-layer analogue of
+  /// pcu::Comm::rankFaultPoint): enforce the dead-rank gate, then consume a
+  /// scheduled kill=/hang= fault whose phase index matches the number of
+  /// boundaries passed under the current plan. A hang first sleeps out the
+  /// heartbeat deadline — in this single-driver transport the silence of a
+  /// hung rank is only observable as that detection latency — then both
+  /// kinds declare the rank dead and abort the phase with kRankFailed.
+  void maybeFireRankFault() {
+    checkDeadRanks();
+    if (!pcu::faults::hasRankFault()) return;
+    const pcu::faults::FaultPlan plan = pcu::faults::plan();
+    // Phase indices are per installed plan: re-zero the counter whenever
+    // the scheduled rank fault changes identity.
+    const std::uint64_t sig =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+             plan.kill.rank * 31 + plan.kill.phase))
+         << 32) |
+        static_cast<std::uint32_t>(plan.hang.rank * 31 + plan.hang.phase);
+    if (sig != rank_fault_sig_ || !rank_fault_seen_) {
+      rank_fault_sig_ = sig;
+      rank_fault_seen_ = true;
+      phase_counter_ = 0;
+    }
+    const std::uint64_t phase = phase_counter_++;
+    if (plan.kill.scheduled() && pcu::faults::fireKill(plan.kill.rank, phase))
+      declareRankDead(plan.kill.rank, /*hang=*/false, phase);
+    if (plan.hang.scheduled() && pcu::faults::fireHang(plan.hang.rank, phase))
+      declareRankDead(plan.hang.rank, /*hang=*/true, phase);
+  }
+
+  [[noreturn]] void declareRankDead(int rank, bool hang, std::uint64_t phase) {
+    std::int64_t latency_us = 0;
+    if (hang) {
+      const int dl = std::max(pcu::faults::deadlineMs(), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(dl));
+      latency_us = static_cast<std::int64_t>(dl) * 1000;
+    }
+    dead_ranks_.insert(rank);
+    pcu::failure::noteSuspicion(latency_us);
+    throw pcu::Error(pcu::ErrorCode::kRankFailed, -1, rank, kNetChannelTag,
+                     "rank " + std::to_string(rank) +
+                         (hang ? " went silent" : " died") +
+                         " at phase boundary " + std::to_string(phase));
+  }
+
   std::vector<std::deque<Pending>> takeVerified() {
+    maybeFireRankFault();
     std::vector<std::deque<Pending>> taken(boxes_.size());
     const bool framed = pcu::faults::framingEnabled();
     std::vector<std::unordered_map<PartId, std::uint64_t>> posted;
@@ -735,6 +807,11 @@ class Network {
       resend_;
   /// Fault-decision epoch (see bumpFaultEpoch); guarded by mutex_.
   std::uint64_t fault_epoch_ = 0;
+  /// Rank-fault state (driver thread only: touched at phase boundaries).
+  std::set<int> dead_ranks_;
+  std::uint64_t phase_counter_ = 0;
+  std::uint64_t rank_fault_sig_ = 0;
+  bool rank_fault_seen_ = false;
 };
 
 }  // namespace dist

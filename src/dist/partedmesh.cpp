@@ -256,10 +256,14 @@ void PartedMesh::runTransactional(const char* opname,
                     std::string(opname) + " aborted: " + e.what());
       }
       // Validation errors reject the operation's *input* — retrying can
-      // never succeed. Everything else may be a transient fault: roll the
-      // fault epoch (so the replay does not deterministically re-draw the
-      // same injected failures) and try again while budget remains.
-      if (err->code() == pcu::ErrorCode::kValidation || attempt >= retries)
+      // never succeed. A rank failure is not transient either: the dead
+      // rank stays dead, so the rolled-back state must propagate to the
+      // caller for evacuation instead of burning the retry budget.
+      // Everything else may be a transient fault: roll the fault epoch (so
+      // the replay does not deterministically re-draw the same injected
+      // failures) and try again while budget remains.
+      if (err->code() == pcu::ErrorCode::kValidation ||
+          err->code() == pcu::ErrorCode::kRankFailed || attempt >= retries)
         throw *err;
       ++ops_retried_;
       net_.bumpFaultEpoch();

@@ -1,0 +1,99 @@
+#ifndef PUMI_DIST_PARTIO_HPP
+#define PUMI_DIST_PARTIO_HPP
+
+/// \file partio.hpp
+/// \brief Shared (de)serialization of one part's parallel state.
+///
+/// Both durability layers serialize a part the same way: a serial mesh
+/// stream (core::meshToBytes) plus a metadata stream holding the
+/// part-boundary and ghost records with cross-part entity references as
+/// (dim, ordinal) pairs — the entity's position in its part's
+/// entities(dim) iteration order, which the mesh stream format preserves.
+/// checkpoint.cpp writes these streams to files under a MANIFEST;
+/// failover.cpp streams them to a buddy rank's journal and replays them to
+/// rebuild a dead rank's parts in place. This header is the single home of
+/// the format so the two layers can consume each other's bytes (evacuation
+/// falls back to the newest checkpoint for parts the journal lacks).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/partedmesh.hpp"
+
+namespace dist {
+
+/// Private-state backdoor for (de)serialization: checkpointing and
+/// evacuation must read and rebuild the ghost maps, the cached element
+/// dimension, and (for evacuation) wipe a dead part in place — none of
+/// which should grow public mutators for these internal uses.
+struct CheckpointAccess {
+  static const std::unordered_map<Ent, Copy, EntHash>& ghostSource(
+      const Part& p) {
+    return p.ghost_source_;
+  }
+  static const std::unordered_map<Ent, std::vector<Copy>, EntHash>& ghostedOn(
+      const Part& p) {
+    return p.ghosted_on_;
+  }
+  static void setGhost(Part& p, Ent ghost, Copy source) {
+    p.ghost_source_[ghost] = source;
+  }
+  static void setGhostedOn(Part& p, Ent real, std::vector<Copy> copies) {
+    p.ghosted_on_[real] = std::move(copies);
+  }
+  static void setDim(PartedMesh& pm, int dim) { pm.dim_ = dim; }
+  /// Replace `p`'s mesh with `content` and drop every boundary/ghost
+  /// record — the first step of rebuilding a dead rank's part in place.
+  static void resetPart(Part& p, const core::Mesh& content) {
+    p.mesh_.copyFrom(content);
+    p.remotes_.clear();
+    p.ghost_source_.clear();
+    p.ghosted_on_.clear();
+  }
+};
+
+namespace partio {
+
+/// Magic word of the part metadata stream ("PUMCPKP1").
+inline constexpr std::uint64_t kMetaMagic = 0x50554d43504b5031ull;
+
+/// Cross-restart entity reference: (dim << 48) | ordinal, where ordinal is
+/// the entity's position in its part's entities(dim) iteration order.
+/// meshToBytes/meshFromBytes preserve that order, so references stay valid
+/// after the handle rebuild on restore/evacuation.
+constexpr std::uint64_t entref(int dim, std::uint64_t ordinal) {
+  return (static_cast<std::uint64_t>(dim) << 48) | ordinal;
+}
+
+using OrdinalMap = std::unordered_map<Ent, std::uint64_t, EntHash>;
+
+/// entity -> entref for every entity of `m`.
+OrdinalMap buildOrdinals(const core::Mesh& m);
+
+/// [dim][ordinal] -> entity: the inverse of buildOrdinals against a
+/// (re)built mesh, for resolving metadata references.
+using EntTable = std::vector<std::vector<Ent>>;
+EntTable buildEntTable(const core::Mesh& m);
+
+/// Serialize one part's boundary/ghost records. All three maps are written
+/// sorted by entity reference so the byte stream (and therefore its CRC)
+/// is deterministic. `ord` is this part's ordinal map; `all` holds every
+/// part's (for cross-part references).
+std::vector<std::byte> buildMeta(const Part& p, const OrdinalMap& ord,
+                                 const std::vector<OrdinalMap>& all);
+
+/// Parse a buildMeta stream and install the records into `part`, resolving
+/// each (part, entref) through `entOf`. Throws pcu::Error(kValidation)
+/// naming `ctx` on malformed input.
+void applyMeta(Part& part, PartId p, std::vector<std::byte> meta,
+               const std::function<Ent(PartId, std::uint64_t)>& entOf,
+               const std::string& ctx);
+
+}  // namespace partio
+}  // namespace dist
+
+#endif  // PUMI_DIST_PARTIO_HPP

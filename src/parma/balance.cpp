@@ -38,6 +38,11 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
         round_ok = true;
         break;
       } catch (const pcu::Error& e) {
+        // A dead rank is not a transient fault: nothing can communicate
+        // with its parts until they are evacuated, so retrying the round
+        // would only re-hit the transport's dead-rank gate. Propagate for
+        // the caller's evacuate + balanceAfterEvacuation sequence.
+        if (e.code() == pcu::ErrorCode::kRankFailed) throw;
         report.last_error = e.what();
         if (tries < opts.round_retries) report.rounds_retried += 1;
       }
@@ -62,6 +67,17 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
   report.messages_logical = net_after.messages_sent - net_before.messages_sent;
   report.messages_physical =
       net_after.physical_messages - net_before.physical_messages;
+  return report;
+}
+
+BalanceReport balanceAfterEvacuation(
+    dist::PartedMesh& pm, const std::string& priority,
+    const dist::failover::EvacuationReport& evac,
+    const BalanceOptions& opts) {
+  pcu::trace::Scope trace_scope("parma:balance-after-evacuation");
+  BalanceReport report = balance(pm, priority, opts);
+  report.ranks_lost = static_cast<int>(evac.ranks_lost.size());
+  report.entities_adopted = evac.entities_adopted;
   return report;
 }
 

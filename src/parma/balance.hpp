@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "dist/failover.hpp"
 #include "parma/heavysplit.hpp"
 #include "parma/improve.hpp"
 
@@ -45,13 +46,33 @@ struct BalanceReport {
   /// that actually crossed the transport (physical ≤ logical).
   std::uint64_t messages_logical = 0;
   std::uint64_t messages_physical = 0;
+  /// Rank-failure context (non-zero only via balanceAfterEvacuation):
+  /// ranks declared dead before this balance and the entities their
+  /// evacuated parts brought onto the survivors.
+  int ranks_lost = 0;
+  std::size_t entities_adopted = 0;
 };
 
 /// Balance `pm` for `priority` (e.g. "Vtx>Rgn"); alternates heavy part
 /// splitting on the element balance with priority-driven diffusion until
 /// every priority type is within tolerance or rounds are exhausted.
+///
+/// A round aborted by pcu::ErrorCode::kRankFailed is never retried or
+/// absorbed: the failure is not transient and the mesh cannot communicate
+/// until the dead rank's parts are evacuated, so the error propagates to
+/// the caller (who runs dist::failover::evacuate, then
+/// balanceAfterEvacuation).
 BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
                       const BalanceOptions& opts = {});
+
+/// Post-evacuation repair: a dead rank's parts were just adopted by their
+/// buddy ranks (dist::failover::evacuate), which concentrates their load
+/// on the buddies. Re-balances `pm` and stamps the report with the
+/// incident context (ranks_lost, entities_adopted) from `evac`.
+BalanceReport balanceAfterEvacuation(
+    dist::PartedMesh& pm, const std::string& priority,
+    const dist::failover::EvacuationReport& evac,
+    const BalanceOptions& opts = {});
 
 }  // namespace parma
 

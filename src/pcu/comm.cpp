@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <tuple>
 
 #include "pcu/arq.hpp"
@@ -277,14 +278,53 @@ void Comm::reserveInbound(std::size_t n) {
   group_->boxes_[rank_].reserveInbound(n);
 }
 
+void Comm::throwRankFailed(int source, int tag) const {
+  const int dead = group_->detector_.firstDead();
+  throw Error(ErrorCode::kRankFailed, rank_, dead >= 0 ? dead : source, tag,
+              "rank " + std::to_string(dead) +
+                  " declared dead; communicator revoked");
+}
+
 detail::Mailbox::Raw Comm::popWatchdog(int source, int tag) {
   const int wd = faults::watchdogMs();
+  auto& det = group_->detector_;
+  const int dl = faults::deadlineMs();
+  if (dl > 0 && !det.armed()) det.arm(dl);
   detail::Mailbox::Raw raw;
-  if (!group_->boxes_[rank_].pop(source, tag, wd * 1000L, raw))
-    throw Error(ErrorCode::kTimeout, rank_, source, tag,
-                "recv watchdog fired after " + std::to_string(wd) +
-                    "ms; last phase: " + trace::lastPhase(rank_));
-  return raw;
+  if (!det.armed()) {
+    // Historical path: one blocking pop, bounded only by the watchdog.
+    if (!group_->boxes_[rank_].pop(source, tag, wd * 1000L, raw))
+      throw Error(ErrorCode::kTimeout, rank_, source, tag,
+                  "recv watchdog fired after " + std::to_string(wd) +
+                      "ms; last phase: " + trace::lastPhase(rank_));
+    return raw;
+  }
+  // Failure detection armed: wait in bounded slices so this rank keeps
+  // heartbeating while blocked, observes a revocation promptly, and can
+  // itself declare a silent peer dead once the deadline passes.
+  const long deadline_us = static_cast<long>(det.deadlineMs()) * 1000;
+  const long slice_us = std::max(500L, deadline_us / 8);
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    det.beat(rank_);
+    if (det.revoked()) throwRankFailed(source, tag);
+    if (group_->boxes_[rank_].pop(source, tag, slice_us, raw)) return raw;
+    const auto elapsed_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (wd > 0 && elapsed_us >= wd * 1000L)
+      throw Error(ErrorCode::kTimeout, rank_, source, tag,
+                  "recv watchdog fired after " + std::to_string(wd) +
+                      "ms; last phase: " + trace::lastPhase(rank_));
+    if (elapsed_us >= deadline_us) {
+      if (source == kAnySource)
+        det.suspectAny();
+      else
+        det.suspectRank(source);
+      if (det.revoked()) throwRankFailed(source, tag);
+    }
+  }
 }
 
 Message Comm::recv(int source, int tag) { return recvImpl(source, tag, true); }
@@ -393,6 +433,9 @@ Message Comm::recvReliable(int source, int tag, bool traced) {
   const arq::Config cfg = arq::config();
   auto& box = group_->boxes_[rank_];
   auto& store = group_->arq_store_;
+  auto& det = group_->detector_;
+  if (const int dl = faults::deadlineMs(); dl > 0 && !det.armed()) det.arm(dl);
+  const long deadline_us = static_cast<long>(det.deadlineMs()) * 1000;
   const int wd = faults::watchdogMs();
   const auto start = std::chrono::steady_clock::now();
   long interval_us = cfg.rto_us;
@@ -414,9 +457,15 @@ Message Comm::recvReliable(int source, int tag, bool traced) {
   };
   for (;;) {
     if (auto m = serveStash(source, tag, traced)) return std::move(*m);
-    // Bound the wait by the backoff interval (the RTO scan) and, when the
-    // watchdog is armed, by its deadline.
+    if (det.armed()) {
+      det.beat(rank_);
+      if (det.revoked()) throwRankFailed(source, tag);
+    }
+    // Bound the wait by the backoff interval (the RTO scan), the heartbeat
+    // slice while failure detection is armed, and, when the watchdog is
+    // armed, by its deadline.
     long wait_us = interval_us;
+    if (det.armed()) wait_us = std::min(wait_us, std::max(500L, deadline_us / 8));
     if (wd > 0) {
       const auto elapsed_us =
           std::chrono::duration_cast<std::chrono::microseconds>(
@@ -431,6 +480,19 @@ Message Comm::recvReliable(int source, int tag, bool traced) {
     }
     detail::Mailbox::Raw raw;
     if (!box.pop(source, tag, wait_us, raw)) {
+      if (det.armed()) {
+        const auto elapsed_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (elapsed_us >= deadline_us) {
+          if (source == kAnySource)
+            det.suspectAny();
+          else
+            det.suspectRank(source);
+          if (det.revoked()) throwRankFailed(source, tag);
+        }
+      }
       // RTO fired: scan the store for undelivered frames (covers delayed
       // and reordered traffic whose beacon never existed), then back off.
       if (!pullChannel(source))
@@ -754,6 +816,86 @@ Comm Comm::split(int color, int key) {
     group_->split_scratch_[rank_].reset();
   }
   return Comm(std::move(sub), my_index);
+}
+
+void Comm::rankFaultPoint() {
+  auto& det = group_->detector_;
+  const int dl = faults::deadlineMs();
+  if (dl > 0 && !det.armed()) det.arm(dl);
+  if (det.armed()) det.beat(rank_);
+  if (!faults::hasRankFault()) return;
+  const std::uint64_t phase = phased_calls_++;
+  if (faults::fireKill(rank_, phase))
+    throw failure::RankKilled(
+        rank_, "kill fault at phase boundary " + std::to_string(phase));
+  if (faults::fireHang(rank_, phase)) {
+    // Go silent: stop heartbeating, send and receive nothing. Peers must
+    // detect the silence through the heartbeat deadline; their revocation
+    // then releases this rank to die. The silence span they measure is the
+    // detection latency the tests bound.
+    while (!det.revoked())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    throw failure::RankKilled(
+        rank_, "hang fault at phase boundary " + std::to_string(phase));
+  }
+}
+
+Comm Comm::shrink() {
+  auto& g = *group_;
+  auto& det = g.detector_;
+  std::unique_lock<std::mutex> lock(g.shrink_mutex_);
+  if (g.shrink_arrived_.empty())
+    g.shrink_arrived_.assign(static_cast<std::size_t>(g.size_), 0);
+  g.shrink_arrived_[static_cast<std::size_t>(rank_)] = 1;
+  g.shrink_cv_.notify_all();
+  auto allIn = [&]() {
+    for (int r = 0; r < g.size_; ++r)
+      if (!g.shrink_arrived_[static_cast<std::size_t>(r)] && !det.dead(r))
+        return false;
+    return true;
+  };
+  // Rendezvous, not a collective: the dead rank would deadlock any tree or
+  // doubling pattern, so survivors meet on shared state. A rank that stays
+  // silent past the deadline is declared dead right here, which is what
+  // lets the rendezvous complete when the failure was a hang.
+  while (!g.shrink_group_ && !allIn()) {
+    g.shrink_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    det.beat(rank_);
+    for (int r = 0; r < g.size_; ++r)
+      if (!g.shrink_arrived_[static_cast<std::size_t>(r)]) det.suspectRank(r);
+  }
+  if (!g.shrink_group_) {
+    // First rank to observe completion freezes the survivor set (everyone
+    // who arrived) and publishes the shrunken group. Fresh mailboxes: any
+    // in-flight traffic of the revoked group is deliberately discarded.
+    std::vector<int> survivors;
+    for (int r = 0; r < g.size_; ++r)
+      if (g.shrink_arrived_[static_cast<std::size_t>(r)]) survivors.push_back(r);
+    const int sub_size = static_cast<int>(survivors.size());
+    auto sub = std::make_shared<Group>(sub_size, Machine::flat(sub_size));
+    if (det.armed()) sub->detector_.arm(det.deadlineMs());
+    g.shrink_survivors_ = std::move(survivors);
+    g.shrink_group_ = std::move(sub);
+    failure::noteShrink();
+    g.shrink_cv_.notify_all();
+  }
+  // Dense renumbering: this rank's position in the sorted survivor list.
+  int new_rank = -1;
+  for (std::size_t i = 0; i < g.shrink_survivors_.size(); ++i)
+    if (g.shrink_survivors_[i] == rank_) new_rank = static_cast<int>(i);
+  if (new_rank < 0)
+    throw failure::RankKilled(
+        rank_, "declared dead before the shrink agreement froze");
+  auto sub = g.shrink_group_;
+  if (++g.shrink_taken_ == g.shrink_survivors_.size()) {
+    // Last survivor out resets the rendezvous so the group could shrink
+    // again after a further failure.
+    g.shrink_arrived_.clear();
+    g.shrink_group_.reset();
+    g.shrink_survivors_.clear();
+    g.shrink_taken_ = 0;
+  }
+  return Comm(std::move(sub), new_rank);
 }
 
 }  // namespace pcu

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "pcu/buffer.hpp"
+#include "pcu/failure.hpp"
 #include "pcu/machine.hpp"
 
 namespace pcu {
@@ -189,9 +190,18 @@ class Group {
   Machine machine_;
   std::vector<detail::Mailbox> boxes_;
   detail::RetransmitStore arq_store_{size_};
+  failure::Detector detector_{size_};
   // Scratch used by split() to publish subgroup pointers across ranks.
   std::mutex split_mutex_;
   std::vector<std::shared_ptr<Group>> split_scratch_;
+  // Rendezvous used by shrink() to agree on the survivor group without any
+  // collective (the dead rank would deadlock one). Guarded by shrink_mutex_.
+  std::mutex shrink_mutex_;
+  std::condition_variable shrink_cv_;
+  std::vector<char> shrink_arrived_;
+  std::shared_ptr<Group> shrink_group_;
+  std::vector<int> shrink_survivors_;
+  std::size_t shrink_taken_ = 0;
 };
 
 /// One rank's handle into a Group. All member calls are made by the owning
@@ -290,6 +300,25 @@ class Comm {
   /// not use it for network traffic. Color is the core index.
   Comm splitByCore() { return split(machine().coreOf(rank_), rank_); }
 
+  /// --- rank-failure tolerance (pcu/failure.hpp) -----------------------
+  /// The group's heartbeat failure detector. Armed lazily from the fault
+  /// plan's deadline; unarmed, every check below is one relaxed load.
+  [[nodiscard]] failure::Detector& detector() { return group_->detector_; }
+  /// Hardened phase boundary: beats this rank's heartbeat and consumes a
+  /// scheduled kill=/hang= fault targeting (this rank, this boundary index).
+  /// A kill throws failure::RankKilled immediately; a hang goes silent
+  /// (no heartbeats) until the group is revoked, then throws the same —
+  /// peers must detect the silence through the deadline. Called by
+  /// phasedExchange on its hardened path.
+  void rankFaultPoint();
+  /// ULFM-style shrink: after revocation, every *surviving* rank calls this
+  /// to agree on the survivor set and obtain a fresh group with dense ranks
+  /// (survivor order). Ranks that never arrive are declared dead by the
+  /// deadline. The returned comm has fresh mailboxes (stale in-flight
+  /// traffic from the old group is discarded) and an armed detector when
+  /// this group's was armed.
+  Comm shrink();
+
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   void resetStats() { stats_.reset(); }
 
@@ -351,6 +380,9 @@ class Comm {
   /// Serve a stashed reordered message that has become current; nullopt
   /// when none matches.
   std::optional<Message> serveStash(int source, int tag, bool traced);
+  /// Throw Error(kRankFailed) naming the first dead rank of this group's
+  /// detector on channel (source, tag).
+  [[noreturn]] void throwRankFailed(int source, int tag) const;
 
   [[nodiscard]] static std::uint64_t channelKey(int peer, int tag) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
@@ -376,6 +408,10 @@ class Comm {
     std::vector<std::byte> bytes;
   };
   std::vector<Delayed> delayed_;
+  /// Hardened phase boundaries this rank has passed (rankFaultPoint calls);
+  /// advances only while a kill/hang is scheduled, so the kill=R@P phase
+  /// index is deterministic.
+  std::uint64_t phased_calls_ = 0;
 };
 
 /// ---- templated member implementations ---------------------------------

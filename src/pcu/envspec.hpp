@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "pcu/error.hpp"
 
@@ -88,6 +89,19 @@ inline double parseProb(const std::string& env, const std::string& key,
   if (v < 0.0 || v > 1.0)
     badValue(env, key, val, "a probability in [0, 1]");
   return v;
+}
+
+/// Full-token "RANK@PHASE" pair (the kill=/hang= rank-fault schedule):
+/// both halves are bounded non-negative integers and must consume their
+/// whole half of the token.
+inline std::pair<int, int> parseRankAtPhase(const std::string& env,
+                                            const std::string& key,
+                                            const std::string& val) {
+  const std::size_t at = val.find('@');
+  if (at == std::string::npos)
+    badValue(env, key, val, "RANK@PHASE");
+  return {parseInt(env, key + " rank", val.substr(0, at), 0, 1 << 24),
+          parseInt(env, key + " phase", val.substr(at + 1), 0, 1 << 30)};
 }
 
 /// Strict boolean: exactly 1/0/on/off/true/false.

@@ -26,6 +26,7 @@ enum class ErrorCode : std::uint8_t {
   kValidation,        ///< operation input rejected before any mutation
   kRemoteAbort,       ///< another rank reported an error; aborting together
   kProtocol,          ///< internal protocol invariant violated
+  kRankFailed,        ///< a rank died or went silent; communicator revoked
 };
 
 inline const char* errorCodeName(ErrorCode c) {
@@ -38,6 +39,7 @@ inline const char* errorCodeName(ErrorCode c) {
     case ErrorCode::kValidation: return "validation";
     case ErrorCode::kRemoteAbort: return "remote-abort";
     case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kRankFailed: return "rank-failed";
   }
   return "unknown";
 }

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <mutex>
 #include <thread>
+#include <tuple>
 
 #include "pcu/arq.hpp"
 #include "pcu/comm.hpp"
@@ -23,6 +24,8 @@ struct State {
   std::mutex mutex;
   FaultPlan plan;
   std::vector<int> stall_budget;  // per-rank remaining stall steps
+  bool kill_fired = false;        // the scheduled kill already consumed
+  bool hang_fired = false;        // the scheduled hang already consumed
 };
 
 State& state() {
@@ -33,17 +36,27 @@ State& state() {
 std::atomic<bool> g_injecting{false};
 std::atomic<bool> g_framing{false};
 std::atomic<int> g_watchdog_ms{0};
+std::atomic<bool> g_rank_fault{false};
+std::atomic<int> g_deadline_ms{0};
 
 void installLocked(State& s, const FaultPlan& p) {
   s.plan = p;
   s.stall_budget.clear();
+  s.kill_fired = false;
+  s.hang_fired = false;
   if (p.stall_rank >= 0 && p.stall_steps > 0) {
     s.stall_budget.assign(static_cast<std::size_t>(p.stall_rank) + 1, 0);
     s.stall_budget[static_cast<std::size_t>(p.stall_rank)] = p.stall_steps;
   }
+  const bool rank_fault = p.kill.scheduled() || p.hang.scheduled();
   g_injecting.store(p.injects(), std::memory_order_relaxed);
   g_framing.store(p.injects() || p.checksum_only, std::memory_order_relaxed);
   g_watchdog_ms.store(p.watchdog_ms, std::memory_order_relaxed);
+  g_rank_fault.store(rank_fault, std::memory_order_relaxed);
+  g_deadline_ms.store(p.deadline_ms > 0
+                          ? p.deadline_ms
+                          : (rank_fault ? kDefaultRankFaultDeadlineMs : 0),
+                      std::memory_order_relaxed);
 }
 
 /// Latch PUMI_FAULTS once, before the first enabled()/framingEnabled()
@@ -153,6 +166,14 @@ FaultPlan parsePlan(const std::string& spec) {
                                         val.substr(colon + 1), 0, 1 << 30);
     } else if (key == "stallms") {
       p.stall_ms = envspec::parseInt(env, key, val, 0, 1 << 30);
+    } else if (key == "kill") {
+      std::tie(p.kill.rank, p.kill.phase) =
+          envspec::parseRankAtPhase(env, key, val);
+    } else if (key == "hang") {
+      std::tie(p.hang.rank, p.hang.phase) =
+          envspec::parseRankAtPhase(env, key, val);
+    } else if (key == "deadline") {
+      p.deadline_ms = envspec::parseInt(env, key, val, 0, 1 << 30);
     } else if (key == "watchdog") {
       p.watchdog_ms = envspec::parseInt(env, key, val, 0, 1 << 30);
     } else if (key == "checksum") {
@@ -200,6 +221,40 @@ bool framingEnabled() {
 int watchdogMs() {
   envLatch();
   return g_watchdog_ms.load(std::memory_order_relaxed);
+}
+
+bool hasRankFault() {
+  envLatch();
+  return g_rank_fault.load(std::memory_order_relaxed);
+}
+
+int deadlineMs() {
+  envLatch();
+  return g_deadline_ms.load(std::memory_order_relaxed);
+}
+
+bool fireKill(int rank, std::uint64_t phase) {
+  if (!hasRankFault()) return false;
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.kill_fired || !s.plan.kill.scheduled()) return false;
+  if (rank != s.plan.kill.rank ||
+      phase != static_cast<std::uint64_t>(s.plan.kill.phase))
+    return false;
+  s.kill_fired = true;
+  return true;
+}
+
+bool fireHang(int rank, std::uint64_t phase) {
+  if (!hasRankFault()) return false;
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.hang_fired || !s.plan.hang.scheduled()) return false;
+  if (rank != s.plan.hang.rank ||
+      phase != static_cast<std::uint64_t>(s.plan.hang.phase))
+    return false;
+  s.hang_fired = true;
+  return true;
 }
 
 Action decide(int src, int dst, int tag, std::uint64_t seq) {

@@ -30,6 +30,10 @@
 ///   delay=0.02         per-message probability of delayed (reordered) delivery
 ///   stall=R:N          rank R sleeps at its next N phased-exchange steps
 ///   stallms=M          stall sleep per step, milliseconds (default 2)
+///   kill=R@P           rank R dies at its P-th hardened phase boundary
+///   hang=R@P           rank R goes silent (no heartbeats) at boundary P
+///   deadline=MS        heartbeat deadline before a silent rank is declared
+///                      dead (default 50 while a kill/hang is scheduled)
 ///   watchdog=MS        blocking-receive watchdog timeout, ms (0 = off)
 ///   checksum=1         frame+verify only, no injection ("checksum-verify")
 ///
@@ -50,6 +54,16 @@ class Comm;
 
 namespace pcu::faults {
 
+/// A scheduled whole-rank fault: rank `rank` dies (kill) or goes silent
+/// (hang) at its `phase`-th hardened phase boundary — phased-exchange entry
+/// under pcu::run, a deliverAll boundary under dist::Network. Fires at most
+/// once per installed plan.
+struct RankFault {
+  int rank = -1;
+  int phase = -1;
+  [[nodiscard]] bool scheduled() const { return rank >= 0 && phase >= 0; }
+};
+
 /// A deterministic fault schedule. Probabilities are per message in [0,1].
 struct FaultPlan {
   std::uint64_t seed = 1;
@@ -60,12 +74,15 @@ struct FaultPlan {
   int stall_rank = -1;   ///< rank to stall (-1: none)
   int stall_steps = 0;   ///< phased-exchange steps the rank stalls for
   int stall_ms = 2;      ///< sleep per stalled step
+  RankFault kill;        ///< whole-rank death (failure detection kicks in)
+  RankFault hang;        ///< whole-rank silence (detected like a death)
+  int deadline_ms = 0;   ///< heartbeat deadline; 0 = default when kill/hang
   int watchdog_ms = 0;   ///< blocking-recv timeout; 0 disables the watchdog
   bool checksum_only = false;  ///< frame + verify without injecting faults
 
   [[nodiscard]] bool injects() const {
     return corrupt > 0 || drop > 0 || duplicate > 0 || delay > 0 ||
-           stall_steps > 0;
+           stall_steps > 0 || kill.scheduled() || hang.scheduled();
   }
 };
 
@@ -91,6 +108,26 @@ bool enabled();
 bool framingEnabled();
 /// Watchdog timeout for blocking receives; 0 when off.
 int watchdogMs();
+
+/// --- rank faults (kill/hang) --------------------------------------------
+
+/// Fallback heartbeat deadline while a kill/hang is scheduled with no
+/// explicit deadline= token.
+inline constexpr int kDefaultRankFaultDeadlineMs = 50;
+
+/// True while the active plan schedules a kill or hang (one relaxed load).
+bool hasRankFault();
+/// Heartbeat deadline in milliseconds: the plan's explicit deadline_ms,
+/// else kDefaultRankFaultDeadlineMs while a rank fault is scheduled, else 0
+/// (failure detector disarmed — the historical behaviour).
+int deadlineMs();
+/// Consume the scheduled kill for (rank, phase): returns true exactly once,
+/// for the matching rank at the matching phase index. The caller then dies
+/// (throws failure::RankKilled).
+bool fireKill(int rank, std::uint64_t phase);
+/// Consume the scheduled hang the same way. The caller then goes silent
+/// until its group is revoked.
+bool fireHang(int rank, std::uint64_t phase);
 
 /// What the injector decides for one message.
 enum class Action : std::uint8_t {

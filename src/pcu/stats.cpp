@@ -26,6 +26,7 @@ TraceReport buildTraceReport(const trace::Merged& merged) {
   std::map<std::string, PhaseAccum> phases;
   std::map<std::string, ChannelStat> channels;
   std::map<std::tuple<std::string, int, int>, PairStat> pairs;
+  std::map<std::string, CounterStat> counters;
 
   auto pairAt = [&](const char* channel, int src, int dst) -> PairStat& {
     auto key = std::make_tuple(std::string(channel), src, dst);
@@ -78,8 +79,19 @@ TraceReport buildTraceReport(const trace::Merged& merged) {
           p.recv_bytes += static_cast<std::uint64_t>(e.value);
           break;
         }
+        case trace::Kind::kCounter: {
+          auto& c = counters[e.name];
+          if (c.samples == 0) {
+            c.name = e.name;
+            c.min = c.max = e.value;
+          }
+          c.samples += 1;
+          c.last = e.value;
+          c.min = std::min(c.min, e.value);
+          c.max = std::max(c.max, e.value);
+          break;
+        }
         case trace::Kind::kInstant:
-        case trace::Kind::kCounter:
           break;
       }
     }
@@ -116,6 +128,10 @@ TraceReport buildTraceReport(const trace::Merged& merged) {
     (void)key;
     report.pairs.push_back(std::move(p));
   }
+  for (auto& [name, c] : counters) {
+    (void)name;
+    report.counters.push_back(std::move(c));
+  }
   return report;
 }
 
@@ -142,6 +158,15 @@ void printTraceReport(const TraceReport& report, std::ostream& os) {
              repro::fmt(static_cast<std::size_t>(c.send_bytes)),
              repro::fmt(static_cast<std::size_t>(c.recv_messages)),
              repro::fmt(static_cast<std::size_t>(c.recv_bytes))});
+    t.print(os);
+  }
+  if (!report.counters.empty()) {
+    os << "\n== counters ==\n";
+    repro::Table t({"Counter", "Samples", "Last", "Min", "Max"});
+    for (const auto& c : report.counters)
+      t.row({c.name, repro::fmt(static_cast<std::size_t>(c.samples)),
+             std::to_string(c.last), std::to_string(c.min),
+             std::to_string(c.max)});
     t.print(os);
   }
 }

@@ -53,10 +53,22 @@ struct PairStat {
   std::uint64_t recv_bytes = 0;
 };
 
+/// Aggregate of one named counter series (trace::counter), whole run —
+/// e.g. the failure detector's fd:heartbeats / fd:suspicions /
+/// fd:suspicion_latency_us / fd:shrink_events.
+struct CounterStat {
+  std::string name;
+  std::uint64_t samples = 0;
+  std::int64_t last = 0;  ///< final recorded value (totals report this)
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
 struct TraceReport {
   std::vector<PhaseStat> phases;      ///< sorted by max_seconds, descending
   std::vector<ChannelStat> channels;  ///< sorted by channel name
   std::vector<PairStat> pairs;        ///< sorted by (channel, src, dst)
+  std::vector<CounterStat> counters;  ///< sorted by counter name
 };
 
 /// Aggregate a merged event stream. Begin/end events are matched per

@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# Recovery benchmark smoke: measures the reliable-delivery (ARQ) tax and
-# the end-to-end recovery success rate, and merges them into one
-# BENCH_RECOVERY.json.
+# Recovery benchmark smoke: measures the reliable-delivery (ARQ) tax, the
+# end-to-end recovery success rate, and the rank-failure MTTR, and merges
+# them into one BENCH_RECOVERY.json.
 #
 #   * BM_PingPongReliable/{payload}/{drop_permille} runs the hardened
 #     ping-pong with reliable mode on; comparing the 10-permille (1% drop)
@@ -10,10 +10,16 @@
 #   * The 20-seed chaos suites from test_recovery are replayed and their
 #     pass/fail becomes success_rate (asserted == 1.0): every seeded
 #     transient fault schedule must complete with zero aborts.
+#   * failover_demo runs the rank-failure acceptance scenario (kill 1 of 16
+#     mid-migrate, hang 1 of 16 mid-balance) and reports the measured
+#     mean-time-to-recovery breakdown (detect + evacuate + rebalance) as
+#     rank_failure_mttr. The merge asserts zero lost elements and that hang
+#     detection stays within 3x the configured heartbeat deadline.
 #
 # Usage: tools/bench_recovery.sh <build-dir> [out.json]
-# The build dir must contain bench/bench_pcu_msg and tests/test_recovery
-# (build with -DCMAKE_BUILD_TYPE=Release for meaningful numbers).
+# The build dir must contain bench/bench_pcu_msg, tests/test_recovery and
+# examples/failover_demo (build with -DCMAKE_BUILD_TYPE=Release for
+# meaningful numbers).
 set -eu
 
 BUILD="${1:?usage: tools/bench_recovery.sh <build-dir> [out.json]}"
@@ -36,16 +42,24 @@ SUCCESS=1
 'PcuReliable.TransientChaosDeliversEverySeed:'\
 'DistReliable.TwentySeedsMixedChaosZeroAborts' >&2 || SUCCESS=0
 
-python3 - "$TMP/reliable.json" "$SUCCESS" "$OUT" <<'EOF'
+# Rank-failure MTTR: the demo prints one JSON object on stdout with the
+# detect/evacuate/rebalance breakdown for both incidents.
+"$BUILD/examples/failover_demo" > "$TMP/failover.json"
+
+python3 - "$TMP/reliable.json" "$SUCCESS" "$OUT" "$TMP/failover.json" <<'EOF'
 import json, sys
 
 src, success, out = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+failover_src = sys.argv[4]
 summary = {"description": (
     "Reliable-delivery (ARQ) overhead and recovery success rate. "
     "retransmit_tax compares the median reliable ping-pong time at 1% "
     "message drop against the same run with no injected loss; "
     "success_rate is the fraction of seeded 20-seed chaos suites that "
-    "complete with zero aborts. Produced by tools/bench_recovery.sh."),
+    "complete with zero aborts; rank_failure_mttr is the measured "
+    "detect/evacuate/rebalance breakdown of the kill-1-of-16-mid-migrate "
+    "and hang-1-of-16-mid-balance acceptance scenario. Produced by "
+    "tools/bench_recovery.sh."),
     "ping_pong_reliable": [], "success_rate": None}
 
 # With --benchmark_repetitions the JSON carries per-repetition rows plus
@@ -81,6 +95,20 @@ for (payload, permille), b in sorted(rows.items()):
 summary["success_rate"] = 1.0 if success else 0.0
 assert summary["success_rate"] == 1.0, \
     "seeded chaos suites did not complete with zero aborts"
+
+# Rank-failure MTTR: zero lost elements is the hard line; hang detection
+# must not wildly overshoot the heartbeat deadline either (3x covers CI
+# scheduling noise, not a broken detector).
+mttr = json.load(open(failover_src))
+assert mttr["elements_lost"] == 0, \
+    f"rank-failure scenario lost {mttr['elements_lost']} elements"
+deadline = mttr["deadline_ms"]
+hang_detect = mttr["hang_mid_balance"]["detect_ms"]
+assert hang_detect >= deadline, \
+    f"hang detected in {hang_detect} ms, before the {deadline} ms deadline"
+assert hang_detect <= 3 * deadline, \
+    f"hang detection took {hang_detect} ms vs {deadline} ms deadline"
+summary["rank_failure_mttr"] = mttr
 
 json.dump(summary, open(out, "w"), indent=2)
 print(f"wrote {out}")
