@@ -51,12 +51,16 @@ std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model);
 std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
                                     PartMap map);
 
-/// Restore onto `target_ranks` ranks — possibly fewer than wrote the
-/// checkpoint (a post-shrink restart). Every part p, including those whose
-/// writing rank no longer exists, is deterministically assigned to rank
-/// p % target_ranks over a flat machine, so orphaned parts land on
-/// surviving ranks and every rank computes the same assignment without
-/// communicating. Throws kValidation when target_ranks < 1.
+/// Restore onto `target_ranks` ranks — fewer than wrote the checkpoint (a
+/// post-shrink restart) or MORE (a scale-out restart). Every part p,
+/// including those whose writing rank no longer exists, is
+/// deterministically assigned to rank p % target_ranks over a flat
+/// machine, so orphaned parts land on surviving ranks and every rank
+/// computes the same assignment without communicating. With target_ranks
+/// greater than the checkpoint's part count the assignment is the
+/// identity and the extra ranks start idle — follow with
+/// parma::expandToIdleRanks() to populate and rebalance onto them.
+/// Throws kValidation when target_ranks < 1.
 std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
                                     int target_ranks);
 

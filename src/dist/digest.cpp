@@ -1,0 +1,36 @@
+#include "dist/digest.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace dist::digest {
+
+std::uint64_t elementDigest(const core::Mesh& m, core::Ent e) {
+  std::vector<std::array<double, 3>> pts;
+  for (core::Ent v : m.verts(e)) {
+    const auto x = m.point(v);
+    pts.push_back({x.x, x.y, x.z});
+  }
+  std::sort(pts.begin(), pts.end());
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& pt : pts)
+    for (double d : pt) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof bits);
+      h = (h ^ bits) * 0x100000001b3ull;
+    }
+  return h;
+}
+
+std::multiset<std::uint64_t> elementDigests(const PartedMesh& pm) {
+  std::multiset<std::uint64_t> out;
+  for (PartId p = 0; p < pm.parts(); ++p) {
+    const core::Mesh& m = pm.part(p).mesh();
+    for (core::Ent e : pm.part(p).elements()) out.insert(elementDigest(m, e));
+  }
+  return out;
+}
+
+}  // namespace dist::digest

@@ -1,0 +1,66 @@
+#include "dist/elastic.hpp"
+
+#include "pcu/error.hpp"
+#include "pcu/trace.hpp"
+
+namespace dist::elastic {
+
+std::vector<PartId> addPartsOnIdleRanks(PartedMesh& pm) {
+  Network& net = pm.network();
+  const int cores = net.partMap().machine().totalCores();
+  // Freeze every current assignment: the fresh parts below pin explicitly,
+  // and mixing explicit pins with block-layout fallback entries would let
+  // the fallback shift under existing parts on the next part-count change.
+  std::vector<int> pins(static_cast<std::size_t>(pm.parts()));
+  std::vector<char> hosted(static_cast<std::size_t>(cores), 0);
+  for (PartId p = 0; p < pm.parts(); ++p) {
+    const int r = net.partMap().rankOf(p);
+    pins[static_cast<std::size_t>(p)] = r;
+    if (r >= 0 && r < cores) hosted[static_cast<std::size_t>(r)] = 1;
+  }
+  std::vector<PartId> fresh;
+  for (int rank = 0; rank < cores; ++rank) {
+    if (hosted[static_cast<std::size_t>(rank)] != 0) continue;
+    fresh.push_back(pm.addPart());
+    pins.push_back(rank);
+  }
+  if (!fresh.empty()) {
+    net.setPartRanks(std::move(pins));
+    if (pcu::trace::enabled())
+      pcu::trace::counter("elastic:parts_added",
+                          static_cast<std::int64_t>(fresh.size()));
+  }
+  return fresh;
+}
+
+AdmitReport admitRanks(PartedMesh& pm, int k) {
+  if (k < 1)
+    throw pcu::Error(pcu::ErrorCode::kValidation, k,
+                     "admitRanks: joiner count must be >= 1, got " +
+                         std::to_string(k));
+  AdmitReport report;
+  Network& net = pm.network();
+  report.ranks_before = net.partMap().machine().totalCores();
+  // Pin every part to the rank it occupies today BEFORE the machine grows:
+  // the block-layout fallback divides by totalCores(), so without the pins
+  // existing parts would silently "move" to other ranks.
+  std::vector<int> pins(static_cast<std::size_t>(pm.parts()));
+  for (PartId p = 0; p < pm.parts(); ++p)
+    pins[static_cast<std::size_t>(p)] = net.partMap().rankOf(p);
+  net.setPartRanks(std::move(pins));
+  net.growRanks(k);
+  report.ranks_after = report.ranks_before + k;
+  report.new_parts = addPartsOnIdleRanks(pm);
+  return report;
+}
+
+MaybeAdmit admitPendingJoin(PartedMesh& pm) {
+  MaybeAdmit out;
+  const int k = pm.network().takePendingJoin();
+  if (k <= 0) return out;
+  out.admitted = true;
+  out.report = admitRanks(pm, k);
+  return out;
+}
+
+}  // namespace dist::elastic

@@ -81,6 +81,11 @@ class PartMap {
   /// part->rank assignments may shift, which only affects traffic
   /// accounting, not correctness.
   void setParts(int parts) { parts_ = parts; }
+  /// Replace the machine model (elastic scale-out: newly joined ranks give
+  /// the same parts more cores to live on). Explicit part->rank pins are
+  /// kept; block-layout fallback assignments may shift, which only affects
+  /// traffic accounting.
+  void setMachine(pcu::Machine machine) { machine_ = machine; }
   [[nodiscard]] int nodeOf(PartId p) const {
     return machine_.nodeOf(rankOf(p));
   }
@@ -281,6 +286,32 @@ class Network {
   /// survivors (failover::evacuate) lifts the poison gate.
   [[nodiscard]] std::vector<int> deadRanks() const {
     return {dead_ranks_.begin(), dead_ranks_.end()};
+  }
+
+  /// --- elastic scale-out ------------------------------------------------
+  /// Newcomer ranks announced by a consumed join=K@P token and not yet
+  /// admitted. A join is not a fault: the boundary that consumes it keeps
+  /// delivering (the in-flight operation completes untouched) and the
+  /// caller admits the pending ranks at the next quiescent point
+  /// (dist::elastic / parma's join path).
+  [[nodiscard]] int pendingJoin() const { return pending_join_; }
+  /// Consume the pending joiner count (returns it, then zeroes it).
+  int takePendingJoin() {
+    const int k = pending_join_;
+    pending_join_ = 0;
+    return k;
+  }
+  /// Grow the machine by `k` newly joined ranks: the dist-layer analogue of
+  /// pcu::Comm::grow's dense renumbering — existing ranks keep their
+  /// numbers, newcomers take totalCores()..totalCores()+k-1 on a flat
+  /// topology. Existing per-channel ARQ/coalescing state is untouched
+  /// (channels are keyed by part, not rank); channels to parts later pinned
+  /// on the newcomers start from sequence zero by construction.
+  void growRanks(int k) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int total = map_.machine().totalCores();
+    map_.setMachine(pcu::Machine::flat(total + k));
+    pcu::failure::noteGrow(k);
   }
 
  private:
@@ -494,21 +525,35 @@ class Network {
   /// kinds declare the rank dead and abort the phase with kRankFailed.
   void maybeFireRankFault() {
     checkDeadRanks();
-    if (!pcu::faults::hasRankFault()) return;
+    if (!pcu::faults::hasPhaseEvent()) return;
     const pcu::faults::FaultPlan plan = pcu::faults::plan();
     // Phase indices are per installed plan: re-zero the counter whenever
-    // the scheduled rank fault changes identity.
-    const std::uint64_t sig =
+    // the scheduled phase events (rank faults or join) change identity.
+    std::uint64_t sig =
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
              plan.kill.rank * 31 + plan.kill.phase))
          << 32) |
         static_cast<std::uint32_t>(plan.hang.rank * 31 + plan.hang.phase);
+    sig ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               plan.join.count * 131 + plan.join.phase)) *
+           0x9e3779b97f4a7c15ull;
     if (sig != rank_fault_sig_ || !rank_fault_seen_) {
       rank_fault_sig_ = sig;
       rank_fault_seen_ = true;
       phase_counter_ = 0;
     }
     const std::uint64_t phase = phase_counter_++;
+    // Record the join knock before any fault can abort this phase: scale-out
+    // must not be forgotten because the same boundary also killed a rank.
+    if (plan.join.scheduled()) {
+      const int joiners = pcu::faults::fireJoin(phase);
+      if (joiners > 0) {
+        pending_join_ += joiners;
+        if (pcu::trace::enabled())
+          pcu::trace::counter("net:pending_join",
+                              static_cast<std::int64_t>(pending_join_));
+      }
+    }
     if (plan.kill.scheduled() && pcu::faults::fireKill(plan.kill.rank, phase))
       declareRankDead(plan.kill.rank, /*hang=*/false, phase);
     if (plan.hang.scheduled() && pcu::faults::fireHang(plan.hang.rank, phase))
@@ -809,6 +854,9 @@ class Network {
   std::uint64_t fault_epoch_ = 0;
   /// Rank-fault state (driver thread only: touched at phase boundaries).
   std::set<int> dead_ranks_;
+  /// Joiners announced by a consumed join=K@P token, awaiting admission
+  /// (driver thread only).
+  int pending_join_ = 0;
   std::uint64_t phase_counter_ = 0;
   std::uint64_t rank_fault_sig_ = 0;
   bool rank_fault_seen_ = false;

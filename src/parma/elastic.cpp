@@ -1,0 +1,120 @@
+#include "parma/elastic.hpp"
+
+#include <chrono>
+#include <string>
+
+#include "dist/digest.hpp"
+#include "parma/heavysplit.hpp"
+#include "parma/improve.hpp"
+#include "parma/metrics.hpp"
+#include "pcu/error.hpp"
+#include "pcu/trace.hpp"
+
+namespace parma {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+const char* elementPriority(const dist::PartedMesh& pm) {
+  return pm.dim() == 3 ? "Rgn" : "Face";
+}
+
+/// Carve + diffuse + verify + conservation gate: everything after the
+/// newcomer parts exist. Shared by the join and restore-onto-more paths.
+void rebalanceOntoNewParts(dist::PartedMesh& pm, const JoinOptions& opts,
+                           JoinReport& report) {
+  const auto digests_before = dist::digest::elementDigests(pm);
+  const auto t_split = Clock::now();
+
+  if (!report.new_parts.empty()) {
+    HeavySplitOptions split;
+    split.tolerance = opts.tolerance;
+    split.split_method = opts.split_method;
+    split.targets = report.new_parts;
+    const HeavySplitReport carve = heavyPartSplit(pm, split);
+    report.parts_split = carve.parts_split;
+    report.elements_moved += carve.elements_moved;
+  }
+
+  if (opts.diffuse) {
+    ImproveOptions diffuse;
+    // Aim slightly inside the requested tolerance: improve() stops as soon
+    // as it meets its own target, and integer element granularity would
+    // otherwise park the result epsilon above the caller's bar.
+    diffuse.tolerance = 0.9 * opts.tolerance;
+    diffuse.max_iterations = opts.max_iterations;
+    const ImproveReport shave = improve(pm, elementPriority(pm), diffuse);
+    report.elements_moved += shave.totalMigrated();
+  }
+  report.split_ms = msSince(t_split);
+
+  pm.verify();
+  if (dist::digest::elementDigests(pm) != digests_before)
+    throw pcu::Error(pcu::ErrorCode::kValidation, pm.parts(),
+                     "elasticJoin: element digest multiset changed across "
+                     "the join (element lost or duplicated)");
+  report.imbalance_after = entityBalance(pm, pm.dim()).imbalance;
+  if (pcu::trace::enabled()) {
+    pcu::trace::counter("elastic:parts_split",
+                        static_cast<std::int64_t>(report.parts_split));
+    pcu::trace::counter("elastic:elements_moved",
+                        static_cast<std::int64_t>(report.elements_moved));
+  }
+}
+
+}  // namespace
+
+JoinReport elasticJoin(dist::PartedMesh& pm, int k, const JoinOptions& opts) {
+  const auto t0 = Clock::now();
+  JoinReport report;
+  report.imbalance_before = entityBalance(pm, pm.dim()).imbalance;
+
+  const auto t_admit = Clock::now();
+  dist::elastic::AdmitReport admitted = dist::elastic::admitRanks(pm, k);
+  report.ranks_before = admitted.ranks_before;
+  report.ranks_after = admitted.ranks_after;
+  report.new_parts = std::move(admitted.new_parts);
+  report.admit_ms = msSince(t_admit);
+
+  rebalanceOntoNewParts(pm, opts, report);
+  report.total_ms = msSince(t0);
+  return report;
+}
+
+MaybeJoin admitPendingJoin(dist::PartedMesh& pm, const JoinOptions& opts) {
+  MaybeJoin out;
+  const int k = pm.network().takePendingJoin();
+  if (k <= 0) return out;
+  out.admitted = true;
+  out.report = elasticJoin(pm, k, opts);
+  return out;
+}
+
+JoinReport expandToIdleRanks(dist::PartedMesh& pm, const JoinOptions& opts) {
+  const auto t0 = Clock::now();
+  JoinReport report;
+  const int cores = pm.network().partMap().machine().totalCores();
+  report.ranks_before = cores;
+  report.ranks_after = cores;
+  report.imbalance_before = entityBalance(pm, pm.dim()).imbalance;
+
+  const auto t_admit = Clock::now();
+  report.new_parts = dist::elastic::addPartsOnIdleRanks(pm);
+  report.admit_ms = msSince(t_admit);
+  if (report.new_parts.empty()) {
+    report.imbalance_after = report.imbalance_before;
+    report.total_ms = msSince(t0);
+    return report;
+  }
+
+  rebalanceOntoNewParts(pm, opts, report);
+  report.total_ms = msSince(t0);
+  return report;
+}
+
+}  // namespace parma

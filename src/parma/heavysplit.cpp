@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 
 #include "parma/metrics.hpp"
+#include "part/ribsplit.hpp"
+#include "pcu/error.hpp"
 
 namespace parma {
 
@@ -58,6 +61,24 @@ HeavySplitReport heavyPartSplit(dist::PartedMesh& pm,
   const int nparts = pm.parts();
   report.initial_imbalance = entityBalance(pm, pm.dim()).imbalance;
 
+  // Injected split targets (elastic scale-out): skip the merge phase and
+  // carve heavy parts into exactly these — they must be empty going in.
+  const bool injected = !opts.targets.empty();
+  if (injected) {
+    const Balance b0 = entityBalance(pm, pm.dim());
+    for (dist::PartId t : opts.targets) {
+      if (t < 0 || t >= nparts)
+        throw pcu::Error(pcu::ErrorCode::kValidation, static_cast<int>(t),
+                         "heavyPartSplit target part " + std::to_string(t) +
+                             " out of range [0, " + std::to_string(nparts) +
+                             ")");
+      if (b0.per_part[static_cast<std::size_t>(t)] != 0)
+        throw pcu::Error(pcu::ErrorCode::kValidation, static_cast<int>(t),
+                         "heavyPartSplit target part " + std::to_string(t) +
+                             " is not empty");
+    }
+  }
+
   for (int round = 0; round < opts.max_rounds; ++round) {
     const Balance b = entityBalance(pm, pm.dim());
     const double heavy_cutoff = (1.0 + opts.tolerance) * b.mean;
@@ -67,14 +88,20 @@ HeavySplitReport heavyPartSplit(dist::PartedMesh& pm,
     if (!any_heavy) break;
 
     // Parts already empty are split targets too (e.g. after a pathological
-    // input partition or a previous round's merges).
+    // input partition or a previous round's merges); with injected targets
+    // only the still-empty injected parts qualify.
     std::vector<dist::PartId> empties;
-    for (dist::PartId p = 0; p < nparts; ++p)
-      if (b.per_part[static_cast<std::size_t>(p)] == 0) empties.push_back(p);
+    if (injected) {
+      for (dist::PartId t : opts.targets)
+        if (b.per_part[static_cast<std::size_t>(t)] == 0) empties.push_back(t);
+    } else {
+      for (dist::PartId p = 0; p < nparts; ++p)
+        if (b.per_part[static_cast<std::size_t>(p)] == 0) empties.push_back(p);
+    }
 
     // --- (1) knapsack merge proposals on every part --------------------
     std::vector<MergeProposal> proposals;
-    for (dist::PartId p = 0; p < nparts; ++p) {
+    for (dist::PartId p = 0; !injected && p < nparts; ++p) {
       const long own = static_cast<long>(b.per_part[static_cast<std::size_t>(p)]);
       const long capacity = static_cast<long>(std::floor(b.mean)) - own;
       if (capacity <= 0 || own == 0) continue;
@@ -147,20 +174,30 @@ HeavySplitReport heavyPartSplit(dist::PartedMesh& pm,
       int pieces = static_cast<int>(
           std::lround(static_cast<double>(count) / after.mean));
       pieces = std::clamp(pieces, 2, static_cast<int>(empties.size()) + 1);
-      const auto g = part::buildElemGraph(pm.part(h).mesh());
-      if (g.size() < pieces) continue;
-      const auto sub = part::partitionGraph(g, pieces, opts.split_method);
+      // Method::RIB goes through the graph-free splitter: inertial
+      // bisection never needs adjacency, so skip the ElemGraph build.
+      std::vector<Ent> elems;
+      std::vector<int> sub;
+      if (opts.split_method == part::Method::RIB) {
+        elems = pm.part(h).elements();
+        if (static_cast<int>(elems.size()) < pieces) continue;
+        sub = part::ribSplit(pm.part(h).mesh(), elems, pieces);
+      } else {
+        const auto g = part::buildElemGraph(pm.part(h).mesh());
+        if (g.size() < pieces) continue;
+        const auto gsub = part::partitionGraph(g, pieces, opts.split_method);
+        elems = g.elems;
+        sub.assign(gsub.begin(), gsub.end());
+      }
       std::vector<dist::PartId> targets(static_cast<std::size_t>(pieces), h);
       for (int s = 1; s < pieces; ++s) {
         targets[static_cast<std::size_t>(s)] = empties.back();
         empties.pop_back();
       }
-      for (int i = 0; i < g.size(); ++i) {
+      for (std::size_t i = 0; i < elems.size(); ++i) {
         const dist::PartId dest =
-            targets[static_cast<std::size_t>(sub[static_cast<std::size_t>(i)])];
-        if (dest != h)
-          split_plan[static_cast<std::size_t>(h)]
-                    [g.elems[static_cast<std::size_t>(i)]] = dest;
+            targets[static_cast<std::size_t>(sub[i])];
+        if (dest != h) split_plan[static_cast<std::size_t>(h)][elems[i]] = dest;
       }
       report.parts_split += 1;
     }

@@ -23,10 +23,19 @@ namespace parma {
 struct HeavySplitOptions {
   /// A part is heavy when its element count exceeds (1+tolerance)*avg.
   double tolerance = 0.05;
-  /// Local partitioner used to split heavy parts.
+  /// Local partitioner used to split heavy parts. Method::RIB uses the
+  /// graph-free splitter (part/ribsplit.hpp) — no adjacency build; every
+  /// other method goes through buildElemGraph + partitionGraph.
   part::Method split_method = part::Method::GraphRB;
   /// Safety cap on merge/split rounds.
   int max_rounds = 8;
+  /// Injected split targets. Empty (the legacy path): targets are the
+  /// parts emptied by the knapsack merge phase, and the part count is
+  /// unchanged. Non-empty: the merge phase is skipped entirely and heavy
+  /// parts are carved into exactly these parts — which must currently be
+  /// empty (pcu::Error(kValidation) otherwise). This is how elastic
+  /// scale-out points the splitter at newcomer parts.
+  std::vector<dist::PartId> targets;
 };
 
 struct HeavySplitReport {

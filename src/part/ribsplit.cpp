@@ -1,0 +1,116 @@
+#include "part/ribsplit.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <string>
+
+#include "common/mat.hpp"
+#include "pcu/error.hpp"
+
+namespace part {
+
+namespace {
+
+using common::Vec3;
+
+/// The element cloud: one centroid and one weight per input element.
+struct Cloud {
+  std::vector<Vec3> centroids;
+  std::vector<double> weights;
+};
+
+/// Recursively assign pieces [first_piece, first_piece + pieces) to the
+/// elements indexed by `idx`. Each level cuts at the weighted median along
+/// the principal inertial axis, splitting the piece budget proportionally.
+void bisect(const Cloud& cloud, std::vector<int> idx, int pieces,
+            int first_piece, std::vector<int>& piece_of) {
+  if (pieces <= 1 || idx.size() <= 1) {
+    for (int i : idx) piece_of[static_cast<std::size_t>(i)] = first_piece;
+    // With more pieces than elements the extra pieces stay empty — the
+    // caller asked for a finer split than the data supports.
+    return;
+  }
+  const int left_pieces = pieces / 2;
+  const double frac = static_cast<double>(left_pieces) / pieces;
+
+  // Principal axis of the weighted centroid cloud.
+  Vec3 mean{};
+  double wsum = 0.0;
+  for (int i : idx) {
+    mean += cloud.centroids[static_cast<std::size_t>(i)] *
+            cloud.weights[static_cast<std::size_t>(i)];
+    wsum += cloud.weights[static_cast<std::size_t>(i)];
+  }
+  if (wsum > 0.0) mean = mean * (1.0 / wsum);
+  common::Mat3 cov;
+  for (int i : idx) {
+    const Vec3 d = cloud.centroids[static_cast<std::size_t>(i)] - mean;
+    cov += common::Mat3::outer(d, d) *
+           cloud.weights[static_cast<std::size_t>(i)];
+  }
+  const Vec3 axis = common::symmetricEigen(cov).vectors[0];
+
+  // Weighted-median cut along the axis; index tie-break keeps the split
+  // deterministic even for degenerate clouds (all centroids coincident).
+  std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+    const double ka = common::dot(cloud.centroids[static_cast<std::size_t>(a)],
+                                  axis);
+    const double kb = common::dot(cloud.centroids[static_cast<std::size_t>(b)],
+                                  axis);
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+  const double target = frac * wsum;
+  double acc = 0.0;
+  std::size_t cut = 0;
+  while (cut < idx.size() && acc < target)
+    acc += cloud.weights[static_cast<std::size_t>(idx[cut++])];
+  cut = std::clamp<std::size_t>(cut, 1, idx.size() - 1);
+
+  std::vector<int> left(idx.begin(),
+                        idx.begin() + static_cast<std::ptrdiff_t>(cut));
+  std::vector<int> right(idx.begin() + static_cast<std::ptrdiff_t>(cut),
+                         idx.end());
+  idx.clear();
+  idx.shrink_to_fit();
+  bisect(cloud, std::move(left), left_pieces, first_piece, piece_of);
+  bisect(cloud, std::move(right), pieces - left_pieces,
+         first_piece + left_pieces, piece_of);
+}
+
+}  // namespace
+
+std::vector<int> ribSplit(const core::Mesh& mesh,
+                          const std::vector<core::Ent>& elems, int pieces,
+                          const std::vector<double>& weights) {
+  if (pieces < 1)
+    throw pcu::Error(pcu::ErrorCode::kValidation, -1,
+                     "ribSplit wants pieces >= 1, got " +
+                         std::to_string(pieces));
+  if (!weights.empty() && weights.size() != elems.size())
+    throw pcu::Error(pcu::ErrorCode::kValidation, -1,
+                     "ribSplit weights length " +
+                         std::to_string(weights.size()) +
+                         " disagrees with element count " +
+                         std::to_string(elems.size()));
+  Cloud cloud;
+  cloud.centroids.reserve(elems.size());
+  for (core::Ent e : elems) {
+    Vec3 c{};
+    const auto vs = mesh.verts(e);
+    for (core::Ent v : vs) c += mesh.point(v);
+    if (!vs.empty()) c = c * (1.0 / static_cast<double>(vs.size()));
+    cloud.centroids.push_back(c);
+  }
+  cloud.weights = weights.empty()
+                      ? std::vector<double>(elems.size(), 1.0)
+                      : weights;
+  std::vector<int> piece_of(elems.size(), 0);
+  std::vector<int> idx(elems.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  bisect(cloud, std::move(idx), pieces, 0, piece_of);
+  return piece_of;
+}
+
+}  // namespace part

@@ -1,0 +1,37 @@
+#ifndef PUMI_PART_RIBSPLIT_HPP
+#define PUMI_PART_RIBSPLIT_HPP
+
+/// \file ribsplit.hpp
+/// \brief Graph-free recursive inertial bisection (RIB) splitter.
+///
+/// partitionGraph(Method::RIB) needs a full ElemGraph — element adjacency
+/// through faces plus vertex incidence — even though inertial bisection
+/// never looks at an edge. This is the direct form used by elastic
+/// scale-out: it works straight off element centroids and weights, so
+/// carving a heavy part onto newly joined ranks costs one coordinate pass
+/// instead of an adjacency build. Semantics follow the classic ParMA RIB
+/// splitter (Parma_MakeRibSplitter): recursive weighted-median cuts along
+/// the principal axis of the centroid cloud's inertia, with piece counts
+/// divided proportionally at every level so any factor — not only powers
+/// of two — comes out balanced.
+
+#include <vector>
+
+#include "core/mesh.hpp"
+
+namespace part {
+
+/// Split `elems` of `mesh` into `pieces` groups by recursive inertial
+/// bisection over element centroids. Returns one piece index in
+/// [0, pieces) per element, aligned with `elems`; `weights` (optional,
+/// empty means unit loads) gives per-element loads the median cuts
+/// balance. Deterministic: ties on the projection key break by element
+/// order. Throws pcu::Error(kValidation) on pieces < 1 or a weights
+/// vector whose length disagrees with `elems`.
+std::vector<int> ribSplit(const core::Mesh& mesh,
+                          const std::vector<core::Ent>& elems, int pieces,
+                          const std::vector<double>& weights = {});
+
+}  // namespace part
+
+#endif  // PUMI_PART_RIBSPLIT_HPP

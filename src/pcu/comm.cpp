@@ -823,8 +823,15 @@ void Comm::rankFaultPoint() {
   const int dl = faults::deadlineMs();
   if (dl > 0 && !det.armed()) det.arm(dl);
   if (det.armed()) det.beat(rank_);
-  if (!faults::hasRankFault()) return;
+  if (!faults::hasPhaseEvent()) return;
   const std::uint64_t phase = phased_calls_++;
+  // An elastic join is not a fault: record the knock and keep going — the
+  // group admits the newcomers at its next quiescent point via grow().
+  // Consumed by whichever rank reaches the scheduled boundary first; every
+  // rank then observes it through joinPending().
+  const int joiners = faults::fireJoin(phase);
+  if (joiners > 0)
+    group_->join_pending_.fetch_add(joiners, std::memory_order_relaxed);
   if (faults::fireKill(rank_, phase))
     throw failure::RankKilled(
         rank_, "kill fault at phase boundary " + std::to_string(phase));
@@ -896,6 +903,69 @@ Comm Comm::shrink() {
     g.shrink_taken_ = 0;
   }
   return Comm(std::move(sub), new_rank);
+}
+
+Comm Comm::grow(int k) {
+  if (k < 1)
+    throw Error(ErrorCode::kValidation, rank_,
+                "grow(k) wants k >= 1, got " + std::to_string(k));
+  auto& g = *group_;
+  auto& det = g.detector_;
+  std::unique_lock<std::mutex> lock(g.grow_mutex_);
+  // Rendezvous on shared state, mirroring shrink(): no collective, so the
+  // call composes with an armed detector (we keep beating while waiting —
+  // a slow peer is slow, not dead). Unlike shrink, every rank is alive and
+  // must arrive; the first arrival fixes the joiner count and mismatched
+  // calls are a caller bug surfaced as validation errors everywhere.
+  if (g.grow_count_ < 0)
+    g.grow_count_ = k;
+  else if (g.grow_count_ != k)
+    g.grow_poisoned_ = true;  // still counts as arrived: nobody may hang
+  ++g.grow_arrived_;
+  g.grow_cv_.notify_all();
+  while (!g.grow_group_ && g.grow_arrived_ < g.size_) {
+    g.grow_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    if (det.armed()) det.beat(rank_);
+  }
+  if (g.grow_poisoned_) {
+    const int agreed = g.grow_count_;
+    if (++g.grow_taken_ == g.size_) {
+      g.grow_arrived_ = 0;
+      g.grow_count_ = -1;
+      g.grow_taken_ = 0;
+      g.grow_poisoned_ = false;
+    }
+    throw Error(ErrorCode::kValidation, rank_,
+                "grow rendezvous disagreement: this rank wants " +
+                    std::to_string(k) + " joiners, the first arrival fixed " +
+                    std::to_string(agreed));
+  }
+  if (!g.grow_group_) {
+    // First completer publishes the expanded group. Fresh mailboxes and a
+    // fresh ARQ store: every channel — including the ones that will touch a
+    // newcomer — starts from sequence zero with empty coalescing state, so
+    // no newcomer can ever observe a stale frame of the old group.
+    const int new_size = g.size_ + k;
+    auto sub = std::make_shared<Group>(new_size, Machine::flat(new_size));
+    if (det.armed()) sub->detector_.arm(det.deadlineMs());
+    g.grow_group_ = std::move(sub);
+    failure::noteGrow(k);
+    g.grow_cv_.notify_all();
+  }
+  auto sub = g.grow_group_;
+  // The pending join=K@P knock (if that is what triggered this grow) is now
+  // served; clear it on the old group so nobody re-admits.
+  g.join_pending_.store(0, std::memory_order_relaxed);
+  if (++g.grow_taken_ == g.size_) {
+    // Last rank out resets the rendezvous so the group could grow again.
+    g.grow_arrived_ = 0;
+    g.grow_count_ = -1;
+    g.grow_group_.reset();
+    g.grow_taken_ = 0;
+  }
+  // Existing ranks keep their numbers; newcomers fill size()..size()+k-1,
+  // so the numbering stays dense with no renaming traffic.
+  return Comm(std::move(sub), rank_);
 }
 
 }  // namespace pcu

@@ -15,6 +15,7 @@
 ///
 /// Tags >= 0 are user tags; negative tags are reserved for collectives.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -202,6 +203,19 @@ class Group {
   std::shared_ptr<Group> shrink_group_;
   std::vector<int> shrink_survivors_;
   std::size_t shrink_taken_ = 0;
+  // Rendezvous used by grow() — shrink's inverse: every live rank arrives,
+  // the first completer publishes the expanded group. Guarded by
+  // grow_mutex_.
+  std::mutex grow_mutex_;
+  std::condition_variable grow_cv_;
+  int grow_arrived_ = 0;
+  int grow_count_ = -1;  // joiner count fixed by the first arrival
+  std::shared_ptr<Group> grow_group_;
+  int grow_taken_ = 0;
+  bool grow_poisoned_ = false;  // a mismatched k dooms the whole rendezvous
+  // Joiners announced by a consumed join=K@P token, waiting for the group
+  // to reach a quiescent point and call grow(). Any rank may observe it.
+  std::atomic<int> join_pending_{0};
 };
 
 /// One rank's handle into a Group. All member calls are made by the owning
@@ -318,6 +332,26 @@ class Comm {
   /// traffic from the old group is discarded) and an armed detector when
   /// this group's was armed.
   Comm shrink();
+  /// Elastic scale-out, shrink()'s inverse: every live rank calls grow(k)
+  /// at a quiescent point (no in-flight traffic) to rendezvous on an
+  /// expanded group of size()+k ranks. Existing ranks keep their numbers
+  /// (the numbering stays dense: newcomers take size()..size()+k-1), the
+  /// new group has fresh mailboxes and a fresh per-peer ARQ store (clean
+  /// coalescing/sequence state for every channel touching a newcomer), and
+  /// its detector is armed when this group's was. Newcomer ranks obtain
+  /// their handles via Comm(grown.groupHandle(), new_rank) — see
+  /// pcu::spawnJoined in runtime.hpp. Every caller must pass the same k.
+  Comm grow(int k);
+  /// Joiners announced by a consumed join=K@P fault-plan token, waiting for
+  /// the group to admit them; grow() resets it to zero. Any rank of the
+  /// group observes the same value (one relaxed load).
+  [[nodiscard]] int joinPending() const {
+    return group_->join_pending_.load(std::memory_order_relaxed);
+  }
+  /// The shared group handle — what newcomer threads need to construct
+  /// their own Comm after a grow (the Comm(group, rank) constructor is
+  /// public; this accessor just shares the pointer).
+  [[nodiscard]] std::shared_ptr<Group> groupHandle() const { return group_; }
 
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   void resetStats() { stats_.reset(); }

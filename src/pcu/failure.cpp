@@ -11,6 +11,8 @@ namespace {
 std::atomic<std::uint64_t> g_heartbeats{0};
 std::atomic<std::uint64_t> g_suspicions{0};
 std::atomic<std::uint64_t> g_shrinks{0};
+std::atomic<std::uint64_t> g_grows{0};
+std::atomic<std::uint64_t> g_ranks_joined{0};
 std::atomic<std::int64_t> g_last_detect_us{0};
 std::atomic<std::int64_t> g_max_detect_us{0};
 
@@ -27,6 +29,8 @@ Stats stats() {
   s.heartbeats = g_heartbeats.load(std::memory_order_relaxed);
   s.suspicions = g_suspicions.load(std::memory_order_relaxed);
   s.shrinks = g_shrinks.load(std::memory_order_relaxed);
+  s.grows = g_grows.load(std::memory_order_relaxed);
+  s.ranks_joined = g_ranks_joined.load(std::memory_order_relaxed);
   s.last_detect_us = g_last_detect_us.load(std::memory_order_relaxed);
   s.max_detect_us = g_max_detect_us.load(std::memory_order_relaxed);
   return s;
@@ -36,6 +40,8 @@ void resetStats() {
   g_heartbeats.store(0, std::memory_order_relaxed);
   g_suspicions.store(0, std::memory_order_relaxed);
   g_shrinks.store(0, std::memory_order_relaxed);
+  g_grows.store(0, std::memory_order_relaxed);
+  g_ranks_joined.store(0, std::memory_order_relaxed);
   g_last_detect_us.store(0, std::memory_order_relaxed);
   g_max_detect_us.store(0, std::memory_order_relaxed);
 }
@@ -63,6 +69,18 @@ void noteShrink() {
   const auto total = g_shrinks.fetch_add(1, std::memory_order_relaxed) + 1;
   if (trace::enabled())
     trace::counter("fd:shrink_events", static_cast<std::int64_t>(total));
+}
+
+void noteGrow(int ranks) {
+  const auto total = g_grows.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto joined =
+      g_ranks_joined.fetch_add(static_cast<std::uint64_t>(ranks),
+                               std::memory_order_relaxed) +
+      static_cast<std::uint64_t>(ranks);
+  if (trace::enabled()) {
+    trace::counter("fd:grow_events", static_cast<std::int64_t>(total));
+    trace::counter("fd:ranks_joined", static_cast<std::int64_t>(joined));
+  }
 }
 
 Detector::Detector(int ranks)

@@ -49,6 +49,8 @@ struct Stats {
   std::uint64_t heartbeats = 0;     ///< epoch stamps recorded
   std::uint64_t suspicions = 0;     ///< ranks declared dead by silence
   std::uint64_t shrinks = 0;        ///< surviving-group rebuilds
+  std::uint64_t grows = 0;          ///< elastic group expansions
+  std::uint64_t ranks_joined = 0;   ///< newcomer ranks admitted by grows
   std::int64_t last_detect_us = 0;  ///< latest silence span at detection
   std::int64_t max_detect_us = 0;   ///< worst silence span at detection
 };
@@ -63,6 +65,10 @@ void noteHeartbeat();
 /// carry the detector's activity.
 void noteSuspicion(std::int64_t latency_us);
 void noteShrink();
+/// Record one elastic group expansion that admitted `ranks` newcomers
+/// (Comm::grow / dist elastic join); emits fd:grow_events and
+/// fd:ranks_joined trace counters.
+void noteGrow(int ranks);
 
 /// Microseconds on the detector's monotonic clock.
 std::int64_t nowUs();

@@ -26,6 +26,7 @@ struct State {
   std::vector<int> stall_budget;  // per-rank remaining stall steps
   bool kill_fired = false;        // the scheduled kill already consumed
   bool hang_fired = false;        // the scheduled hang already consumed
+  bool join_fired = false;        // the scheduled join already consumed
 };
 
 State& state() {
@@ -37,6 +38,7 @@ std::atomic<bool> g_injecting{false};
 std::atomic<bool> g_framing{false};
 std::atomic<int> g_watchdog_ms{0};
 std::atomic<bool> g_rank_fault{false};
+std::atomic<bool> g_join{false};
 std::atomic<int> g_deadline_ms{0};
 
 void installLocked(State& s, const FaultPlan& p) {
@@ -44,15 +46,21 @@ void installLocked(State& s, const FaultPlan& p) {
   s.stall_budget.clear();
   s.kill_fired = false;
   s.hang_fired = false;
+  s.join_fired = false;
   if (p.stall_rank >= 0 && p.stall_steps > 0) {
     s.stall_budget.assign(static_cast<std::size_t>(p.stall_rank) + 1, 0);
     s.stall_budget[static_cast<std::size_t>(p.stall_rank)] = p.stall_steps;
   }
   const bool rank_fault = p.kill.scheduled() || p.hang.scheduled();
   g_injecting.store(p.injects(), std::memory_order_relaxed);
-  g_framing.store(p.injects() || p.checksum_only, std::memory_order_relaxed);
+  // A scheduled join is not a fault, but it needs the hardened phase
+  // boundaries (which only exist on the framed path) so its @PHASE index is
+  // deterministic — frame like checksum-verify mode does.
+  g_framing.store(p.injects() || p.checksum_only || p.join.scheduled(),
+                  std::memory_order_relaxed);
   g_watchdog_ms.store(p.watchdog_ms, std::memory_order_relaxed);
   g_rank_fault.store(rank_fault, std::memory_order_relaxed);
+  g_join.store(p.join.scheduled(), std::memory_order_relaxed);
   g_deadline_ms.store(p.deadline_ms > 0
                           ? p.deadline_ms
                           : (rank_fault ? kDefaultRankFaultDeadlineMs : 0),
@@ -172,6 +180,17 @@ FaultPlan parsePlan(const std::string& spec) {
     } else if (key == "hang") {
       std::tie(p.hang.rank, p.hang.phase) =
           envspec::parseRankAtPhase(env, key, val);
+    } else if (key == "join") {
+      // COUNT@PHASE, strict like kill/hang but the first half is a joiner
+      // count and must be at least 1 (a zero-rank join is a spec error,
+      // not a no-op).
+      const std::size_t at = val.find('@');
+      if (at == std::string::npos)
+        envspec::badValue(env, key, val, "COUNT@PHASE");
+      p.join.count =
+          envspec::parseInt(env, "join count", val.substr(0, at), 1, 1 << 16);
+      p.join.phase =
+          envspec::parseInt(env, "join phase", val.substr(at + 1), 0, 1 << 30);
     } else if (key == "deadline") {
       p.deadline_ms = envspec::parseInt(env, key, val, 0, 1 << 30);
     } else if (key == "watchdog") {
@@ -255,6 +274,27 @@ bool fireHang(int rank, std::uint64_t phase) {
     return false;
   s.hang_fired = true;
   return true;
+}
+
+bool hasJoin() {
+  envLatch();
+  return g_join.load(std::memory_order_relaxed);
+}
+
+bool hasPhaseEvent() {
+  envLatch();
+  return g_rank_fault.load(std::memory_order_relaxed) ||
+         g_join.load(std::memory_order_relaxed);
+}
+
+int fireJoin(std::uint64_t phase) {
+  if (!hasJoin()) return 0;
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.join_fired || !s.plan.join.scheduled()) return 0;
+  if (phase != static_cast<std::uint64_t>(s.plan.join.phase)) return 0;
+  s.join_fired = true;
+  return s.plan.join.count;
 }
 
 Action decide(int src, int dst, int tag, std::uint64_t seq) {

@@ -32,6 +32,9 @@
 ///   stallms=M          stall sleep per step, milliseconds (default 2)
 ///   kill=R@P           rank R dies at its P-th hardened phase boundary
 ///   hang=R@P           rank R goes silent (no heartbeats) at boundary P
+///   join=K@P           K new ranks ask to join at phase boundary P (an
+///                      elastic scale-out event, not a fault: the live
+///                      group admits them via Comm::grow / dist elastic)
 ///   deadline=MS        heartbeat deadline before a silent rank is declared
 ///                      dead (default 50 while a kill/hang is scheduled)
 ///   watchdog=MS        blocking-receive watchdog timeout, ms (0 = off)
@@ -64,6 +67,17 @@ struct RankFault {
   [[nodiscard]] bool scheduled() const { return rank >= 0 && phase >= 0; }
 };
 
+/// A scheduled elastic join: `count` new ranks knock at hardened phase
+/// boundary `phase`. Not a fault — nothing breaks — but it shares the
+/// fault plan's strict parsing and deterministic phase indexing so chaos
+/// scenarios can scale out mid-storm. Fires at most once per installed
+/// plan.
+struct RankJoin {
+  int count = 0;
+  int phase = -1;
+  [[nodiscard]] bool scheduled() const { return count > 0 && phase >= 0; }
+};
+
 /// A deterministic fault schedule. Probabilities are per message in [0,1].
 struct FaultPlan {
   std::uint64_t seed = 1;
@@ -76,6 +90,7 @@ struct FaultPlan {
   int stall_ms = 2;      ///< sleep per stalled step
   RankFault kill;        ///< whole-rank death (failure detection kicks in)
   RankFault hang;        ///< whole-rank silence (detected like a death)
+  RankJoin join;         ///< elastic scale-out: K new ranks at boundary P
   int deadline_ms = 0;   ///< heartbeat deadline; 0 = default when kill/hang
   int watchdog_ms = 0;   ///< blocking-recv timeout; 0 disables the watchdog
   bool checksum_only = false;  ///< frame + verify without injecting faults
@@ -128,6 +143,21 @@ bool fireKill(int rank, std::uint64_t phase);
 /// Consume the scheduled hang the same way. The caller then goes silent
 /// until its group is revoked.
 bool fireHang(int rank, std::uint64_t phase);
+
+/// --- elastic joins (join=K@P) -------------------------------------------
+
+/// True while the active plan schedules a join (one relaxed load).
+bool hasJoin();
+/// True while the plan schedules any phased event (kill, hang, or join):
+/// the hardened phase-boundary counters advance only while this holds, so
+/// the @PHASE index of every scheduled event is deterministic.
+bool hasPhaseEvent();
+/// Consume the scheduled join at boundary `phase`: returns the join count
+/// exactly once — for the first caller that reaches the matching boundary —
+/// and 0 otherwise. Join is rank-agnostic: any rank may observe it; the
+/// caller records it as pending and the group admits the newcomers at the
+/// next quiescent point (Comm::grow / dist::elastic).
+int fireJoin(std::uint64_t phase);
 
 /// What the injector decides for one message.
 enum class Action : std::uint8_t {

@@ -317,4 +317,26 @@ TEST(HeavySplit, NoOpOnBalancedPartition) {
   pm->verify();
 }
 
+TEST(HeavySplit, LegacyPathNeverChangesPartCount) {
+  // Regression for the injectable split-target option (elastic scale-out):
+  // the historical no-target call must still merge-then-split with the
+  // part count untouched, whatever the skew.
+  auto gen = meshgen::boxTets(6, 6, 6);
+  std::vector<PartId> dest(gen.mesh->count(3));
+  const auto g = part::buildElemGraph(*gen.mesh);
+  const auto base = part::partitionGraph(g, 8, part::Method::RCB);
+  for (std::size_t i = 0; i < dest.size(); ++i)
+    dest[i] = base[i] <= 2 ? 0 : base[i];
+  auto pm = dist::PartedMesh::distribute(*gen.mesh, gen.model.get(), dest,
+                                         dist::PartMap(8, pcu::Machine::flat(8)));
+  const int nparts = pm->parts();
+  const auto report = parma::heavyPartSplit(*pm, {.tolerance = 0.05});
+  EXPECT_EQ(pm->parts(), nparts)
+      << "legacy heavyPartSplit must keep the part count invariant";
+  EXPECT_GT(report.parts_split, 0);
+  pm->verify();
+  for (int d = 0; d <= 3; ++d)
+    EXPECT_EQ(pm->globalCount(d), gen.mesh->count(d));
+}
+
 }  // namespace

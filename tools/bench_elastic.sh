@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Elastic scale-out benchmark smoke: measures the join-to-rebalanced
+# latency of rank join + heavy-part splitting and merges it into one
+# BENCH_ELASTIC.json.
+#
+#   * elastic_demo runs the acceptance scenario at two scales: 8 -> 12
+#     ranks triggered by a join=4@2 fault-plan token firing mid-migrate,
+#     and 16 -> 24 via a direct elasticJoin call. For each scale it
+#     reports the admit/split breakdown and the total join-to-rebalanced
+#     latency.
+#   * The merge script asserts the hard acceptance lines at BOTH scales:
+#     elements_lost == 0 (geometric digest gate) and post-join element
+#     imbalance <= 1.10.
+#   * test_elastic's property suite (20 seeded grow/balance/shrink/grow
+#     cycles on 2D and 3D meshes) is replayed and its pass/fail becomes
+#     cycle_success_rate (asserted == 1.0).
+#
+# Usage: tools/bench_elastic.sh <build-dir> [out.json]
+# The build dir must contain examples/elastic_demo and tests/test_elastic
+# (build with -DCMAKE_BUILD_TYPE=Release for meaningful numbers).
+set -eu
+
+BUILD="${1:?usage: tools/bench_elastic.sh <build-dir> [out.json]}"
+OUT="${2:-BENCH_ELASTIC.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# The acceptance scenario: both scales, one JSON object on stdout.
+"$BUILD/examples/elastic_demo" > "$TMP/elastic.json"
+
+# The grow/shrink property suite: 20 seeded cycles, zero losses tolerated.
+SUCCESS=1
+"$BUILD/tests/test_elastic" \
+  --gtest_filter='Property/GrowShrinkCycle.*' >&2 || SUCCESS=0
+
+python3 - "$TMP/elastic.json" "$SUCCESS" "$OUT" <<'EOF'
+import json, sys
+
+src, success, out = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+demo = json.load(open(src))
+summary = {"description": (
+    "Elastic scale-out: join-to-rebalanced latency of rank join + "
+    "heavy-part splitting. join_8_to_12 is an 8-rank mesh receiving "
+    "join=4@2 mid-migrate; join_16_to_24 is a direct elasticJoin(8) on "
+    "16 ranks. Hard lines at both scales: elements_lost == 0 and "
+    "post-join element imbalance <= 1.10. cycle_success_rate is the "
+    "20-seed grow/balance/shrink/grow property suite. Produced by "
+    "tools/bench_elastic.sh.")}
+
+for key in ("join_8_to_12", "join_16_to_24"):
+    scale = demo[key]
+    assert scale["elements_lost"] == 0, \
+        f"{key}: lost {scale['elements_lost']} elements"
+    assert scale["imbalance_after"] <= 1.10, (
+        f"{key}: post-join element imbalance {scale['imbalance_after']:.4f}"
+        " > 1.10")
+    assert scale["join_to_rebalanced_ms"] > 0, f"{key}: missing latency"
+    summary[key] = scale
+
+summary["cycle_success_rate"] = 1.0 if success else 0.0
+assert summary["cycle_success_rate"] == 1.0, \
+    "grow/shrink property cycles did not all pass"
+
+json.dump(summary, open(out, "w"), indent=2)
+print(f"wrote {out}")
+EOF
