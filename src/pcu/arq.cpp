@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "pcu/envspec.hpp"
+#include "pcu/faults.hpp"
 
 namespace pcu::arq {
 
@@ -112,6 +113,13 @@ void setReliable(bool on) {
 }
 
 bool enabled() {
+  envLatch();
+  const int ov = faults::ambientReliableOverride();
+  if (ov >= 0) return ov != 0;
+  return g_on.load(std::memory_order_relaxed);
+}
+
+bool processEnabled() {
   envLatch();
   return g_on.load(std::memory_order_relaxed);
 }

@@ -63,8 +63,15 @@ void setConfig(const Config& config);
 /// Switch reliability on (default knobs) or off, preserving tuned knobs.
 void setReliable(bool on);
 
-/// True when reliable delivery is active. First call latches PUMI_RELIABLE.
+/// True when reliable delivery is active for the calling thread: the
+/// ambient fault domain's reliable override when one is set (see
+/// pcu::faults::Domain::setReliable — a tenant-scoped switch), else the
+/// process-global setting. First call latches PUMI_RELIABLE.
 bool enabled();
+
+/// The raw process-global reliable switch, ignoring any ambient fault
+/// domain override. Used by faults::Domain as the inherit fallback.
+bool processEnabled();
 
 /// The active config (meaningful knobs even while off).
 Config config();

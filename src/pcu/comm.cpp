@@ -145,8 +145,11 @@ std::vector<RetransmitStore::PendingFrame> RetransmitStore::pending(
 
 }  // namespace detail
 
-Group::Group(int size, Machine machine)
-    : size_(size), machine_(machine), boxes_(size), split_scratch_(size) {
+Group::Group(int size, Machine machine, std::shared_ptr<faults::Domain> domain)
+    : size_(size),
+      machine_(machine),
+      domain_(domain ? std::move(domain) : faults::defaultDomain()),
+      boxes_(size) {
   assert(size > 0);
   // Default machine: all ranks on one node (pure shared memory).
   if (machine_.totalCores() < size_) machine_ = Machine::singleNode(size_);
@@ -164,7 +167,7 @@ void Comm::send(int dest, int tag, const OutBuffer& buf) {
 
 void Comm::send(int dest, int tag, std::vector<std::byte> bytes) {
   assert(tag >= 0 && "negative tags are reserved for collectives");
-  if (faults::framingEnabled()) {
+  if (group_->domain_->framingEnabled()) {
     sendFramed(dest, tag, std::move(bytes));
     return;
   }
@@ -226,14 +229,14 @@ void Comm::sendFramed(int dest, int tag, std::vector<std::byte> payload) {
 void Comm::postFramed(int dest, int tag, std::vector<std::byte> payload) {
   const std::uint64_t seq = send_seq_[channelKey(dest, tag)]++;
   auto framed = faults::frame(seq, std::move(payload));
-  const bool reliable = arq::enabled();
+  const bool reliable = group_->domain_->reliableEnabled();
   if (reliable) {
     // Deposit the clean frame before the fault decision can touch it: the
     // receiver pulls from here on loss/corruption and prunes on delivery.
     group_->arq_store_.store(rank_, dest, tag, seq, framed);
     arq::noteStored();
   }
-  switch (faults::decide(rank_, dest, tag, seq)) {
+  switch (group_->domain_->decide(rank_, dest, tag, seq)) {
     case faults::Action::kDeliver:
       break;
     case faults::Action::kCorrupt:
@@ -267,7 +270,7 @@ void Comm::sendCoalesced(int dest, int tag, std::vector<std::byte> segment,
                          std::uint64_t logical_bytes) {
   assert(tag >= 0 && "negative tags are reserved for collectives");
   accountSendCoalesced(dest, logical_count, logical_bytes, segment.size());
-  if (faults::framingEnabled()) {
+  if (group_->domain_->framingEnabled()) {
     postFramed(dest, tag, std::move(segment));
     return;
   }
@@ -286,9 +289,9 @@ void Comm::throwRankFailed(int source, int tag) const {
 }
 
 detail::Mailbox::Raw Comm::popWatchdog(int source, int tag) {
-  const int wd = faults::watchdogMs();
+  const int wd = group_->domain_->watchdogMs();
   auto& det = group_->detector_;
-  const int dl = faults::deadlineMs();
+  const int dl = group_->domain_->deadlineMs();
   if (dl > 0 && !det.armed()) det.arm(dl);
   detail::Mailbox::Raw raw;
   if (!det.armed()) {
@@ -334,12 +337,13 @@ Message Comm::recvUntraced(int source, int tag) {
 }
 
 Message Comm::recvImpl(int source, int tag, bool traced) {
-  if (faults::framingEnabled()) {
+  if (group_->domain_->framingEnabled()) {
     // Our own held-back messages must not deadlock us while we block.
     flushDelayed();
     if (tag >= 0)
-      return arq::enabled() ? recvReliable(source, tag, traced)
-                            : recvFramed(source, tag, traced);
+      return group_->domain_->reliableEnabled()
+                 ? recvReliable(source, tag, traced)
+                 : recvFramed(source, tag, traced);
   }
   auto raw = popWatchdog(source, tag);
   Message m;
@@ -362,7 +366,7 @@ std::optional<Message> Comm::serveStash(int source, int tag, bool traced) {
     ++expected;
     Message m = std::move(it->msg);
     reorder_stash_.erase(it);
-    if (arq::enabled())
+    if (group_->domain_->reliableEnabled())
       group_->arq_store_.ack(m.source, rank_, tag, expected);
     if (traced && trace::enabled())
       trace::recvAs(rank_, m.source, static_cast<std::int64_t>(m.body.size()),
@@ -415,7 +419,7 @@ void Comm::pullRetransmit(int src, int tag, std::uint64_t seq,
   const arq::Config cfg = arq::config();
   for (int attempt = 1; attempt <= cfg.retry_budget; ++attempt) {
     arq::noteRetransmit();
-    const auto action = faults::decide(
+    const auto action = group_->domain_->decide(
         src, rank_, tag, arq::saltSeq(seq, static_cast<std::uint64_t>(attempt)));
     if (action == faults::Action::kCorrupt || action == faults::Action::kDrop)
       continue;  // this retransmission was lost too
@@ -434,9 +438,10 @@ Message Comm::recvReliable(int source, int tag, bool traced) {
   auto& box = group_->boxes_[rank_];
   auto& store = group_->arq_store_;
   auto& det = group_->detector_;
-  if (const int dl = faults::deadlineMs(); dl > 0 && !det.armed()) det.arm(dl);
+  if (const int dl = group_->domain_->deadlineMs(); dl > 0 && !det.armed())
+    det.arm(dl);
   const long deadline_us = static_cast<long>(det.deadlineMs()) * 1000;
-  const int wd = faults::watchdogMs();
+  const int wd = group_->domain_->watchdogMs();
   const auto start = std::chrono::steady_clock::now();
   long interval_us = cfg.rto_us;
   // What this receiver has delivered so far on (src, tag): frames below
@@ -770,17 +775,40 @@ long Comm::reduceScatterSum(
   return it == acc.end() ? 0 : it->second;
 }
 
-Comm Comm::split(int color, int key) {
+Comm Comm::split(int color, int key, const SplitOptions& opts) {
+  auto& g = *group_;
+  auto& det = g.detector_;
+  std::unique_lock<std::mutex> lock(g.split_mutex_);
+  // Generation safety: a fast rank looping straight into the next split must
+  // not enroll while the previous round's takers are still draining. The
+  // round is "full" from the moment the last rank enrolls until the last
+  // taker resets it, so waiting out fullness serializes rounds.
+  while (g.split_arrived_ == g.size_)
+    g.split_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  if (g.split_entries_.empty())
+    g.split_entries_.assign(static_cast<std::size_t>(g.size_), {0, 0});
+  g.split_entries_[static_cast<std::size_t>(rank_)] = {color, key};
+  ++g.split_arrived_;
+  g.split_cv_.notify_all();
+  // Rendezvous on shared state rather than an allgather: no message traffic
+  // means the split composes with an armed failure detector (we keep
+  // beating while waiting — a slow peer enrolling late is slow, not dead)
+  // and with chaotic fault plans (nothing here can be dropped or corrupted).
+  while (g.split_arrived_ < g.size_) {
+    g.split_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    if (det.armed()) det.beat(rank_);
+  }
+  // Every rank computes its own color's membership from the frozen entries;
+  // ordered by (key, rank) like MPI_Comm_split.
   struct Entry {
-    int color;
     int key;
     int rank;
   };
-  auto colors = allgatherValue(color);
-  auto keys = allgatherValue(key);
   std::vector<Entry> members;
-  for (int r = 0; r < size(); ++r)
-    if (colors[r] == color) members.push_back(Entry{colors[r], keys[r], r});
+  for (int r = 0; r < g.size_; ++r)
+    if (g.split_entries_[static_cast<std::size_t>(r)][0] == color)
+      members.push_back(Entry{g.split_entries_[static_cast<std::size_t>(r)][1],
+                              r});
   std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
     return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
   });
@@ -788,54 +816,59 @@ Comm Comm::split(int color, int key) {
   int my_index = 0;
   for (int i = 0; i < sub_size; ++i)
     if (members[i].rank == rank_) my_index = i;
-  const int leader = members.front().rank;
-
-  // Subgroup machine: shared-memory if all members share a node, else flat.
-  bool all_same_node = true;
-  for (const auto& m : members)
-    if (!machine().sameNode(m.rank, leader)) all_same_node = false;
-  const Machine sub_machine = all_same_node ? Machine::singleNode(sub_size)
-                                            : Machine::flat(sub_size);
-
-  if (rank_ == leader) {
-    auto sub = std::make_shared<Group>(sub_size, sub_machine);
-    {
-      std::lock_guard<std::mutex> lock(group_->split_mutex_);
-      group_->split_scratch_[rank_] = sub;
-    }
+  auto it = g.split_groups_.find(color);
+  if (it == g.split_groups_.end()) {
+    // First rank of this color publishes the subgroup. Fresh mailboxes and
+    // ARQ store per subgroup: no cross-color traffic is possible by
+    // construction. Machine: shared-memory if all members share a node,
+    // else flat.
+    bool all_same_node = true;
+    for (const auto& m : members)
+      if (!machine().sameNode(m.rank, members.front().rank))
+        all_same_node = false;
+    const Machine sub_machine = all_same_node ? Machine::singleNode(sub_size)
+                                              : Machine::flat(sub_size);
+    auto domain = opts.isolate_faults ? std::make_shared<faults::Domain>()
+                                      : g.domain_;
+    auto sub = std::make_shared<Group>(sub_size, sub_machine, domain);
+    // An inherited armed detector carries the parent's deadline into the
+    // subgroup (mirroring shrink()); an isolated subgroup starts unarmed
+    // and arms lazily from its *own* domain's plan.
+    if (!opts.isolate_faults && det.armed())
+      sub->detector_.arm(det.deadlineMs());
+    it = g.split_groups_.emplace(color, std::move(sub)).first;
   }
-  barrier();
-  std::shared_ptr<Group> sub;
-  {
-    std::lock_guard<std::mutex> lock(group_->split_mutex_);
-    sub = group_->split_scratch_[leader];
-  }
-  barrier();
-  if (rank_ == leader) {
-    std::lock_guard<std::mutex> lock(group_->split_mutex_);
-    group_->split_scratch_[rank_].reset();
+  auto sub = it->second;
+  if (++g.split_taken_ == g.size_) {
+    // Last rank out resets the rendezvous for the next split generation.
+    g.split_entries_.clear();
+    g.split_groups_.clear();
+    g.split_arrived_ = 0;
+    g.split_taken_ = 0;
+    g.split_cv_.notify_all();
   }
   return Comm(std::move(sub), my_index);
 }
 
 void Comm::rankFaultPoint() {
+  auto& dom = *group_->domain_;
   auto& det = group_->detector_;
-  const int dl = faults::deadlineMs();
+  const int dl = dom.deadlineMs();
   if (dl > 0 && !det.armed()) det.arm(dl);
   if (det.armed()) det.beat(rank_);
-  if (!faults::hasPhaseEvent()) return;
+  if (!dom.hasPhaseEvent()) return;
   const std::uint64_t phase = phased_calls_++;
   // An elastic join is not a fault: record the knock and keep going — the
   // group admits the newcomers at its next quiescent point via grow().
   // Consumed by whichever rank reaches the scheduled boundary first; every
   // rank then observes it through joinPending().
-  const int joiners = faults::fireJoin(phase);
+  const int joiners = dom.fireJoin(phase);
   if (joiners > 0)
     group_->join_pending_.fetch_add(joiners, std::memory_order_relaxed);
-  if (faults::fireKill(rank_, phase))
+  if (dom.fireKill(rank_, phase))
     throw failure::RankKilled(
         rank_, "kill fault at phase boundary " + std::to_string(phase));
-  if (faults::fireHang(rank_, phase)) {
+  if (dom.fireHang(rank_, phase)) {
     // Go silent: stop heartbeating, send and receive nothing. Peers must
     // detect the silence through the heartbeat deadline; their revocation
     // then releases this rank to die. The silence span they measure is the
@@ -879,7 +912,8 @@ Comm Comm::shrink() {
     for (int r = 0; r < g.size_; ++r)
       if (g.shrink_arrived_[static_cast<std::size_t>(r)]) survivors.push_back(r);
     const int sub_size = static_cast<int>(survivors.size());
-    auto sub = std::make_shared<Group>(sub_size, Machine::flat(sub_size));
+    auto sub =
+        std::make_shared<Group>(sub_size, Machine::flat(sub_size), g.domain_);
     if (det.armed()) sub->detector_.arm(det.deadlineMs());
     g.shrink_survivors_ = std::move(survivors);
     g.shrink_group_ = std::move(sub);
@@ -946,7 +980,8 @@ Comm Comm::grow(int k) {
     // newcomer — starts from sequence zero with empty coalescing state, so
     // no newcomer can ever observe a stale frame of the old group.
     const int new_size = g.size_ + k;
-    auto sub = std::make_shared<Group>(new_size, Machine::flat(new_size));
+    auto sub =
+        std::make_shared<Group>(new_size, Machine::flat(new_size), g.domain_);
     if (det.armed()) sub->detector_.arm(det.deadlineMs());
     g.grow_group_ = std::move(sub);
     failure::noteGrow(k);

@@ -15,6 +15,7 @@
 ///
 /// Tags >= 0 are user tags; negative tags are reserved for collectives.
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -29,6 +30,7 @@
 
 #include "pcu/buffer.hpp"
 #include "pcu/failure.hpp"
+#include "pcu/faults.hpp"
 #include "pcu/machine.hpp"
 
 namespace pcu {
@@ -175,10 +177,16 @@ class RetransmitStore {
 
 class Comm;
 
-/// Shared state for a fixed set of communicating ranks.
+/// Shared state for a fixed set of communicating ranks. Every group is
+/// attached to a faults::Domain (the process default unless one is given):
+/// all fault-injection, framing, watchdog and heartbeat-deadline decisions
+/// made through the group's Comms consult that domain, so subgroups with
+/// their own domain (Comm::split with isolate_faults) are chaos-isolated
+/// from their parent and siblings.
 class Group {
  public:
-  explicit Group(int size, Machine machine = Machine());
+  explicit Group(int size, Machine machine = Machine(),
+                 std::shared_ptr<faults::Domain> domain = nullptr);
   Group(const Group&) = delete;
   Group& operator=(const Group&) = delete;
 
@@ -189,12 +197,19 @@ class Group {
   friend class Comm;
   int size_;
   Machine machine_;
+  std::shared_ptr<faults::Domain> domain_;
   std::vector<detail::Mailbox> boxes_;
   detail::RetransmitStore arq_store_{size_};
   failure::Detector detector_{size_};
-  // Scratch used by split() to publish subgroup pointers across ranks.
+  // Rendezvous used by split() to carve disjoint subgroups without any
+  // message traffic (the same shared-state pattern as shrink()/grow(), so
+  // it composes with an armed detector). Guarded by split_mutex_.
   std::mutex split_mutex_;
-  std::vector<std::shared_ptr<Group>> split_scratch_;
+  std::condition_variable split_cv_;
+  int split_arrived_ = 0;
+  std::vector<std::array<int, 2>> split_entries_;  // (color, key) per rank
+  std::map<int, std::shared_ptr<Group>> split_groups_;  // color -> subgroup
+  int split_taken_ = 0;
   // Rendezvous used by shrink() to agree on the survivor group without any
   // collective (the dead rank would deadlock one). Guarded by shrink_mutex_.
   std::mutex shrink_mutex_;
@@ -301,11 +316,29 @@ class Comm {
   long reduceScatterSum(const std::vector<std::pair<int, long>>& contributions);
 
   /// --- communicator splitting -----------------------------------------
-  /// Ranks with equal color form a subgroup; ranks ordered by (key, rank).
-  /// Returns the new comm. The subgroup inherits a single-node machine (on
-  /// the assumption that splits are used to form per-node comms); callers
-  /// needing a different topology may remap afterwards.
-  Comm split(int color, int key);
+  /// Options for split(). The default inherits the parent group's fault
+  /// domain (subgroup traffic keeps obeying the ambient plan — the
+  /// historical splitByNode/splitByCore behavior); isolate_faults gives the
+  /// subgroup a *fresh, empty* faults::Domain instead, so PUMI_FAULTS
+  /// plans, reliable-delivery overrides, watchdogs and heartbeat deadlines
+  /// installed for one subgroup never leak into a sibling. The multi-tenant
+  /// service layer (svc::) splits with isolate_faults = true per tenant.
+  struct SplitOptions {
+    bool isolate_faults = false;
+  };
+
+  /// Collective over the whole group: ranks with equal color form a
+  /// subgroup; within it ranks are ordered by (key, rank). Returns the new
+  /// comm. Implemented as a shared-state rendezvous (no message traffic),
+  /// generation-safe: consecutive splits on the same group are serialized
+  /// so a fast rank cannot re-enroll into a draining round. Each subgroup
+  /// gets fresh mailboxes, a fresh ARQ store, and its own failure detector
+  /// (armed with the parent's deadline when the parent's was armed — unless
+  /// the subgroup is fault-isolated, in which case its detector arms from
+  /// its own domain's plan). The subgroup inherits the parent machine's
+  /// node topology when all members share a node, else a flat machine.
+  Comm split(int color, int key) { return split(color, key, SplitOptions{}); }
+  Comm split(int color, int key, const SplitOptions& opts);
 
   /// Per-node communicator according to the machine model.
   Comm splitByNode() { return split(machine().nodeOf(rank_), rank_); }
@@ -355,6 +388,24 @@ class Comm {
 
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   void resetStats() { stats_.reset(); }
+
+  /// --- fault domain ---------------------------------------------------
+  /// The group's fault domain: every framing/injection/watchdog decision on
+  /// this comm's paths consults it (not the process default), so a
+  /// fault-isolated subgroup is chaos-scoped end to end.
+  [[nodiscard]] faults::Domain& faultDomain() const { return *group_->domain_; }
+  /// Shared handle to the group's domain — what a service worker thread
+  /// installs as its ambient domain (faults::DomainScope) so code above the
+  /// comm layer (dist::Network, trace consumers) sees the same scoping.
+  [[nodiscard]] std::shared_ptr<faults::Domain> faultDomainHandle() const {
+    return group_->domain_;
+  }
+  /// Whether this group's traffic is framed (its domain's framing gate or
+  /// its reliable override) — the group-scoped analogue of
+  /// faults::framingEnabled().
+  [[nodiscard]] bool framingEnabled() const {
+    return group_->domain_->framingEnabled();
+  }
 
   /// Switch reliable delivery (pcu::arq) on or off for the whole process —
   /// convenience forwarder to arq::setReliable, kept here because the ARQ

@@ -27,6 +27,7 @@ enum class ErrorCode : std::uint8_t {
   kRemoteAbort,       ///< another rank reported an error; aborting together
   kProtocol,          ///< internal protocol invariant violated
   kRankFailed,        ///< a rank died or went silent; communicator revoked
+  kAdmission,         ///< service admission control rejected or shed a job
 };
 
 inline const char* errorCodeName(ErrorCode c) {
@@ -40,6 +41,7 @@ inline const char* errorCodeName(ErrorCode c) {
     case ErrorCode::kRemoteAbort: return "remote-abort";
     case ErrorCode::kProtocol: return "protocol";
     case ErrorCode::kRankFailed: return "rank-failed";
+    case ErrorCode::kAdmission: return "admission";
   }
   return "unknown";
 }

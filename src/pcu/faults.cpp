@@ -1,11 +1,10 @@
 #include "pcu/faults.hpp"
 
 #include <array>
-#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+#include <map>
 #include <thread>
 #include <tuple>
 
@@ -16,71 +15,6 @@
 namespace pcu::faults {
 
 namespace {
-
-/// Global injector state. The plan itself is only written at quiescent
-/// points (setPlan/clearPlan contract); the enabled flags are atomics so
-/// the hot-path check is one relaxed load.
-struct State {
-  std::mutex mutex;
-  FaultPlan plan;
-  std::vector<int> stall_budget;  // per-rank remaining stall steps
-  bool kill_fired = false;        // the scheduled kill already consumed
-  bool hang_fired = false;        // the scheduled hang already consumed
-  bool join_fired = false;        // the scheduled join already consumed
-};
-
-State& state() {
-  static State s;
-  return s;
-}
-
-std::atomic<bool> g_injecting{false};
-std::atomic<bool> g_framing{false};
-std::atomic<int> g_watchdog_ms{0};
-std::atomic<bool> g_rank_fault{false};
-std::atomic<bool> g_join{false};
-std::atomic<int> g_deadline_ms{0};
-
-void installLocked(State& s, const FaultPlan& p) {
-  s.plan = p;
-  s.stall_budget.clear();
-  s.kill_fired = false;
-  s.hang_fired = false;
-  s.join_fired = false;
-  if (p.stall_rank >= 0 && p.stall_steps > 0) {
-    s.stall_budget.assign(static_cast<std::size_t>(p.stall_rank) + 1, 0);
-    s.stall_budget[static_cast<std::size_t>(p.stall_rank)] = p.stall_steps;
-  }
-  const bool rank_fault = p.kill.scheduled() || p.hang.scheduled();
-  g_injecting.store(p.injects(), std::memory_order_relaxed);
-  // A scheduled join is not a fault, but it needs the hardened phase
-  // boundaries (which only exist on the framed path) so its @PHASE index is
-  // deterministic — frame like checksum-verify mode does.
-  g_framing.store(p.injects() || p.checksum_only || p.join.scheduled(),
-                  std::memory_order_relaxed);
-  g_watchdog_ms.store(p.watchdog_ms, std::memory_order_relaxed);
-  g_rank_fault.store(rank_fault, std::memory_order_relaxed);
-  g_join.store(p.join.scheduled(), std::memory_order_relaxed);
-  g_deadline_ms.store(p.deadline_ms > 0
-                          ? p.deadline_ms
-                          : (rank_fault ? kDefaultRankFaultDeadlineMs : 0),
-                      std::memory_order_relaxed);
-}
-
-/// Latch PUMI_FAULTS once, before the first enabled()/framingEnabled()
-/// query; setPlan()/clearPlan() override it.
-void envLatch() {
-  static const bool latched = [] {
-    const char* spec = std::getenv("PUMI_FAULTS");
-    if (spec != nullptr && *spec != '\0') {
-      auto& s = state();
-      std::lock_guard<std::mutex> lock(s.mutex);
-      installLocked(s, parsePlan(spec));
-    }
-    return true;
-  }();
-  (void)latched;
-}
 
 /// splitmix64 finalizer: decorrelates the packed decision key.
 std::uint64_t mix(std::uint64_t z) {
@@ -132,7 +66,163 @@ std::uint64_t get64(const std::byte* p) {
   return v;
 }
 
+/// The calling thread's ambient domain; null means the default domain.
+/// tls_handle points at the innermost DomainScope's owning shared_ptr so
+/// currentHandle() can share ownership without a lifetime hack.
+thread_local Domain* tls_domain = nullptr;
+thread_local const std::shared_ptr<Domain>* tls_handle = nullptr;
+
+/// Latch PUMI_FAULTS into the default domain once, before its first query;
+/// setPlan()/clearPlan() override it.
+void envLatch(Domain& d) {
+  static Domain* latched = [&] {
+    const char* spec = std::getenv("PUMI_FAULTS");
+    if (spec != nullptr && *spec != '\0') d.install(parsePlan(spec));
+    return &d;
+  }();
+  (void)latched;
+}
+
 }  // namespace
+
+void Domain::install(const FaultPlan& p) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = p;
+  stall_budget_.clear();
+  kill_fired_ = false;
+  hang_fired_ = false;
+  join_fired_ = false;
+  if (p.stall_rank >= 0 && p.stall_steps > 0) {
+    stall_budget_.assign(static_cast<std::size_t>(p.stall_rank) + 1, 0);
+    stall_budget_[static_cast<std::size_t>(p.stall_rank)] = p.stall_steps;
+  }
+  const bool rank_fault = p.kill.scheduled() || p.hang.scheduled();
+  injecting_.store(p.injects(), std::memory_order_relaxed);
+  // A scheduled join is not a fault, but it needs the hardened phase
+  // boundaries (which only exist on the framed path) so its @PHASE index is
+  // deterministic — frame like checksum-verify mode does.
+  framing_.store(p.injects() || p.checksum_only || p.join.scheduled(),
+                 std::memory_order_relaxed);
+  watchdog_ms_.store(p.watchdog_ms, std::memory_order_relaxed);
+  rank_fault_.store(rank_fault, std::memory_order_relaxed);
+  join_.store(p.join.scheduled(), std::memory_order_relaxed);
+  deadline_ms_.store(p.deadline_ms > 0
+                         ? p.deadline_ms
+                         : (rank_fault ? kDefaultRankFaultDeadlineMs : 0),
+                     std::memory_order_relaxed);
+}
+
+FaultPlan Domain::plan() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_;
+}
+
+bool Domain::framingEnabled() const {
+  // Reliable delivery needs the frame seq/CRC machinery even with no fault
+  // plan installed (sequence-based dedup and acknowledgement ride on it).
+  return framing_.load(std::memory_order_relaxed) || reliableEnabled();
+}
+
+bool Domain::reliableEnabled() const {
+  const int ov = reliable_override_.load(std::memory_order_relaxed);
+  if (ov >= 0) return ov != 0;
+  return arq::processEnabled();
+}
+
+bool Domain::fireKill(int rank, std::uint64_t phase) {
+  if (!hasRankFault()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (kill_fired_ || !plan_.kill.scheduled()) return false;
+  if (rank != plan_.kill.rank ||
+      phase != static_cast<std::uint64_t>(plan_.kill.phase))
+    return false;
+  kill_fired_ = true;
+  return true;
+}
+
+bool Domain::fireHang(int rank, std::uint64_t phase) {
+  if (!hasRankFault()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (hang_fired_ || !plan_.hang.scheduled()) return false;
+  if (rank != plan_.hang.rank ||
+      phase != static_cast<std::uint64_t>(plan_.hang.phase))
+    return false;
+  hang_fired_ = true;
+  return true;
+}
+
+int Domain::fireJoin(std::uint64_t phase) {
+  if (!hasJoin()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (join_fired_ || !plan_.join.scheduled()) return 0;
+  if (phase != static_cast<std::uint64_t>(plan_.join.phase)) return 0;
+  join_fired_ = true;
+  return plan_.join.count;
+}
+
+Action Domain::decide(int src, int dst, int tag, std::uint64_t seq) const {
+  if (!enabled()) return Action::kDeliver;
+  FaultPlan p;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    p = plan_;
+  }
+  const double u = unitUniform(decisionKey(p.seed, src, dst, tag, seq));
+  // Stack the probability bands: [0,corrupt) corrupt, [corrupt,+drop) drop,
+  // then duplicate, then delay, else deliver.
+  double edge = p.corrupt;
+  if (u < edge) return Action::kCorrupt;
+  edge += p.drop;
+  if (u < edge) return Action::kDrop;
+  edge += p.duplicate;
+  if (u < edge) return Action::kDuplicate;
+  edge += p.delay;
+  if (u < edge) return Action::kDelay;
+  return Action::kDeliver;
+}
+
+void Domain::maybeStall(int rank) {
+  if (!enabled() || rank < 0) return;
+  int sleep_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (static_cast<std::size_t>(rank) < stall_budget_.size() &&
+        stall_budget_[static_cast<std::size_t>(rank)] > 0) {
+      --stall_budget_[static_cast<std::size_t>(rank)];
+      sleep_ms = plan_.stall_ms;
+    }
+  }
+  if (sleep_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
+std::shared_ptr<Domain> defaultDomain() {
+  static std::shared_ptr<Domain> d = std::make_shared<Domain>();
+  envLatch(*d);
+  return d;
+}
+
+Domain& current() {
+  if (tls_domain != nullptr) return *tls_domain;
+  return *defaultDomain();
+}
+
+std::shared_ptr<Domain> currentHandle() {
+  if (tls_handle != nullptr) return *tls_handle;
+  return defaultDomain();
+}
+
+DomainScope::DomainScope(std::shared_ptr<Domain> domain)
+    : keep_alive_(std::move(domain)), prev_(tls_domain) {
+  prev_handle_ = tls_handle;
+  tls_domain = keep_alive_.get();
+  tls_handle = &keep_alive_;
+}
+
+DomainScope::~DomainScope() {
+  tls_domain = prev_;
+  tls_handle = static_cast<const std::shared_ptr<Domain>*>(prev_handle_);
+}
 
 FaultPlan parsePlan(const std::string& spec) {
   // Strict token-by-token parsing (pcu/envspec.hpp): each value must
@@ -142,6 +232,10 @@ FaultPlan parsePlan(const std::string& spec) {
   // garbage ("drop=0.5xyz"), negative stallms, and wrapping seeds.
   const std::string env = "PUMI_FAULTS";
   FaultPlan p;
+  // Repeated keys are a spec error, not a silent overwrite: a plan whose
+  // later token replaced an earlier one would replay differently than it
+  // reads. Remember each key's first token so the rejection names both.
+  std::map<std::string, std::string> seen;
   std::size_t pos = 0;
   while (pos < spec.size()) {
     const std::size_t comma = spec.find(',', pos);
@@ -154,6 +248,10 @@ FaultPlan parsePlan(const std::string& spec) {
       envspec::fail(env, "missing '=' in \"" + item + "\"");
     const std::string key = item.substr(0, eq);
     const std::string val = item.substr(eq + 1);
+    if (const auto it = seen.find(key); it != seen.end())
+      envspec::fail(env, "duplicate key \"" + key + "\": \"" + it->second +
+                             "\" and \"" + item + "\"");
+    seen.emplace(key, item);
     if (key == "seed") {
       p.seed = envspec::parseU64(env, key, val);
     } else if (key == "corrupt") {
@@ -204,136 +302,43 @@ FaultPlan parsePlan(const std::string& spec) {
   return p;
 }
 
-void setPlan(const FaultPlan& plan) {
-  envLatch();
-  auto& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  installLocked(s, plan);
-}
+void setPlan(const FaultPlan& plan) { current().install(plan); }
 
-void clearPlan() {
-  envLatch();
-  auto& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  installLocked(s, FaultPlan{});
-}
+void clearPlan() { current().clear(); }
 
-FaultPlan plan() {
-  envLatch();
-  auto& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  return s.plan;
-}
+FaultPlan plan() { return current().plan(); }
 
-bool enabled() {
-  envLatch();
-  return g_injecting.load(std::memory_order_relaxed);
-}
+bool enabled() { return current().enabled(); }
 
-bool framingEnabled() {
-  envLatch();
-  // Reliable delivery needs the frame seq/CRC machinery even with no fault
-  // plan installed (sequence-based dedup and acknowledgement ride on it).
-  return g_framing.load(std::memory_order_relaxed) || arq::enabled();
-}
+bool framingEnabled() { return current().framingEnabled(); }
 
-int watchdogMs() {
-  envLatch();
-  return g_watchdog_ms.load(std::memory_order_relaxed);
-}
+int watchdogMs() { return current().watchdogMs(); }
 
-bool hasRankFault() {
-  envLatch();
-  return g_rank_fault.load(std::memory_order_relaxed);
-}
+bool hasRankFault() { return current().hasRankFault(); }
 
-int deadlineMs() {
-  envLatch();
-  return g_deadline_ms.load(std::memory_order_relaxed);
-}
+int deadlineMs() { return current().deadlineMs(); }
 
 bool fireKill(int rank, std::uint64_t phase) {
-  if (!hasRankFault()) return false;
-  auto& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  if (s.kill_fired || !s.plan.kill.scheduled()) return false;
-  if (rank != s.plan.kill.rank ||
-      phase != static_cast<std::uint64_t>(s.plan.kill.phase))
-    return false;
-  s.kill_fired = true;
-  return true;
+  return current().fireKill(rank, phase);
 }
 
 bool fireHang(int rank, std::uint64_t phase) {
-  if (!hasRankFault()) return false;
-  auto& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  if (s.hang_fired || !s.plan.hang.scheduled()) return false;
-  if (rank != s.plan.hang.rank ||
-      phase != static_cast<std::uint64_t>(s.plan.hang.phase))
-    return false;
-  s.hang_fired = true;
-  return true;
+  return current().fireHang(rank, phase);
 }
 
-bool hasJoin() {
-  envLatch();
-  return g_join.load(std::memory_order_relaxed);
-}
+bool hasJoin() { return current().hasJoin(); }
 
-bool hasPhaseEvent() {
-  envLatch();
-  return g_rank_fault.load(std::memory_order_relaxed) ||
-         g_join.load(std::memory_order_relaxed);
-}
+bool hasPhaseEvent() { return current().hasPhaseEvent(); }
 
-int fireJoin(std::uint64_t phase) {
-  if (!hasJoin()) return 0;
-  auto& s = state();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  if (s.join_fired || !s.plan.join.scheduled()) return 0;
-  if (phase != static_cast<std::uint64_t>(s.plan.join.phase)) return 0;
-  s.join_fired = true;
-  return s.plan.join.count;
-}
+int fireJoin(std::uint64_t phase) { return current().fireJoin(phase); }
 
 Action decide(int src, int dst, int tag, std::uint64_t seq) {
-  if (!enabled()) return Action::kDeliver;
-  auto& s = state();
-  FaultPlan p;
-  {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    p = s.plan;
-  }
-  const double u = unitUniform(decisionKey(p.seed, src, dst, tag, seq));
-  // Stack the probability bands: [0,corrupt) corrupt, [corrupt,+drop) drop,
-  // then duplicate, then delay, else deliver.
-  double edge = p.corrupt;
-  if (u < edge) return Action::kCorrupt;
-  edge += p.drop;
-  if (u < edge) return Action::kDrop;
-  edge += p.duplicate;
-  if (u < edge) return Action::kDuplicate;
-  edge += p.delay;
-  if (u < edge) return Action::kDelay;
-  return Action::kDeliver;
+  return current().decide(src, dst, tag, seq);
 }
 
-void maybeStall(int rank) {
-  if (!enabled() || rank < 0) return;
-  auto& s = state();
-  int sleep_ms = 0;
-  {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    if (static_cast<std::size_t>(rank) < s.stall_budget.size() &&
-        s.stall_budget[static_cast<std::size_t>(rank)] > 0) {
-      --s.stall_budget[static_cast<std::size_t>(rank)];
-      sleep_ms = s.plan.stall_ms;
-    }
-  }
-  if (sleep_ms > 0)
-    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
-}
+void maybeStall(int rank) { current().maybeStall(rank); }
+
+int ambientReliableOverride() { return current().reliableOverride(); }
 
 std::uint32_t crc32(const std::byte* data, std::size_t n) {
   const auto& table = crcTable();

@@ -40,12 +40,38 @@
 ///   watchdog=MS        blocking-receive watchdog timeout, ms (0 = off)
 ///   checksum=1         frame+verify only, no injection ("checksum-verify")
 ///
+/// Exact-duplicate keys in one spec (e.g. "kill=2@5,kill=3@7") are rejected
+/// with kValidation naming both offending tokens — a plan with a silently
+/// overwritten schedule would replay differently than its spec reads.
+///
+/// Phase-event composition order is a contract: when several scheduled
+/// events target the same @<phase> boundary, they fire join, then kill,
+/// then hang — scale-out knocks are recorded before any fault can abort
+/// the phase — and every per-message fault (corrupt/drop/dup/delay) of
+/// that phase is decided after the boundary's phase events ran. Both
+/// hardened boundaries (pcu::Comm::rankFaultPoint and
+/// dist::Network::maybeFireRankFault) enforce this order.
+///
 /// Plans must only be installed/cleared at quiescent points (no concurrent
 /// sends/receives) — typically around a pcu::run() or a distributed mesh
 /// operation.
+///
+/// --- fault domains (multi-tenant scoping) --------------------------------
+/// All injector state lives in a faults::Domain. The process has one
+/// default domain (latched from PUMI_FAULTS) and every thread has an
+/// *ambient* domain — the default unless a DomainScope is active. The free
+/// functions below (setPlan, decide, fireKill, ...) route through the
+/// ambient domain, so existing single-tenant code is unchanged, while a
+/// service layer can give each tenant its own Domain: installing a chaos
+/// plan there injects faults only into traffic decided under that domain.
+/// pcu::Group carries a domain too (see Comm::faultDomain), so subgroups
+/// carved by Comm::split can be fault-isolated from their parent group.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -103,34 +129,160 @@ struct FaultPlan {
 
 /// Parse a PUMI_FAULTS-style spec. Strict: every value must consume its
 /// whole token (no trailing characters, no signs on unsigned fields, no
-/// out-of-range probabilities); malformed input throws
-/// pcu::Error(kValidation) naming the bad token.
+/// out-of-range probabilities), and no key may appear twice; malformed
+/// input throws pcu::Error(kValidation) naming the bad token (both tokens,
+/// for a duplicate).
 FaultPlan parsePlan(const std::string& spec);
 
-/// Install a plan (enables framing; enables injection when plan.injects()).
+/// What the injector decides for one message.
+enum class Action : std::uint8_t {
+  kDeliver,
+  kCorrupt,
+  kDrop,
+  kDuplicate,
+  kDelay,
+};
+
+/// Fallback heartbeat deadline while a kill/hang is scheduled with no
+/// explicit deadline= token.
+inline constexpr int kDefaultRankFaultDeadlineMs = 50;
+
+/// One injector's complete state: the installed plan, its hot-path gate
+/// atomics, the consumed-once phase-event flags and the stall budget.
+/// Thread-safe: the plan is written under a mutex at quiescent points, the
+/// hot-path queries are one relaxed atomic load each. A Domain also
+/// carries an optional reliable-delivery override so a tenant can switch
+/// pcu::arq on or off without touching the process-global setting.
+class Domain {
+ public:
+  Domain() = default;
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// Install a plan (enables framing; enables injection when it injects).
+  void install(const FaultPlan& plan);
+  /// Remove the plan: no framing, no injection, watchdog off.
+  void clear() { install(FaultPlan{}); }
+  /// The installed plan. Meaningful only while framingEnabled().
+  [[nodiscard]] FaultPlan plan() const;
+
+  /// True when fault injection is active under this domain.
+  [[nodiscard]] bool enabled() const {
+    return injecting_.load(std::memory_order_relaxed);
+  }
+  /// True when messages under this domain must be framed/verified:
+  /// injection active, checksum-verify mode, or reliable delivery on
+  /// (the ARQ layer rides on frame sequence numbers and CRCs).
+  [[nodiscard]] bool framingEnabled() const;
+  /// Effective reliable-delivery switch: this domain's override when set,
+  /// else the process-global arq setting.
+  [[nodiscard]] bool reliableEnabled() const;
+  /// Tenant-scoped reliable override (-1 inherits the process setting).
+  void setReliable(bool on) {
+    reliable_override_.store(on ? 1 : 0, std::memory_order_relaxed);
+  }
+  void clearReliableOverride() {
+    reliable_override_.store(-1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int reliableOverride() const {
+    return reliable_override_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] int watchdogMs() const {
+    return watchdog_ms_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool hasRankFault() const {
+    return rank_fault_.load(std::memory_order_relaxed);
+  }
+  /// Heartbeat deadline in ms: the plan's explicit deadline_ms, else
+  /// kDefaultRankFaultDeadlineMs while a rank fault is scheduled, else 0.
+  [[nodiscard]] int deadlineMs() const {
+    return deadline_ms_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool hasJoin() const {
+    return join_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool hasPhaseEvent() const {
+    return rank_fault_.load(std::memory_order_relaxed) ||
+           join_.load(std::memory_order_relaxed);
+  }
+
+  /// Consume the scheduled kill for (rank, phase): true exactly once.
+  bool fireKill(int rank, std::uint64_t phase);
+  /// Consume the scheduled hang the same way.
+  bool fireHang(int rank, std::uint64_t phase);
+  /// Consume the scheduled join at boundary `phase`: the join count
+  /// exactly once, 0 otherwise.
+  int fireJoin(std::uint64_t phase);
+
+  /// Deterministic per-message decision: pure in (plan seed, src, dst,
+  /// tag, seq). kDeliver when injection is off.
+  [[nodiscard]] Action decide(int src, int dst, int tag,
+                              std::uint64_t seq) const;
+  /// Sleep if `rank` has stall steps scheduled; consumes one step.
+  void maybeStall(int rank);
+
+ private:
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::vector<int> stall_budget_;  // per-rank remaining stall steps
+  bool kill_fired_ = false;
+  bool hang_fired_ = false;
+  bool join_fired_ = false;
+  std::atomic<bool> injecting_{false};
+  std::atomic<bool> framing_{false};
+  std::atomic<bool> rank_fault_{false};
+  std::atomic<bool> join_{false};
+  std::atomic<int> watchdog_ms_{0};
+  std::atomic<int> deadline_ms_{0};
+  std::atomic<int> reliable_override_{-1};
+};
+
+/// The process default domain. The first access latches PUMI_FAULTS into
+/// it; setPlan()/clearPlan() on the ambient default override that.
+std::shared_ptr<Domain> defaultDomain();
+
+/// The calling thread's ambient domain: the innermost active DomainScope's
+/// domain, else the default. Every free function below routes through it.
+Domain& current();
+/// Shared handle to the ambient domain (for attaching it to a pcu::Group).
+std::shared_ptr<Domain> currentHandle();
+
+/// RAII ambient-domain switch for the calling thread. A service layer
+/// wraps each tenant job in one of these so every faults:: query made by
+/// the layers underneath (dist::Network's driver-thread transport, the
+/// arq reliable gate) resolves to the tenant's domain.
+class DomainScope {
+ public:
+  explicit DomainScope(std::shared_ptr<Domain> domain);
+  ~DomainScope();
+  DomainScope(const DomainScope&) = delete;
+  DomainScope& operator=(const DomainScope&) = delete;
+
+ private:
+  std::shared_ptr<Domain> keep_alive_;
+  Domain* prev_;
+  const void* prev_handle_ = nullptr;
+};
+
+/// Install a plan on the ambient domain.
 void setPlan(const FaultPlan& plan);
-/// Remove any active plan: no framing, no injection, watchdog off.
+/// Remove the ambient domain's plan.
 void clearPlan();
-/// The active plan. Meaningful only while framingEnabled().
+/// The ambient domain's plan. Meaningful only while framingEnabled().
 FaultPlan plan();
 
-/// True when fault injection is active (a plan with injecting knobs is
-/// installed). First call latches PUMI_FAULTS from the environment.
+/// True when fault injection is active under the ambient domain. First
+/// call latches PUMI_FAULTS from the environment (default domain only).
 bool enabled();
-/// True when messages must be framed/verified: injection active,
-/// checksum-verify mode on, or reliable delivery (pcu::arq) enabled —
-/// the ARQ layer rides on frame sequence numbers and CRCs.
+/// True when messages must be framed/verified under the ambient domain.
 bool framingEnabled();
 /// Watchdog timeout for blocking receives; 0 when off.
 int watchdogMs();
 
 /// --- rank faults (kill/hang) --------------------------------------------
 
-/// Fallback heartbeat deadline while a kill/hang is scheduled with no
-/// explicit deadline= token.
-inline constexpr int kDefaultRankFaultDeadlineMs = 50;
-
-/// True while the active plan schedules a kill or hang (one relaxed load).
+/// True while the ambient plan schedules a kill or hang (one relaxed load).
 bool hasRankFault();
 /// Heartbeat deadline in milliseconds: the plan's explicit deadline_ms,
 /// else kDefaultRankFaultDeadlineMs while a rank fault is scheduled, else 0
@@ -146,7 +298,7 @@ bool fireHang(int rank, std::uint64_t phase);
 
 /// --- elastic joins (join=K@P) -------------------------------------------
 
-/// True while the active plan schedules a join (one relaxed load).
+/// True while the ambient plan schedules a join (one relaxed load).
 bool hasJoin();
 /// True while the plan schedules any phased event (kill, hang, or join):
 /// the hardened phase-boundary counters advance only while this holds, so
@@ -159,22 +311,18 @@ bool hasPhaseEvent();
 /// next quiescent point (Comm::grow / dist::elastic).
 int fireJoin(std::uint64_t phase);
 
-/// What the injector decides for one message.
-enum class Action : std::uint8_t {
-  kDeliver,
-  kCorrupt,
-  kDrop,
-  kDuplicate,
-  kDelay,
-};
-
-/// Deterministic per-message decision: pure in (plan seed, src, dst, tag,
-/// seq). Returns kDeliver when injection is off.
+/// Deterministic per-message decision under the ambient domain: pure in
+/// (plan seed, src, dst, tag, seq). Returns kDeliver when injection is off.
 Action decide(int src, int dst, int tag, std::uint64_t seq);
 
 /// Sleep if `rank` has stall steps scheduled and budget remaining; consumes
 /// one step. Called at phased-exchange entry.
 void maybeStall(int rank);
+
+/// The ambient domain's reliable override (-1: inherit the process arq
+/// setting). Consulted by arq::enabled() so a DomainScope tenant-scopes
+/// reliability too.
+int ambientReliableOverride();
 
 /// --- framing ------------------------------------------------------------
 

@@ -96,7 +96,7 @@ inline std::vector<Message> phasedExchange(
   // fault scheduled for this rank at this boundary — before the count
   // agreement below, so a condemned rank never contributes to it and its
   // peers detect the silence instead of computing with a ghost.
-  if (faults::framingEnabled()) comm.rankFaultPoint();
+  if (comm.framingEnabled()) comm.rankFaultPoint();
   // One pass over the payloads builds both the per-destination coalesced
   // segments and the sparse (destination, physical count) contributions the
   // termination agreement needs.
@@ -156,12 +156,12 @@ inline std::vector<Message> phasedExchange(
       }
     }
   };
-  if (!faults::framingEnabled()) {
+  if (!comm.framingEnabled()) {
     post();
     collect();
     return received;
   }
-  faults::maybeStall(comm.rank());
+  comm.faultDomain().maybeStall(comm.rank());
   std::optional<Error> local;
   try {
     post();

@@ -135,6 +135,22 @@ TraceReport buildTraceReport(const trace::Merged& merged) {
   return report;
 }
 
+TraceReport buildTraceReport(const trace::Merged& merged,
+                             std::string_view tenant) {
+  // Cut the tenant's slice of the stream, then aggregate it like any other
+  // trace. Scope matching stays valid because a TenantScope brackets whole
+  // jobs: a tenant's begin/end pairs are stamped together.
+  trace::Merged filtered;
+  for (const auto& t : merged.threads) {
+    trace::ThreadEvents cut;
+    cut.tid = t.tid;
+    for (const auto& e : t.events)
+      if (e.tenant != nullptr && tenant == e.tenant) cut.events.push_back(e);
+    if (!cut.events.empty()) filtered.threads.push_back(std::move(cut));
+  }
+  return buildTraceReport(filtered);
+}
+
 TraceReport buildTraceReport() { return buildTraceReport(trace::snapshot()); }
 
 void printTraceReport(const TraceReport& report, std::ostream& os) {

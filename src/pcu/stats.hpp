@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "pcu/trace.hpp"
@@ -75,6 +76,13 @@ struct TraceReport {
 /// recording thread (scopes never straddle threads); an unmatched begin at
 /// the end of a thread's stream is ignored.
 TraceReport buildTraceReport(const trace::Merged& merged);
+
+/// Aggregate only the events stamped with `tenant` (trace::TenantScope /
+/// trace::setThreadTenant) — the multi-tenant service's per-tenant view.
+/// Events with no tenant label are excluded; an unknown tenant yields an
+/// empty report.
+TraceReport buildTraceReport(const trace::Merged& merged,
+                             std::string_view tenant);
 
 /// Aggregate the live trace buffers (quiescent threads only).
 TraceReport buildTraceReport();

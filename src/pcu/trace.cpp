@@ -116,6 +116,7 @@ bool envEnabled() {
 
 thread_local Buffer* tls_buffer = nullptr;
 thread_local int tls_rank = -1;
+thread_local const char* tls_tenant = nullptr;
 
 /// Last begin()-phase per rank, for watchdog failure reports. Fixed size:
 /// ranks beyond the window are simply not tracked.
@@ -144,7 +145,7 @@ Buffer* threadBuffer() {
 
 void record(Kind kind, int rank, int peer, std::int64_t value,
             const char* name) {
-  threadBuffer()->push(Event{kind, rank, peer, value, now(), name});
+  threadBuffer()->push(Event{kind, rank, peer, value, now(), name, tls_tenant});
 }
 
 void escapeJson(std::string& out, const char* s) {
@@ -184,6 +185,9 @@ void setEnabled(bool on) {
 
 void setThreadRank(int rank) { tls_rank = rank; }
 int threadRank() { return tls_rank; }
+
+void setThreadTenant(const char* tenant) { tls_tenant = tenant; }
+const char* threadTenant() { return tls_tenant; }
 
 const char* lastPhase(int rank) {
   if (rank < 0 || rank >= kPhaseRanks) return "?";
@@ -300,8 +304,16 @@ void writeChromeTrace(std::ostream& os, const Merged& merged) {
         case Kind::kEnd:
           std::snprintf(buf, sizeof buf,
                         ",\"cat\":\"phase\",\"ph\":\"%c\",\"ts\":%.3f,"
-                        "\"pid\":0,\"tid\":%d}",
+                        "\"pid\":0,\"tid\":%d",
                         e.kind == Kind::kBegin ? 'B' : 'E', us, tid);
+          out += buf;
+          if (e.tenant != nullptr) {
+            out += ",\"args\":{\"tenant\":\"";
+            escapeJson(out, e.tenant);
+            out += "\"}";
+          }
+          buf[0] = '}';
+          buf[1] = '\0';
           break;
         case Kind::kInstant:
           std::snprintf(buf, sizeof buf,

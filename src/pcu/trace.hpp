@@ -51,6 +51,7 @@ struct Event {
   std::int64_t value;  ///< send/recv payload bytes, or counter value
   double ts;           ///< seconds (pcu::now() clock)
   const char* name;    ///< phase name, or channel name for send/recv
+  const char* tenant;  ///< owning tenant (see setThreadTenant); nullptr: none
 };
 
 /// True when tracing is active. First call latches the PUMI_TRACE
@@ -62,6 +63,14 @@ void setEnabled(bool on);
 /// attribution. pcu::run() sets it on every rank thread; -1 elsewhere.
 void setThreadRank(int rank);
 [[nodiscard]] int threadRank();
+
+/// Thread-local tenant label stamped on every event this thread records
+/// (multi-tenant service attribution; see svc::). Pass an interned pointer
+/// or a string literal — the pointer must outlive recording. nullptr (the
+/// default everywhere) means "no tenant". Per-tenant views are cut from the
+/// merged snapshot by stats::buildTraceReport(merged, tenant).
+void setThreadTenant(const char* tenant);
+[[nodiscard]] const char* threadTenant();
 
 /// Copy a dynamic name into the process-lifetime string pool and return a
 /// stable pointer. Phase names that are compile-time literals should be
@@ -102,6 +111,22 @@ class Scope {
  private:
   const char* name_;
   int rank_;
+};
+
+/// RAII tenant attribution for the calling thread: stamps events recorded
+/// within the scope with `tenant` and restores the previous label on exit
+/// (scopes nest). The svc:: worker threads hold one for the whole job.
+class TenantScope {
+ public:
+  explicit TenantScope(const char* tenant) : prev_(threadTenant()) {
+    setThreadTenant(tenant);
+  }
+  ~TenantScope() { setThreadTenant(prev_); }
+  TenantScope(const TenantScope&) = delete;
+  TenantScope& operator=(const TenantScope&) = delete;
+
+ private:
+  const char* prev_;
 };
 
 /// --- merging & output ---------------------------------------------------

@@ -1,0 +1,79 @@
+#include "svc/ledger.hpp"
+
+#include <cassert>
+
+namespace svc {
+
+Ledger::Ledger(int pool_size)
+    : state_(static_cast<std::size_t>(pool_size), State::kFree) {
+  assert(pool_size > 0);
+}
+
+int Ledger::poolSize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(state_.size());
+}
+
+int Ledger::freeCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (State s : state_)
+    if (s == State::kFree) ++n;
+  return n;
+}
+
+int Ledger::deadCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (State s : state_)
+    if (s == State::kDead) ++n;
+  return n;
+}
+
+int Ledger::liveCapacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (State s : state_)
+    if (s != State::kDead) ++n;
+  return n;
+}
+
+std::vector<int> Ledger::tryAcquire(int n) {
+  assert(n > 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> grant;
+  grant.reserve(static_cast<std::size_t>(n));
+  for (std::size_t r = 0; r < state_.size(); ++r) {
+    if (state_[r] != State::kFree) continue;
+    grant.push_back(static_cast<int>(r));
+    if (static_cast<int>(grant.size()) == n) break;
+  }
+  if (static_cast<int>(grant.size()) < n) return {};
+  for (int r : grant) state_[static_cast<std::size_t>(r)] = State::kLeased;
+  return grant;
+}
+
+void Ledger::release(const std::vector<int>& ranks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int r : ranks) {
+    auto& s = state_.at(static_cast<std::size_t>(r));
+    // A rank that died while leased stays dead: the corpse never returns to
+    // the free list, so no later tenant can be handed it.
+    if (s == State::kLeased) s = State::kFree;
+  }
+}
+
+void Ledger::markDead(int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_.at(static_cast<std::size_t>(rank)) = State::kDead;
+}
+
+std::vector<int> Ledger::deadRanks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> out;
+  for (std::size_t r = 0; r < state_.size(); ++r)
+    if (state_[r] == State::kDead) out.push_back(static_cast<int>(r));
+  return out;
+}
+
+}  // namespace svc

@@ -1,0 +1,64 @@
+#ifndef PUMI_SVC_LEDGER_HPP
+#define PUMI_SVC_LEDGER_HPP
+
+/// \file ledger.hpp
+/// \brief The service's rank-pool ledger: who holds which rank, and which
+/// ranks are dead.
+///
+/// The scheduler leases disjoint sets of pool ranks to jobs (each lease
+/// backs one tenant subgroup) and returns them when the job finishes. A
+/// rank that dies inside a tenant (kRankFailed) is marked dead here, which
+/// permanently removes it from the pool: the dead rank is reclaimed from
+/// every future free list, the pool capacity shrinks, and no other tenant
+/// can ever be handed the corpse — the ledger is the blast-radius boundary
+/// between tenants.
+///
+/// Thread-safe; every member may be called from any scheduler worker.
+
+#include <mutex>
+#include <vector>
+
+namespace svc {
+
+class Ledger {
+ public:
+  explicit Ledger(int pool_size);
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  /// Ranks the pool started with.
+  [[nodiscard]] int poolSize() const;
+  /// Ranks currently available for lease.
+  [[nodiscard]] int freeCount() const;
+  /// Ranks permanently lost to failures.
+  [[nodiscard]] int deadCount() const;
+  /// Live pool capacity: poolSize() - deadCount(). Admission checks a job's
+  /// width against this, not against the momentary free count — a busy pool
+  /// queues, a shrunken pool rejects.
+  [[nodiscard]] int liveCapacity() const;
+
+  /// Lease `n` free ranks (lowest-numbered first). Empty when fewer than
+  /// `n` are free right now — the caller waits and retries, it does not get
+  /// a partial lease.
+  [[nodiscard]] std::vector<int> tryAcquire(int n);
+
+  /// Return a lease. Ranks marked dead while leased are *not* freed — they
+  /// stay dead; the rest go back to the free list.
+  void release(const std::vector<int>& ranks);
+
+  /// Permanently remove a rank from the pool (its backing machine died).
+  /// Valid for free ranks (reclaimed from the free list immediately) and
+  /// leased ranks (the lease holder's release() will skip them). Idempotent.
+  void markDead(int rank);
+
+  [[nodiscard]] std::vector<int> deadRanks() const;
+
+ private:
+  enum class State : char { kFree, kLeased, kDead };
+  mutable std::mutex mutex_;
+  std::vector<State> state_;
+};
+
+}  // namespace svc
+
+#endif  // PUMI_SVC_LEDGER_HPP

@@ -1,0 +1,78 @@
+#include "svc/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace svc {
+
+/// JSON string escaping for the tenant names and shed reasons (the latter
+/// quote job names, e.g. `preempted by high-priority "ops/urgent"`).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const TenantStats* Report::tenant(const std::string& name) const {
+  for (const auto& t : tenants)
+    if (t.tenant == name) return &t;
+  return nullptr;
+}
+
+double percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = pct / 100.0 * static_cast<double>(samples.size());
+  auto idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;  // nearest-rank: ceil(p/100 * N)-th sample, 1-based
+  if (idx >= samples.size()) idx = samples.size() - 1;
+  return samples[idx];
+}
+
+void accumulate(TenantStats& stats, const JobResult& result) {
+  switch (result.state) {
+    case JobState::kCompleted: ++stats.completed; break;
+    case JobState::kRejected: ++stats.rejected; break;
+    case JobState::kShed: ++stats.shed; break;
+    case JobState::kFailed: ++stats.failed; break;
+  }
+  stats.failovers += result.failovers;
+  stats.faults_recovered += result.faults_recovered;
+  stats.retries += result.retries;
+  if (result.packed) ++stats.packed;
+}
+
+void Report::writeJson(std::ostream& os) const {
+  os << "{\n  \"pool_size\": " << pool_size
+     << ",\n  \"ranks_dead\": " << ranks_dead
+     << ",\n  \"queue_capacity\": " << queue_capacity
+     << ",\n  \"peak_queue_depth\": " << peak_queue_depth
+     << ",\n  \"tenants\": {";
+  bool first = true;
+  for (const auto& t : tenants) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(t.tenant) << "\": {"
+       << "\"completed\": " << t.completed << ", \"rejected\": " << t.rejected
+       << ", \"shed\": " << t.shed << ", \"failed\": " << t.failed
+       << ", \"failovers\": " << t.failovers
+       << ", \"faults_recovered\": " << t.faults_recovered
+       << ", \"retries\": " << t.retries << ", \"packed\": " << t.packed
+       << ", \"p50_ms\": " << t.p50_ms << ", \"p99_ms\": " << t.p99_ms
+       << ", \"mean_ms\": " << t.mean_ms << ", \"max_ms\": " << t.max_ms
+       << "}";
+    first = false;
+  }
+  os << "\n  },\n  \"shed_jobs\": [";
+  first = true;
+  for (const auto& s : shed_jobs) {
+    os << (first ? "" : ", ") << "\"" << jsonEscape(s) << "\"";
+    first = false;
+  }
+  os << "]\n}\n";
+}
+
+}  // namespace svc

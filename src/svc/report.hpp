@@ -1,0 +1,65 @@
+#ifndef PUMI_SVC_REPORT_HPP
+#define PUMI_SVC_REPORT_HPP
+
+/// \file report.hpp
+/// \brief Per-tenant service report: latency percentiles and the
+/// shed/retry/failover accounting the overload and isolation proofs read.
+///
+/// Built by svc::Scheduler::report() from every job outcome it has seen.
+/// writeJson emits the machine-readable form tools/bench_service.sh merges
+/// into BENCH_SERVICE.json.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace svc {
+
+/// One tenant's aggregate over all its jobs.
+struct TenantStats {
+  std::string tenant;
+  int completed = 0;
+  int rejected = 0;
+  int shed = 0;
+  int failed = 0;
+  int failovers = 0;         ///< kRankFailed incidents absorbed
+  int faults_recovered = 0;  ///< non-fatal structured errors retried past
+  int retries = 0;           ///< admission resubmissions
+  int packed = 0;            ///< jobs run on a sibling's grant
+  /// Completed-job latency (submit -> done, queue wait included), ms.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct Report {
+  std::vector<TenantStats> tenants;  ///< sorted by tenant name
+  /// Every shed job as "tenant/name: reason" — overload degradation must
+  /// name its victims, never drop them silently.
+  std::vector<std::string> shed_jobs;
+  int pool_size = 0;   ///< ranks the pool started with
+  int ranks_dead = 0;  ///< ranks permanently lost to failures
+  std::size_t queue_capacity = 0;
+  std::size_t peak_queue_depth = 0;  ///< never exceeds queue_capacity
+
+  [[nodiscard]] const TenantStats* tenant(const std::string& name) const;
+  void writeJson(std::ostream& os) const;
+};
+
+/// JSON string escaping (backslash-escapes `"` and `\`) — shed reasons
+/// quote job names, so anything embedding them in JSON must escape.
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+/// Percentile of an unsorted latency sample (nearest-rank); 0 when empty.
+[[nodiscard]] double percentile(std::vector<double> samples, double pct);
+
+/// Fold one outcome into the tenant's running tallies (latency percentiles
+/// are computed separately from the completed-job sample).
+void accumulate(TenantStats& stats, const JobResult& result);
+
+}  // namespace svc
+
+#endif  // PUMI_SVC_REPORT_HPP

@@ -30,6 +30,7 @@
 #include "dist/checkpoint.hpp"
 #include "dist/digest.hpp"
 #include "dist/elastic.hpp"
+#include "dist/failover.hpp"
 #include "dist/partedmesh.hpp"
 #include "meshgen/boxmesh.hpp"
 #include "parma/balance.hpp"
@@ -768,6 +769,65 @@ TEST(RestoreOntoMore, ExpandRebalancesOntoTheIdleRanks) {
   EXPECT_LE(rep.imbalance_after, 1.10 + 1e-9)
       << "restored-then-rebalanced mesh must match the N-rank balance bar";
   fs::remove_all(dirp);
+}
+
+/// --- grow x failover composition -----------------------------------------
+
+TEST(GrowFailoverComposition, KillingAFreshlyJoinedRankMidBalanceEvacuates) {
+  // The elastic x failover composition: grow the machine, then lose one of
+  // the ranks that just joined while parma is still balancing onto it. The
+  // survivors must evacuate the newcomer's parts from the buddy journal and
+  // finish the rebalance with zero element loss.
+  auto gen = meshgen::boxTets(4, 4, 4);
+  auto pm = makeMesh(gen, 6);
+  const auto covered = digest::elementDigests(*pm);
+
+  // GROW 6 -> 8: ranks 6 and 7 join and receive load.
+  const auto join = parma::elasticJoin(*pm, 2, {.tolerance = 0.20});
+  ASSERT_EQ(join.ranks_after, 8);
+  EXPECT_EQ(digest::elementDigests(*pm), covered);
+  EXPECT_NO_THROW(pm->verify());
+
+  // Quiescent point after the join: the journal now covers the newcomers'
+  // parts too — a buddy holds their state before the incident.
+  dist::failover::BuddyJournal journal;
+  journal.record(*pm);
+
+  // Newly joined rank 6 dies at the next phase boundary, mid-balance.
+  dist::failover::EvacuationReport evac;
+  {
+    faults::FaultPlan p;
+    p.seed = 9;
+    p.kill = {6, 1};
+    p.deadline_ms = 30;
+    PlanGuard g(p);
+    try {
+      parma::balance(*pm, "Rgn", {.tolerance = 0.10, .max_rounds = 2});
+      FAIL() << "balance crossing the dead newcomer completed";
+    } catch (const Error& e) {
+      ASSERT_EQ(e.code(), ErrorCode::kRankFailed) << e.what();
+      EXPECT_EQ(e.peer(), 6) << "the error must name the dead newcomer";
+    }
+    evac = dist::failover::evacuate(*pm, journal);
+  }
+  ASSERT_EQ(evac.ranks_lost, std::vector<int>{6});
+  ASSERT_EQ(evac.parts_evacuated, std::vector<PartId>{6});
+  EXPECT_NO_THROW(pm->verify());
+  EXPECT_EQ(digest::elementDigests(*pm), covered)
+      << "evacuating a newcomer lost elements";
+
+  // Post-evacuation repair completes the interrupted rebalance on the
+  // 7 survivors (the other newcomer keeps its load).
+  const auto rep = parma::balanceAfterEvacuation(*pm, "Rgn", evac);
+  EXPECT_EQ(rep.ranks_lost, 1);
+  EXPECT_GE(rep.rounds, 1);
+  EXPECT_NO_THROW(pm->verify());
+  EXPECT_EQ(digest::elementDigests(*pm), covered)
+      << "repair after the composed incident lost elements";
+  // The corpse hosts nothing; every part lives on a survivor.
+  for (PartId p = 0; p < pm->parts(); ++p)
+    EXPECT_NE(pm->network().partMap().rankOf(p), 6)
+        << "part " << p << " is still pinned to the dead rank";
 }
 
 TEST(RestoreOntoMore, ExpandWithNoIdleRankIsANoop) {

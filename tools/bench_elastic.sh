@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Elastic scale-out benchmark smoke: measures the join-to-rebalanced
 # latency of rank join + heavy-part splitting and merges it into one
 # BENCH_ELASTIC.json.
@@ -18,10 +18,24 @@
 # Usage: tools/bench_elastic.sh <build-dir> [out.json]
 # The build dir must contain examples/elastic_demo and tests/test_elastic
 # (build with -DCMAKE_BUILD_TYPE=Release for meaningful numbers).
-set -eu
+set -euo pipefail
 
 BUILD="${1:?usage: tools/bench_elastic.sh <build-dir> [out.json]}"
 OUT="${2:-BENCH_ELASTIC.json}"
+
+# Fail fast, clearly: a missing build tree or binary means "build first",
+# not a python traceback halfway through the merge.
+if [[ ! -d "$BUILD" ]]; then
+  echo "error: build dir '$BUILD' not found; configure and build first:" >&2
+  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+for bin in examples/elastic_demo tests/test_elastic; do
+  if [[ ! -x "$BUILD/$bin" ]]; then
+    echo "error: missing binary '$BUILD/$bin'; rebuild: cmake --build \"$BUILD\" -j" >&2
+    exit 1
+  fi
+done
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Messaging benchmark smoke: runs the pcu phased-exchange A/B benches and
 # the migration bench with quick settings and merges the results into one
 # BENCH_MESSAGING.json summarizing messages/phase, bytes/phase and ns/op
@@ -7,10 +7,24 @@
 # Usage: tools/bench_messaging.sh <build-dir> [out.json]
 # The build dir must contain bench/bench_pcu_msg and bench/bench_migration
 # (build with -DCMAKE_BUILD_TYPE=Release for meaningful numbers).
-set -eu
+set -euo pipefail
 
 BUILD="${1:?usage: tools/bench_messaging.sh <build-dir> [out.json]}"
 OUT="${2:-BENCH_MESSAGING.json}"
+
+# Fail fast, clearly: a missing build tree or binary means "build first",
+# not a python traceback halfway through the merge.
+if [[ ! -d "$BUILD" ]]; then
+  echo "error: build dir '$BUILD' not found; configure and build first:" >&2
+  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+for bin in bench/bench_pcu_msg bench/bench_migration; do
+  if [[ ! -x "$BUILD/$bin" ]]; then
+    echo "error: missing binary '$BUILD/$bin'; rebuild: cmake --build \"$BUILD\" -j" >&2
+    exit 1
+  fi
+done
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Recovery benchmark smoke: measures the reliable-delivery (ARQ) tax, the
 # end-to-end recovery success rate, and the rank-failure MTTR, and merges
 # them into one BENCH_RECOVERY.json.
@@ -20,10 +20,24 @@
 # The build dir must contain bench/bench_pcu_msg, tests/test_recovery and
 # examples/failover_demo (build with -DCMAKE_BUILD_TYPE=Release for
 # meaningful numbers).
-set -eu
+set -euo pipefail
 
 BUILD="${1:?usage: tools/bench_recovery.sh <build-dir> [out.json]}"
 OUT="${2:-BENCH_RECOVERY.json}"
+
+# Fail fast, clearly: a missing build tree or binary means "build first",
+# not a python traceback halfway through the merge.
+if [[ ! -d "$BUILD" ]]; then
+  echo "error: build dir '$BUILD' not found; configure and build first:" >&2
+  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j" >&2
+  exit 1
+fi
+for bin in bench/bench_pcu_msg tests/test_recovery examples/failover_demo; do
+  if [[ ! -x "$BUILD/$bin" ]]; then
+    echo "error: missing binary '$BUILD/$bin'; rebuild: cmake --build \"$BUILD\" -j" >&2
+    exit 1
+  fi
+done
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
