@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/flatmap.hpp"
 #include "core/measure.hpp"
 #include "dist/partedmesh.hpp"
 #include "meshgen/boxmesh.hpp"
@@ -97,6 +101,110 @@ BENCHMARK(BM_MigrateFraction)
     ->Arg(25)
     ->Arg(75)
     ->Unit(benchmark::kMillisecond);
+
+/// --- plan application: legacy node-based tables vs flat layout -----------
+///
+/// The phase-A inner loop of migrate(): for every entity in the closure of
+/// a moving element, union the destinations of its adjacent elements. The
+/// legacy variant uses std::unordered_map/set and the allocating adjacent();
+/// the flat variant uses the SIMD open-addressing tables and adjacentInto()
+/// — exactly what migrate() runs today. Both fold to one order-independent
+/// checksum, compared at setup so the variants are proven equivalent.
+
+struct PlanFixture {
+  meshgen::Generated gen;
+  std::unique_ptr<dist::PartedMesh> pm;
+  // Plan as plain sorted (element, destination) lists per part.
+  std::vector<std::vector<std::pair<core::Ent, dist::PartId>>> entries;
+};
+
+PlanFixture& planFixture() {
+  static PlanFixture* f = [] {
+    auto* x = new PlanFixture{meshgen::boxTets(16, 16, 16), nullptr, {}};
+    x->pm = makeParted(x->gen, 8);
+    auto plan = slabPlan(*x->pm, 0.25);
+    x->entries.resize(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      for (const auto& [e, d] : plan[i]) x->entries[i].emplace_back(e, d);
+      std::sort(x->entries[i].begin(), x->entries[i].end());
+    }
+    return x;
+  }();
+  return *f;
+}
+
+template <class Map, class Set, bool kUseInto>
+std::uint64_t planApply(const PlanFixture& f) {
+  const int dim = f.pm->dim();
+  std::uint64_t acc = 0;
+  core::AdjVec adj;
+  std::array<core::Ent, core::kMaxDown> buf{};
+  for (std::size_t pi = 0; pi < f.entries.size(); ++pi) {
+    const auto& mesh = f.pm->part(static_cast<dist::PartId>(pi)).mesh();
+    Map m;
+    for (const auto& [e, d] : f.entries[pi]) m.emplace(e, d);
+    Set participating;
+    for (const auto& [elem, dest] : f.entries[pi]) {
+      (void)dest;
+      for (int d = 0; d < dim; ++d) {
+        const int n = mesh.downward(elem, d, buf.data());
+        for (int k = 0; k < n; ++k)
+          participating.insert(buf[static_cast<std::size_t>(k)]);
+      }
+    }
+    for (core::Ent e : participating) {
+      std::uint64_t r = 0;
+      auto fold = [&](core::Ent elem) {
+        auto it = m.find(elem);
+        const dist::PartId d =
+            it == m.end() ? static_cast<dist::PartId>(pi) : it->second;
+        r = r * 31 + static_cast<std::uint64_t>(d) + 1;
+      };
+      if constexpr (kUseInto) {
+        const int n = mesh.adjacentInto(e, dim, adj);
+        for (int k = 0; k < n; ++k) fold(adj[static_cast<std::size_t>(k)]);
+      } else {
+        for (core::Ent elem : mesh.adjacent(e, dim)) fold(elem);
+      }
+      // Commutative fold: set iteration order differs between table types.
+      acc += r * (core::EntHash{}(e) | 1);
+    }
+  }
+  return acc;
+}
+
+using LegacyMap = std::unordered_map<core::Ent, dist::PartId, core::EntHash>;
+using LegacySet = std::unordered_set<core::Ent, core::EntHash>;
+using FlatMap = common::FlatMap<core::Ent, dist::PartId, core::EntHash>;
+using FlatSet = common::FlatSet<core::Ent, core::EntHash>;
+
+void BM_PlanApplyLegacy(benchmark::State& state) {
+  auto& f = planFixture();
+  if (planApply<LegacyMap, LegacySet, false>(f) !=
+      planApply<FlatMap, FlatSet, true>(f)) {
+    state.SkipWithError("legacy/flat plan application disagree");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planApply<LegacyMap, LegacySet, false>(f));
+  }
+  state.SetLabel(std::to_string(f.entries[0].size()) + " plan entries");
+}
+BENCHMARK(BM_PlanApplyLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_PlanApplyFlat(benchmark::State& state) {
+  auto& f = planFixture();
+  if (planApply<LegacyMap, LegacySet, false>(f) !=
+      planApply<FlatMap, FlatSet, true>(f)) {
+    state.SkipWithError("legacy/flat plan application disagree");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planApply<FlatMap, FlatSet, true>(f));
+  }
+  state.SetLabel(std::to_string(f.entries[0].size()) + " plan entries");
+}
+BENCHMARK(BM_PlanApplyFlat)->Unit(benchmark::kMillisecond);
 
 void BM_DistributeFromSerial(benchmark::State& state) {
   // Initial distribution cost (mesh loading path).

@@ -93,7 +93,10 @@ bool canCollapse(const Mesh& mesh, Ent edge, Ent remove) {
   }
 
   const Vec3 target = mesh.point(keep);
-  for (Ent elem : mesh.adjacent(remove, dim)) {
+  core::AdjVec star;
+  const int nstar = mesh.adjacentInto(remove, dim, star);
+  for (int si = 0; si < nstar; ++si) {
+    const Ent elem = star[static_cast<std::size_t>(si)];
     if (containsVertex(mesh, elem, keep)) continue;  // dies with the edge
     if (elem.topo() != Topo::Tet && elem.topo() != Topo::Tri) return false;
     if (!replacementKeepsShape(mesh, elem, remove, target)) return false;
@@ -126,7 +129,10 @@ bool collapseEdge(Mesh& mesh, Ent edge, Ent remove,
   // collect (everything adjacent to remove).
   std::vector<Spec> rebuilds;
   std::vector<Ent> gc_elems;
-  for (Ent elem : mesh.adjacent(remove, dim)) {
+  core::AdjVec star;
+  const int nstar = mesh.adjacentInto(remove, dim, star);
+  for (int si = 0; si < nstar; ++si) {
+    const Ent elem = star[static_cast<std::size_t>(si)];
     gc_elems.push_back(elem);
     if (containsVertex(mesh, elem, keep)) continue;
     Spec s;
@@ -146,7 +152,9 @@ bool collapseEdge(Mesh& mesh, Ent edge, Ent remove,
   std::vector<Spec> lower_fixes;
   std::vector<std::vector<Ent>> gc_lower(static_cast<std::size_t>(dim));
   for (int d = 1; d < dim; ++d) {
-    for (Ent e : mesh.adjacent(remove, d)) {
+    const int nl = mesh.adjacentInto(remove, d, star);
+    for (int li = 0; li < nl; ++li) {
+      const Ent e = star[static_cast<std::size_t>(li)];
       gc_lower[static_cast<std::size_t>(d)].push_back(e);
       if (containsVertex(mesh, e, keep)) continue;
       Spec s;

@@ -70,7 +70,7 @@ SmoothStats smooth(core::Mesh& mesh, const SmoothOptions& opts) {
       const Vec3 proposal = old + (target - old) * opts.relaxation;
 
       // Quality guard: the move must not lower the cavity's worst quality.
-      const auto cavity = mesh.adjacent(v, dim);
+      const auto cavity = mesh.adjacentSpan(v, dim);
       double worst_before = 1.0;
       for (Ent e : cavity) worst_before = std::min(worst_before, quality(mesh, e));
       mesh.setPoint(v, proposal);

@@ -1,0 +1,560 @@
+#ifndef PUMI_COMMON_FLATMAP_HPP
+#define PUMI_COMMON_FLATMAP_HPP
+
+/// \file flatmap.hpp
+/// \brief SIMD-probed open-addressing hash containers (Swiss-table layout).
+///
+/// `FlatMap<K, V, Hash>` and `FlatSet<K, Hash>` replace the node-based
+/// `std::unordered_map`/`set` on the hot paths (keymaps, migration plans,
+/// remote-copy tables). Layout: one contiguous control-byte array plus one
+/// contiguous slot array. Each control byte is either kEmpty (0x80),
+/// kDeleted (0xFE, a tombstone) or the low 7 bits of the key's hash (H2).
+/// Lookups scan control bytes a *group of 16* at a time — one SSE2 compare
+/// + movemask when available, a portable scalar loop otherwise — so a probe
+/// touches at most one cache line of metadata before any key is compared,
+/// and most misses are rejected without ever loading a slot.
+///
+/// Probing is group-wise triangular (g, g+1, g+3, g+6, ... mod ngroups);
+/// with a power-of-two group count this visits every group. Inserts reuse
+/// the first tombstone seen on the probe path (tombstone reuse), and the
+/// table rehashes — doubling, or same-size when mostly tombstones — when
+/// occupancy (full + deleted) passes 7/8 of capacity.
+///
+/// Iterator/reference stability contract (asserted by test_flatmap):
+///   * any insert that triggers a rehash invalidates ALL iterators and
+///     references; inserts never move *existing* slots otherwise, but the
+///     only portable rule callers may rely on is "insert invalidates";
+///   * erase() destroys only the erased slot: iterators and references to
+///     other elements remain valid (erase never rehashes);
+///   * iteration order is unspecified and changes across rehashes — callers
+///     needing determinism must collect and sort (the codebase rule since
+///     PR 2's deterministic-replay work).
+///
+/// Requirements on K: copyable and equality-comparable (keys here are small
+/// trivially-copyable handles: Ent, GKey, PartId). V may be any movable
+/// type (Remote holds a std::vector). The user-supplied Hash is finalized
+/// with a splitmix64 mix so identity hashes (std::hash<int>) still spread
+/// across groups; H1 (group choice) and H2 (tag byte) come from different
+/// bits of the mixed value.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <iterator>
+#include <new>
+#include <stdexcept>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define PUMI_FLATMAP_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace common {
+
+namespace flatdetail {
+
+inline constexpr std::int8_t kEmpty = static_cast<std::int8_t>(0x80);
+inline constexpr std::int8_t kDeleted = static_cast<std::int8_t>(0xFE);
+inline constexpr std::size_t kGroup = 16;
+
+/// splitmix64 finalizer: guards against weak user hashes (identity
+/// std::hash<int>) whose low bits would otherwise collide every H2 tag.
+inline std::size_t mixHash(std::size_t h) {
+  std::uint64_t x = h;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x);
+}
+
+/// A 16-byte window over the control array; match* return bitmasks with
+/// bit i set when byte i matches.
+struct Group {
+#if PUMI_FLATMAP_SSE2
+  __m128i g;
+  explicit Group(const std::int8_t* ctrl)
+      : g(_mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl))) {}
+  [[nodiscard]] std::uint32_t match(std::int8_t h2) const {
+    return static_cast<std::uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(_mm_set1_epi8(h2), g)));
+  }
+  [[nodiscard]] std::uint32_t matchEmpty() const { return match(kEmpty); }
+  /// Empty and deleted both have the sign bit set; full tags are 0..127.
+  [[nodiscard]] std::uint32_t matchEmptyOrDeleted() const {
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(g));
+  }
+#else
+  std::int8_t b[kGroup];
+  explicit Group(const std::int8_t* ctrl) { std::memcpy(b, ctrl, kGroup); }
+  [[nodiscard]] std::uint32_t match(std::int8_t h2) const {
+    std::uint32_t m = 0;
+    for (std::size_t i = 0; i < kGroup; ++i)
+      if (b[i] == h2) m |= 1u << i;
+    return m;
+  }
+  [[nodiscard]] std::uint32_t matchEmpty() const { return match(kEmpty); }
+  [[nodiscard]] std::uint32_t matchEmptyOrDeleted() const {
+    std::uint32_t m = 0;
+    for (std::size_t i = 0; i < kGroup; ++i)
+      if (b[i] < 0) m |= 1u << i;
+    return m;
+  }
+#endif
+};
+
+inline unsigned trailingZeros(std::uint32_t m) {
+  assert(m != 0);
+#if defined(__GNUC__) || defined(__clang__)
+  return static_cast<unsigned>(__builtin_ctz(m));
+#else
+  unsigned n = 0;
+  while (!(m & 1u)) {
+    m >>= 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+template <class K, class V>
+struct MapPolicy {
+  using key_type = K;
+  using value_type = std::pair<const K, V>;
+  static const K& key(const value_type& v) { return v.first; }
+};
+
+template <class K>
+struct SetPolicy {
+  using key_type = K;
+  using value_type = K;
+  static const K& key(const value_type& v) { return v; }
+};
+
+/// The shared open-addressing core; FlatMap/FlatSet add their insert
+/// front-ends on top.
+template <class Policy, class Hash>
+class Table {
+ public:
+  using key_type = typename Policy::key_type;
+  using value_type = typename Policy::value_type;
+  using size_type = std::size_t;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using value_type = typename Policy::value_type;
+    using value_t = std::conditional_t<Const, const value_type, value_type>;
+    using iterator_category = std::forward_iterator_tag;
+    using difference_type = std::ptrdiff_t;
+    using reference = value_t&;
+    using pointer = value_t*;
+
+    Iter() = default;
+    value_t& operator*() const { return *slot_; }
+    value_t* operator->() const { return slot_; }
+    Iter& operator++() {
+      ++ctrl_;
+      ++slot_;
+      settle();
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter t = *this;
+      ++*this;
+      return t;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.ctrl_ == b.ctrl_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) {
+      return a.ctrl_ != b.ctrl_;
+    }
+    /// iterator -> const_iterator conversion
+    operator Iter<true>() const
+      requires(!Const)
+    {
+      return Iter<true>(ctrl_, slot_, end_);
+    }
+
+   private:
+    friend class Table;
+    template <bool>
+    friend class Iter;
+    Iter(const std::int8_t* ctrl, value_t* slot, const std::int8_t* end)
+        : ctrl_(ctrl), slot_(slot), end_(end) {}
+    void settle() {
+      while (ctrl_ != end_ && *ctrl_ < 0) {
+        ++ctrl_;
+        ++slot_;
+      }
+    }
+    const std::int8_t* ctrl_ = nullptr;
+    value_t* slot_ = nullptr;
+    const std::int8_t* end_ = nullptr;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  Table() = default;
+  Table(const Table& o) { copyFrom(o); }
+  Table(Table&& o) noexcept { moveFrom(o); }
+  Table& operator=(const Table& o) {
+    if (this != &o) {
+      destroyAll();
+      copyFrom(o);
+    }
+    return *this;
+  }
+  Table& operator=(Table&& o) noexcept {
+    if (this != &o) {
+      destroyAll();
+      moveFrom(o);
+    }
+    return *this;
+  }
+  ~Table() { destroyAll(); }
+
+  [[nodiscard]] size_type size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] size_type capacity() const { return ngroups_ * kGroup; }
+
+  iterator begin() {
+    iterator it(ctrl_, slots_, ctrl_ + capacity());
+    it.settle();
+    return it;
+  }
+  iterator end() { return iterator(ctrl_ + capacity(), nullptr, nullptr); }
+  const_iterator begin() const {
+    const_iterator it(ctrl_, slots_, ctrl_ + capacity());
+    it.settle();
+    return it;
+  }
+  const_iterator end() const {
+    return const_iterator(ctrl_ + capacity(), nullptr, nullptr);
+  }
+  const_iterator cbegin() const { return begin(); }
+  const_iterator cend() const { return end(); }
+
+  iterator find(const key_type& k) {
+    const std::size_t i = findSlot(k);
+    if (i == kNpos) return end();
+    return iterator(ctrl_ + i, slots_ + i, ctrl_ + capacity());
+  }
+  const_iterator find(const key_type& k) const {
+    const std::size_t i = findSlot(k);
+    if (i == kNpos) return end();
+    return const_iterator(ctrl_ + i, slots_ + i, ctrl_ + capacity());
+  }
+  [[nodiscard]] bool contains(const key_type& k) const {
+    return findSlot(k) != kNpos;
+  }
+  [[nodiscard]] size_type count(const key_type& k) const {
+    return contains(k) ? 1 : 0;
+  }
+
+  /// Erase by key; returns the number of elements removed (0 or 1).
+  /// Never rehashes: iterators/references to other elements stay valid.
+  size_type erase(const key_type& k) {
+    const std::size_t i = findSlot(k);
+    if (i == kNpos) return 0;
+    eraseSlot(i);
+    return 1;
+  }
+  /// Erase by iterator; returns the iterator to the next element.
+  iterator erase(const_iterator pos) {
+    assert(pos != cend());
+    const std::size_t i = static_cast<std::size_t>(pos.ctrl_ - ctrl_);
+    eraseSlot(i);
+    iterator it(ctrl_ + i, slots_ + i, ctrl_ + capacity());
+    it.settle();
+    return it;
+  }
+
+  void clear() {
+    if (!ngroups_) return;
+    for (std::size_t i = 0, c = capacity(); i < c; ++i)
+      if (ctrl_[i] >= 0) slots_[i].~value_type();
+    std::memset(ctrl_, kEmpty, capacity());
+    size_ = 0;
+    occupied_ = 0;
+  }
+
+  /// Ensure capacity for n elements without rehashing.
+  void reserve(size_type n) {
+    const std::size_t want = groupsFor(n);
+    if (want > ngroups_) rehash(want);
+  }
+
+ protected:
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+
+  /// Locate the slot holding k, or kNpos.
+  std::size_t findSlot(const key_type& k) const {
+    if (!ngroups_) return kNpos;
+    const std::size_t h = mixHash(Hash{}(k));
+    const std::int8_t h2 = static_cast<std::int8_t>(h & 0x7f);
+    std::size_t g = (h >> 7) & (ngroups_ - 1);
+    std::size_t stride = 0;
+    while (true) {
+      const Group grp(ctrl_ + g * kGroup);
+      for (std::uint32_t m = grp.match(h2); m; m &= m - 1) {
+        const std::size_t i = g * kGroup + trailingZeros(m);
+        if (Policy::key(slots_[i]) == k) return i;
+      }
+      if (grp.matchEmpty()) return kNpos;
+      ++stride;
+      assert(stride <= ngroups_ && "flatmap probe wrapped: table corrupt");
+      g = (g + stride) & (ngroups_ - 1);
+    }
+  }
+
+  /// Find k or claim a slot for it (reusing the first tombstone on the
+  /// probe path). Returns (slot, inserted). On insert the control byte is
+  /// set but the slot is NOT constructed — the caller placement-news it.
+  std::pair<std::size_t, bool> findOrPrepare(const key_type& k) {
+    if (occupied_ + 1 > (capacity() * 7) / 8) grow();
+    const std::size_t h = mixHash(Hash{}(k));
+    const std::int8_t h2 = static_cast<std::int8_t>(h & 0x7f);
+    std::size_t g = (h >> 7) & (ngroups_ - 1);
+    std::size_t stride = 0;
+    std::size_t claim = kNpos;
+    while (true) {
+      const Group grp(ctrl_ + g * kGroup);
+      for (std::uint32_t m = grp.match(h2); m; m &= m - 1) {
+        const std::size_t i = g * kGroup + trailingZeros(m);
+        if (Policy::key(slots_[i]) == k) return {i, false};
+      }
+      if (claim == kNpos) {
+        if (const std::uint32_t m = grp.matchEmptyOrDeleted())
+          claim = g * kGroup + trailingZeros(m);
+      }
+      if (grp.matchEmpty()) break;
+      ++stride;
+      assert(stride <= ngroups_ && "flatmap probe wrapped: table corrupt");
+      g = (g + stride) & (ngroups_ - 1);
+    }
+    assert(claim != kNpos);
+    if (ctrl_[claim] == kEmpty) ++occupied_;
+    ctrl_[claim] = h2;
+    ++size_;
+    return {claim, true};
+  }
+
+  iterator iterAt(std::size_t i) {
+    return iterator(ctrl_ + i, slots_ + i, ctrl_ + capacity());
+  }
+
+  std::int8_t* ctrl_ = nullptr;
+  value_type* slots_ = nullptr;
+  std::size_t ngroups_ = 0;  ///< power of two (or 0 before first insert)
+  std::size_t size_ = 0;     ///< live elements
+  std::size_t occupied_ = 0; ///< full + tombstone control bytes
+
+ private:
+  static std::size_t groupsFor(std::size_t n) {
+    // smallest power-of-two group count with n <= capacity * 7/8
+    std::size_t g = 1;
+    while (n * 8 > g * kGroup * 7) g <<= 1;
+    return g;
+  }
+
+  void grow() {
+    // Double when genuinely full; rehash in place (same capacity) when the
+    // table is mostly tombstones — erase-heavy workloads stay bounded.
+    std::size_t target = ngroups_ ? ngroups_ : 1;
+    if ((size_ + 1) * 8 > target * kGroup * 7) target <<= 1;
+    rehash(target);
+  }
+
+  void rehash(std::size_t new_groups) {
+    std::int8_t* old_ctrl = ctrl_;
+    value_type* old_slots = slots_;
+    const std::size_t old_cap = capacity();
+
+    ctrl_ = static_cast<std::int8_t*>(::operator new(new_groups * kGroup));
+    slots_ = static_cast<value_type*>(
+        ::operator new(new_groups * kGroup * sizeof(value_type),
+                       std::align_val_t(alignof(value_type))));
+    std::memset(ctrl_, kEmpty, new_groups * kGroup);
+    ngroups_ = new_groups;
+    occupied_ = size_;
+
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (old_ctrl[i] < 0) continue;
+      const std::size_t h = mixHash(Hash{}(Policy::key(old_slots[i])));
+      const std::int8_t h2 = static_cast<std::int8_t>(h & 0x7f);
+      std::size_t g = (h >> 7) & (ngroups_ - 1);
+      std::size_t stride = 0;
+      while (true) {
+        const Group grp(ctrl_ + g * kGroup);
+        if (const std::uint32_t m = grp.matchEmpty()) {
+          const std::size_t j = g * kGroup + trailingZeros(m);
+          ::new (static_cast<void*>(slots_ + j))
+              value_type(std::move(old_slots[i]));
+          old_slots[i].~value_type();
+          ctrl_[j] = h2;
+          break;
+        }
+        ++stride;
+        g = (g + stride) & (ngroups_ - 1);
+      }
+    }
+    if (old_ctrl) {
+      ::operator delete(old_ctrl);
+      ::operator delete(old_slots, std::align_val_t(alignof(value_type)));
+    }
+  }
+
+  void eraseSlot(std::size_t i) {
+    assert(ctrl_[i] >= 0);
+    slots_[i].~value_type();
+    ctrl_[i] = kDeleted;  // tombstone: probe chains through it stay intact
+    --size_;
+  }
+
+  void destroyAll() {
+    if (!ngroups_) return;
+    for (std::size_t i = 0, c = capacity(); i < c; ++i)
+      if (ctrl_[i] >= 0) slots_[i].~value_type();
+    ::operator delete(ctrl_);
+    ::operator delete(slots_, std::align_val_t(alignof(value_type)));
+    ctrl_ = nullptr;
+    slots_ = nullptr;
+    ngroups_ = size_ = occupied_ = 0;
+  }
+
+  void copyFrom(const Table& o) {
+    if (o.size_) {
+      rehash(groupsFor(o.size_));
+      for (const value_type& v : o) {
+        auto [i, inserted] = findOrPrepare(Policy::key(v));
+        assert(inserted);
+        ::new (static_cast<void*>(slots_ + i)) value_type(v);
+      }
+    }
+  }
+
+  void moveFrom(Table& o) noexcept {
+    ctrl_ = o.ctrl_;
+    slots_ = o.slots_;
+    ngroups_ = o.ngroups_;
+    size_ = o.size_;
+    occupied_ = o.occupied_;
+    o.ctrl_ = nullptr;
+    o.slots_ = nullptr;
+    o.ngroups_ = o.size_ = o.occupied_ = 0;
+  }
+};
+
+}  // namespace flatdetail
+
+/// Open-addressing hash map; drop-in for the std::unordered_map subset the
+/// codebase uses. See the file comment for the stability contract.
+template <class K, class V, class Hash = std::hash<K>>
+class FlatMap : public flatdetail::Table<flatdetail::MapPolicy<K, V>, Hash> {
+  using Base = flatdetail::Table<flatdetail::MapPolicy<K, V>, Hash>;
+
+ public:
+  using key_type = K;
+  using mapped_type = V;
+  using typename Base::const_iterator;
+  using typename Base::iterator;
+  using typename Base::value_type;
+
+  FlatMap() = default;
+  template <class It>
+  FlatMap(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+  FlatMap(std::initializer_list<value_type> init)
+      : FlatMap(init.begin(), init.end()) {}
+
+  V& operator[](const K& k) {
+    auto [i, inserted] = this->findOrPrepare(k);
+    if (inserted) ::new (static_cast<void*>(this->slots_ + i)) value_type(k, V());
+    return this->slots_[i].second;
+  }
+
+  V& at(const K& k) {
+    const std::size_t i = this->findSlot(k);
+    if (i == Base::kNpos) throw std::out_of_range("FlatMap::at");
+    return this->slots_[i].second;
+  }
+  const V& at(const K& k) const {
+    const std::size_t i = this->findSlot(k);
+    if (i == Base::kNpos) throw std::out_of_range("FlatMap::at");
+    return this->slots_[i].second;
+  }
+
+  template <class... Args>
+  std::pair<iterator, bool> try_emplace(const K& k, Args&&... args) {
+    auto [i, inserted] = this->findOrPrepare(k);
+    if (inserted)
+      ::new (static_cast<void*>(this->slots_ + i))
+          value_type(std::piecewise_construct, std::forward_as_tuple(k),
+                     std::forward_as_tuple(std::forward<Args>(args)...));
+    return {this->iterAt(i), inserted};
+  }
+
+  /// Key-first emplace (the only form the codebase uses).
+  template <class... Args>
+  std::pair<iterator, bool> emplace(const K& k, Args&&... args) {
+    return try_emplace(k, std::forward<Args>(args)...);
+  }
+
+  std::pair<iterator, bool> insert(const value_type& v) {
+    auto [i, inserted] = this->findOrPrepare(v.first);
+    if (inserted) ::new (static_cast<void*>(this->slots_ + i)) value_type(v);
+    return {this->iterAt(i), inserted};
+  }
+  std::pair<iterator, bool> insert(value_type&& v) {
+    auto [i, inserted] = this->findOrPrepare(v.first);
+    if (inserted)
+      ::new (static_cast<void*>(this->slots_ + i)) value_type(std::move(v));
+    return {this->iterAt(i), inserted};
+  }
+};
+
+/// Open-addressing hash set; drop-in for the std::unordered_set subset the
+/// codebase uses.
+template <class K, class Hash = std::hash<K>>
+class FlatSet : public flatdetail::Table<flatdetail::SetPolicy<K>, Hash> {
+  using Base = flatdetail::Table<flatdetail::SetPolicy<K>, Hash>;
+
+ public:
+  using key_type = K;
+  using typename Base::const_iterator;
+  using typename Base::iterator;
+  using typename Base::value_type;
+
+  FlatSet() = default;
+  template <class It>
+  FlatSet(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+  FlatSet(std::initializer_list<K> init) : FlatSet(init.begin(), init.end()) {}
+
+  std::pair<iterator, bool> insert(const K& k) {
+    auto [i, inserted] = this->findOrPrepare(k);
+    if (inserted) ::new (static_cast<void*>(this->slots_ + i)) K(k);
+    return {this->iterAt(i), inserted};
+  }
+  template <class... Args>
+  std::pair<iterator, bool> emplace(Args&&... args) {
+    return insert(K(std::forward<Args>(args)...));
+  }
+};
+
+}  // namespace common
+
+#endif  // PUMI_COMMON_FLATMAP_HPP

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "gmi/model.hpp"
+#include "pcu/trace.hpp"
 
 namespace core {
 
@@ -45,6 +46,7 @@ Ent Mesh::createVertex(const Vec3& x, gmi::Entity* cls) {
     coords_.push_back(x);
   }
   p.live += 1;
+  ++topo_version_;
   return Ent(Topo::Vertex, idx);
 }
 
@@ -77,6 +79,7 @@ Ent Mesh::allocate(Topo t, std::span<const Ent> vs, std::span<const Ent> down,
     p.down.insert(p.down.end(), down.begin(), down.end());
   }
   p.live += 1;
+  ++topo_version_;
   const Ent e(t, idx);
   for (Ent b : down) {
     Pool& bp = pool(b.topo());
@@ -125,6 +128,7 @@ void Mesh::destroy(Ent e) {
   p.cls[e.index()] = nullptr;
   p.free_list.push_back(e.index());
   p.live -= 1;
+  ++topo_version_;
 }
 
 bool Mesh::alive(Ent e) const {
@@ -244,6 +248,103 @@ std::vector<Ent> Mesh::adjacent(Ent e, int d) const {
     current = std::move(next);
   }
   return current;
+}
+
+int Mesh::adjacentInto(Ent e, int d, AdjVec& out) const {
+  assert(alive(e));
+  out.clear();
+  const int ed = topoDim(e.topo());
+  if (d == ed) {
+    out.push_back(e);
+    return 1;
+  }
+  if (d < ed) {
+    std::array<Ent, kMaxDown> buf{};
+    const int n = downward(e, d, buf.data());
+    for (int i = 0; i < n; ++i) out.push_back(buf[i]);
+    return n;
+  }
+  // Upward level-by-level with linear dedup (closures are O(1) small);
+  // ping-pong between `out` and one scratch vector — no heap traffic
+  // while the lists stay inline.
+  AdjVec scratch;
+  AdjVec* cur = &scratch;
+  AdjVec* nxt = &out;
+  cur->push_back(e);
+  for (int level = ed; level < d; ++level) {
+    nxt->clear();
+    for (Ent c : *cur) {
+      for (Ent u : up(c)) {
+        if (!nxt->contains(u)) nxt->push_back(u);
+      }
+    }
+    std::swap(cur, nxt);
+  }
+  if (cur != &out) out = *cur;
+  return static_cast<int>(out.size());
+}
+
+const Mesh::Csr& Mesh::csr(int from, int to) const {
+  assert(from >= 0 && from <= 3 && to >= 0 && to <= 3);
+  auto& slot = csr_[static_cast<std::size_t>(from) * 4 + static_cast<std::size_t>(to)];
+  if (!slot) slot = std::make_unique<Csr>();
+  if (slot->version != topo_version_) {
+    buildCsr(*slot, from, to);
+    slot->version = topo_version_;
+  }
+  return *slot;
+}
+
+void Mesh::buildCsr(Csr& c, int from, int to) const {
+  pcu::trace::Scope span("layout:csr_build");
+  c.base.fill(0);
+  std::uint32_t nrows = 0;
+  for (Topo t : toposOfDim(from)) {
+    c.base[static_cast<std::size_t>(t)] = nrows;
+    nrows += pool(t).slots();
+  }
+  c.offsets.assign(nrows + 1, 0);
+  c.items.clear();
+  std::array<Ent, kMaxDown> buf{};
+  if (from >= to) {
+    // Downward (and identity): each row comes straight from the entity's
+    // own boundary storage; emit rows in slot order, one pass.
+    std::uint32_t r = 0;
+    for (Topo t : toposOfDim(from)) {
+      const Pool& p = pool(t);
+      for (std::uint32_t i = 0; i < p.slots(); ++i, ++r) {
+        if (p.alive[i]) {
+          const int n = downward(Ent(t, i), to, buf.data());
+          c.items.insert(c.items.end(), buf.begin(), buf.begin() + n);
+        }
+        c.offsets[r + 1] = static_cast<std::uint32_t>(c.items.size());
+      }
+    }
+    return;
+  }
+  // Upward: transpose of (to -> from) by the standard two-pass CSR build
+  // (count, prefix-sum, fill). No dedup needed: a higher entity lists each
+  // boundary entity exactly once, so every (row, item) pair is unique.
+  for (Topo t : toposOfDim(to)) {
+    const Pool& p = pool(t);
+    for (std::uint32_t i = 0; i < p.slots(); ++i) {
+      if (!p.alive[i]) continue;
+      const int n = downward(Ent(t, i), from, buf.data());
+      for (int k = 0; k < n; ++k) c.offsets[c.rowOf(buf[k]) + 1] += 1;
+    }
+  }
+  for (std::uint32_t r = 0; r < nrows; ++r) c.offsets[r + 1] += c.offsets[r];
+  c.items.resize(c.offsets[nrows]);
+  std::vector<std::uint32_t> cursor(c.offsets.begin(), c.offsets.end() - 1);
+  for (Topo t : toposOfDim(to)) {
+    const Pool& p = pool(t);
+    for (std::uint32_t i = 0; i < p.slots(); ++i) {
+      if (!p.alive[i]) continue;
+      const Ent e(t, i);
+      const int n = downward(e, from, buf.data());
+      for (int k = 0; k < n; ++k) c.items[cursor[c.rowOf(buf[k])]++] = e;
+    }
+  }
 }
 
 Ent Mesh::findEntity(Topo t, std::span<const Ent> vs) const {

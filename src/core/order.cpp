@@ -1,0 +1,120 @@
+#include "core/order.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <utility>
+
+namespace core::order {
+
+namespace {
+
+/// One past the highest live vertex slot (flat arrays are sized by this).
+std::uint32_t vertexSlotBound(const Mesh& m) {
+  std::uint32_t bound = 0;
+  for (Ent v : m.entities(0)) bound = std::max(bound, v.index() + 1);
+  return bound;
+}
+
+Ent otherVertex(const Mesh& m, Ent edge, Ent v) {
+  const auto vs = m.verts(edge);
+  return vs[0] == v ? vs[1] : vs[0];
+}
+
+/// BFS visit order from `seed` over the vertex-edge graph, ascending-degree
+/// neighbour tie-break, restarting on disconnection.
+std::vector<Ent> bfs(const Mesh& m, Ent seed, std::uint32_t slot_bound) {
+  std::vector<char> visited(slot_bound, 0);
+  std::vector<Ent> order;
+  order.reserve(m.count(0));
+  std::deque<Ent> queue;
+  auto push = [&](Ent v) {
+    if (!visited[v.index()]) {
+      visited[v.index()] = 1;
+      queue.push_back(v);
+    }
+  };
+  push(seed);
+  auto restart = m.entities(0).begin();
+  const auto end = m.entities(0).end();
+  std::vector<std::pair<std::uint32_t, Ent>> nbrs;
+  while (order.size() < m.count(0)) {
+    if (queue.empty()) {
+      while (restart != end && visited[(*restart).index()]) ++restart;
+      if (restart == end) break;
+      push(*restart);
+    }
+    const Ent v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    nbrs.clear();
+    for (Ent e : m.up(v)) {
+      const Ent o = otherVertex(m, e, v);
+      if (!visited[o.index()]) nbrs.emplace_back(m.up(o).size(), o);
+    }
+    std::sort(nbrs.begin(), nbrs.end());
+    for (const auto& [deg, o] : nbrs) {
+      (void)deg;
+      push(o);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<Ent> rcmVertices(const Mesh& m) {
+  if (m.count(0) == 0) return {};
+  const std::uint32_t bound = vertexSlotBound(m);
+  // Pseudo-peripheral seed: the last vertex of a BFS from the first.
+  const Ent first = *m.entities(0).begin();
+  const Ent peripheral = bfs(m, first, bound).back();
+  std::vector<Ent> order = bfs(m, peripheral, bound);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<std::uint32_t> ranksOf(const Mesh& m,
+                                   const std::vector<Ent>& vorder) {
+  std::vector<std::uint32_t> ranks(vertexSlotBound(m), kNoRank);
+  for (std::size_t i = 0; i < vorder.size(); ++i)
+    ranks[vorder[i].index()] = static_cast<std::uint32_t>(i);
+  return ranks;
+}
+
+std::vector<Ent> byMinVertexRank(const Mesh& m, int d,
+                                 const std::vector<std::uint32_t>& vranks) {
+  std::vector<std::pair<std::uint32_t, Ent>> keyed;
+  keyed.reserve(m.count(d));
+  for (Ent e : m.entities(d)) {
+    std::uint32_t best = kNoRank;
+    if (d == 0) {
+      best = vranks[e.index()];
+    } else {
+      for (Ent v : m.verts(e)) best = std::min(best, vranks[v.index()]);
+    }
+    keyed.emplace_back(best, e);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Ent> out;
+  out.reserve(keyed.size());
+  for (const auto& [k, e] : keyed) {
+    (void)k;
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t bandwidth(const Mesh& m, const std::vector<std::uint32_t>& vranks) {
+  std::size_t bw = 0;
+  for (Ent e : m.entities(1)) {
+    const auto vs = m.verts(e);
+    const std::int64_t a = vranks[vs[0].index()];
+    const std::int64_t b = vranks[vs[1].index()];
+    bw = std::max(bw, static_cast<std::size_t>(std::llabs(a - b)));
+  }
+  return bw;
+}
+
+}  // namespace core::order

@@ -1,0 +1,48 @@
+#ifndef PUMI_CORE_ORDER_HPP
+#define PUMI_CORE_ORDER_HPP
+
+/// \file order.hpp
+/// \brief Locality orderings over flat index arrays (RCM + derived orders).
+///
+/// Reverse Cuthill-McKee vertex ordering and the min-vertex-rank element
+/// ordering derived from it, expressed over flat vectors indexed by pool
+/// slot — no hash maps on the hot path. The kernels live in core (not
+/// part/) so that dist::PartedMesh::distribute can lay parts out in
+/// locality order at creation time without a layering cycle (part links
+/// dist); part/reorder keeps its public Ordering API as a thin wrapper.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/mesh.hpp"
+
+namespace core::order {
+
+/// Sentinel rank for dead pool slots in ranksOf().
+inline constexpr std::uint32_t kNoRank = ~std::uint32_t{0};
+
+/// Reverse Cuthill-McKee order of the live vertices: BFS from a
+/// pseudo-peripheral seed (the last vertex of a BFS from the first) with
+/// ascending-degree neighbour tie-break, then reversed. Restarts on
+/// disconnected components. Deterministic for a given mesh.
+std::vector<Ent> rcmVertices(const Mesh& m);
+
+/// Rank lookup for a vertex ordering: flat vector indexed by vertex pool
+/// slot (dead/unlisted slots hold kNoRank).
+std::vector<std::uint32_t> ranksOf(const Mesh& m,
+                                   const std::vector<Ent>& vorder);
+
+/// Live entities of dimension d sorted ascending by their minimum vertex
+/// rank under `vranks` (stable: ties keep type-then-slot iteration order),
+/// giving traversals of any dimension the vertex ordering's locality.
+std::vector<Ent> byMinVertexRank(const Mesh& m, int d,
+                                 const std::vector<std::uint32_t>& vranks);
+
+/// Bandwidth of the vertex-edge graph under `vranks`: max |rank(a) -
+/// rank(b)| over mesh edges. RCM exists to shrink this.
+std::size_t bandwidth(const Mesh& m, const std::vector<std::uint32_t>& vranks);
+
+}  // namespace core::order
+
+#endif  // PUMI_CORE_ORDER_HPP

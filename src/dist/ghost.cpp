@@ -14,8 +14,8 @@
 #include <array>
 #include <cassert>
 #include <stdexcept>
-#include <unordered_set>
 
+#include "common/flatmap.hpp"
 #include "dist/keymaps_impl.hpp"
 #include "dist/partedmesh.hpp"
 #include "dist/tagio.hpp"
@@ -60,21 +60,26 @@ void PartedMesh::ghostLayersBody(int layers) {
   for (const auto& pp : parts_) {
     Part& p = *pp;
     // Boundary vertices shared with each neighbour.
-    std::unordered_map<PartId, std::vector<Ent>, std::hash<PartId>> seeds;
+    common::FlatMap<PartId, std::vector<Ent>> seeds;
     for (const auto& [e, r] : p.remotes_) {
       if (e.topo() != core::Topo::Vertex) continue;
       for (const Copy& c : r.copies) seeds[c.part].push_back(e);
     }
+    core::AdjVec adj;
     for (auto& [q, verts] : seeds) {
       // Grow `layers` element layers from the seed vertices.
-      std::unordered_set<Ent, EntHash> elems;
-      std::unordered_set<Ent, EntHash> known_verts(verts.begin(), verts.end());
+      common::FlatSet<Ent, EntHash> elems;
+      common::FlatSet<Ent, EntHash> known_verts(verts.begin(), verts.end());
       std::vector<Ent> frontier(verts.begin(), verts.end());
       for (int layer = 0; layer < layers && !frontier.empty(); ++layer) {
         std::vector<Ent> new_elems;
-        for (Ent v : frontier)
-          for (Ent elem : p.mesh().adjacent(v, dim))
+        for (Ent v : frontier) {
+          const int na = p.mesh().adjacentInto(v, dim, adj);
+          for (int k = 0; k < na; ++k) {
+            const Ent elem = adj[static_cast<std::size_t>(k)];
             if (elems.insert(elem).second) new_elems.push_back(elem);
+          }
+        }
         frontier.clear();
         for (Ent elem : new_elems) {
           const int nv = p.mesh().downward(elem, 0, buf.data());
@@ -93,7 +98,7 @@ void PartedMesh::ghostLayersBody(int layers) {
                            [&](const Copy& c) { return c.part == q; });
       };
       std::vector<std::vector<Ent>> closure(static_cast<std::size_t>(dim) + 1);
-      std::unordered_set<Ent, EntHash> in_closure;
+      common::FlatSet<Ent, EntHash> in_closure;
       for (Ent elem : elems) {
         for (int d = 0; d < dim; ++d) {
           const int n = p.mesh().downward(elem, d, buf.data());

@@ -6,9 +6,9 @@
 /// canonical-key -> local-handle resolution tables used by migration and
 /// ghosting. Internal to the dist module.
 
-#include <unordered_map>
 #include <vector>
 
+#include "common/flatmap.hpp"
 #include "dist/partedmesh.hpp"
 
 namespace dist {
@@ -16,7 +16,9 @@ namespace dist {
 struct PartedMesh::KeyMaps {
   /// Per part: canonical key -> local handle, for remote-owned shared
   /// entities plus entities created during the current operation.
-  std::vector<std::unordered_map<GKey, Ent, GKeyHash>> by_key;
+  /// SIMD-probed open addressing: resolve() runs once per vertex key of
+  /// every creation payload on the migration/ghosting hot path.
+  std::vector<common::FlatMap<GKey, Ent, GKeyHash>> by_key;
 
   [[nodiscard]] Ent resolve(PartId self, const GKey& k) const {
     if (k.part == self) return k.ent;

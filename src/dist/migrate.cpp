@@ -23,8 +23,8 @@
 #include <array>
 #include <cassert>
 #include <stdexcept>
-#include <unordered_set>
 
+#include "common/flatmap.hpp"
 #include "dist/keymaps_impl.hpp"
 #include "dist/partedmesh.hpp"
 #include "dist/tagio.hpp"
@@ -64,6 +64,11 @@ void PartedMesh::buildKeyMaps(KeyMaps& maps) const {
   maps.by_key.assign(parts_.size(), {});
   for (const auto& pp : parts_) {
     auto& map = maps.by_key[static_cast<std::size_t>(pp->id())];
+    // Count first so the rebuild is a single allocation, not a rehash chain.
+    std::size_t n = 0;
+    for (const auto& [e, r] : pp->remotes_)
+      if (r.owner != pp->id()) ++n;
+    map.reserve(n);
     for (const auto& [e, r] : pp->remotes_) {
       if (r.owner == pp->id()) continue;
       map.emplace(keyOf(*pp, e), e);
@@ -144,10 +149,10 @@ void PartedMesh::migrateBody(const MigrationPlan& plan) {
   // every copy of a touched shared entity, take part in the protocol. This
   // keeps migration cost proportional to the data moved, not to the part
   // boundary size.
-  std::vector<std::unordered_map<Ent, Record, EntHash>> records(nparts);
+  std::vector<common::FlatMap<Ent, Record, EntHash>> records(nparts);
   std::vector<std::vector<Ent>> to_delete(nparts);
   std::vector<std::vector<std::pair<Ent, PartId>>> moving(nparts);
-  std::vector<std::unordered_set<Ent, EntHash>> participating(nparts);
+  std::vector<common::FlatSet<Ent, EntHash>> participating(nparts);
 
   for (std::size_t pi = 0; pi < nparts; ++pi) {
     Part& p = *parts_[pi];
@@ -195,14 +200,17 @@ void PartedMesh::migrateBody(const MigrationPlan& plan) {
 
   // --- Phase A: local residence contributions -> owners -------------------
   pcu::trace::begin("migrate:A-residence");
+  core::AdjVec adj;
   for (std::size_t pi = 0; pi < nparts; ++pi) {
     Part& p = *parts_[pi];
-    std::unordered_map<Ent, std::vector<PartId>, EntHash> local_res;
+    common::FlatMap<Ent, std::vector<PartId>, EntHash> local_res;
+    local_res.reserve(participating[pi].size());
     for (Ent e : participating[pi]) local_res.emplace(e, std::vector<PartId>{});
     // Destinations of adjacent elements.
     for (auto& [e, res] : local_res) {
-      for (Ent elem : p.mesh().adjacent(e, dim))
-        addUnique(res, destOf(p.id(), elem));
+      const int na = p.mesh().adjacentInto(e, dim, adj);
+      for (int k = 0; k < na; ++k)
+        addUnique(res, destOf(p.id(), adj[static_cast<std::size_t>(k)]));
       assert(!res.empty() && "entity with no adjacent element");
       const GKey key = keyOf(p, e);
       if (key.part == p.id()) {
@@ -289,6 +297,13 @@ void PartedMesh::migrateBody(const MigrationPlan& plan) {
     } else {
       for (std::size_t pi = 0; pi < nparts; ++pi) {
         Part& p = *parts_[pi];
+        // Element counts per destination are known exactly — pre-size the
+        // transport staging so the send loop never regrows a group.
+        std::vector<std::size_t> ndest(nparts, 0);
+        for (const auto& [elem, dest] : moving[pi])
+          ++ndest[static_cast<std::size_t>(dest)];
+        for (std::size_t t = 0; t < nparts; ++t)
+          net_.reserveStage(p.id(), static_cast<PartId>(t), ndest[t]);
         for (const auto& [elem, dest] : moving[pi]) {
           pcu::OutBuffer b;
           packCreation(p, elem, b);

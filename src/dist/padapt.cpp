@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <map>
 #include <stdexcept>
-#include <unordered_set>
 
 #include "adapt/collapse.hpp"
+#include "common/flatmap.hpp"
 #include "adapt/split.hpp"
 #include "core/measure.hpp"
 #include "gmi/model.hpp"
@@ -35,7 +36,20 @@ struct Split {
   Ent local_edge;  ///< this part's copy
   common::Vec3 position;
 
+  /// Geometric execution order: the snapped midpoint is identical on every
+  /// holding part AND invariant under storage layout (handles differ
+  /// across partitionings and pool reorderings, coordinates do not), so
+  /// all parts — and all layouts of the same mesh — refine in the same
+  /// sequence. Exact midpoint ties (degenerate) fall back to the key.
   friend bool operator<(const Split& a, const Split& b) {
+    const auto bits = [](const common::Vec3& x) {
+      return std::array<std::uint64_t, 3>{std::bit_cast<std::uint64_t>(x.x),
+                                          std::bit_cast<std::uint64_t>(x.y),
+                                          std::bit_cast<std::uint64_t>(x.z)};
+    };
+    const auto ka = bits(a.position);
+    const auto kb = bits(b.position);
+    if (ka != kb) return ka < kb;
     if (a.key.part != b.key.part) return a.key.part < b.key.part;
     return a.key.ent.packed() < b.key.ent.packed();
   }
@@ -70,7 +84,7 @@ PartedRefineStats refineParted(PartedMesh& pm, const adapt::SizeField& size,
   for (int pass = 0; pass < opts.max_passes; ++pass) {
     pcu::trace::Scope pass_scope("padapt:refine-pass");
     // --- 1. mark & decide ------------------------------------------------
-    std::vector<std::unordered_set<Ent, EntHash>> decided(nparts);
+    std::vector<common::FlatSet<Ent, EntHash>> decided(nparts);
     for (PartId p = 0; p < pm.parts(); ++p) {
       auto& part = pm.part(p);
       auto& mesh = part.mesh();
@@ -222,12 +236,15 @@ PartedRefineStats refineParted(PartedMesh& pm, const adapt::SizeField& size,
     for (PartId p = 0; p < pm.parts(); ++p) {
       Part& part = pm.part(p);
       auto& mesh = part.mesh();
-      std::unordered_set<Ent, EntHash> seen;
+      common::FlatSet<Ent, EntHash> seen;
+      core::AdjVec adj;
       for (const auto& [key, m] : mids[static_cast<std::size_t>(p)]) {
         (void)key;
         if (!part.isShared(m)) continue;  // interior split: nothing new shared
         for (int d = 1; d < dim; ++d) {
-          for (Ent cand : mesh.adjacent(m, d)) {
+          const int na = mesh.adjacentInto(m, d, adj);
+          for (int ai = 0; ai < na; ++ai) {
+            const Ent cand = adj[static_cast<std::size_t>(ai)];
             if (!seen.insert(cand).second) continue;
             std::array<Ent, core::kMaxDown> vbuf{};
             const int nv = mesh.downward(cand, 0, vbuf.data());
@@ -329,12 +346,15 @@ PartedCoarsenStats coarsenParted(PartedMesh& pm, const adapt::SizeField& size,
         for (Ent remove : {vs[0], vs[1]}) {
           if (part.isShared(remove)) continue;
           bool interior = true;
-          for (int d = 1; d <= dim && interior; ++d)
-            for (Ent adj : mesh.adjacent(remove, d))
-              if (part.isShared(adj)) {
+          core::AdjVec star;
+          for (int d = 1; d <= dim && interior; ++d) {
+            const int na = mesh.adjacentInto(remove, d, star);
+            for (int ai = 0; ai < na; ++ai)
+              if (part.isShared(star[static_cast<std::size_t>(ai)])) {
                 interior = false;
                 break;
               }
+          }
           if (!interior) continue;
           if (adapt::collapseEdge(mesh, e, remove, opts.transfer)) {
             ++done;

@@ -1,17 +1,22 @@
 #include "dist/partedmesh.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cassert>
+#include <cstdlib>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "core/order.hpp"
 #include "dist/tagio.hpp"
 #include "gmi/model.hpp"
 #include "pcu/arq.hpp"
 #include "pcu/error.hpp"
 #include "pcu/faults.hpp"
+#include "pcu/trace.hpp"
 
 namespace dist {
 
@@ -112,8 +117,9 @@ std::unique_ptr<PartedMesh> PartedMesh::distribute(
   out->dim_ = dim;
 
   // Residence of every serial entity: the parts of its adjacent elements
-  // (paper II-B). Sorted unique lists.
-  std::unordered_map<Ent, std::vector<PartId>, EntHash> res;
+  // (paper II-B). Sorted unique lists. Computed on serial iteration order
+  // either way — elem_dest[i] is bound to it by contract.
+  common::FlatMap<Ent, std::vector<PartId>, EntHash> res;
   res.reserve(serial.count(0) + serial.count(1) + serial.count(2) +
               serial.count(3));
   {
@@ -136,12 +142,33 @@ std::unique_ptr<PartedMesh> PartedMesh::distribute(
   }
   for (auto& [e, r] : res) std::sort(r.begin(), r.end());
 
+  // Entity creation order per dimension. By default each part's pools are
+  // laid out in locality (RCM) order — the CSR views and SoA pools reward
+  // neighbours that sit close in memory — with element order following the
+  // vertex order. PUMI_NO_REORDER=1 restores serial iteration order (the
+  // A/B baseline for the layout benches); the two layouts are digest- and
+  // fingerprint-identical, only handle assignment differs.
+  const bool reorder = std::getenv("PUMI_NO_REORDER") == nullptr;
+  std::vector<std::vector<Ent>> order(static_cast<std::size_t>(dim) + 1);
+  if (reorder) {
+    pcu::trace::Scope span("layout:reorder");
+    const auto vorder = core::order::rcmVertices(serial);
+    const auto vranks = core::order::ranksOf(serial, vorder);
+    order[0] = vorder;
+    for (int d = 1; d <= dim; ++d)
+      order[static_cast<std::size_t>(d)] =
+          core::order::byMinVertexRank(serial, d, vranks);
+  } else {
+    for (int d = 0; d <= dim; ++d)
+      order[static_cast<std::size_t>(d)] = serial.all(d);
+  }
+
   // Per-part copies of each serial entity, created dimension-ascending.
-  std::unordered_map<Ent, std::vector<Copy>, EntHash> copies;
+  common::FlatMap<Ent, std::vector<Copy>, EntHash> copies;
   copies.reserve(res.size());
   std::array<Ent, core::kMaxDown> vbuf{};
   for (int d = 0; d <= dim; ++d) {
-    for (Ent e : serial.entities(d)) {
+    for (Ent e : order[static_cast<std::size_t>(d)]) {
       auto rit = res.find(e);
       if (rit == res.end()) continue;  // entity not in any element's closure
       auto& cps = copies[e];
@@ -212,9 +239,9 @@ void PartedMesh::runTransactional(const char* opname,
     // records) so an abort can restore it exactly.
     struct Saved {
       std::unique_ptr<core::Mesh> mesh;
-      std::unordered_map<Ent, Remote, EntHash> remotes;
-      std::unordered_map<Ent, Copy, EntHash> ghost_source;
-      std::unordered_map<Ent, std::vector<Copy>, EntHash> ghosted_on;
+      common::FlatMap<Ent, Remote, EntHash> remotes;
+      common::FlatMap<Ent, Copy, EntHash> ghost_source;
+      common::FlatMap<Ent, std::vector<Copy>, EntHash> ghosted_on;
     };
     std::vector<Saved> saved;
     saved.reserve(parts_.size());
@@ -281,19 +308,62 @@ std::uint64_t PartedMesh::fingerprint() const {
   std::uint64_t h = 0x243f6a8885a308d3ull;
   mix(h, parts_.size());
   mix(h, static_cast<std::uint64_t>(dim_ + 1));
-  // The digest must survive a checkpoint/restore, where entity handles and
-  // classification pointers are rebuilt. Entities are therefore named by
-  // (dim, position in iteration order) — which writeMesh/readMesh preserve
-  // (entities are written and re-created dimension-ascending in iteration
-  // order) — and classification by its model (dim, tag).
-  std::vector<std::unordered_map<Ent, std::uint64_t, EntHash>> ord(
-      parts_.size());
+  // The digest must survive a checkpoint/restore (entity handles and
+  // classification pointers are rebuilt) AND a change of storage layout
+  // (distribute's locality reordering assigns different handles/iteration
+  // positions to the same mesh). Entities are therefore named by content:
+  // vertices by the bit patterns of their coordinates, higher entities by
+  // (type, sorted vertex names) — invariant under any relabeling.
+  // Classification is named by its model (dim, tag). Exact-coordinate ties
+  // fall back to iteration order, which keeps the digest deterministic for
+  // a fixed layout (duplicate vertex positions do not occur within a part
+  // of a verified distributed mesh).
+  std::vector<common::FlatMap<Ent, std::uint64_t, EntHash>> ord(parts_.size());
+  std::vector<std::array<std::vector<Ent>, 4>> canon(parts_.size());
   for (std::size_t i = 0; i < parts_.size(); ++i) {
     const core::Mesh& m = parts_[i]->mesh();
-    for (int d = 0; d <= m.dim(); ++d) {
-      std::uint64_t k = 0;
-      for (Ent e : m.entities(d))
-        ord[i].emplace(e, (static_cast<std::uint64_t>(d) << 48) | k++);
+    std::size_t total = 0;
+    for (int d = 0; d <= m.dim(); ++d) total += m.count(d);
+    ord[i].reserve(total);
+    auto coordKey = [&m](Ent v) {
+      const common::Vec3 x = m.point(v);
+      return std::array<std::uint64_t, 3>{std::bit_cast<std::uint64_t>(x.x),
+                                          std::bit_cast<std::uint64_t>(x.y),
+                                          std::bit_cast<std::uint64_t>(x.z)};
+    };
+    std::vector<Ent> vs = m.all(0);
+    std::stable_sort(vs.begin(), vs.end(), [&](Ent a, Ent b) {
+      return coordKey(a) < coordKey(b);
+    });
+    std::uint64_t k = 0;
+    for (Ent v : vs) ord[i].emplace(v, k++);
+    canon[i][0] = std::move(vs);
+    std::array<Ent, core::kMaxDown> vbuf{};
+    for (int d = 1; d <= m.dim(); ++d) {
+      using Key = std::array<std::uint64_t, 9>;  // topo + up to 8 vertices
+      std::vector<std::pair<Key, Ent>> keyed;
+      keyed.reserve(m.count(d));
+      for (Ent e : m.entities(d)) {
+        Key key;
+        key.fill(~std::uint64_t{0});
+        key[0] = static_cast<std::uint64_t>(e.topo());
+        const int nv = m.downward(e, 0, vbuf.data());
+        for (int v = 0; v < nv; ++v)
+          key[static_cast<std::size_t>(v) + 1] =
+              ord[i].at(vbuf[static_cast<std::size_t>(v)]);
+        std::sort(key.begin() + 1, key.begin() + 1 + nv);
+        keyed.emplace_back(key, e);
+      }
+      std::stable_sort(
+          keyed.begin(), keyed.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      auto& list = canon[i][static_cast<std::size_t>(d)];
+      list.reserve(keyed.size());
+      std::uint64_t kk = 0;
+      for (const auto& [key, e] : keyed) {
+        ord[i].emplace(e, (static_cast<std::uint64_t>(d) << 48) | kk++);
+        list.push_back(e);
+      }
     }
   }
   auto refOf = [&ord](PartId part, Ent e) -> std::uint64_t {
@@ -307,9 +377,9 @@ std::uint64_t PartedMesh::fingerprint() const {
     const Part& p = *parts_[i];
     const int pd = p.mesh().dim();
     for (int d = 0; d <= pd; ++d) {
-      // Entity iteration is deterministic (type then index), so the digest
-      // is order-stable without sorting.
-      for (Ent e : p.mesh().entities(d)) {
+      // Entities are visited in canonical-name order, so the byte stream
+      // mixed below is identical for any storage layout of the same mesh.
+      for (Ent e : canon[i][static_cast<std::size_t>(d)]) {
         mix(h, static_cast<std::uint64_t>(e.topo()) + 1);
         if (d == 0) {
           const common::Vec3 x = p.mesh().point(e);
@@ -333,7 +403,14 @@ std::uint64_t PartedMesh::fingerprint() const {
           mix(h, refOf(src.part, src.ent));
         }
         if (const auto* gcopies = p.ghostCopies(e)) {
-          for (const Copy& c : *gcopies) {
+          // The tracked list accumulates in message-arrival order, which is
+          // layout-dependent; mix it in canonical (part, name) order.
+          std::vector<Copy> gs(*gcopies);
+          std::sort(gs.begin(), gs.end(), [&](const Copy& a, const Copy& b) {
+            if (a.part != b.part) return a.part < b.part;
+            return refOf(a.part, a.ent) < refOf(b.part, b.ent);
+          });
+          for (const Copy& c : gs) {
             mix(h, static_cast<std::uint64_t>(c.part) + 3);
             mix(h, refOf(c.part, c.ent));
           }
@@ -421,7 +498,7 @@ void PartedMesh::verify() const {
         // (entities exist exactly where adjacent elements are).
         if (d < dim) {
           bool has_elem = false;
-          for (Ent u : p.mesh().adjacent(e, dim))
+          for (Ent u : p.mesh().adjacentSpan(e, dim))
             if (!p.isGhost(u)) has_elem = true;
           if (!has_elem)
             vfail("entity resides on part without adjacent element", p.id(),

@@ -19,10 +19,9 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flatmap.hpp"
 #include "core/mesh.hpp"
 #include "dist/network.hpp"
 #include "dist/types.hpp"
@@ -37,8 +36,10 @@ using core::Ent;
 using core::EntHash;
 
 /// Element-migration plan: for each part (by index), the elements leaving
-/// it and their destination parts. Elements not listed stay.
-using MigrationPlan = std::vector<std::unordered_map<Ent, PartId, EntHash>>;
+/// it and their destination parts. Elements not listed stay. Open-addressing
+/// tables (common::FlatMap): plan application probes these once per adjacent
+/// element on the migration hot path.
+using MigrationPlan = std::vector<common::FlatMap<Ent, PartId, EntHash>>;
 
 class PartedMesh;
 
@@ -70,8 +71,7 @@ class Part {
   }
   /// All part-boundary entities with their remote records (iteration order
   /// is unspecified; callers needing determinism must sort).
-  [[nodiscard]] const std::unordered_map<Ent, Remote, EntHash>& remotes()
-      const {
+  [[nodiscard]] const common::FlatMap<Ent, Remote, EntHash>& remotes() const {
     return remotes_;
   }
 
@@ -130,9 +130,12 @@ class Part {
   friend struct CheckpointAccess;  ///< checkpoint.cpp (de)serializes the maps
   PartId id_;
   core::Mesh mesh_;
-  std::unordered_map<Ent, Remote, EntHash> remotes_;
-  std::unordered_map<Ent, Copy, EntHash> ghost_source_;
-  std::unordered_map<Ent, std::vector<Copy>, EntHash> ghosted_on_;
+  // Open-addressing tables (SIMD-probed; see common/flatmap.hpp): the
+  // remote/ghost lookups these serve are the per-entity inner loops of
+  // migration, ghosting and tag sync.
+  common::FlatMap<Ent, Remote, EntHash> remotes_;
+  common::FlatMap<Ent, Copy, EntHash> ghost_source_;
+  common::FlatMap<Ent, std::vector<Copy>, EntHash> ghosted_on_;
 };
 
 /// The distributed mesh.

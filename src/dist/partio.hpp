@@ -31,11 +31,11 @@ namespace dist {
 /// dimension, and (for evacuation) wipe a dead part in place — none of
 /// which should grow public mutators for these internal uses.
 struct CheckpointAccess {
-  static const std::unordered_map<Ent, Copy, EntHash>& ghostSource(
+  static const common::FlatMap<Ent, Copy, EntHash>& ghostSource(
       const Part& p) {
     return p.ghost_source_;
   }
-  static const std::unordered_map<Ent, std::vector<Copy>, EntHash>& ghostedOn(
+  static const common::FlatMap<Ent, std::vector<Copy>, EntHash>& ghostedOn(
       const Part& p) {
     return p.ghosted_on_;
   }

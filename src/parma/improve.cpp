@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
-#include <unordered_set>
+#include <utility>
 
+#include "common/flatmap.hpp"
 #include "pcu/trace.hpp"
 
 namespace parma {
@@ -26,8 +28,92 @@ bool sharedWith(const dist::Part& p, Ent e, PartId q) {
                      [&](const dist::Copy& c) { return c.part == q; });
 }
 
+/// Layout-invariant total order: an entity keyed by the bit patterns of
+/// its sorted vertex coordinates. Distinct entities of one dimension never
+/// share a vertex set, so the key orders candidates identically no matter
+/// how handles were assigned — every balancing decision (greedy cavity
+/// selection under a budget) then gives the same answer with locality
+/// reordering on or off.
+using GeomKey = std::array<std::uint64_t, 3 * core::kMaxDown>;
+
+GeomKey geomKey(const core::Mesh& mesh, Ent e) {
+  GeomKey key;
+  key.fill(~std::uint64_t{0});
+  const auto bits = [](const common::Vec3& x) {
+    return std::array<std::uint64_t, 3>{std::bit_cast<std::uint64_t>(x.x),
+                                        std::bit_cast<std::uint64_t>(x.y),
+                                        std::bit_cast<std::uint64_t>(x.z)};
+  };
+  if (core::topoDim(e.topo()) == 0) {
+    const auto v = bits(mesh.point(e));
+    std::copy(v.begin(), v.end(), key.begin());
+    return key;
+  }
+  const auto vs = mesh.verts(e);
+  std::array<std::array<std::uint64_t, 3>, core::kMaxDown> vk{};
+  for (std::size_t i = 0; i < vs.size(); ++i) vk[i] = bits(mesh.point(vs[i]));
+  std::sort(vk.begin(), vk.begin() + static_cast<std::ptrdiff_t>(vs.size()));
+  for (std::size_t i = 0; i < vs.size(); ++i)
+    std::copy(vk[i].begin(), vk[i].end(), key.begin() + 3 * static_cast<std::ptrdiff_t>(i));
+  return key;
+}
+
+/// Spread the low 21 bits of x so three coordinates interleave into one
+/// 63-bit Morton code.
+std::uint64_t spreadBits(std::uint64_t x) {
+  x &= 0x1fffff;
+  x = (x | x << 32) & 0x1f00000000ffffULL;
+  x = (x | x << 16) & 0x1f0000ff0000ffULL;
+  x = (x | x << 8) & 0x100f00f00f00f00fULL;
+  x = (x | x << 4) & 0x10c30c30c30c30c3ULL;
+  x = (x | x << 2) & 0x1249249249249249ULL;
+  return x;
+}
+
+common::Vec3 centroidOf(const core::Mesh& mesh, Ent e) {
+  if (core::topoDim(e.topo()) == 0) return mesh.point(e);
+  common::Vec3 c{0, 0, 0};
+  const auto vs = mesh.verts(e);
+  for (Ent v : vs) c = c + mesh.point(v);
+  return c * (1.0 / static_cast<double>(vs.size()));
+}
+
+/// Sort entities along a Morton (Z-order) curve over their centroids,
+/// exact geomKey as tie-break. Greedy selection with budget cutoffs then
+/// sweeps the boundary in spatially coherent runs (as the old
+/// creation-handle order did for structured meshes) instead of jumping
+/// around it, while staying layout-invariant.
+void sortGeom(const core::Mesh& mesh, std::vector<Ent>& es) {
+  if (es.size() < 2) return;
+  std::vector<common::Vec3> cs;
+  cs.reserve(es.size());
+  common::Vec3 lo = centroidOf(mesh, es[0]), hi = lo;
+  for (Ent e : es) {
+    const auto c = centroidOf(mesh, e);
+    cs.push_back(c);
+    lo = {std::min(lo.x, c.x), std::min(lo.y, c.y), std::min(lo.z, c.z)};
+    hi = {std::max(hi.x, c.x), std::max(hi.y, c.y), std::max(hi.z, c.z)};
+  }
+  const auto cell = [&](double v, double l, double h) {
+    constexpr double kCells = 1 << 21;
+    if (h <= l) return std::uint64_t{0};
+    const double t = (v - l) / (h - l) * (kCells - 1.0);
+    return static_cast<std::uint64_t>(std::max(0.0, std::min(t, kCells - 1.0)));
+  };
+  std::vector<std::tuple<std::uint64_t, GeomKey, Ent>> keyed;
+  keyed.reserve(es.size());
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const std::uint64_t m = spreadBits(cell(cs[i].x, lo.x, hi.x)) |
+                            spreadBits(cell(cs[i].y, lo.y, hi.y)) << 1 |
+                            spreadBits(cell(cs[i].z, lo.z, hi.z)) << 2;
+    keyed.emplace_back(m, geomKey(mesh, es[i]), es[i]);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (std::size_t i = 0; i < es.size(); ++i) es[i] = std::get<2>(keyed[i]);
+}
+
 /// Part-boundary entities of dimension `dim` shared with part q, in
-/// deterministic (handle) order. Touches only the boundary, never the
+/// layout-invariant geometric order. Touches only the boundary, never the
 /// whole part mesh.
 std::vector<Ent> boundaryWith(const dist::Part& p, PartId q, int dim) {
   std::vector<Ent> out;
@@ -39,7 +125,16 @@ std::vector<Ent> boundaryWith(const dist::Part& p, PartId q, int dim) {
         break;
       }
   }
-  std::sort(out.begin(), out.end());
+  sortGeom(p.mesh(), out);
+  return out;
+}
+
+/// Upward adjacency of `f` in geometric order (the pool order of up() is
+/// layout-dependent).
+std::vector<Ent> upSorted(const core::Mesh& mesh, Ent f) {
+  const auto& up = mesh.up(f);
+  std::vector<Ent> out(up.begin(), up.end());
+  sortGeom(mesh, out);
   return out;
 }
 
@@ -48,11 +143,11 @@ std::vector<Ent> boundaryWith(const dist::Part& p, PartId q, int dim) {
 std::vector<Cavity> selectForElements(const dist::Part& p, PartId q,
                                       int elem_dim) {
   std::vector<Cavity> out;
-  std::unordered_set<Ent, EntHash> chosen;
+  common::FlatSet<Ent, EntHash> chosen;
   const auto& mesh = p.mesh();
   const auto shared_faces = boundaryWith(p, q, elem_dim - 1);
   for (Ent f : shared_faces) {
-    for (Ent e : mesh.up(f)) {
+    for (Ent e : upSorted(mesh, f)) {
       if (p.isGhost(e) || chosen.count(e)) continue;
       std::array<Ent, core::kMaxDown> faces{};
       const int nf = mesh.downward(e, elem_dim - 1, faces.data());
@@ -69,7 +164,7 @@ std::vector<Cavity> selectForElements(const dist::Part& p, PartId q,
   // heuristic: any element touching the q-boundary.
   if (out.empty()) {
     for (Ent f : shared_faces) {
-      for (Ent e : mesh.up(f))
+      for (Ent e : upSorted(mesh, f))
         if (!p.isGhost(e) && chosen.insert(e).second) out.push_back(Cavity{e});
     }
   }
@@ -83,13 +178,16 @@ std::vector<Cavity> selectForElements(const dist::Part& p, PartId q,
 std::vector<Cavity> selectForEdgesFaces(const dist::Part& p, PartId q,
                                         int elem_dim) {
   std::vector<Cavity> out;
-  std::unordered_set<Ent, EntHash> chosen;
+  common::FlatSet<Ent, EntHash> chosen;
   const auto& mesh = p.mesh();
+  core::AdjVec adj;
   for (Ent e : boundaryWith(p, q, 1)) {
     if (mesh.up(e).size() > 2) continue;
     Cavity cav;
     bool clash = false;
-    for (Ent elem : mesh.adjacent(e, elem_dim)) {
+    const int na = mesh.adjacentInto(e, elem_dim, adj);
+    for (int k = 0; k < na; ++k) {
+      const Ent elem = adj[static_cast<std::size_t>(k)];
       if (p.isGhost(elem)) continue;
       if (chosen.count(elem)) clash = true;
       cav.push_back(elem);
@@ -107,12 +205,15 @@ std::vector<Cavity> selectForEdgesFaces(const dist::Part& p, PartId q,
 std::vector<Cavity> selectForVertices(const dist::Part& p, PartId q,
                                       int elem_dim, int max_cavity) {
   std::vector<Cavity> out;
-  std::unordered_set<Ent, EntHash> chosen;
+  common::FlatSet<Ent, EntHash> chosen;
   const auto& mesh = p.mesh();
+  core::AdjVec adj;
   for (Ent v : boundaryWith(p, q, 0)) {
     Cavity cav;
     bool clash = false;
-    for (Ent elem : mesh.adjacent(v, elem_dim)) {
+    const int na = mesh.adjacentInto(v, elem_dim, adj);
+    for (int k = 0; k < na; ++k) {
+      const Ent elem = adj[static_cast<std::size_t>(k)];
       if (p.isGhost(elem)) continue;
       if (chosen.count(elem)) clash = true;
       cav.push_back(elem);
@@ -123,6 +224,13 @@ std::vector<Cavity> selectForVertices(const dist::Part& p, PartId q,
     for (Ent elem : cav) chosen.insert(elem);
     out.push_back(std::move(cav));
   }
+  // Smallest vertex stars first (stable: equal sizes keep the coherent
+  // geometric sweep): each removes its vertex at the least element churn,
+  // so the greedy budget converges closer to the mean.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Cavity& a, const Cavity& b) {
+                     return a.size() < b.size();
+                   });
   // Fallback: when no vertex has a small enough local star, fall back to
   // boundary-hugging single elements (still shifts boundary vertices).
   if (out.empty()) return selectForElements(p, q, elem_dim);
@@ -133,10 +241,10 @@ std::vector<Cavity> selectForVertices(const dist::Part& p, PartId q,
 /// cavity, with no boundary-quality consideration.
 std::vector<Cavity> selectNaive(const dist::Part& p, PartId q, int elem_dim) {
   std::vector<Cavity> out;
-  std::unordered_set<Ent, EntHash> chosen;
+  common::FlatSet<Ent, EntHash> chosen;
   const auto& mesh = p.mesh();
   for (Ent f : boundaryWith(p, q, elem_dim - 1)) {
-    for (Ent e : mesh.up(f))
+    for (Ent e : upSorted(mesh, f))
       if (!p.isGhost(e) && chosen.insert(e).second) out.push_back(Cavity{e});
   }
   return out;
@@ -166,7 +274,7 @@ double elementWeight(const core::Mesh& mesh, core::Mesh::Tag tag, Ent e) {
 
 CavityEffect cavityEffect(const dist::Part& p, const Cavity& cav, PartId q,
                           int elem_dim,
-                          const std::unordered_set<Ent, EntHash>& selected,
+                          const common::FlatSet<Ent, EntHash>& selected,
                           core::Mesh::Tag weight_tag) {
   CavityEffect fx;
   double w = 0.0;
@@ -174,9 +282,10 @@ CavityEffect cavityEffect(const dist::Part& p, const Cavity& cav, PartId q,
   fx.adds[static_cast<std::size_t>(elem_dim)] = static_cast<int>(w + 0.5);
   fx.leaves[static_cast<std::size_t>(elem_dim)] = static_cast<int>(w + 0.5);
   const auto& mesh = p.mesh();
-  std::unordered_set<Ent, EntHash> in_cavity(cav.begin(), cav.end());
+  common::FlatSet<Ent, EntHash> in_cavity(cav.begin(), cav.end());
   std::array<Ent, core::kMaxDown> buf{};
-  std::unordered_set<Ent, EntHash> seen;
+  common::FlatSet<Ent, EntHash> seen;
+  core::AdjVec adj;
   for (Ent elem : cav) {
     for (int d = 0; d < elem_dim; ++d) {
       const int n = mesh.downward(elem, d, buf.data());
@@ -185,7 +294,9 @@ CavityEffect cavityEffect(const dist::Part& p, const Cavity& cav, PartId q,
         if (!seen.insert(c).second) continue;
         if (!sharedWith(p, c, q)) fx.adds[static_cast<std::size_t>(d)] += 1;
         bool all_leaving = true;
-        for (Ent up_elem : mesh.adjacent(c, elem_dim)) {
+        const int na = mesh.adjacentInto(c, elem_dim, adj);
+        for (int k = 0; k < na; ++k) {
+          const Ent up_elem = adj[static_cast<std::size_t>(k)];
           if (p.isGhost(up_elem)) continue;
           if (!in_cavity.count(up_elem) && !selected.count(up_elem))
             all_leaving = false;
@@ -291,12 +402,16 @@ ImproveReport improve(dist::PartedMesh& pm, const Priority& priority,
             if (ok) cands.push_back(q);
           }
           if (cands.empty()) continue;
+          // Tie-break by part id so candidate order never depends on the
+          // (layout-sensitive) neighborParts iteration order.
           std::sort(cands.begin(), cands.end(), [&](PartId x, PartId y) {
-            return b.per_part[static_cast<std::size_t>(x)] <
-                   b.per_part[static_cast<std::size_t>(y)];
+            const auto cx = b.per_part[static_cast<std::size_t>(x)];
+            const auto cy = b.per_part[static_cast<std::size_t>(y)];
+            if (cx != cy) return cx < cy;
+            return x < y;
           });
 
-          std::unordered_set<Ent, EntHash> selected;
+          common::FlatSet<Ent, EntHash> selected;
           int moved = 0;
           for (PartId q : cands) {
             if (moved >= budget) break;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
+
+#include "common/flatmap.hpp"
 
 namespace part {
 
@@ -20,7 +21,7 @@ std::vector<Ent> conflicts(const core::Mesh& mesh, Ent e,
   std::array<Ent, core::kMaxDown> buf{};
   const int n = mesh.downward(e, bridge, buf.data());
   for (int i = 0; i < n; ++i) {
-    for (Ent other : mesh.adjacent(buf[static_cast<std::size_t>(i)], dim))
+    for (Ent other : mesh.adjacentSpan(buf[static_cast<std::size_t>(i)], dim))
       if (other != e &&
           std::find(out.begin(), out.end(), other) == out.end())
         out.push_back(other);
@@ -34,7 +35,7 @@ Coloring colorElements(const core::Mesh& mesh, ColorRelation relation) {
   const int dim = mesh.dim();
   Coloring c;
   c.color.assign(mesh.count(dim), -1);
-  std::unordered_map<Ent, std::size_t, EntHash> index;
+  common::FlatMap<Ent, std::size_t, EntHash> index;
   std::vector<Ent> elems;
   elems.reserve(mesh.count(dim));
   for (Ent e : mesh.entities(dim)) {
@@ -59,7 +60,7 @@ Coloring colorElements(const core::Mesh& mesh, ColorRelation relation) {
 void verifyColoring(const core::Mesh& mesh, const Coloring& coloring,
                     ColorRelation relation) {
   const int dim = mesh.dim();
-  std::unordered_map<Ent, std::size_t, EntHash> index;
+  common::FlatMap<Ent, std::size_t, EntHash> index;
   std::vector<Ent> elems;
   for (Ent e : mesh.entities(dim)) {
     index.emplace(e, elems.size());

@@ -1,103 +1,37 @@
 #include "part/reorder.hpp"
 
-#include <algorithm>
-#include <deque>
+#include "core/order.hpp"
 
 namespace part {
 
 using core::Ent;
 
-namespace {
-
-/// Other endpoint of an edge.
-Ent otherVertex(const core::Mesh& mesh, Ent edge, Ent v) {
-  const auto vs = mesh.verts(edge);
-  return vs[0] == v ? vs[1] : vs[0];
-}
-
-/// BFS from `seed`; returns visit order (restarting on disconnection).
-std::vector<Ent> bfs(const core::Mesh& mesh, Ent seed) {
-  std::unordered_map<Ent, char, core::EntHash> visited;
-  std::vector<Ent> order;
-  order.reserve(mesh.count(0));
-  std::deque<Ent> queue;
-  auto push = [&](Ent v) {
-    if (visited.emplace(v, 1).second) queue.push_back(v);
-  };
-  push(seed);
-  auto restart = mesh.entities(0).begin();
-  const auto end = mesh.entities(0).end();
-  while (order.size() < mesh.count(0)) {
-    if (queue.empty()) {
-      while (restart != end && visited.count(*restart)) ++restart;
-      if (restart == end) break;
-      push(*restart);
-    }
-    const Ent v = queue.front();
-    queue.pop_front();
-    order.push_back(v);
-    // Neighbours in ascending degree (the Cuthill-McKee tie-break).
-    std::vector<std::pair<std::uint32_t, Ent>> nbrs;
-    for (Ent e : mesh.up(v)) {
-      const Ent o = otherVertex(mesh, e, v);
-      if (!visited.count(o)) nbrs.emplace_back(mesh.up(o).size(), o);
-    }
-    std::sort(nbrs.begin(), nbrs.end());
-    for (const auto& [deg, o] : nbrs) {
-      (void)deg;
-      push(o);
-    }
-  }
-  return order;
-}
-
-}  // namespace
+// The ordering kernels themselves live in core/order (flat slot-indexed
+// arrays, reachable from dist::distribute); this layer re-packages them
+// into the map-based Ordering consumers of this API expect.
 
 Ordering reorderVertices(const core::Mesh& mesh) {
   Ordering out;
-  if (mesh.count(0) == 0) return out;
-  // Pseudo-peripheral seed: the last vertex of a BFS from the first.
-  const Ent first = *mesh.entities(0).begin();
-  const Ent peripheral = bfs(mesh, first).back();
-  auto order = bfs(mesh, peripheral);
-  // Reverse (RCM).
-  std::reverse(order.begin(), order.end());
-  out.rank.reserve(order.size());
-  for (std::size_t i = 0; i < order.size(); ++i)
-    out.rank.emplace(order[i], static_cast<int>(i));
-  out.order = std::move(order);
+  out.order = core::order::rcmVertices(mesh);
+  out.rank.reserve(out.order.size());
+  for (std::size_t i = 0; i < out.order.size(); ++i)
+    out.rank.emplace(out.order[i], static_cast<int>(i));
   return out;
 }
 
 Ordering reorderElements(const core::Mesh& mesh, const Ordering& verts) {
   Ordering out;
-  const int dim = mesh.dim();
-  std::vector<std::pair<int, Ent>> keyed;
-  keyed.reserve(mesh.count(dim));
-  for (Ent e : mesh.entities(dim)) {
-    int best = static_cast<int>(verts.order.size());
-    for (Ent v : mesh.verts(e)) best = std::min(best, verts.rank.at(v));
-    keyed.emplace_back(best, e);
-  }
-  std::sort(keyed.begin(), keyed.end());
-  out.order.reserve(keyed.size());
-  for (const auto& [k, e] : keyed) {
-    (void)k;
-    out.rank.emplace(e, static_cast<int>(out.order.size()));
-    out.order.push_back(e);
-  }
+  const auto vranks = core::order::ranksOf(mesh, verts.order);
+  out.order = core::order::byMinVertexRank(mesh, mesh.dim(), vranks);
+  out.rank.reserve(out.order.size());
+  for (std::size_t i = 0; i < out.order.size(); ++i)
+    out.rank.emplace(out.order[i], static_cast<int>(i));
   return out;
 }
 
 std::size_t bandwidth(const core::Mesh& mesh, const Ordering& verts) {
-  std::size_t bw = 0;
-  for (Ent e : mesh.entities(1)) {
-    const auto vs = mesh.verts(e);
-    const int a = verts.rank.at(vs[0]);
-    const int b = verts.rank.at(vs[1]);
-    bw = std::max(bw, static_cast<std::size_t>(std::abs(a - b)));
-  }
-  return bw;
+  return core::order::bandwidth(mesh,
+                                core::order::ranksOf(mesh, verts.order));
 }
 
 }  // namespace part

@@ -1,0 +1,313 @@
+/// \file test_flatmap.cpp
+/// \brief Property tests for common::FlatMap/FlatSet (ISSUE 8 satellite):
+/// random insert/erase/find traffic checked against a std::unordered_map
+/// oracle, tombstone-reuse bounds, and the documented iterator/reference
+/// stability contract.
+
+#include "common/flatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/entity.hpp"
+#include "dist/types.hpp"
+
+using common::FlatMap;
+using common::FlatSet;
+
+namespace {
+
+/// Deliberately terrible hash: identity. The table's internal splitmix
+/// finalizer must still spread these across groups.
+struct IdentityHash {
+  std::size_t operator()(int k) const { return static_cast<std::size_t>(k); }
+};
+
+TEST(FlatMap, BasicInsertFindErase) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(7), m.end());
+
+  m[7] = "seven";
+  m[11] = "eleven";
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(7), "seven");
+  EXPECT_EQ(m.find(11)->second, "eleven");
+  EXPECT_TRUE(m.contains(7));
+  EXPECT_EQ(m.count(13), 0u);
+  EXPECT_THROW(m.at(13), std::out_of_range);
+
+  m[7] = "SEVEN";  // overwrite, not duplicate
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(7), "SEVEN");
+
+  EXPECT_EQ(m.erase(7), 1u);
+  EXPECT_EQ(m.erase(7), 0u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_TRUE(m.contains(11));
+}
+
+TEST(FlatMap, EmplaceAndInsertSemantics) {
+  FlatMap<int, int> m;
+  auto [it1, fresh1] = m.emplace(1, 10);
+  EXPECT_TRUE(fresh1);
+  EXPECT_EQ(it1->second, 10);
+  auto [it2, fresh2] = m.emplace(1, 99);  // existing key: no overwrite
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(it2->second, 10);
+  auto [it3, fresh3] = m.try_emplace(2, 20);
+  EXPECT_TRUE(fresh3);
+  EXPECT_EQ(it3->second, 20);
+  auto [it4, fresh4] = m.insert({3, 30});
+  EXPECT_TRUE(fresh4);
+  EXPECT_EQ(it4->second, 30);
+  EXPECT_FALSE(m.insert({3, 99}).second);
+  EXPECT_EQ(m.at(3), 30);
+}
+
+/// The oracle property test: a long random schedule of insert / erase /
+/// overwrite / lookup, mirrored into std::unordered_map, with full-content
+/// equality checks along the way. Run with both a good hash and an
+/// identity hash (exercises the internal mixer under heavy collision
+/// pressure in user-hash space).
+template <class Hash>
+void runOracle(std::uint32_t seed, int key_space) {
+  std::mt19937 rng(seed);
+  FlatMap<int, std::uint64_t, Hash> m;
+  std::unordered_map<int, std::uint64_t> oracle;
+
+  auto checkEqual = [&] {
+    ASSERT_EQ(m.size(), oracle.size());
+    for (const auto& [k, v] : oracle) {
+      auto it = m.find(k);
+      ASSERT_NE(it, m.end()) << "missing key " << k;
+      ASSERT_EQ(it->second, v) << "wrong value for key " << k;
+    }
+    std::size_t n = 0;
+    for (const auto& [k, v] : m) {
+      auto it = oracle.find(k);
+      ASSERT_NE(it, oracle.end()) << "phantom key " << k;
+      ASSERT_EQ(it->second, v);
+      ++n;
+    }
+    ASSERT_EQ(n, m.size()) << "iteration count disagrees with size()";
+  };
+
+  for (int step = 0; step < 6000; ++step) {
+    const int k = static_cast<int>(rng() % key_space);
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // insert-or-overwrite
+        const std::uint64_t v = rng();
+        m[k] = v;
+        oracle[k] = v;
+        break;
+      }
+      case 2: {  // erase
+        ASSERT_EQ(m.erase(k), oracle.erase(k));
+        break;
+      }
+      case 3: {  // lookup
+        auto it = m.find(k);
+        auto oit = oracle.find(k);
+        ASSERT_EQ(it == m.end(), oit == oracle.end());
+        if (oit != oracle.end()) {
+          ASSERT_EQ(it->second, oit->second);
+        }
+        break;
+      }
+    }
+    if (step % 500 == 0) checkEqual();
+  }
+  checkEqual();
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  for (const auto& [k, v] : oracle) EXPECT_FALSE(m.contains(k));
+}
+
+TEST(FlatMapProperty, OracleGoodHash) {
+  for (std::uint32_t seed = 1; seed <= 5; ++seed) runOracle<std::hash<int>>(seed, 512);
+}
+
+TEST(FlatMapProperty, OracleIdentityHash) {
+  for (std::uint32_t seed = 1; seed <= 5; ++seed) runOracle<IdentityHash>(seed, 512);
+}
+
+TEST(FlatMapProperty, OracleEntKeys) {
+  std::mt19937 rng(42);
+  FlatMap<core::Ent, int, core::EntHash> m;
+  std::unordered_map<core::Ent, int, core::EntHash> oracle;
+  for (int step = 0; step < 4000; ++step) {
+    const core::Ent e(static_cast<core::Topo>(rng() % core::kTopoCount),
+                      rng() % 300);
+    if (rng() % 3 == 0) {
+      ASSERT_EQ(m.erase(e), oracle.erase(e));
+    } else {
+      const int v = static_cast<int>(rng());
+      m[e] = v;
+      oracle[e] = v;
+    }
+  }
+  ASSERT_EQ(m.size(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    auto it = m.find(k);
+    ASSERT_NE(it, m.end());
+    ASSERT_EQ(it->second, v);
+  }
+}
+
+/// Tombstone reuse: a sustained insert/erase churn over a fixed key set
+/// must not grow the table without bound — erased slots become tombstones
+/// and inserts on the same probe paths reclaim them (or a same-size rehash
+/// clears them). 100k churn steps over 64 keys must keep capacity tiny.
+TEST(FlatMapProperty, TombstoneReuseBoundsCapacity) {
+  FlatMap<int, int> m;
+  std::mt19937 rng(7);
+  for (int i = 0; i < 64; ++i) m[i] = i;
+  for (int step = 0; step < 100000; ++step) {
+    const int k = static_cast<int>(rng() % 64);
+    m.erase(k);
+    m[k] = step;
+  }
+  EXPECT_EQ(m.size(), 64u);
+  // 64 live keys need >= 128 slots at 7/8 load w/ 16-wide groups; churn must
+  // not have inflated this by more than one doubling.
+  EXPECT_LE(m.capacity(), 256u) << "tombstones were never reclaimed";
+  for (int i = 0; i < 64; ++i) EXPECT_TRUE(m.contains(i));
+}
+
+/// The documented iterator/reference stability contract:
+///  (a) erase() never rehashes: references to OTHER elements stay valid;
+///  (b) any insert may rehash: the test asserts validity only up to the
+///      next insert, which is all the contract promises.
+TEST(FlatMap, EraseKeepsOtherReferencesValid) {
+  FlatMap<int, std::string> m;
+  for (int i = 0; i < 100; ++i) m[i] = "v" + std::to_string(i);
+  std::vector<const std::string*> refs;
+  for (int i = 0; i < 100; i += 2) refs.push_back(&m.at(i));
+  for (int i = 1; i < 100; i += 2) m.erase(i);  // erase the odd keys
+  for (std::size_t j = 0; j < refs.size(); ++j)
+    EXPECT_EQ(*refs[j], "v" + std::to_string(2 * j))
+        << "erase moved an unrelated element";
+  const std::size_t cap_before = m.capacity();
+  for (int i = 1; i < 100; i += 2) m.erase(i);
+  EXPECT_EQ(m.capacity(), cap_before) << "erase rehashed";
+}
+
+TEST(FlatMap, EraseByIteratorAdvances) {
+  FlatMap<int, int> m;
+  for (int i = 0; i < 50; ++i) m[i] = i;
+  // Erase every element through the iterator API.
+  auto it = m.begin();
+  std::size_t erased = 0;
+  while (it != m.end()) {
+    it = m.erase(it);
+    ++erased;
+  }
+  EXPECT_EQ(erased, 50u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, CopyAndMoveSemantics) {
+  FlatMap<int, std::string> a;
+  for (int i = 0; i < 200; ++i) a[i] = std::to_string(i * i);
+  a.erase(13);
+
+  FlatMap<int, std::string> b(a);  // copy
+  ASSERT_EQ(b.size(), a.size());
+  for (const auto& [k, v] : a) EXPECT_EQ(b.at(k), v);
+  b[9999] = "x";
+  EXPECT_FALSE(a.contains(9999)) << "copy aliases the original";
+
+  FlatMap<int, std::string> c(std::move(b));  // move steals storage
+  EXPECT_TRUE(c.contains(9999));
+  EXPECT_EQ(c.at(100), "10000");
+
+  FlatMap<int, std::string> d;
+  d[1] = "old";
+  d = a;  // copy assign over live contents
+  EXPECT_EQ(d.size(), a.size());
+  EXPECT_FALSE(d.contains(13));
+  d = std::move(c);  // move assign
+  EXPECT_TRUE(d.contains(9999));
+}
+
+TEST(FlatMap, NonTriviallyCopyableValues) {
+  // Remote (vector-bearing) values exercise placement-new construct /
+  // destroy and move-on-rehash paths: the dist tables store these.
+  FlatMap<core::Ent, std::vector<dist::Copy>, core::EntHash> m;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const core::Ent e(core::Topo::Vertex, i);
+    auto& cps = m[e];
+    for (std::uint32_t j = 0; j <= i % 5; ++j)
+      cps.push_back(dist::Copy{static_cast<dist::PartId>(j), e});
+  }
+  ASSERT_EQ(m.size(), 300u);
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const core::Ent e(core::Topo::Vertex, i);
+    ASSERT_EQ(m.at(e).size(), i % 5 + 1);
+    EXPECT_EQ(m.at(e).front().ent, e);
+  }
+}
+
+TEST(FlatMap, ReserveAvoidsRehash) {
+  FlatMap<int, int> m;
+  m.reserve(1000);
+  const std::size_t cap = m.capacity();
+  ASSERT_GE(cap * 7 / 8, 1000u);
+  for (int i = 0; i < 1000; ++i) m[i] = i;
+  EXPECT_EQ(m.capacity(), cap) << "reserve(n) did not prevent rehash";
+}
+
+TEST(FlatSet, OracleChurn) {
+  FlatSet<int> s;
+  std::unordered_set<int> oracle;
+  std::mt19937 rng(99);
+  for (int step = 0; step < 8000; ++step) {
+    const int k = static_cast<int>(rng() % 400);
+    if (rng() % 3 == 0) {
+      ASSERT_EQ(s.erase(k), oracle.erase(k));
+    } else {
+      ASSERT_EQ(s.insert(k).second, oracle.insert(k).second);
+    }
+  }
+  ASSERT_EQ(s.size(), oracle.size());
+  for (int k : oracle) EXPECT_TRUE(s.contains(k));
+  std::size_t n = 0;
+  for (int k : s) {
+    EXPECT_TRUE(oracle.count(k));
+    ++n;
+  }
+  EXPECT_EQ(n, s.size());
+}
+
+TEST(FlatSet, RangeConstructAndGKeys) {
+  std::vector<core::Ent> ents;
+  for (std::uint32_t i = 0; i < 64; ++i)
+    ents.emplace_back(core::Topo::Tet, i);
+  const FlatSet<core::Ent, core::EntHash> s(ents.begin(), ents.end());
+  EXPECT_EQ(s.size(), 64u);
+  for (core::Ent e : ents) EXPECT_TRUE(s.contains(e));
+
+  FlatMap<dist::GKey, core::Ent, dist::GKeyHash> by_key;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const dist::GKey k{static_cast<dist::PartId>(i % 7),
+                       core::Ent(core::Topo::Tri, i)};
+    by_key.emplace(k, core::Ent(core::Topo::Tri, i));
+  }
+  EXPECT_EQ(by_key.size(), 500u);
+  const dist::GKey probe{3, core::Ent(core::Topo::Tri, 10)};
+  ASSERT_NE(by_key.find(probe), by_key.end());
+  EXPECT_EQ(by_key.at(probe).index(), 10u);
+}
+
+}  // namespace
