@@ -1,296 +1,41 @@
 #include "dist/checkpoint.hpp"
 
-#include <algorithm>
-#include <cstdio>
-#include <filesystem>
-#include <unordered_map>
 #include <utility>
-#include <vector>
 
-#include "core/meshio.hpp"
-#include "dist/partio.hpp"
-#include "pcu/buffer.hpp"
-#include "pcu/error.hpp"
-#include "pcu/faults.hpp"
+#include "dist/pario.hpp"
 
 namespace dist {
 
-namespace {
-
-using partio::OrdinalMap;
-using partio::buildMeta;
-using partio::buildOrdinals;
-
-constexpr std::uint64_t kManifestMagic = 0x50554d494d414e31ull;  // "PUMIMAN1"
-constexpr std::uint32_t kVersion = 1;
-
-std::string meshPath(const std::string& dir, int i) {
-  return dir + "/part" + std::to_string(i) + ".mesh";
-}
-std::string metaPath(const std::string& dir, int i) {
-  return dir + "/part" + std::to_string(i) + ".meta";
-}
-std::string manifestPath(const std::string& dir) { return dir + "/MANIFEST"; }
-
-[[noreturn]] void failValidation(const std::string& what) {
-  throw pcu::Error(pcu::ErrorCode::kValidation, -1, what);
-}
-
-std::vector<std::byte> readFileBytes(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) failValidation("checkpoint: cannot open " + path);
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-  const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (got != bytes.size())
-    failValidation("checkpoint: short read from " + path);
-  return bytes;
-}
-
-void writeFileBytes(const std::string& path,
-                    const std::vector<std::byte>& bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) failValidation("checkpoint: cannot open " + path);
-  const std::size_t put = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (put != bytes.size())
-    failValidation("checkpoint: short write to " + path);
-}
-
-struct FileRecord {
-  std::uint64_t mesh_size = 0;
-  std::uint32_t mesh_crc = 0;
-  std::uint64_t meta_size = 0;
-  std::uint32_t meta_crc = 0;
-};
-
-struct Manifest {
-  int nparts = 0;
-  int dim = -1;
-  OwnerRule rule = OwnerRule::MinPartId;
-  std::uint64_t fingerprint = 0;
-  std::vector<FileRecord> files;
-};
-
-constexpr std::size_t kManifestHeaderBytes =
-    8 + 4 + 4 + 4 + 1 + 8;                       // magic..fingerprint
-constexpr std::size_t kManifestRecordBytes = 24;  // per-part sizes + CRCs
-
-Manifest loadManifest(const std::string& dir) {
-  const std::string path = manifestPath(dir);
-  if (!std::filesystem::exists(path))
-    failValidation("restore: no MANIFEST in " + dir);
-  std::vector<std::byte> bytes = readFileBytes(path);
-  if (bytes.size() < kManifestHeaderBytes)
-    failValidation("restore: truncated MANIFEST in " + dir);
-  pcu::InBuffer b(std::move(bytes));
-  if (b.unpack<std::uint64_t>() != kManifestMagic)
-    failValidation("restore: " + path + " is not a checkpoint manifest");
-  const auto version = b.unpack<std::uint32_t>();
-  if (version != kVersion)
-    failValidation("restore: " + path + " has unsupported version " +
-                   std::to_string(version));
-  Manifest m;
-  m.nparts = static_cast<int>(b.unpack<std::uint32_t>());
-  m.dim = b.unpack<std::int32_t>();
-  const auto rule = b.unpack<std::uint8_t>();
-  if (m.nparts < 1 || m.nparts > (1 << 24))
-    failValidation("restore: " + path + " has bad part count " +
-                   std::to_string(m.nparts));
-  if (rule > 1)
-    failValidation("restore: " + path + " has bad owner rule " +
-                   std::to_string(rule));
-  m.rule = static_cast<OwnerRule>(rule);
-  m.fingerprint = b.unpack<std::uint64_t>();
-  if (b.remaining() !=
-      static_cast<std::size_t>(m.nparts) * kManifestRecordBytes)
-    failValidation("restore: " + path + " has wrong length for " +
-                   std::to_string(m.nparts) + " parts");
-  m.files.resize(static_cast<std::size_t>(m.nparts));
-  for (auto& f : m.files) {
-    f.mesh_size = b.unpack<std::uint64_t>();
-    f.mesh_crc = b.unpack<std::uint32_t>();
-    f.meta_size = b.unpack<std::uint64_t>();
-    f.meta_crc = b.unpack<std::uint32_t>();
-  }
-  return m;
-}
-
-/// Re-read every per-part file and compare size and CRC32 to the MANIFEST;
-/// throws kCorruptPayload naming the first disagreeing file.
-std::vector<std::vector<std::byte>> validateFiles(const std::string& dir,
-                                                  const Manifest& m,
-                                                  bool keep_meta) {
-  std::vector<std::vector<std::byte>> metas;
-  for (int i = 0; i < m.nparts; ++i) {
-    const auto& rec = m.files[static_cast<std::size_t>(i)];
-    const auto check = [&](const std::string& path, std::uint64_t want_size,
-                           std::uint32_t want_crc) {
-      if (!std::filesystem::exists(path))
-        failValidation("restore: missing " + path);
-      std::vector<std::byte> bytes = readFileBytes(path);
-      if (bytes.size() != want_size ||
-          pcu::faults::crc32(bytes.data(), bytes.size()) != want_crc)
-        throw pcu::Error(pcu::ErrorCode::kCorruptPayload, -1,
-                         "restore: " + path +
-                             " does not match its MANIFEST size/CRC");
-      return bytes;
-    };
-    check(meshPath(dir, i), rec.mesh_size, rec.mesh_crc);
-    auto meta = check(metaPath(dir, i), rec.meta_size, rec.meta_crc);
-    if (keep_meta) metas.push_back(std::move(meta));
-  }
-  return metas;
-}
-
-}  // namespace
+// The stable checkpoint/restart entry points are a thin facade over
+// dist/pario, the chunked parallel image format. Policy here is fixed:
+// full restores fail fast on unrecoverable loss (OnLoss::kFail); callers
+// that want damage reports or partial restore use pario directly.
 
 void checkpoint(const PartedMesh& pm, const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec)
-    failValidation("checkpoint: cannot create directory " + dir + ": " +
-                   ec.message());
-
-  const int nparts = pm.parts();
-  std::vector<OrdinalMap> ords;
-  ords.reserve(static_cast<std::size_t>(nparts));
-  for (PartId p = 0; p < nparts; ++p)
-    ords.push_back(buildOrdinals(pm.part(p).mesh()));
-
-  pcu::OutBuffer man;
-  man.pack(kManifestMagic);
-  man.pack<std::uint32_t>(kVersion);
-  man.pack<std::uint32_t>(static_cast<std::uint32_t>(nparts));
-  man.pack<std::int32_t>(pm.dim());
-  man.pack<std::uint8_t>(static_cast<std::uint8_t>(pm.ownerRule()));
-  man.pack<std::uint64_t>(pm.fingerprint());
-  for (PartId p = 0; p < nparts; ++p) {
-    const Part& part = pm.part(p);
-    core::writeMesh(part.mesh(), meshPath(dir, p));
-    const auto mesh_bytes = readFileBytes(meshPath(dir, p));
-    const auto meta_bytes =
-        buildMeta(part, ords[static_cast<std::size_t>(p)], ords);
-    writeFileBytes(metaPath(dir, p), meta_bytes);
-    man.pack<std::uint64_t>(mesh_bytes.size());
-    man.pack<std::uint32_t>(
-        pcu::faults::crc32(mesh_bytes.data(), mesh_bytes.size()));
-    man.pack<std::uint64_t>(meta_bytes.size());
-    man.pack<std::uint32_t>(
-        pcu::faults::crc32(meta_bytes.data(), meta_bytes.size()));
-  }
-  // The MANIFEST commits the checkpoint: write it last, atomically, so a
-  // crash anywhere above leaves either the previous valid checkpoint's
-  // manifest or none at all — never a manifest describing partial files.
-  const std::string tmp = manifestPath(dir) + ".tmp";
-  writeFileBytes(tmp, std::move(man).take());
-  if (std::rename(tmp.c_str(), manifestPath(dir).c_str()) != 0)
-    failValidation("checkpoint: cannot commit " + manifestPath(dir));
+  pario::checkpointImage(pm, dir);
 }
 
 std::unique_ptr<PartedMesh> restore(const std::string& dir,
                                     gmi::Model* model) {
-  const Manifest m = loadManifest(dir);
-  return restore(dir, model, PartMap(m.nparts, pcu::Machine()));
+  return pario::restoreImage(dir, model, pario::OnLoss::kFail);
 }
 
 std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
                                     PartMap map) {
-  const Manifest man = loadManifest(dir);
-  auto metas = validateFiles(dir, man, /*keep_meta=*/true);
-
-  auto pm = std::make_unique<PartedMesh>(model, man.nparts, std::move(map),
-                                         man.rule);
-  // Rebuild each part's serial mesh, then the (part, ordinal) -> entity
-  // tables the metadata references are resolved against.
-  std::vector<partio::EntTable> ents;
-  ents.reserve(static_cast<std::size_t>(man.nparts));
-  for (PartId p = 0; p < man.nparts; ++p) {
-    auto loaded = core::readMesh(meshPath(dir, p), model);
-    Part& part = pm->part(p);
-    part.mesh().copyFrom(*loaded);
-    ents.push_back(partio::buildEntTable(part.mesh()));
-  }
-  auto entOf = [&ents, &dir](PartId part, std::uint64_t ref) -> Ent {
-    const int d = static_cast<int>(ref >> 48);
-    const std::uint64_t k = ref & ((std::uint64_t{1} << 48) - 1);
-    const auto& table = ents[static_cast<std::size_t>(part)];
-    if (d < 0 || d > 3 || k >= table[static_cast<std::size_t>(d)].size())
-      failValidation("restore: " + dir + " references entity (dim " +
-                     std::to_string(d) + ", ordinal " + std::to_string(k) +
-                     ") absent from part " + std::to_string(part));
-    return table[static_cast<std::size_t>(d)][k];
-  };
-
-  for (PartId p = 0; p < man.nparts; ++p)
-    partio::applyMeta(pm->part(p), p,
-                      std::move(metas[static_cast<std::size_t>(p)]), entOf,
-                      "restore: " + metaPath(dir, p));
-
-  CheckpointAccess::setDim(*pm, man.dim);
-  pm->verify();
-  if (pm->fingerprint() != man.fingerprint)
-    throw pcu::Error(pcu::ErrorCode::kCorruptPayload, -1,
-                     "restore: " + dir +
-                         " rebuilt to a different fingerprint than its "
-                         "MANIFEST records");
-  return pm;
+  return pario::restoreImage(dir, model, std::move(map),
+                             pario::OnLoss::kFail);
 }
 
 std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
                                     int target_ranks) {
-  if (target_ranks < 1)
-    failValidation("restore: target rank count " +
-                   std::to_string(target_ranks) + " is not positive");
-  const Manifest m = loadManifest(dir);
-  // Deterministic orphan assignment: part p lands on rank p % target_ranks,
-  // so a checkpoint written by N ranks restores cleanly onto any smaller
-  // group and every survivor computes the same map without communicating.
-  std::vector<int> ranks(static_cast<std::size_t>(m.nparts));
-  for (int p = 0; p < m.nparts; ++p)
-    ranks[static_cast<std::size_t>(p)] = p % target_ranks;
-  PartMap map(m.nparts, pcu::Machine::flat(target_ranks));
-  map.setPartRanks(std::move(ranks));
-  return restore(dir, model, std::move(map));
+  return pario::restoreImage(dir, model, target_ranks, pario::OnLoss::kFail);
 }
 
 std::pair<std::vector<std::byte>, std::vector<std::byte>> checkpointPartBytes(
     const std::string& dir, PartId p) {
-  const Manifest m = loadManifest(dir);
-  if (p < 0 || p >= m.nparts)
-    failValidation("checkpointPartBytes: part " + std::to_string(p) +
-                   " out of range for " + dir + " (" + std::to_string(m.nparts) +
-                   " parts)");
-  const auto& rec = m.files[static_cast<std::size_t>(p)];
-  const auto check = [&](const std::string& path, std::uint64_t want_size,
-                         std::uint32_t want_crc) {
-    if (!std::filesystem::exists(path))
-      failValidation("checkpointPartBytes: missing " + path);
-    std::vector<std::byte> bytes = readFileBytes(path);
-    if (bytes.size() != want_size ||
-        pcu::faults::crc32(bytes.data(), bytes.size()) != want_crc)
-      throw pcu::Error(
-          pcu::ErrorCode::kCorruptPayload, -1,
-          "checkpointPartBytes: " + path +
-              " does not match its MANIFEST size/CRC");
-    return bytes;
-  };
-  auto mesh = check(meshPath(dir, p), rec.mesh_size, rec.mesh_crc);
-  auto meta = check(metaPath(dir, p), rec.meta_size, rec.meta_crc);
-  return {std::move(mesh), std::move(meta)};
+  return pario::partBytes(dir, p);
 }
 
-bool checkpointValid(const std::string& dir) {
-  try {
-    const Manifest m = loadManifest(dir);
-    validateFiles(dir, m, /*keep_meta=*/false);
-    return true;
-  } catch (...) {
-    return false;
-  }
-}
+bool checkpointValid(const std::string& dir) { return pario::valid(dir); }
 
 }  // namespace dist

@@ -4,26 +4,32 @@
 /// \file checkpoint.hpp
 /// \brief Checkpoint/restart for the distributed mesh (recovery tier 3).
 ///
-/// checkpoint() writes one directory holding the full distributed state:
-/// per part a serial mesh file (core::writeMesh — entities, coordinates,
-/// classification, transportable tags) plus a metadata file with the
-/// part-boundary and ghost records, and a MANIFEST binding them together.
-/// Cross-part entity references are stored as (dim, ordinal) pairs —
-/// the entity's position in its part's entities(dim) iteration order —
-/// which the mesh file format preserves, so references survive the handle
-/// rebuild on restore.
+/// This is the stable entry-point facade over dist/pario, the chunked
+/// parallel image format: one checkpoint directory holds one IMAGE.<g>
+/// file (every part's serial mesh stream and boundary/ghost metadata
+/// stream as CRC'd, buddy-replicated chunks in disjoint per-writer
+/// extents) plus a MANIFEST chunk index, written last via temp file +
+/// atomic rename. Cross-part entity references are stored as
+/// (dim, ordinal) pairs — the entity's position in its part's
+/// entities(dim) iteration order — which the mesh stream format
+/// preserves, so references survive the handle rebuild on restore.
 ///
 /// Durability and integrity:
-///  - the MANIFEST is written last, via a temp file + atomic rename, so a
-///    crash mid-checkpoint leaves no directory that validates;
-///  - the MANIFEST records every file's size and CRC32, and the mesh
-///    fingerprint() at checkpoint time; restore() re-verifies all of them
-///    and runs verify(), so a restored mesh is bit-equivalent (fingerprint-
-///    equal) to the checkpointed one or restore throws.
+///  - the MANIFEST commits the checkpoint atomically; a crash anywhere
+///    mid-checkpoint leaves the previous valid checkpoint (or nothing),
+///    and a failed attempt's temp files are cleaned up;
+///  - every chunk carries a CRC32 recorded in the MANIFEST and a buddy
+///    replica in another writer's extent; restore() validates each chunk,
+///    silently read-repairs a bad copy from its replica, re-runs
+///    verify() and enforces fingerprint equality.
 ///
-/// Errors are structured pcu::Error values: kValidation for a missing or
-/// malformed checkpoint (names the file and reason), kCorruptPayload for a
-/// file whose size or CRC disagrees with the MANIFEST.
+/// Errors are structured pcu::Error values: kValidation for a missing,
+/// unreadable or malformed checkpoint and for unrecoverable data loss on
+/// restore (naming the path, reason and lost parts), kCorruptPayload for
+/// a rebuilt mesh whose fingerprint disagrees with the MANIFEST,
+/// kIoFault for storage-level write failures. For damage reports,
+/// partial restore of a degraded checkpoint, and offline scrub/repair,
+/// use dist/pario directly.
 
 #include <cstddef>
 #include <memory>
@@ -45,8 +51,9 @@ void checkpoint(const PartedMesh& pm, const std::string& dir);
 /// `model` (the same model — or an equivalent one — that was active at
 /// checkpoint time). The part map defaults to a flat machine sized to the
 /// checkpoint's part count; the second overload supplies an explicit map.
-/// Validates the MANIFEST, every per-part file CRC, the distributed
-/// invariants (verify()) and fingerprint equality before returning.
+/// Validates the MANIFEST, every chunk CRC (read-repairing single-copy
+/// damage from the buddy replica), the distributed invariants (verify())
+/// and fingerprint equality before returning.
 std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model);
 std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
                                     PartMap map);
@@ -56,7 +63,8 @@ std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
 /// including those whose writing rank no longer exists, is
 /// deterministically assigned to rank p % target_ranks over a flat
 /// machine, so orphaned parts land on surviving ranks and every rank
-/// computes the same assignment without communicating. With target_ranks
+/// computes the same assignment without communicating (partition-on-read:
+/// N writers → M readers with no redistribution pass). With target_ranks
 /// greater than the checkpoint's part count the assignment is the
 /// identity and the extra ranks start idle — follow with
 /// parma::expandToIdleRanks() to populate and rebalance onto them.
@@ -65,16 +73,18 @@ std::unique_ptr<PartedMesh> restore(const std::string& dir, gmi::Model* model,
                                     int target_ranks);
 
 /// Validated raw bytes of one part in a checkpoint: (mesh stream, metadata
-/// stream), each checked against the MANIFEST's size and CRC32. Used by
+/// stream), each checked against the MANIFEST's chunk CRCs and
+/// read-repaired from the buddy replica when one copy is bad. Used by
 /// failover evacuation as the fallback source for parts the buddy journal
 /// lacks. Throws kValidation for a missing/malformed checkpoint or part id
-/// out of range, kCorruptPayload on a CRC mismatch.
+/// out of range, kCorruptPayload when both copies of a chunk are bad.
 std::pair<std::vector<std::byte>, std::vector<std::byte>> checkpointPartBytes(
     const std::string& dir, PartId p);
 
-/// True when `dir` holds a complete, CRC-clean checkpoint (cheap scan: no
-/// mesh rebuild). A crash mid-checkpoint yields false, so a restart loop
-/// can pick the newest directory that answers true.
+/// True when `dir` holds a checkpoint that restores without data loss:
+/// the MANIFEST parses and every chunk has at least one good copy (cheap
+/// scan: no mesh rebuild, no repair). A crash mid-checkpoint yields false,
+/// so a restart loop can pick the newest directory that answers true.
 bool checkpointValid(const std::string& dir);
 
 }  // namespace dist

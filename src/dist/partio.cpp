@@ -129,5 +129,60 @@ void applyMeta(Part& part, PartId p, std::vector<std::byte> meta,
   if (!b.done()) failValidation(ctx + ": trailing bytes in metadata stream");
 }
 
+void applyMetaPartial(Part& part, PartId p, std::vector<std::byte> meta,
+                      const std::function<Ent(PartId, std::uint64_t)>& entOf,
+                      const std::string& ctx, const std::vector<bool>& lost,
+                      std::vector<Ent>& dropped_ghosts) {
+  auto isLost = [&lost](std::int32_t q) {
+    return q >= 0 && static_cast<std::size_t>(q) < lost.size() &&
+           lost[static_cast<std::size_t>(q)];
+  };
+  pcu::InBuffer b(std::move(meta));
+  if (b.remaining() < sizeof(std::uint64_t) ||
+      b.unpack<std::uint64_t>() != kMetaMagic)
+    failValidation(ctx + " is not a part metadata stream");
+  const auto nremotes = b.unpack<std::uint64_t>();
+  for (std::uint64_t i = 0; i < nremotes; ++i) {
+    const Ent e = entOf(p, b.unpack<std::uint64_t>());
+    const auto owner = b.unpack<std::int32_t>();
+    const auto ncopies = b.unpack<std::uint64_t>();
+    Remote r;
+    r.copies.reserve(ncopies);
+    for (std::uint64_t c = 0; c < ncopies; ++c) {
+      const auto cpart = b.unpack<std::int32_t>();
+      const auto ref = b.unpack<std::uint64_t>();
+      if (isLost(cpart)) continue;
+      r.copies.push_back(Copy{cpart, entOf(cpart, ref)});
+    }
+    if (r.copies.empty()) continue;  // every other copy vanished: interior
+    if (!isLost(owner)) {
+      r.owner = owner;
+    } else {
+      // Deterministic symmetric reassignment: the minimum surviving part
+      // of the residence set ({self} ∪ copies — identical on every copy).
+      r.owner = p;
+      for (const Copy& c : r.copies) r.owner = std::min(r.owner, c.part);
+    }
+    part.setRemote(e, std::move(r));
+  }
+  const auto nghosts = b.unpack<std::uint64_t>();
+  for (std::uint64_t i = 0; i < nghosts; ++i) {
+    const Ent e = entOf(p, b.unpack<std::uint64_t>());
+    (void)b.unpack<std::int32_t>();   // source part (possibly lost)
+    (void)b.unpack<std::uint64_t>();  // source entref (never resolved)
+    dropped_ghosts.push_back(e);
+  }
+  const auto nghosted = b.unpack<std::uint64_t>();
+  for (std::uint64_t i = 0; i < nghosted; ++i) {
+    (void)entOf(p, b.unpack<std::uint64_t>());  // validate the local ref
+    const auto ncopies = b.unpack<std::uint64_t>();
+    for (std::uint64_t c = 0; c < ncopies; ++c) {
+      (void)b.unpack<std::int32_t>();   // ghost part — records dropped
+      (void)b.unpack<std::uint64_t>();  // mesh-wide, resolve nothing
+    }
+  }
+  if (!b.done()) failValidation(ctx + ": trailing bytes in metadata stream");
+}
+
 }  // namespace partio
 }  // namespace dist

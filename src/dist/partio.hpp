@@ -93,6 +93,26 @@ void applyMeta(Part& part, PartId p, std::vector<std::byte> meta,
                const std::function<Ent(PartId, std::uint64_t)>& entOf,
                const std::string& ctx);
 
+/// applyMeta for a partial restore (pario, OnLoss::kPartial): parts with
+/// `lost[part] == true` no longer exist, so their records are filtered out
+/// symmetrically on every surviving part instead of installed:
+///  - remote copies on lost parts are dropped; a record whose copies all
+///    vanished is skipped (the entity became interior);
+///  - a lost owner is deterministically reassigned to the minimum
+///    surviving part of the entity's residence set, so every survivor
+///    computes the same owner without communicating;
+///  - NO ghost records are installed. Ghost sources (and ghost-copy
+///    back-pointers) may name lost parts, and a dangling ghost cannot
+///    satisfy verify()'s ghost invariants — instead every parsed ghost
+///    entity handle is appended to `dropped_ghosts` for the caller to
+///    destroy (descending dimension, exactly like unghost()).
+/// `entOf` is never called for a lost part. Throws kValidation naming
+/// `ctx` on malformed input.
+void applyMetaPartial(Part& part, PartId p, std::vector<std::byte> meta,
+                      const std::function<Ent(PartId, std::uint64_t)>& entOf,
+                      const std::string& ctx, const std::vector<bool>& lost,
+                      std::vector<Ent>& dropped_ghosts);
+
 }  // namespace partio
 }  // namespace dist
 

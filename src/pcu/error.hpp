@@ -28,6 +28,7 @@ enum class ErrorCode : std::uint8_t {
   kProtocol,          ///< internal protocol invariant violated
   kRankFailed,        ///< a rank died or went silent; communicator revoked
   kAdmission,         ///< service admission control rejected or shed a job
+  kIoFault,           ///< storage I/O failed (write error, out of space)
 };
 
 inline const char* errorCodeName(ErrorCode c) {
@@ -42,6 +43,7 @@ inline const char* errorCodeName(ErrorCode c) {
     case ErrorCode::kProtocol: return "protocol";
     case ErrorCode::kRankFailed: return "rank-failed";
     case ErrorCode::kAdmission: return "admission";
+    case ErrorCode::kIoFault: return "io-fault";
   }
   return "unknown";
 }

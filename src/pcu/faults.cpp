@@ -98,6 +98,10 @@ void Domain::install(const FaultPlan& p) {
   }
   const bool rank_fault = p.kill.scheduled() || p.hang.scheduled();
   injecting_.store(p.injects(), std::memory_order_relaxed);
+  // Storage faults gate only the pario::File shim; they deliberately do
+  // not arm message framing or transactional mode.
+  io_injecting_.store(p.ioInjects(), std::memory_order_relaxed);
+  iostall_ms_.store(p.iostall_ms, std::memory_order_relaxed);
   // A scheduled join is not a fault, but it needs the hardened phase
   // boundaries (which only exist on the framed path) so its @PHASE index is
   // deterministic — frame like checksum-verify mode does.
@@ -179,6 +183,52 @@ Action Domain::decide(int src, int dst, int tag, std::uint64_t seq) const {
   edge += p.delay;
   if (u < edge) return Action::kDelay;
   return Action::kDeliver;
+}
+
+IoAction Domain::decideIo(IoOp op, std::uint64_t path_hash,
+                          std::uint64_t offset) const {
+  if (!ioEnabled()) return IoAction::kOk;
+  FaultPlan p;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    p = plan_;
+  }
+  // Pure in (seed, path hash, op, offset): same band-stacking discipline as
+  // the per-message decide(), over a separately-salted key stream so a plan
+  // mixing message and storage probabilities draws independent decisions.
+  std::uint64_t h = mix(p.seed ^ 0x50494F4641554C54ull);  // "PIOFAULT"
+  h = mix(h ^ path_hash);
+  h = mix(h ^ (static_cast<std::uint64_t>(op) + 1));
+  const double u = unitUniform(mix(h ^ offset));
+  if (op == IoOp::kWrite) {
+    double edge = p.iotorn;
+    if (u < edge) return IoAction::kTorn;
+    edge += p.ioshort;
+    if (u < edge) return IoAction::kShort;
+    edge += p.ioenospc;
+    if (u < edge) return IoAction::kEnospc;
+    edge += p.iostall;
+    if (u < edge) return IoAction::kStall;
+    return IoAction::kOk;
+  }
+  double edge = p.iobitrot;
+  if (u < edge) return IoAction::kBitrot;
+  edge += p.ioshort;
+  if (u < edge) return IoAction::kShort;
+  edge += p.iostall;
+  if (u < edge) return IoAction::kStall;
+  return IoAction::kOk;
+}
+
+std::uint64_t ioPathHash(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t start = slash == std::string::npos ? 0 : slash + 1;
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (std::size_t i = start; i < path.size(); ++i) {
+    h ^= static_cast<std::uint8_t>(path[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
 }
 
 void Domain::maybeStall(int rank) {
@@ -295,6 +345,18 @@ FaultPlan parsePlan(const std::string& spec) {
       p.watchdog_ms = envspec::parseInt(env, key, val, 0, 1 << 30);
     } else if (key == "checksum") {
       p.checksum_only = envspec::parseBool(env, key, val);
+    } else if (key == "iobitrot") {
+      p.iobitrot = envspec::parseProb(env, key, val);
+    } else if (key == "iotorn") {
+      p.iotorn = envspec::parseProb(env, key, val);
+    } else if (key == "ioshort") {
+      p.ioshort = envspec::parseProb(env, key, val);
+    } else if (key == "ioenospc") {
+      p.ioenospc = envspec::parseProb(env, key, val);
+    } else if (key == "iostall") {
+      p.iostall = envspec::parseProb(env, key, val);
+    } else if (key == "iostallms") {
+      p.iostall_ms = envspec::parseInt(env, key, val, 0, 1 << 30);
     } else {
       envspec::fail(env, "unknown key \"" + key + "\" in \"" + item + "\"");
     }
@@ -337,6 +399,14 @@ Action decide(int src, int dst, int tag, std::uint64_t seq) {
 }
 
 void maybeStall(int rank) { current().maybeStall(rank); }
+
+bool ioEnabled() { return current().ioEnabled(); }
+
+IoAction decideIo(IoOp op, std::uint64_t path_hash, std::uint64_t offset) {
+  return current().decideIo(op, path_hash, offset);
+}
+
+int ioStallMs() { return current().ioStallMs(); }
 
 int ambientReliableOverride() { return current().reliableOverride(); }
 

@@ -40,6 +40,23 @@
 ///   watchdog=MS        blocking-receive watchdog timeout, ms (0 = off)
 ///   checksum=1         frame+verify only, no injection ("checksum-verify")
 ///
+/// Storage fault tokens (decided by the pario::File shim, pure in
+/// (seed, path-hash, op, offset) — the path hash covers the file's base
+/// name only, so a seeded matrix replays identically across temp dirs):
+///   iobitrot=0.01      per-read probability of a flipped byte in the
+///                      returned buffer (at-rest corruption, seen on read)
+///   iotorn=0.01        per-write probability the write persists only a
+///                      prefix yet reports success (torn write)
+///   ioshort=0.01       per-op probability of a short transfer (fewer
+///                      bytes than requested, honest return count)
+///   ioenospc=0.01      per-write probability of ENOSPC: the write fails
+///                      with a structured pcu::Error(kIoFault)
+///   iostall=0.01       per-op probability of sleeping iostallms first
+///   iostallms=M        stall sleep per stalled I/O op, ms (default 1)
+///
+/// I/O faults gate only the storage shim: they do not arm message framing
+/// or transactional mode (injects() ignores them; ioInjects() reports them).
+///
 /// Exact-duplicate keys in one spec (e.g. "kill=2@5,kill=3@7") are rejected
 /// with kValidation naming both offending tokens — a plan with a silently
 /// overwritten schedule would replay differently than its spec reads.
@@ -120,10 +137,23 @@ struct FaultPlan {
   int deadline_ms = 0;   ///< heartbeat deadline; 0 = default when kill/hang
   int watchdog_ms = 0;   ///< blocking-recv timeout; 0 disables the watchdog
   bool checksum_only = false;  ///< frame + verify without injecting faults
+  double iobitrot = 0.0;  ///< per-read probability of a flipped byte
+  double iotorn = 0.0;    ///< per-write probability of a torn (prefix) write
+  double ioshort = 0.0;   ///< per-op probability of a short transfer
+  double ioenospc = 0.0;  ///< per-write probability of ENOSPC failure
+  double iostall = 0.0;   ///< per-op probability of an iostallms sleep
+  int iostall_ms = 1;     ///< sleep per stalled I/O op
 
+  /// Message-path injection gate. I/O faults are deliberately excluded:
+  /// a storage-only plan must not arm framing or transactional mode.
   [[nodiscard]] bool injects() const {
     return corrupt > 0 || drop > 0 || duplicate > 0 || delay > 0 ||
            stall_steps > 0 || kill.scheduled() || hang.scheduled();
+  }
+  /// Storage-path injection gate (the pario::File shim's one-load check).
+  [[nodiscard]] bool ioInjects() const {
+    return iobitrot > 0 || iotorn > 0 || ioshort > 0 || ioenospc > 0 ||
+           iostall > 0;
   }
 };
 
@@ -142,6 +172,24 @@ enum class Action : std::uint8_t {
   kDuplicate,
   kDelay,
 };
+
+/// Which side of the storage shim an I/O decision is for.
+enum class IoOp : std::uint8_t { kRead, kWrite };
+
+/// What the injector decides for one storage operation.
+enum class IoAction : std::uint8_t {
+  kOk,
+  kBitrot,  ///< reads: one byte of the returned buffer is flipped
+  kTorn,    ///< writes: only a prefix persists, success is reported
+  kShort,   ///< either: fewer bytes transfer than requested
+  kEnospc,  ///< writes: fail with pcu::Error(kIoFault) (device full)
+  kStall,   ///< either: sleep iostall_ms before the op proceeds
+};
+
+/// FNV-1a hash of a path's base name (the component after the last '/').
+/// Hashing only the base name keeps a seeded storage-fault matrix
+/// replayable across differently-named temp directories.
+std::uint64_t ioPathHash(const std::string& path);
 
 /// Fallback heartbeat deadline while a kill/hang is scheduled with no
 /// explicit deadline= token.
@@ -222,6 +270,20 @@ class Domain {
   /// Sleep if `rank` has stall steps scheduled; consumes one step.
   void maybeStall(int rank);
 
+  /// True when storage fault injection is active under this domain.
+  [[nodiscard]] bool ioEnabled() const {
+    return io_injecting_.load(std::memory_order_relaxed);
+  }
+  /// Deterministic per-I/O-op decision: pure in (plan seed, path hash,
+  /// op, offset). kOk when storage injection is off. Read ops draw from
+  /// {bitrot, short, stall}; write ops from {torn, short, enospc, stall}.
+  [[nodiscard]] IoAction decideIo(IoOp op, std::uint64_t path_hash,
+                                  std::uint64_t offset) const;
+  /// Sleep per stalled I/O op, ms.
+  [[nodiscard]] int ioStallMs() const {
+    return iostall_ms_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mutex_;
   FaultPlan plan_;
@@ -230,6 +292,8 @@ class Domain {
   bool hang_fired_ = false;
   bool join_fired_ = false;
   std::atomic<bool> injecting_{false};
+  std::atomic<bool> io_injecting_{false};
+  std::atomic<int> iostall_ms_{1};
   std::atomic<bool> framing_{false};
   std::atomic<bool> rank_fault_{false};
   std::atomic<bool> join_{false};
@@ -318,6 +382,16 @@ Action decide(int src, int dst, int tag, std::uint64_t seq);
 /// Sleep if `rank` has stall steps scheduled and budget remaining; consumes
 /// one step. Called at phased-exchange entry.
 void maybeStall(int rank);
+
+/// --- storage faults (pario::File shim) ----------------------------------
+
+/// True when the ambient plan injects storage faults (one relaxed load).
+bool ioEnabled();
+/// Deterministic per-I/O-op decision under the ambient domain: pure in
+/// (plan seed, path hash, op, offset). kOk when storage injection is off.
+IoAction decideIo(IoOp op, std::uint64_t path_hash, std::uint64_t offset);
+/// The ambient plan's sleep per stalled I/O op, ms.
+int ioStallMs();
 
 /// The ambient domain's reliable override (-1: inherit the process arq
 /// setting). Consulted by arq::enabled() so a DomainScope tenant-scopes

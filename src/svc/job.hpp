@@ -52,6 +52,16 @@ struct JobSpec {
   bool balance = true;         ///< run a parma balance pass at the end
   bool solve = false;          ///< run the Poisson solve stage
   ChaosSpec chaos;             ///< tenant-scoped fault injection
+  /// When non-empty, the job checkpoints its mesh (dist::checkpoint) into
+  /// this directory at every phase boundary — exactly where the journal
+  /// records and transactional rollback lands — so failover evacuation can
+  /// fall back to the checkpoint for parts the buddy journal lacks, and an
+  /// operator can restore the job's last committed state after the fact.
+  /// Checkpoint I/O runs under the tenant's fault domain, so storage chaos
+  /// (iobitrot/iotorn/...) in `chaos.faults` exercises it; a failed
+  /// checkpoint write is absorbed (counted in faults_recovered), never
+  /// fatal to the job.
+  std::string checkpoint_dir;
 };
 
 /// What happened to a job.
@@ -84,6 +94,7 @@ struct JobResult {
   std::uint64_t digest = 0;     ///< order-independent element digest
   int ranks = 0;                ///< pool ranks the job actually held
   int failovers = 0;            ///< kRankFailed incidents absorbed
+  int checkpoints = 0;          ///< checkpoints committed to checkpoint_dir
   int faults_recovered = 0;     ///< non-fatal structured errors retried past
   int retries = 0;              ///< admission resubmissions (submitWithRetry)
   bool packed = false;          ///< ran on a sibling job's grant

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "dist/checkpoint.hpp"
 #include "dist/digest.hpp"
 #include "dist/failover.hpp"
 #include "dist/partedmesh.hpp"
@@ -297,15 +298,32 @@ JobResult Scheduler::execute(const JobSpec& spec, const std::vector<int>& grant,
     // dead rank is exactly this job: evacuate its parts from the journal,
     // rebalance the survivors, and surrender the corpse to the ledger so no
     // other tenant is ever seated on it.
+    // Phase-boundary durability: the journal always records; when the spec
+    // names a checkpoint directory the same quiescent state also commits to
+    // storage (evacuation's fallback for parts the journal lacks). The
+    // checkpoint write runs under the tenant's fault domain — its storage
+    // chaos applies — and a failed write is absorbed: the journal still
+    // holds the state, so the job continues.
+    auto persist = [&] {
+      journal.record(*pm);
+      if (spec.checkpoint_dir.empty()) return;
+      try {
+        dist::checkpoint(*pm, spec.checkpoint_dir);
+        ++res.checkpoints;
+      } catch (const pcu::Error&) {
+        ++res.faults_recovered;
+      }
+    };
     auto attempt = [&](auto&& op) {
       for (int tries = 0;; ++tries) {
-        journal.record(*pm);
+        persist();
         try {
           op();
           return;
         } catch (const pcu::Error& e) {
           if (e.code() == pcu::ErrorCode::kRankFailed) {
-            const auto rep = dist::failover::evacuate(*pm, journal);
+            const auto rep = dist::failover::evacuate(*pm, journal,
+                                                      spec.checkpoint_dir);
             for (dist::PartId dead : rep.parts_evacuated)
               ledger_.markDead(grant[static_cast<std::size_t>(dead)]);
             parma::balanceAfterEvacuation(*pm, "Rgn", rep, {});
@@ -341,6 +359,7 @@ JobResult Scheduler::execute(const JobSpec& spec, const std::vector<int>& grant,
     }
 
     pm->verify();
+    persist();  // the completed mesh is the job's last committed state
     const auto digests = dist::digest::elementDigests(*pm);
     res.elements = digests.size();
     res.digest = foldDigest(digests);

@@ -1,0 +1,744 @@
+/// \file test_pario.cpp
+/// \brief Tests for crash-consistent parallel streaming mesh I/O.
+///
+/// Contract under test (ISSUE: parallel I/O with storage fault injection
+/// and self-healing restore): a checkpoint is one chunked, CRC'd,
+/// buddy-replicated image committed by an atomically-renamed MANIFEST.
+/// Any single chunk copy corrupted or torn must read-repair back to a
+/// fingerprint-identical mesh; both copies destroyed must degrade to a
+/// partial restore naming exactly the lost parts — never a crash or a
+/// hang. Storage faults (iobitrot/iotorn/ioshort/ioenospc/iostall) are
+/// seeded and replayable, and a failed checkpoint attempt strands no
+/// temp files.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/pario.hpp"
+#include "dist/partedmesh.hpp"
+#include "meshgen/boxmesh.hpp"
+#include "part/partition.hpp"
+#include "pcu/error.hpp"
+#include "pcu/faults.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace pario = dist::pario;
+namespace faults = pcu::faults;
+using core::Ent;
+using dist::PartId;
+using pcu::Error;
+using pcu::ErrorCode;
+
+struct PlanGuard {
+  explicit PlanGuard(const faults::FaultPlan& p) { faults::setPlan(p); }
+  ~PlanGuard() { faults::clearPlan(); }
+  PlanGuard(const PlanGuard&) = delete;
+  PlanGuard& operator=(const PlanGuard&) = delete;
+};
+
+std::string freshDir(const std::string& leaf) {
+  const fs::path d = fs::temp_directory_path() / "pumi_test_pario" / leaf;
+  fs::remove_all(d);
+  return d.string();
+}
+
+std::unique_ptr<dist::PartedMesh> makeMesh(const meshgen::Generated& gen,
+                                           int nparts) {
+  const auto assign = part::partition(*gen.mesh, nparts, part::Method::RCB);
+  return dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assign,
+      dist::PartMap(nparts, pcu::Machine::flat(nparts)));
+}
+
+/// Flip one byte of `path` at `offset`.
+void flipByte(const std::string& path, std::uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+/// Zero the second half of a chunk copy — the on-disk shape of a torn
+/// write whose prefix persisted.
+void tearChunk(const std::string& path, std::uint64_t chunk_off,
+               std::uint64_t payload_len) {
+  const std::uint64_t total = pario::kChunkHeaderBytes + payload_len;
+  const std::uint64_t keep = total / 2;
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  std::vector<char> zeros(static_cast<std::size_t>(total - keep), 0);
+  f.seekp(static_cast<std::streamoff>(chunk_off + keep));
+  f.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+}
+
+std::vector<std::string> tmpFilesIn(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0)
+      out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> imageFilesIn(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("IMAGE.", 0) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+/// --- fault-plan grammar ---------------------------------------------------
+
+TEST(IoFaultPlan, ParsesStorageTokens) {
+  const auto p = faults::parsePlan(
+      "seed=7,iobitrot=0.5,iotorn=0.125,ioshort=0.25,ioenospc=0.0625,"
+      "iostall=0.03125,iostallms=3");
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_DOUBLE_EQ(p.iobitrot, 0.5);
+  EXPECT_DOUBLE_EQ(p.iotorn, 0.125);
+  EXPECT_DOUBLE_EQ(p.ioshort, 0.25);
+  EXPECT_DOUBLE_EQ(p.ioenospc, 0.0625);
+  EXPECT_DOUBLE_EQ(p.iostall, 0.03125);
+  EXPECT_EQ(p.iostall_ms, 3);
+  EXPECT_TRUE(p.ioInjects());
+  // Storage-only plans never arm the message path.
+  EXPECT_FALSE(p.injects());
+}
+
+TEST(IoFaultPlan, RejectsMalformedStorageTokens) {
+  EXPECT_THROW(faults::parsePlan("iobitrot=1.5"), Error);
+  EXPECT_THROW(faults::parsePlan("ioenospc=-0.1"), Error);
+  EXPECT_THROW(faults::parsePlan("iotorn=0.1x"), Error);
+  EXPECT_THROW(faults::parsePlan("iostallms=-1"), Error);
+  EXPECT_THROW(faults::parsePlan("iotorn=0.1,iotorn=0.2"), Error);
+}
+
+TEST(IoFaultPlan, StorageOnlyPlanGatesOnlyTheShim) {
+  faults::FaultPlan p;
+  p.seed = 11;
+  p.iobitrot = 0.5;
+  PlanGuard g(p);
+  EXPECT_TRUE(faults::ioEnabled());
+  // No message injection, no framing: the transport path is untouched.
+  EXPECT_FALSE(faults::enabled());
+}
+
+TEST(IoFaultPlan, DecisionsArePureAndSeeded) {
+  faults::FaultPlan p;
+  p.seed = 42;
+  p.iobitrot = 0.3;
+  p.ioshort = 0.2;
+  p.iostall = 0.1;
+  const std::uint64_t h = faults::ioPathHash("/a/b/IMAGE.1");
+  std::vector<faults::IoAction> first;
+  {
+    PlanGuard g(p);
+    for (std::uint64_t off = 0; off < 4096; off += 64)
+      first.push_back(faults::decideIo(faults::IoOp::kRead, h, off));
+  }
+  {
+    PlanGuard g(p);
+    std::size_t i = 0;
+    for (std::uint64_t off = 0; off < 4096; off += 64)
+      EXPECT_EQ(faults::decideIo(faults::IoOp::kRead, h, off), first[i++]);
+  }
+  // A different seed must not replay the same decision stream.
+  p.seed = 43;
+  {
+    PlanGuard g(p);
+    std::size_t same = 0, i = 0;
+    for (std::uint64_t off = 0; off < 4096; off += 64)
+      if (faults::decideIo(faults::IoOp::kRead, h, off) == first[i++]) ++same;
+    EXPECT_LT(same, first.size());
+  }
+}
+
+TEST(IoFaultPlan, PathHashCoversBasenameOnly) {
+  EXPECT_EQ(faults::ioPathHash("/tmp/run1/IMAGE.1"),
+            faults::ioPathHash("/var/other/IMAGE.1"));
+  EXPECT_NE(faults::ioPathHash("/tmp/IMAGE.1"),
+            faults::ioPathHash("/tmp/IMAGE.2"));
+}
+
+/// --- the io-chaos matrix (acceptance) ------------------------------------
+
+struct ChaosCase {
+  std::uint64_t seed;
+  bool three_d;
+};
+
+class IoChaosMatrix : public ::testing::TestWithParam<ChaosCase> {};
+
+/// Single chunk copy corrupted (even seeds) or torn (odd seeds): restore
+/// must read-repair from the buddy replica and rebuild the identical mesh
+/// — zero elements lost, and the repair persists on disk.
+TEST_P(IoChaosMatrix, SingleCopyDamageRepairsToIdenticalMesh) {
+  const auto [seed, three_d] = GetParam();
+  auto gen = three_d ? meshgen::boxTets(3, 3, 3) : meshgen::boxTris(5, 5);
+  const int nparts = 4;
+  auto pm = makeMesh(gen, nparts);
+  const std::uint64_t fp = pm->fingerprint();
+  const std::size_t nelem = pm->globalCount(pm->dim());
+
+  const auto dir =
+      freshDir("chaos1_" + std::to_string(seed) + (three_d ? "_3d" : "_2d"));
+  dist::checkpoint(*pm, dir);
+
+  // Pick the victim chunk copy from the seed: part, mesh-or-meta chunk,
+  // primary-or-replica copy, and the damage mode.
+  common::Rng rng(seed * 1315423911ull + 17);
+  const auto idx = pario::loadIndex(dir);
+  const auto victim_part =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(nparts)));
+  const auto& slots = idx.parts[static_cast<std::size_t>(victim_part)];
+  const auto& slot = (rng.below(2) == 0) ? slots.mesh : slots.meta;
+  const bool hit_primary = rng.below(2) == 0;
+  const std::uint64_t off = hit_primary ? slot.primary : slot.replica;
+  const std::string image = dir + "/" + idx.image;
+  if (seed % 2 == 0) {
+    const std::uint64_t payload_at =
+        off + pario::kChunkHeaderBytes +
+        rng.below(slot.length > 0 ? slot.length : 1);
+    flipByte(image, payload_at);
+  } else {
+    tearChunk(image, off, slot.length);
+  }
+
+  pario::RestoreReport report;
+  auto restored = pario::restoreImage(dir, gen.model.get(),
+                                      pario::OnLoss::kFail, &report);
+  EXPECT_EQ(restored->fingerprint(), fp) << "seed " << seed;
+  EXPECT_EQ(restored->globalCount(restored->dim()), nelem);
+  EXPECT_TRUE(report.lost.empty());
+  EXPECT_EQ(report.chunks_lost, 0u);
+  if (hit_primary) {
+    // Restore noticed the bad primary, served the replica, and wrote the
+    // repair back: nothing left for a scrub to fix.
+    EXPECT_EQ(report.chunks_repaired, 1u);
+    EXPECT_EQ(pario::scrub(dir).chunks_repaired, 0u) << "seed " << seed;
+  } else {
+    // A damaged replica is invisible to the restore fast path (the good
+    // primary serves the read); the offline scrub is what heals it.
+    EXPECT_EQ(report.chunks_repaired, 0u);
+    EXPECT_EQ(pario::scrub(dir).chunks_repaired, 1u) << "seed " << seed;
+  }
+  // Either way the directory ends fully intact.
+  const auto after = pario::scrub(dir);
+  EXPECT_EQ(after.chunks_repaired, 0u);
+  EXPECT_TRUE(after.clean());
+}
+
+/// Both copies of a chunk destroyed: OnLoss::kFail names the lost part
+/// and throws; OnLoss::kPartial loads every surviving part, reports
+/// exactly the lost one, and the partial mesh passes verify().
+TEST_P(IoChaosMatrix, BothCopiesGoneDegradesToPartialRestore) {
+  const auto [seed, three_d] = GetParam();
+  auto gen = three_d ? meshgen::boxTets(3, 3, 3) : meshgen::boxTris(5, 5);
+  const int nparts = 4;
+  auto pm = makeMesh(gen, nparts);
+  const int dim = pm->dim();
+  const std::size_t nelem = pm->globalCount(dim);
+
+  const auto dir =
+      freshDir("chaos2_" + std::to_string(seed) + (three_d ? "_3d" : "_2d"));
+  dist::checkpoint(*pm, dir);
+
+  common::Rng rng(seed * 2654435761ull + 3);
+  const auto idx = pario::loadIndex(dir);
+  const auto victim_part =
+      static_cast<int>(rng.below(static_cast<std::uint64_t>(nparts)));
+  const std::size_t victim_elems =
+      pm->part(victim_part).elements().size();
+  const auto& slots = idx.parts[static_cast<std::size_t>(victim_part)];
+  const auto& slot = (rng.below(2) == 0) ? slots.mesh : slots.meta;
+  const std::string image = dir + "/" + idx.image;
+  for (const std::uint64_t off : {slot.primary, slot.replica}) {
+    if (seed % 2 == 0)
+      flipByte(image, off + pario::kChunkHeaderBytes + slot.length / 2);
+    else
+      tearChunk(image, off, slot.length);
+  }
+
+  EXPECT_FALSE(dist::checkpointValid(dir));
+  try {
+    pario::restoreImage(dir, gen.model.get(), pario::OnLoss::kFail);
+    FAIL() << "fail-fast restore accepted unrecoverable loss, seed " << seed;
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_NE(
+        e.detail().find("lost part(s) " + std::to_string(victim_part)),
+        std::string::npos)
+        << e.what();
+  }
+
+  pario::RestoreReport report;
+  auto restored = pario::restoreImage(dir, gen.model.get(),
+                                      pario::OnLoss::kPartial, &report);
+  ASSERT_EQ(report.lost.size(), 1u) << "seed " << seed;
+  EXPECT_EQ(report.lost[0], victim_part);
+  EXPECT_TRUE(report.partial());
+  // Every surviving part loaded: the lost part is empty, the rest carry
+  // exactly the elements they checkpointed.
+  EXPECT_EQ(restored->part(victim_part).elements().size(), 0u);
+  EXPECT_EQ(restored->globalCount(dim), nelem - victim_elems);
+  EXPECT_NO_THROW(restored->verify()) << "seed " << seed;
+}
+
+std::vector<ChaosCase> chaosCases() {
+  std::vector<ChaosCase> cases;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    cases.push_back({seed, false});
+    cases.push_back({seed, true});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, IoChaosMatrix,
+                         ::testing::ValuesIn(chaosCases()),
+                         [](const auto& info) {
+                           return "seed" +
+                                  std::to_string(info.param.seed) +
+                                  (info.param.three_d ? "_3d" : "_2d");
+                         });
+
+/// Under seeded injected storage chaos on the read path, restore must
+/// always terminate with either a correct mesh or a structured error —
+/// never a crash, never silently wrong data.
+TEST(IoChaos, RestoreNeverCrashesUnderInjectedReadFaults) {
+  auto gen = meshgen::boxTris(5, 5);
+  auto pm = makeMesh(gen, 4);
+  const std::uint64_t fp = pm->fingerprint();
+  const auto dir = freshDir("injected_read");
+  dist::checkpoint(*pm, dir);
+
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    faults::FaultPlan p;
+    p.seed = seed;
+    p.iobitrot = 0.02;
+    p.ioshort = 0.01;
+    PlanGuard g(p);
+    try {
+      auto restored = pario::restoreImage(dir, gen.model.get(),
+                                          pario::OnLoss::kPartial);
+      if (!restored) continue;
+      // Loaded parts are CRC-gated, so a full restore is bit-identical.
+      if (restored->parts() == 4 && restored->globalCount(2) > 0) {
+        EXPECT_NO_THROW(restored->verify()) << "seed " << seed;
+      }
+    } catch (const Error& e) {
+      EXPECT_FALSE(std::string(e.what()).empty()) << "seed " << seed;
+    }
+  }
+  // With the plan cleared the checkpoint is still intact on disk.
+  faults::clearPlan();
+  auto restored = dist::restore(dir, gen.model.get());
+  EXPECT_EQ(restored->fingerprint(), fp);
+}
+
+/// Injected write chaos: a checkpoint either commits (and then restores,
+/// possibly via read-repair of torn copies) or fails structured with the
+/// directory's previous state intact — never a half-committed manifest.
+TEST(IoChaos, CheckpointUnderInjectedWriteFaultsIsAtomic) {
+  auto gen = meshgen::boxTris(5, 5);
+  auto pm = makeMesh(gen, 4);
+  const std::uint64_t fp = pm->fingerprint();
+  const auto dir = freshDir("injected_write");
+  dist::checkpoint(*pm, dir);  // a known-good generation-1 checkpoint
+
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    faults::FaultPlan p;
+    p.seed = seed;
+    p.iotorn = 0.05;
+    p.ioenospc = 0.02;
+    {
+      PlanGuard g(p);
+      try {
+        dist::checkpoint(*pm, dir);
+      } catch (const Error& e) {
+        EXPECT_TRUE(e.code() == ErrorCode::kIoFault ||
+                    e.code() == ErrorCode::kValidation)
+            << e.what();
+      }
+    }
+    // Whatever happened, no temp files survive and the directory holds a
+    // checkpoint that restores to the identical mesh (torn chunk copies
+    // are read-repaired; an aborted attempt left generation 1 alone).
+    EXPECT_TRUE(tmpFilesIn(dir).empty()) << "seed " << seed;
+    auto restored = pario::restoreImage(dir, gen.model.get(),
+                                        pario::OnLoss::kPartial);
+    EXPECT_EQ(restored->fingerprint(), fp) << "seed " << seed;
+  }
+}
+
+/// --- crash consistency ----------------------------------------------------
+
+TEST(PariaCrash, EnospcMidCheckpointLeaksNoTempFiles) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  const auto dir = freshDir("enospc");
+
+  faults::FaultPlan p;
+  p.seed = 5;
+  p.ioenospc = 1.0;  // every write fails: the attempt dies immediately
+  {
+    PlanGuard g(p);
+    try {
+      dist::checkpoint(*pm, dir);
+      FAIL() << "checkpoint succeeded with every write failing ENOSPC";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kIoFault);
+      EXPECT_NE(e.detail().find("ENOSPC"), std::string::npos) << e.what();
+    }
+  }
+  // The regression: the failed attempt must strand nothing — no *.tmp, no
+  // orphan image, no manifest.
+  EXPECT_TRUE(tmpFilesIn(dir).empty());
+  EXPECT_TRUE(imageFilesIn(dir).empty());
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "MANIFEST"));
+  EXPECT_FALSE(dist::checkpointValid(dir));
+}
+
+TEST(PariaCrash, EnospcRecheckpointPreservesPreviousGeneration) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  const std::uint64_t fp = pm->fingerprint();
+  const auto dir = freshDir("enospc2");
+  dist::checkpoint(*pm, dir);
+  ASSERT_TRUE(dist::checkpointValid(dir));
+
+  faults::FaultPlan p;
+  p.seed = 6;
+  p.ioenospc = 1.0;
+  {
+    PlanGuard g(p);
+    EXPECT_THROW(dist::checkpoint(*pm, dir), Error);
+  }
+  EXPECT_TRUE(tmpFilesIn(dir).empty());
+  EXPECT_TRUE(dist::checkpointValid(dir));
+  auto restored = dist::restore(dir, gen.model.get());
+  EXPECT_EQ(restored->fingerprint(), fp);
+  EXPECT_EQ(pario::loadIndex(dir).generation, 1u);
+}
+
+/// A crash between the image rename and the MANIFEST rename (the state a
+/// double-checkpoint interrupts into): the directory must keep restoring
+/// the previous generation, and the next checkpoint must sweep the orphan
+/// image and stray temp file on its way to committing.
+TEST(PariaCrash, CrashBetweenRenamesKeepsPreviousGenerationRestorable) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  const std::uint64_t fp = pm->fingerprint();
+  const auto dir = freshDir("between_renames");
+  dist::checkpoint(*pm, dir);
+  const auto idx1 = pario::loadIndex(dir);
+  ASSERT_EQ(idx1.generation, 1u);
+
+  // Fabricate the crash state: IMAGE.2 fully renamed in, MANIFEST.tmp
+  // written but never renamed over MANIFEST.
+  fs::copy_file(fs::path(dir) / idx1.image, fs::path(dir) / "IMAGE.2");
+  {
+    std::ofstream tmp(fs::path(dir) / "MANIFEST.tmp", std::ios::binary);
+    tmp << "half-written manifest bytes";
+  }
+
+  // The old MANIFEST still commits generation 1: valid and restorable.
+  EXPECT_TRUE(dist::checkpointValid(dir));
+  EXPECT_EQ(pario::loadIndex(dir).generation, 1u);
+  auto restored = dist::restore(dir, gen.model.get());
+  EXPECT_EQ(restored->fingerprint(), fp);
+
+  // The next checkpoint sweeps the leavings and commits generation 2:
+  // exactly one image file, no temp files, restores identically.
+  dist::checkpoint(*pm, dir);
+  EXPECT_TRUE(tmpFilesIn(dir).empty());
+  EXPECT_EQ(imageFilesIn(dir), std::vector<std::string>{"IMAGE.2"});
+  EXPECT_EQ(pario::loadIndex(dir).generation, 2u);
+  auto restored2 = dist::restore(dir, gen.model.get());
+  EXPECT_EQ(restored2->fingerprint(), fp);
+}
+
+/// --- unreadable directories ----------------------------------------------
+
+TEST(PariaValidation, MissingDirectoryIsStructuredError) {
+  const std::string dir = "/nonexistent/pumi/checkpoint";
+  auto gen = meshgen::boxTris(2, 2);
+  try {
+    dist::restore(dir, gen.model.get());
+    FAIL() << "restore accepted a nonexistent directory";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_NE(e.detail().find(dir), std::string::npos) << e.what();
+  }
+  EXPECT_FALSE(dist::checkpointValid(dir));
+}
+
+TEST(PariaValidation, NotADirectoryIsStructuredError) {
+  // /dev/null/sub can never be a directory (ENOTDIR on every syscall).
+  const std::string dir = "/dev/null/sub";
+  auto gen = meshgen::boxTris(2, 2);
+  try {
+    dist::restore(dir, gen.model.get());
+    FAIL() << "restore accepted a path under a non-directory";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_NE(e.detail().find(dir), std::string::npos) << e.what();
+  }
+}
+
+TEST(PariaValidation, FileInPlaceOfDirectoryIsStructuredError) {
+  const auto parent = freshDir("notadir");
+  fs::create_directories(parent);
+  const std::string dir = parent + "/plainfile";
+  {
+    std::ofstream f(dir);
+    f << "not a directory";
+  }
+  auto gen = meshgen::boxTris(2, 2);
+  try {
+    dist::restore(dir, gen.model.get());
+    FAIL() << "restore accepted a plain file as a checkpoint directory";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_NE(e.detail().find("not a directory"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PariaValidation, PermissionDeniedDirectoryIsStructuredError) {
+  if (::geteuid() == 0) GTEST_SKIP() << "root ignores directory modes";
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 2);
+  const auto dir = freshDir("denied");
+  dist::checkpoint(*pm, dir);
+  fs::permissions(dir, fs::perms::none);
+  try {
+    dist::restore(dir, gen.model.get());
+    FAIL() << "restore accepted an unreadable directory";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_NE(e.detail().find(dir), std::string::npos) << e.what();
+  }
+  fs::permissions(dir, fs::perms::owner_all);
+}
+
+TEST(PariaValidation, TruncatedManifestIsStructuredError) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 2);
+  const auto dir = freshDir("truncman");
+  dist::checkpoint(*pm, dir);
+  fs::resize_file(fs::path(dir) / "MANIFEST", 13);
+  EXPECT_FALSE(dist::checkpointValid(dir));
+  EXPECT_THROW(dist::restore(dir, gen.model.get()), Error);
+}
+
+TEST(PariaValidation, BitflippedManifestFailsItsOwnCrc) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 2);
+  const auto dir = freshDir("manflip");
+  dist::checkpoint(*pm, dir);
+  flipByte(dir + "/MANIFEST", 20);
+  try {
+    dist::restore(dir, gen.model.get());
+    FAIL() << "restore accepted a bit-flipped MANIFEST";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_NE(e.detail().find("CRC"), std::string::npos) << e.what();
+  }
+}
+
+/// --- edge cases -----------------------------------------------------------
+
+TEST(PariaEdge, ZeroEntityPartsRoundTrip) {
+  // All elements pinned to part 0 of a 3-part mesh: parts 1 and 2 are
+  // completely empty and must survive the chunk round trip as such.
+  auto gen = meshgen::boxTris(4, 4);
+  const std::size_t nelem = gen.mesh->all(2).size();
+  std::vector<dist::PartId> assign(nelem, 0);
+  auto pm = dist::PartedMesh::distribute(
+      *gen.mesh, gen.model.get(), assign,
+      dist::PartMap(3, pcu::Machine::flat(3)));
+  const std::uint64_t fp = pm->fingerprint();
+
+  const auto dir = freshDir("emptyparts");
+  dist::checkpoint(*pm, dir);
+  EXPECT_TRUE(dist::checkpointValid(dir));
+  EXPECT_EQ(pario::scrub(dir).chunks_lost, 0u);
+  auto restored = dist::restore(dir, gen.model.get());
+  EXPECT_EQ(restored->fingerprint(), fp);
+  EXPECT_EQ(restored->part(1).elements().size(), 0u);
+  EXPECT_EQ(restored->part(2).elements().size(), 0u);
+}
+
+TEST(PariaEdge, ZeroLengthTagPayloadRoundTrips) {
+  // CRC-of-empty edge: a transportable tag attached with an empty value
+  // vector serializes as a zero-length payload inside the mesh stream.
+  EXPECT_EQ(faults::crc32(nullptr, 0), 0u);
+
+  auto gen = meshgen::boxTris(3, 3);
+  auto* marks = gen.mesh->tags().create<double>("marks", 0);
+  const Ent v0 = gen.mesh->all(0).front();
+  gen.mesh->tags().set<double>(marks, v0, {});
+  auto pm = makeMesh(gen, 2);
+  const std::uint64_t fp = pm->fingerprint();
+
+  const auto dir = freshDir("emptytag");
+  dist::checkpoint(*pm, dir);
+  auto restored = dist::restore(dir, gen.model.get());
+  EXPECT_EQ(restored->fingerprint(), fp);
+  // The empty-valued tag survived on whichever part owns that vertex.
+  bool found = false;
+  for (PartId p = 0; p < restored->parts(); ++p) {
+    auto* t = restored->part(p).mesh().tags().find("marks");
+    if (t == nullptr) continue;
+    for (Ent v : restored->part(p).mesh().entities(0))
+      if (t->has(v)) {
+        EXPECT_TRUE(
+            restored->part(p).mesh().tags().get<double>(t, v).empty());
+        found = true;
+      }
+  }
+  EXPECT_TRUE(found);
+}
+
+/// --- partition-on-read ----------------------------------------------------
+
+TEST(PariaRead, PartitionOnReadMapsPartsToTargetRanks) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = makeMesh(gen, 6);
+  const std::uint64_t fp = pm->fingerprint();
+  const auto dir = freshDir("n_to_m");
+  dist::checkpoint(*pm, dir);
+
+  // 6 writers -> 2 readers: part p must land on rank p % 2.
+  auto onto2 = dist::restore(dir, gen.model.get(), 2);
+  EXPECT_EQ(onto2->fingerprint(), fp);
+  for (PartId p = 0; p < onto2->parts(); ++p)
+    EXPECT_EQ(onto2->network().partMap().rankOf(p), p % 2);
+
+  // 6 writers -> 8 readers: identity assignment, two idle ranks.
+  auto onto8 = dist::restore(dir, gen.model.get(), 8);
+  EXPECT_EQ(onto8->fingerprint(), fp);
+  for (PartId p = 0; p < onto8->parts(); ++p)
+    EXPECT_EQ(onto8->network().partMap().rankOf(p), p);
+}
+
+TEST(PariaRead, PartBytesReadRepairsDamagedCopy) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  const auto dir = freshDir("partbytes");
+  dist::checkpoint(*pm, dir);
+  const auto clean = dist::checkpointPartBytes(dir, 1);
+
+  const auto idx = pario::loadIndex(dir);
+  const auto& slot = idx.parts[1].mesh;
+  flipByte(dir + "/" + idx.image,
+           slot.primary + pario::kChunkHeaderBytes + slot.length / 3);
+  const auto repaired = dist::checkpointPartBytes(dir, 1);
+  EXPECT_EQ(repaired.first, clean.first);
+  EXPECT_EQ(repaired.second, clean.second);
+
+  // Both copies gone: structured kCorruptPayload, not a crash.
+  const auto idx2 = pario::loadIndex(dir);
+  for (const std::uint64_t off :
+       {idx2.parts[1].mesh.primary, idx2.parts[1].mesh.replica})
+    flipByte(dir + "/" + idx2.image,
+             off + pario::kChunkHeaderBytes + slot.length / 3);
+  EXPECT_THROW(
+      {
+        try {
+          dist::checkpointPartBytes(dir, 1);
+        } catch (const Error& e) {
+          EXPECT_EQ(e.code(), ErrorCode::kCorruptPayload);
+          throw;
+        }
+      },
+      Error);
+}
+
+/// --- scrub ----------------------------------------------------------------
+
+TEST(PariaScrub, RepairsEveryDamagedCopyOnce) {
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto pm = makeMesh(gen, 4);
+  const std::uint64_t fp = pm->fingerprint();
+  const auto dir = freshDir("scrub");
+  dist::checkpoint(*pm, dir);
+
+  const auto clean = pario::scrub(dir);
+  EXPECT_TRUE(clean.clean());
+  EXPECT_EQ(clean.chunks_repaired, 0u);
+  EXPECT_EQ(clean.chunks_ok, 8u);  // 4 parts x {mesh, meta}
+
+  // Damage three different copies across parts and chunk types.
+  const auto idx = pario::loadIndex(dir);
+  const std::string image = dir + "/" + idx.image;
+  flipByte(image, idx.parts[0].mesh.primary + pario::kChunkHeaderBytes + 5);
+  flipByte(image, idx.parts[2].meta.replica + pario::kChunkHeaderBytes + 1);
+  tearChunk(image, idx.parts[3].mesh.replica, idx.parts[3].mesh.length);
+
+  const auto fixed = pario::scrub(dir);
+  EXPECT_TRUE(fixed.clean());
+  EXPECT_EQ(fixed.chunks_repaired, 3u);
+  EXPECT_TRUE(fixed.lost_parts.empty());
+  // Idempotent: a second scrub finds a fully clean checkpoint.
+  const auto again = pario::scrub(dir);
+  EXPECT_EQ(again.chunks_repaired, 0u);
+  EXPECT_EQ(again.chunks_ok, 8u);
+  auto restored = dist::restore(dir, gen.model.get());
+  EXPECT_EQ(restored->fingerprint(), fp);
+}
+
+TEST(PariaScrub, ReportsLostChunksWithoutThrowing) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  const auto dir = freshDir("scrublost");
+  dist::checkpoint(*pm, dir);
+  const auto idx = pario::loadIndex(dir);
+  const std::string image = dir + "/" + idx.image;
+  for (const std::uint64_t off :
+       {idx.parts[2].meta.primary, idx.parts[2].meta.replica})
+    flipByte(image, off + pario::kChunkHeaderBytes + 2);
+
+  const auto rep = pario::scrub(dir);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_EQ(rep.chunks_lost, 1u);
+  EXPECT_EQ(rep.lost_parts, std::vector<PartId>{2});
+}
+
+/// --- double checkpoint ----------------------------------------------------
+
+TEST(PariaWrite, RecheckpointAdvancesGenerationAndSweepsOldImage) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  const auto dir = freshDir("regen");
+  const auto s1 = pario::checkpointImage(*pm, dir);
+  EXPECT_EQ(s1.generation, 1u);
+  EXPECT_EQ(s1.chunks, 3u * 2u * 2u);  // parts x {mesh,meta} x {pri,rep}
+  const auto s2 = pario::checkpointImage(*pm, dir);
+  EXPECT_EQ(s2.generation, 2u);
+  EXPECT_EQ(imageFilesIn(dir), std::vector<std::string>{"IMAGE.2"});
+  EXPECT_TRUE(dist::checkpointValid(dir));
+}
+
+}  // namespace

@@ -21,6 +21,7 @@
 
 #include "common/rng.hpp"
 #include "dist/checkpoint.hpp"
+#include "dist/pario.hpp"
 #include "dist/partedmesh.hpp"
 #include "meshgen/boxmesh.hpp"
 #include "parma/balance.hpp"
@@ -459,33 +460,74 @@ TEST(Checkpoint, TwoDimensionalMeshRoundTrips) {
   EXPECT_NO_THROW(restored->verify());
 }
 
-TEST(Checkpoint, DetectsCorruptedPartFile) {
+/// Flip one byte inside the chunk payload at `offset` of the image file.
+void flipImageByte(const std::string& image_path, std::uint64_t offset) {
+  std::fstream f(image_path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << image_path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+TEST(Checkpoint, ReadRepairsSingleCorruptedCopy) {
   auto gen = meshgen::boxTris(4, 4);
   auto pm = makeMesh(gen, 3);
-  const auto dir = freshDir("corrupt");
+  const std::uint64_t fp = pm->fingerprint();
+  const auto dir = freshDir("corrupt1");
   dist::checkpoint(*pm, dir);
   ASSERT_TRUE(dist::checkpointValid(dir));
 
-  // Flip one byte in the middle of part0's mesh file.
-  const std::string victim = dir + "/part0.mesh";
-  std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
-  ASSERT_TRUE(f.good());
-  f.seekp(200);
-  char c = 0;
-  f.seekg(200);
-  f.read(&c, 1);
-  c = static_cast<char>(c ^ 0x40);
-  f.seekp(200);
-  f.write(&c, 1);
-  f.close();
+  // Flip one byte in the middle of part 0's primary mesh chunk: the buddy
+  // replica is intact, so the checkpoint still validates and restore
+  // silently repairs the damage.
+  const auto idx = dist::pario::loadIndex(dir);
+  const auto& slot = idx.parts[0].mesh;
+  flipImageByte(dir + "/" + idx.image,
+                slot.primary + dist::pario::kChunkHeaderBytes +
+                    slot.length / 2);
+  EXPECT_TRUE(dist::checkpointValid(dir));
+
+  dist::pario::RestoreReport report;
+  auto restored = dist::pario::restoreImage(
+      dir, gen.model.get(), dist::pario::OnLoss::kFail, &report);
+  EXPECT_EQ(restored->fingerprint(), fp);
+  EXPECT_EQ(report.chunks_repaired, 1u);
+  EXPECT_TRUE(report.lost.empty());
+  // The repair persisted: a scrub right after finds nothing left to fix.
+  EXPECT_EQ(dist::pario::scrub(dir).chunks_repaired, 0u);
+}
+
+TEST(Checkpoint, DetectsCorruptedPartChunk) {
+  auto gen = meshgen::boxTris(4, 4);
+  auto pm = makeMesh(gen, 3);
+  const auto dir = freshDir("corrupt2");
+  dist::checkpoint(*pm, dir);
+  ASSERT_TRUE(dist::checkpointValid(dir));
+
+  // Flip a payload byte in BOTH copies of part 0's mesh chunk: the data is
+  // unrecoverable, the checkpoint must not validate, and a full restore
+  // must say which part is gone.
+  const auto idx = dist::pario::loadIndex(dir);
+  const auto& slot = idx.parts[0].mesh;
+  const std::string image = dir + "/" + idx.image;
+  flipImageByte(image,
+                slot.primary + dist::pario::kChunkHeaderBytes +
+                    slot.length / 2);
+  flipImageByte(image,
+                slot.replica + dist::pario::kChunkHeaderBytes +
+                    slot.length / 2);
 
   EXPECT_FALSE(dist::checkpointValid(dir));
   try {
     dist::restore(dir, gen.model.get());
-    FAIL() << "restore accepted a corrupted part file";
+    FAIL() << "restore accepted a checkpoint with both copies corrupted";
   } catch (const Error& e) {
-    EXPECT_EQ(e.code(), ErrorCode::kCorruptPayload);
-    EXPECT_NE(e.detail().find("part0.mesh"), std::string::npos) << e.what();
+    EXPECT_EQ(e.code(), ErrorCode::kValidation);
+    EXPECT_NE(e.detail().find("lost part(s) 0"), std::string::npos)
+        << e.what();
   }
 }
 

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <future>
 #include <map>
 #include <sstream>
@@ -29,6 +30,10 @@
 #include <utility>
 #include <vector>
 
+#include "dist/checkpoint.hpp"
+#include "dist/digest.hpp"
+#include "dist/partedmesh.hpp"
+#include "meshgen/boxmesh.hpp"
 #include "pcu/comm.hpp"
 #include "pcu/error.hpp"
 #include "pcu/failure.hpp"
@@ -613,6 +618,69 @@ TEST(ReportJson, EmitsPerTenantPercentilesAndShedNames) {
   EXPECT_NE(json.find("\"p99_ms\""), std::string::npos);
   EXPECT_NE(json.find("\"shed_jobs\""), std::string::npos);
   EXPECT_NE(json.find("\"pool_size\": 4"), std::string::npos);
+}
+
+/// --- scheduler checkpoint hooks (parallel I/O tentpole) ------------------
+
+std::string freshCkptDir(const std::string& leaf) {
+  namespace fs = std::filesystem;
+  const fs::path d = fs::temp_directory_path() / "pumi_test_svc_ckpt" / leaf;
+  fs::remove_all(d);
+  return d.string();
+}
+
+TEST(CheckpointHooks, JobCommitsRestorableStateAtPhaseBoundaries) {
+  const auto dir = freshCkptDir("basic");
+  svc::Scheduler sched({.pool_size = 4, .workers = 1});
+  auto spec = smallJob("acme", "ckpt", 4, 7);
+  spec.checkpoint_dir = dir;
+  const auto res = sched.run(std::move(spec));
+  ASSERT_EQ(res.state, svc::JobState::kCompleted) << res.reason;
+  // Every phase boundary committed: initial build, each migrate round,
+  // the balance pass, and the final state.
+  EXPECT_GE(res.checkpoints, 4);
+  ASSERT_TRUE(dist::checkpointValid(dir));
+
+  // The last committed checkpoint is the completed mesh: restoring it
+  // reproduces the job's element count and order-independent digest.
+  auto gen = meshgen::boxTets(3, 3, 3);
+  auto restored = dist::restore(dir, gen.model.get());
+  EXPECT_NO_THROW(restored->verify());
+  const auto digests = dist::digest::elementDigests(*restored);
+  EXPECT_EQ(digests.size(), res.elements);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint64_t d : digests) {
+    h ^= d;
+    h *= 0x100000001b3ull;
+  }
+  EXPECT_EQ(h, res.digest);
+}
+
+TEST(CheckpointHooks, StorageChaosInTenantPlanIsAbsorbedNotFatal) {
+  // The tenant's own storage chaos (injected ENOSPC) hits its checkpoint
+  // writes; the job must absorb every failed attempt (the journal still
+  // holds the state) and complete with the same digest as a clean run.
+  svc::Scheduler clean_sched({.pool_size = 4, .workers = 1});
+  const auto clean = clean_sched.run(smallJob("acme", "ref", 4, 11));
+  ASSERT_EQ(clean.state, svc::JobState::kCompleted) << clean.reason;
+
+  const auto dir = freshCkptDir("chaos");
+  svc::Scheduler sched({.pool_size = 4, .workers = 1});
+  auto spec = smallJob("acme", "ckpt-chaos", 4, 11);
+  spec.checkpoint_dir = dir;
+  spec.chaos.faults = "seed=23,ioenospc=0.4";
+  const auto res = sched.run(std::move(spec));
+  ASSERT_EQ(res.state, svc::JobState::kCompleted) << res.reason;
+  EXPECT_EQ(res.digest, clean.digest);
+  EXPECT_EQ(res.elements, clean.elements);
+  // Failed checkpoint attempts were counted, not fatal; and a directory
+  // that claims validity must actually restore.
+  if (dist::checkpointValid(dir)) {
+    auto gen = meshgen::boxTets(3, 3, 3);
+    EXPECT_NO_THROW(dist::restore(dir, gen.model.get())->verify());
+  } else {
+    EXPECT_GT(res.faults_recovered, 0);
+  }
 }
 
 }  // namespace
