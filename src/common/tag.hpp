@@ -10,11 +10,15 @@
 /// count, then values may be set/read/removed per item. This template is
 /// instantiated with the mesh entity handle and the model entity handle.
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <typeindex>
 #include <unordered_map>
 #include <vector>
@@ -43,7 +47,39 @@ class TagBase {
   /// Number of items carrying a value.
   [[nodiscard]] virtual std::size_t count() const = 0;
   /// Deep copy of this tag and every value it holds (registry snapshots).
+  /// The clone keeps this tag's version(): content and version travel
+  /// together, so a restored snapshot stays consistent with any ledger
+  /// keyed on (name, version).
   [[nodiscard]] virtual std::unique_ptr<TagBase<Handle>> clone() const = 0;
+
+  /// Item handles currently carrying a value, in container order (callers
+  /// needing determinism must sort by their own handle key).
+  [[nodiscard]] virtual std::vector<Handle> items() const = 0;
+  /// Raw bytes of one item's payload — empty when the item is unset or the
+  /// value type is not trivially copyable. For byte-level integrity
+  /// hashing and memory-fault injection only: writes through the mutable
+  /// view deliberately do NOT bump version() (they model corruption, not
+  /// legitimate updates).
+  [[nodiscard]] virtual std::span<const std::byte> valueBytes(
+      const Handle& item) const = 0;
+  [[nodiscard]] virtual std::span<std::byte> valueBytes(
+      const Handle& item) = 0;
+
+  /// Monotone mutation counter: bumped by every value mutation (set,
+  /// effective remove/copy), seeded from a process-wide monotone source so
+  /// a destroyed-and-recreated tag of the same name never reuses a
+  /// (name, version) pair. Integrity ledgers key tag sections on it to
+  /// re-hash lazily: an unchanged version proves no *legitimate* write
+  /// happened since the last observation.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  void bumpVersion() { version_ = nextVersion(); }
+
+ protected:
+  static std::uint64_t nextVersion() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t version_ = nextVersion();
 
  private:
   std::string name_;
@@ -59,17 +95,53 @@ class TagData final : public TagBase<Handle> {
   [[nodiscard]] bool has(const Handle& item) const override {
     return values.count(item) > 0;
   }
-  void remove(const Handle& item) override { values.erase(item); }
+  void remove(const Handle& item) override {
+    if (values.erase(item) > 0) this->bumpVersion();
+  }
   void copy(const Handle& from, const Handle& to) override {
     auto it = values.find(from);
-    if (it != values.end()) values[to] = it->second;
+    if (it == values.end()) return;
+    std::vector<T> value = it->second;  // copy first: operator[] may rehash
+    values[to] = std::move(value);
+    this->bumpVersion();
   }
   [[nodiscard]] std::size_t count() const override { return values.size(); }
   [[nodiscard]] std::unique_ptr<TagBase<Handle>> clone() const override {
     auto out = std::make_unique<TagData<Handle, T, Hash>>(
         this->name(), this->components(), this->type());
     out->values = values;
+    out->version_ = this->version_;
     return out;
+  }
+
+  [[nodiscard]] std::vector<Handle> items() const override {
+    std::vector<Handle> out;
+    out.reserve(values.size());
+    for (const auto& kv : values) out.push_back(kv.first);
+    return out;
+  }
+  [[nodiscard]] std::span<const std::byte> valueBytes(
+      const Handle& item) const override {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      auto it = values.find(item);
+      if (it == values.end()) return {};
+      return {reinterpret_cast<const std::byte*>(it->second.data()),
+              it->second.size() * sizeof(T)};
+    } else {
+      (void)item;
+      return {};
+    }
+  }
+  [[nodiscard]] std::span<std::byte> valueBytes(const Handle& item) override {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      auto it = values.find(item);
+      if (it == values.end()) return {};
+      return {reinterpret_cast<std::byte*>(it->second.data()),
+              it->second.size() * sizeof(T)};
+    } else {
+      (void)item;
+      return {};
+    }
   }
 
   std::unordered_map<Handle, std::vector<T>, Hash> values;
@@ -139,6 +211,7 @@ class TagRegistry {
     auto& data = cast<T>(tag);
     assert(value.size() == tag->components());
     data.values[item] = std::move(value);
+    tag->bumpVersion();
   }
 
   /// Convenience for single-component tags.

@@ -159,6 +159,7 @@ Vec3 Mesh::point(Ent v) const {
 void Mesh::setPoint(Ent v, const Vec3& x) {
   assert(v.topo() == Topo::Vertex && alive(v));
   coords_[v.index()] = x;
+  ++data_version_;
 }
 
 gmi::Entity* Mesh::classification(Ent e) const {
@@ -169,6 +170,7 @@ gmi::Entity* Mesh::classification(Ent e) const {
 void Mesh::classify(Ent e, gmi::Entity* cls) {
   assert(alive(e));
   pool(e.topo()).cls[e.index()] = cls;
+  ++data_version_;
 }
 
 std::span<const Ent> Mesh::verts(Ent e) const {

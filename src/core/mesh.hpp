@@ -40,6 +40,10 @@ class Model;
 
 namespace core {
 
+namespace integrity {
+struct MeshAccess;
+}
+
 using common::Vec3;
 
 /// Upward adjacency list type (see smallvec.hpp for why not std::vector).
@@ -80,6 +84,7 @@ class Mesh {
     tags_ = other.tags_;
     sets_ = other.sets_;
     ++topo_version_;  // invalidate any cached CSR adjacency views
+    ++data_version_;
   }
 
   [[nodiscard]] gmi::Model* model() const { return model_; }
@@ -179,6 +184,12 @@ class Mesh {
   /// observations proves no entity was created or destroyed in between.
   [[nodiscard]] std::uint64_t topoVersion() const { return topo_version_; }
 
+  /// Monotone counter bumped by every non-topological data mutation
+  /// (setPoint, classify, copyFrom). Together with topoVersion() it gates
+  /// the integrity ledger's lazy re-hashing of pool/coordinate sections:
+  /// both counters unchanged proves no *legitimate* write touched them.
+  [[nodiscard]] std::uint64_t dataVersion() const { return data_version_; }
+
   /// Find an existing entity of type `t` over exactly these vertices
   /// (any order); null handle when absent.
   [[nodiscard]] Ent findEntity(Topo t, std::span<const Ent> verts) const;
@@ -264,10 +275,14 @@ class Mesh {
   Tags tags_;
   std::unordered_map<std::string, Set> sets_;
   std::uint64_t topo_version_ = 0;
+  std::uint64_t data_version_ = 0;
   /// Cached CSR views, one per (from, to) pair; rebuilt when stale.
   mutable std::array<std::unique_ptr<Csr>, 16> csr_;
 
   friend class EntIterAccess;
+  /// integrity.hpp: byte-level access to pools/coords/CSR for the sectioned
+  /// checksum ledger and the deterministic memory-fault injector.
+  friend struct integrity::MeshAccess;
 };
 
 }  // namespace core

@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "common/crc32.hpp"
 #include "core/meshio.hpp"
 #include "dist/checkpoint.hpp"
 #include "dist/partio.hpp"
@@ -42,10 +43,8 @@ void BuddyJournal::record(const PartedMesh& pm) {
     auto mesh = core::meshToBytes(pm.part(p).mesh());
     auto meta = partio::buildMeta(pm.part(p),
                                   ords[static_cast<std::size_t>(p)], ords);
-    const std::uint32_t mesh_crc =
-        pcu::faults::crc32(mesh.data(), mesh.size());
-    const std::uint32_t meta_crc =
-        pcu::faults::crc32(meta.data(), meta.size());
+    const std::uint32_t mesh_crc = common::crc32(mesh.data(), mesh.size());
+    const std::uint32_t meta_crc = common::crc32(meta.data(), meta.size());
     auto it = parts_.find(p);
     if (it != parts_.end() && it->second.mesh_crc == mesh_crc &&
         it->second.meta_crc == meta_crc &&

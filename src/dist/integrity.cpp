@@ -1,0 +1,533 @@
+#include "dist/integrity.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "core/meshio.hpp"
+#include "dist/checkpoint.hpp"
+#include "dist/partio.hpp"
+#include "pcu/error.hpp"
+#include "pcu/trace.hpp"
+
+namespace dist {
+namespace integrity {
+
+namespace {
+
+void appendU64(std::vector<std::byte>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+
+std::uint64_t u64(PartId p) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(p));
+}
+
+/// Accumulates the enclosing scope's wall time into a report field — on
+/// every exit path, including the kIntegrity throw. The self-timing is what
+/// lets the integrity bench price the armor directly instead of through a
+/// noisy A/B subtraction.
+struct MsAccum {
+  double& into;
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  ~MsAccum() {
+    into += std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  }
+};
+
+/// One flippable field of a remote/ghost record: the meaningful bits only
+/// (padding bytes are invisible to the canonical streams, so a flip there
+/// would be genuinely silent — exactly what the armor must never produce).
+struct FieldFlip {
+  std::function<void(int)> flip;  ///< flip bit `b` (0-based) of the field
+  int bits = 0;
+};
+
+void flipPartId(PartId* p, int b) {
+  *p = static_cast<PartId>(static_cast<std::uint32_t>(*p) ^
+                           (std::uint32_t{1} << b));
+}
+
+void pushCopyFields(std::vector<FieldFlip>& fields, Copy* c) {
+  fields.push_back({[c](int b) { flipPartId(&c->part, b); }, 32});
+  fields.push_back(
+      {[c](int b) { c->ent = Ent::unpack(c->ent.packed() ^ (1ull << b)); },
+       40});  // 32 index bits + 8 topo bits; padding excluded by design
+}
+
+template <class Map>
+std::vector<Ent> sortedKeys(const Map& m) {
+  std::vector<Ent> keys;
+  keys.reserve(m.size());
+  for (const auto& [e, v] : m) keys.push_back(e);
+  std::sort(keys.begin(), keys.end(),
+            [](Ent a, Ent b) { return a.packed() < b.packed(); });
+  return keys;
+}
+
+/// The meaningful fields of a part's boundary/ghost tables in sorted-key
+/// order. The returned lambdas point into the live maps: use before any
+/// insertion (a rehash would invalidate them). The maps are passed in from
+/// Armor's friend context (this helper has no access of its own).
+std::vector<FieldFlip> remoteFields(
+    common::FlatMap<Ent, Remote, EntHash>& remotes,
+    common::FlatMap<Ent, Copy, EntHash>& ghost_source,
+    common::FlatMap<Ent, std::vector<Copy>, EntHash>& ghosted_on) {
+  std::vector<FieldFlip> fields;
+  for (Ent e : sortedKeys(remotes)) {
+    Remote* r = &remotes.find(e)->second;
+    fields.push_back({[r](int b) { flipPartId(&r->owner, b); }, 32});
+    for (Copy& c : r->copies) pushCopyFields(fields, &c);
+  }
+  for (Ent g : sortedKeys(ghost_source)) {
+    pushCopyFields(fields, &ghost_source.find(g)->second);
+  }
+  for (Ent e : sortedKeys(ghosted_on)) {
+    for (Copy& c : ghosted_on.find(e)->second) pushCopyFields(fields, &c);
+  }
+  return fields;
+}
+
+}  // namespace
+
+/// --- canonical streams of the external (non-mesh) sections -----------------
+
+std::vector<std::byte> Armor::remotesStream(const Part& p) const {
+  std::vector<std::byte> out;
+  for (Ent e : sortedKeys(p.remotes_)) {
+    const Remote& r = p.remotes_.find(e)->second;
+    appendU64(out, e.packed());
+    appendU64(out, u64(r.owner));
+    appendU64(out, r.copies.size());
+    for (const Copy& c : r.copies) {
+      appendU64(out, u64(c.part));
+      appendU64(out, c.ent.packed());
+    }
+  }
+  return out;
+}
+
+std::vector<std::byte> Armor::ghostSourceStream(const Part& p) const {
+  std::vector<std::byte> out;
+  for (Ent g : sortedKeys(p.ghost_source_)) {
+    const Copy& c = p.ghost_source_.find(g)->second;
+    appendU64(out, g.packed());
+    appendU64(out, u64(c.part));
+    appendU64(out, c.ent.packed());
+  }
+  return out;
+}
+
+std::vector<std::byte> Armor::ghostedOnStream(const Part& p) const {
+  std::vector<std::byte> out;
+  for (Ent e : sortedKeys(p.ghosted_on_)) {
+    const auto& copies = p.ghosted_on_.find(e)->second;
+    appendU64(out, e.packed());
+    appendU64(out, copies.size());
+    for (const Copy& c : copies) {
+      appendU64(out, u64(c.part));
+      appendU64(out, c.ent.packed());
+    }
+  }
+  return out;
+}
+
+/// --- seal / audit -----------------------------------------------------------
+
+void Armor::ensureParts() {
+  if (ledgers_.size() < static_cast<std::size_t>(pm_.parts()))
+    ledgers_.resize(static_cast<std::size_t>(pm_.parts()));
+}
+
+void Armor::sealPart(PartId p) {
+  auto& led = ledgers_[static_cast<std::size_t>(p)];
+  const Part& part = pm_.part(p);
+  led.seal(part.mesh());
+  led.sealExternal("remotes", remotesStream(part));
+  led.sealExternal("ghost-src", ghostSourceStream(part));
+  led.sealExternal("ghost-on", ghostedOnStream(part));
+}
+
+void Armor::auditPart(PartId p, std::vector<core::integrity::Mismatch>& out) {
+  auto& led = ledgers_[static_cast<std::size_t>(p)];
+  const Part& part = pm_.part(p);
+  led.audit(part.mesh(), out);
+  led.auditExternal("remotes", remotesStream(part), out);
+  led.auditExternal("ghost-src", ghostSourceStream(part), out);
+  led.auditExternal("ghost-on", ghostedOnStream(part), out);
+}
+
+void Armor::sealAndMaybeInject() {
+  MsAccum timer{rep_.seal_ms};
+  ensureParts();
+  for (PartId p = 0; p < pm_.parts(); ++p) sealPart(p);
+  ++rep_.seals;
+  // Seal, then replicate, then corrupt: refreshing the journal here — after
+  // the seal, before the flip — guarantees every boundary's sealed state
+  // has a matching replica, so a tier-2 repair never meets a stale
+  // snapshot. Dedup makes unchanged parts free.
+  if (journal_ != nullptr) journal_->record(pm_);
+  const std::uint64_t phase = boundary_++;
+  const pcu::faults::MemFlip burst = pcu::faults::fireMemFlip(phase);
+  if (burst.bits > 0) injectFlips(burst);
+  if (pcu::trace::enabled()) pcu::trace::counter("integrity:seals", 1);
+}
+
+void Armor::auditAndRepair(const char* where) {
+  MsAccum timer{rep_.audit_ms};
+  ensureParts();
+  ++rep_.audits;
+  const int nparts = pm_.parts();
+
+  // Detect first across ALL parts, then repair: a tier-2/3 rebuild patches
+  // mirror records on *other* parts (whose external streams then legally
+  // change), so interleaving detection with repair would report phantom
+  // corruption on parts audited after a rebuild.
+  std::vector<std::pair<PartId, std::vector<core::integrity::Mismatch>>> bad;
+  for (PartId p = 0; p < nparts; ++p) {
+    std::vector<core::integrity::Mismatch> ms;
+    auditPart(p, ms);
+    if (!ms.empty()) bad.emplace_back(p, std::move(ms));
+  }
+  if (bad.empty()) return;
+
+  bool rebuilt = false;
+  for (auto& [p, ms] : bad) {
+    const std::size_t at = rep_.detected.size();
+    for (const auto& m : ms)
+      rep_.detected.push_back(
+          {p, m.section, m.first_byte, m.last_byte, 0, where});
+    rep_.mismatches += ms.size();
+    if (pcu::trace::enabled())
+      pcu::trace::counter("integrity:mismatches",
+                          static_cast<std::int64_t>(ms.size()));
+
+    // The escalation ladder. Tier 1 applies only when every mismatch is in
+    // derived CSR state — rebuilt for free from the (clean) pools.
+    int tier = 0;
+    const bool all_csr =
+        std::all_of(ms.begin(), ms.end(), [](const auto& m) {
+          return m.section.rfind("csr:", 0) == 0;
+        });
+    if (all_csr) {
+      core::integrity::MeshAccess::invalidateCsr(pm_.part(p).mesh());
+      tier = 1;
+    } else if (repairFromJournal(p)) {
+      tier = 2;
+      rebuilt = true;
+    } else if (repairFromCheckpoint(p)) {
+      tier = 3;
+      rebuilt = true;
+    }
+    if (tier == 0) {
+      rep_.parts_unrepaired.push_back(p);
+      std::sort(rep_.parts_unrepaired.begin(), rep_.parts_unrepaired.end());
+      if (pcu::trace::enabled()) pcu::trace::counter("integrity:fatal", 1);
+      const auto& m0 = ms.front();
+      throw pcu::Error(
+          pcu::ErrorCode::kIntegrity, pm_.network().partMap().rankOf(p),
+          std::string(where) + ": part " + std::to_string(p) + " section '" +
+              m0.section + "' corrupt in bytes [" +
+              std::to_string(m0.first_byte) + ", " +
+              std::to_string(m0.last_byte) + "]" +
+              (ms.size() > 1
+                   ? " (+" + std::to_string(ms.size() - 1) + " more sections)"
+                   : "") +
+              "; repair exhausted (journal " +
+              (journal_ != nullptr ? "stale or missing part" : "unset") +
+              ", checkpoint " +
+              (checkpoint_dir_.empty() ? "unset" : "unusable") + ")");
+    }
+    for (std::size_t k = at; k < rep_.detected.size(); ++k)
+      rep_.detected[k].repair_tier = tier;
+    rep_.parts_repaired.push_back(p);
+    if (pcu::trace::enabled()) {
+      pcu::trace::counter("integrity:repairs", 1);
+      pcu::trace::counter(
+          tier == 1 ? "integrity:repair_csr"
+                    : (tier == 2 ? "integrity:repair_journal"
+                                 : "integrity:repair_checkpoint"),
+          1);
+    }
+  }
+
+  // A rebuild re-indexed the part's entities and patched survivor mirrors:
+  // gate on the structural invariants before trusting the repaired state.
+  if (rebuilt) {
+    try {
+      pm_.verify();
+    } catch (const std::exception& e) {
+      throw pcu::Error(pcu::ErrorCode::kIntegrity, -1,
+                       std::string(where) +
+                           ": post-repair verify failed: " + e.what());
+    }
+  }
+  // Re-key every ledger against the repaired bytes (raw layout differs
+  // after a rebuild even though the content is fingerprint-identical), and
+  // refresh the replica: a rebuild re-indexed handles in survivor mirror
+  // records, so the journal's copies of those parts are now stale.
+  for (PartId p = 0; p < nparts; ++p) sealPart(p);
+  if (journal_ != nullptr) journal_->record(pm_);
+}
+
+/// --- repair tiers -----------------------------------------------------------
+
+bool Armor::repairFromJournal(PartId p) {
+  if (journal_ == nullptr) return false;
+  const failover::BuddyJournal::Snapshot* snap = journal_->find(p);
+  if (snap == nullptr) return false;
+  // CRC gate: the replica is only trustworthy if its own bytes still match
+  // the CRCs recorded when it was streamed (the journal lives in the same
+  // fallible memory as the mesh).
+  if (common::crc32(snap->mesh.data(), snap->mesh.size()) != snap->mesh_crc ||
+      common::crc32(snap->meta.data(), snap->meta.size()) != snap->meta_crc)
+    return false;
+  try {
+    rebuildPart(p, snap->mesh, snap->meta, "journal");
+  } catch (const pcu::Error&) {
+    return false;  // stale replica (kValidation): escalate to checkpoint
+  }
+  return true;
+}
+
+bool Armor::repairFromCheckpoint(PartId p) {
+  if (checkpoint_dir_.empty()) return false;
+  std::vector<std::byte> mesh_bytes;
+  std::vector<std::byte> meta_bytes;
+  try {
+    std::tie(mesh_bytes, meta_bytes) =
+        checkpointPartBytes(checkpoint_dir_, p);
+  } catch (const std::exception&) {
+    return false;  // missing/damaged checkpoint: ladder exhausted
+  }
+  try {
+    rebuildPart(p, std::move(mesh_bytes), std::move(meta_bytes),
+                "checkpoint");
+  } catch (const pcu::Error&) {
+    return false;
+  }
+  return true;
+}
+
+void Armor::rebuildPart(PartId p, std::vector<std::byte> mesh_bytes,
+                        std::vector<std::byte> meta_bytes, const char* src) {
+  const std::uint64_t replayed = mesh_bytes.size() + meta_bytes.size();
+  auto content = core::meshFromBytes(std::move(mesh_bytes), pm_.model());
+  CheckpointAccess::resetPart(pm_.part(p), *content);
+
+  // Resolve the replica's (part, ordinal) references against the rebuilt
+  // handles; survivor tables come from their current (clean) meshes, whose
+  // ordinals the replica recorded at the same sealed boundary.
+  const int nparts = pm_.parts();
+  std::vector<partio::EntTable> ents;
+  ents.reserve(static_cast<std::size_t>(nparts));
+  for (PartId q = 0; q < nparts; ++q)
+    ents.push_back(partio::buildEntTable(pm_.part(q).mesh()));
+  const std::string ctx = std::string("integrity repair: part ") +
+                          std::to_string(p) + " " + src + " replica";
+  auto entOf = [&ents, &ctx](PartId part, std::uint64_t ref) -> Ent {
+    const int d = static_cast<int>(ref >> 48);
+    const std::uint64_t k = ref & ((std::uint64_t{1} << 48) - 1);
+    const auto& table = ents[static_cast<std::size_t>(part)];
+    if (d < 0 || d > 3 || k >= table[static_cast<std::size_t>(d)].size())
+      throw pcu::Error(
+          pcu::ErrorCode::kValidation, -1,
+          ctx + " references entity (dim " + std::to_string(d) +
+              ", ordinal " + std::to_string(k) + ") absent from part " +
+              std::to_string(part) +
+              " — the replica is stale relative to the sealed state");
+    return table[static_cast<std::size_t>(d)][k];
+  };
+  partio::applyMeta(pm_.part(p), p, std::move(meta_bytes), entOf, ctx);
+
+  // Patch the survivors' mirror records through copy symmetry: their
+  // stored handles into part p died with the wiped mesh, but p's rebuilt
+  // records name the same links from the other end (valid on both sides).
+  const Part& dp = pm_.part(p);
+  for (const auto& [e, r] : dp.remotes()) {
+    for (const Copy& c : r.copies) {
+      if (c.part == p) continue;
+      Part& sq = pm_.part(c.part);
+      const Remote* mirror = sq.remote(c.ent);
+      if (mirror == nullptr) continue;  // verify() reports the asymmetry
+      Remote patched = *mirror;
+      for (Copy& mc : patched.copies)
+        if (mc.part == p) mc.ent = e;
+      sq.setRemote(c.ent, std::move(patched));
+    }
+  }
+  for (const auto& [g, gsrc] : CheckpointAccess::ghostSource(dp)) {
+    if (gsrc.part == p) continue;
+    Part& sq = pm_.part(gsrc.part);
+    const auto& ghosted = CheckpointAccess::ghostedOn(sq);
+    auto it = ghosted.find(gsrc.ent);
+    if (it == ghosted.end()) continue;
+    std::vector<Copy> patched = it->second;
+    for (Copy& mc : patched)
+      if (mc.part == p) mc.ent = g;
+    CheckpointAccess::setGhostedOn(sq, gsrc.ent, std::move(patched));
+  }
+  for (const auto& [e, cps] : CheckpointAccess::ghostedOn(dp)) {
+    for (const Copy& c : cps) {
+      if (c.part == p) continue;
+      Part& sq = pm_.part(c.part);
+      if (sq.isGhost(c.ent)) CheckpointAccess::setGhost(sq, c.ent, Copy{p, e});
+    }
+  }
+  if (pcu::trace::enabled())
+    pcu::trace::counter("integrity:bytes_replayed",
+                        static_cast<std::int64_t>(replayed));
+}
+
+/// --- deterministic fault injection ------------------------------------------
+
+void Armor::injectFlips(const pcu::faults::MemFlip& burst) {
+  const std::uint64_t seed = pcu::faults::plan().seed;
+  const int nparts = pm_.parts();
+  if (nparts == 0) {
+    rep_.flips_skipped += static_cast<std::uint64_t>(burst.bits);
+    return;
+  }
+  for (int i = 0; i < burst.bits; ++i) {
+    const PartId p = static_cast<PartId>(
+        pcu::faults::memFlipKey(seed, 0, -1, pcu::faults::ioPathHash("part"),
+                                i) %
+        static_cast<std::uint64_t>(nparts));
+    const int rank = pm_.network().partMap().rankOf(p);
+    if (flipOne(burst.target, seed, rank, p, i))
+      ++rep_.flips_injected;
+    else
+      ++rep_.flips_skipped;
+  }
+  if (pcu::trace::enabled())
+    pcu::trace::counter("integrity:flips",
+                        static_cast<std::int64_t>(burst.bits));
+}
+
+bool Armor::flipOne(pcu::faults::MemTarget target, std::uint64_t seed,
+                    int rank, PartId p, int flip_index) {
+  using MT = pcu::faults::MemTarget;
+  Part& part = pm_.part(p);
+  core::Mesh& mesh = part.mesh();
+  auto key = [&](const std::string& what) {
+    return pcu::faults::memFlipKey(seed, rank, p,
+                                   pcu::faults::ioPathHash(what), flip_index);
+  };
+  auto meshSections = [&](const char* prefix, bool with_coords) {
+    std::vector<std::string> names;
+    for (const auto& s : core::integrity::MeshAccess::sections(mesh))
+      if ((with_coords && s.name == "coords") ||
+          s.name.rfind(prefix, 0) == 0)
+        names.push_back(s.name);
+    return names;
+  };
+  auto flipInSection = [&](const std::vector<std::string>& names,
+                           const char* pick) {
+    if (names.empty()) return false;
+    const std::string& name = names[key(pick) % names.size()];
+    auto span = core::integrity::MeshAccess::mutableSection(mesh, name);
+    if (span.empty()) return false;
+    const std::uint64_t bit = key(name) % (span.size() * 8);
+    span[bit / 8] ^= std::byte{1} << static_cast<int>(bit % 8);
+    return true;
+  };
+  auto eligibleTags = [&]() {
+    auto tags = mesh.tags().list();
+    std::sort(tags.begin(), tags.end(), [](const auto* a, const auto* b) {
+      return a->name() < b->name();
+    });
+    std::vector<core::Mesh::Tag> out;
+    for (auto* t : tags) {
+      const auto items = t->items();
+      if (items.empty()) continue;
+      if (t->valueBytes(items.front()).empty()) continue;  // non-POD payload
+      out.push_back(t);
+    }
+    return out;
+  };
+  auto flipTag = [&]() {
+    const auto tags = eligibleTags();
+    if (tags.empty()) return false;
+    auto* tag = tags[key("tag") % tags.size()];
+    auto items = tag->items();
+    std::sort(items.begin(), items.end(),
+              [](Ent a, Ent b) { return a.packed() < b.packed(); });
+    const Ent item = items[key("tag:" + tag->name()) % items.size()];
+    auto span = tag->valueBytes(item);
+    if (span.empty()) return false;
+    const std::uint64_t bit =
+        key("tagbit:" + tag->name()) % (span.size() * 8);
+    span[bit / 8] ^= std::byte{1} << static_cast<int>(bit % 8);
+    return true;
+  };
+  auto flipRemotes = [&]() {
+    const std::vector<FieldFlip> fields = remoteFields(part.remotes_, part.ghost_source_, part.ghosted_on_);
+    if (fields.empty()) return false;
+    std::uint64_t total = 0;
+    for (const FieldFlip& f : fields) total += static_cast<std::uint64_t>(f.bits);
+    std::uint64_t bit = key("remotes") % total;
+    for (const FieldFlip& f : fields) {
+      if (bit < static_cast<std::uint64_t>(f.bits)) {
+        f.flip(static_cast<int>(bit));
+        return true;
+      }
+      bit -= static_cast<std::uint64_t>(f.bits);
+    }
+    return false;
+  };
+  auto tryFamily = [&](MT f) {
+    switch (f) {
+      case MT::kPool:
+        return flipInSection(meshSections("pool:", true), "pool");
+      case MT::kCsr:
+        return flipInSection(meshSections("csr:", false), "csr");
+      case MT::kTag:
+        return flipTag();
+      case MT::kRemotes:
+        return flipRemotes();
+      case MT::kAny:
+        break;
+    }
+    return false;
+  };
+  if (target != MT::kAny) return tryFamily(target);
+  std::vector<MT> fams;
+  if (!meshSections("pool:", true).empty()) fams.push_back(MT::kPool);
+  if (!eligibleTags().empty()) fams.push_back(MT::kTag);
+  if (!remoteFields(part.remotes_, part.ghost_source_, part.ghosted_on_).empty()) fams.push_back(MT::kRemotes);
+  if (!meshSections("csr:", false).empty()) fams.push_back(MT::kCsr);
+  if (fams.empty()) return false;
+  return tryFamily(fams[key("family") % fams.size()]);
+}
+
+/// --- report -----------------------------------------------------------------
+
+IntegrityReport Armor::report() const {
+  IntegrityReport out = rep_;
+  for (const auto& led : ledgers_) {
+    out.bytes_hashed += led.bytesHashed();
+    out.sections_rehashed += led.sectionsRehashed();
+  }
+  auto dedupe = [](std::vector<PartId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedupe(out.parts_repaired);
+  dedupe(out.parts_unrepaired);
+  return out;
+}
+
+std::vector<std::string> Armor::partSections(PartId p) const {
+  return ledgers_.at(static_cast<std::size_t>(p)).sectionNames();
+}
+
+}  // namespace integrity
+}  // namespace dist

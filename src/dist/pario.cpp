@@ -15,6 +15,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/crc32.hpp"
 #include "core/meshio.hpp"
 #include "core/topo.hpp"
 #include "dist/partio.hpp"
@@ -143,7 +144,7 @@ std::optional<std::vector<std::byte>> tryReadChunk(File& img,
       get32(buf.data() + 8) != part || get32(buf.data() + 12) != slot.crc ||
       get64(buf.data() + 16) != slot.length)
     return std::nullopt;
-  if (pcu::faults::crc32(buf.data() + kChunkHeaderBytes, slot.length) !=
+  if (common::crc32(buf.data() + kChunkHeaderBytes, slot.length) !=
       slot.crc)
     return std::nullopt;
   buf.erase(buf.begin(),
@@ -202,7 +203,7 @@ std::vector<std::byte> buildManifestBytes(const Index& idx) {
   }
   auto bytes = std::move(b).take();
   std::byte trailer[4];
-  put32(trailer, pcu::faults::crc32(bytes.data(), bytes.size()));
+  put32(trailer, common::crc32(bytes.data(), bytes.size()));
   bytes.insert(bytes.end(), trailer, trailer + 4);
   return bytes;
 }
@@ -504,7 +505,7 @@ Index loadIndex(const std::string& dir) {
   if (f.preadSome(bytes.data(), bytes.size(), 0) != bytes.size())
     failValidation("restore: short read from " + path);
   const std::uint32_t want_crc = get32(bytes.data() + bytes.size() - 4);
-  if (pcu::faults::crc32(bytes.data(), bytes.size() - 4) != want_crc)
+  if (common::crc32(bytes.data(), bytes.size() - 4) != want_crc)
     failValidation("restore: " + path + " fails its own CRC (corrupt)");
 
   pcu::InBuffer b(std::move(bytes));
@@ -619,9 +620,9 @@ WriteStats checkpointImage(const PartedMesh& pm, const std::string& dir) {
   computeLayout(mesh_len, meta_len, idx.parts);
   for (int p = 0; p < n; ++p) {
     auto& ps = idx.parts[static_cast<std::size_t>(p)];
-    ps.mesh.crc = pcu::faults::crc32(
+    ps.mesh.crc = common::crc32(
         mesh_bytes[static_cast<std::size_t>(p)].data(), ps.mesh.length);
-    ps.meta.crc = pcu::faults::crc32(
+    ps.meta.crc = common::crc32(
         meta_bytes[static_cast<std::size_t>(p)].data(), ps.meta.length);
   }
 

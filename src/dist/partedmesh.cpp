@@ -10,7 +10,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/crc32.hpp"
 #include "core/order.hpp"
+#include "dist/integrity.hpp"
 #include "dist/tagio.hpp"
 #include "gmi/model.hpp"
 #include "pcu/arq.hpp"
@@ -81,6 +83,25 @@ PartedMesh::PartedMesh(gmi::Model* model, int nparts, PartMap map,
   parts_.reserve(static_cast<std::size_t>(nparts));
   for (PartId p = 0; p < nparts; ++p)
     parts_.push_back(std::make_unique<Part>(p, model));
+}
+
+PartedMesh::~PartedMesh() = default;
+
+bool PartedMesh::integrityEnabled() const {
+  if (integrity_override_ >= 0) return integrity_override_ != 0;
+  if (pcu::faults::memEnabled()) return true;
+  const char* env = std::getenv("PUMI_INTEGRITY");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+integrity::Armor& PartedMesh::armor() {
+  if (!armor_) armor_ = std::make_unique<integrity::Armor>(*this);
+  return *armor_;
+}
+
+integrity::Armor* PartedMesh::armorIfActive() {
+  if (!integrityEnabled()) return nullptr;
+  return &armor();
 }
 
 PartId PartedMesh::addPart() {
@@ -223,8 +244,17 @@ std::unique_ptr<PartedMesh> PartedMesh::distribute(
 void PartedMesh::runTransactional(const char* opname,
                                   const std::function<void()>& body) {
   const bool active = transactional_ || pcu::faults::enabled();
+  // Armor entry audit: catch (and repair) any bit flipped since the last
+  // boundary BEFORE the snapshot below copies it, and before the operation
+  // masks it under legitimate version bumps. The exit seal after the commit
+  // gate re-keys the ledgers against the new state, then plants any memflip
+  // scheduled for this boundary — so an injected flip sits in *sealed* live
+  // state until the next entry audit finds it.
+  integrity::Armor* armor = armorIfActive();
+  if (armor != nullptr) armor->auditAndRepair(opname);
   if (!active) {
     body();
+    if (armor != nullptr) armor->sealAndMaybeInject();
     return;
   }
   // Retry budget: explicit setOpRetries() wins; otherwise reliable mode
@@ -259,6 +289,7 @@ void PartedMesh::runTransactional(const char* opname,
     try {
       body();
       verify();  // commit gate: structural invariants must hold
+      if (armor != nullptr) armor->sealAndMaybeInject();
       return;
     } catch (...) {
       // Abort: restore every part, drop parts added mid-operation, and
@@ -419,7 +450,7 @@ std::uint64_t PartedMesh::fingerprint() const {
         packTags(p.mesh(), e, tags);
         const auto bytes = std::move(tags).take();
         mix(h, bytes.size());
-        mix(h, pcu::faults::crc32(bytes.data(), bytes.size()));
+        mix(h, common::crc32(bytes.data(), bytes.size()));
       }
     }
   }

@@ -35,6 +35,10 @@ namespace dist {
 using core::Ent;
 using core::EntHash;
 
+namespace integrity {
+class Armor;
+}
+
 /// Element-migration plan: for each part (by index), the elements leaving
 /// it and their destination parts. Elements not listed stay. Open-addressing
 /// tables (common::FlatMap): plan application probes these once per adjacent
@@ -128,6 +132,7 @@ class Part {
  private:
   friend class PartedMesh;
   friend struct CheckpointAccess;  ///< checkpoint.cpp (de)serializes the maps
+  friend class integrity::Armor;   ///< ledger streams + memory-fault spans
   PartId id_;
   core::Mesh mesh_;
   // Open-addressing tables (SIMD-probed; see common/flatmap.hpp): the
@@ -145,6 +150,7 @@ class PartedMesh {
   /// by distribute()).
   PartedMesh(gmi::Model* model, int nparts, PartMap map,
              OwnerRule rule = OwnerRule::MinPartId);
+  ~PartedMesh();  ///< out of line: armor_ holds an incomplete type here
 
   /// Split a serial mesh into parts: element i (in iteration order of
   /// serial.entities(dim)) goes to part elem_dest[i]. The serial mesh is
@@ -234,6 +240,24 @@ class PartedMesh {
   /// process run.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
+  /// --- silent-corruption armor (dist/integrity.hpp) ---------------------
+  /// When integrity is active, every transactional commit point audits the
+  /// per-part checksum ledgers, repairs what it can (CSR rebuild, buddy-
+  /// journal refetch, checkpoint restore) and reseals, so a flipped bit in
+  /// live state is caught at the next boundary instead of propagating into
+  /// checkpoints and journals. Activation: setIntegrity(true)/false to
+  /// force, else on when a memflip fault plan is armed
+  /// (pcu::faults::memEnabled()) or PUMI_INTEGRITY=1 is set.
+  void setIntegrity(bool on) { integrity_override_ = on ? 1 : 0; }
+  [[nodiscard]] bool integrityEnabled() const;
+  /// The armor, created on first use (regardless of integrityEnabled();
+  /// explicit callers configure and drive it directly).
+  [[nodiscard]] integrity::Armor& armor();
+  /// The armor when integrity is active, else nullptr. Lazily created.
+  /// This is the hook runTransactional and the balancing/service layers
+  /// poll at their boundaries.
+  [[nodiscard]] integrity::Armor* armorIfActive();
+
  private:
   friend struct CheckpointAccess;  ///< checkpoint.cpp restores dim_
   struct KeyMaps;
@@ -257,6 +281,8 @@ class PartedMesh {
   bool transactional_ = false;
   int op_retries_ = -1;
   std::uint64_t ops_retried_ = 0;
+  int integrity_override_ = -1;  ///< -1 auto (env/fault plan), 0 off, 1 on
+  std::unique_ptr<integrity::Armor> armor_;
   std::vector<std::unique_ptr<Part>> parts_;
 };
 

@@ -1,5 +1,6 @@
 #include "parma/balance.hpp"
 
+#include "dist/integrity.hpp"
 #include "parma/metrics.hpp"
 #include "pcu/error.hpp"
 #include "pcu/trace.hpp"
@@ -23,6 +24,11 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
 
   for (int round = 0; round < opts.max_rounds; ++round) {
     pcu::trace::Scope round_scope("parma:balance-round");
+    // A flip planted at the previous commit point (operation-exit seal or
+    // round boundary) sits in sealed state right now — repair it BEFORE the
+    // round reads part state to compute weights and diffusion plans, or a
+    // corrupted handle could be dereferenced outside any audit's reach.
+    if (auto* armor = pm.armorIfActive()) armor->auditAndRepair("parma:round");
     // A faulted round aborts transactionally inside the migration layer:
     // the mesh is already rolled back, so re-plan and re-run the same round
     // up to round_retries times (rollback means the retry sees clean state
@@ -42,7 +48,11 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
         // with its parts until they are evacuated, so retrying the round
         // would only re-hit the transport's dead-rank gate. Propagate for
         // the caller's evacuate + balanceAfterEvacuation sequence.
-        if (e.code() == pcu::ErrorCode::kRankFailed) throw;
+        // Unrepairable corruption (kIntegrity) is equally permanent: the
+        // armor already exhausted its repair ladder.
+        if (e.code() == pcu::ErrorCode::kRankFailed ||
+            e.code() == pcu::ErrorCode::kIntegrity)
+          throw;
         report.last_error = e.what();
         if (tries < opts.round_retries) report.rounds_retried += 1;
       }
@@ -53,6 +63,11 @@ BalanceReport balance(dist::PartedMesh& pm, const std::string& priority,
       continue;
     }
     report.rounds = round + 1;
+    // Round end is a commit point: audit-and-repair the whole mesh, reseal
+    // the ledgers, and fire any memflip scheduled for this boundary. The
+    // next reader of part state (the round-entry audit above, or the
+    // caller's own boundary) repairs whatever this plants.
+    if (auto* armor = pm.armorIfActive()) armor->boundary("parma:round");
     bool all_ok = true;
     for (int d : parsed.allDims())
       all_ok = all_ok &&

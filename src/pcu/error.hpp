@@ -29,6 +29,7 @@ enum class ErrorCode : std::uint8_t {
   kRankFailed,        ///< a rank died or went silent; communicator revoked
   kAdmission,         ///< service admission control rejected or shed a job
   kIoFault,           ///< storage I/O failed (write error, out of space)
+  kIntegrity,         ///< in-memory state corruption detected, not repairable
 };
 
 inline const char* errorCodeName(ErrorCode c) {
@@ -44,6 +45,7 @@ inline const char* errorCodeName(ErrorCode c) {
     case ErrorCode::kRankFailed: return "rank-failed";
     case ErrorCode::kAdmission: return "admission";
     case ErrorCode::kIoFault: return "io-fault";
+    case ErrorCode::kIntegrity: return "integrity";
   }
   return "unknown";
 }

@@ -38,21 +38,6 @@ double unitUniform(std::uint64_t h) {
   return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
 }
 
-/// CRC32 lookup table (IEEE polynomial 0xEDB88320, reflected).
-const std::array<std::uint32_t, 256>& crcTable() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k)
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
 void put32(std::byte* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
 void put64(std::byte* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
 std::uint32_t get32(const std::byte* p) {
@@ -96,11 +81,14 @@ void Domain::install(const FaultPlan& p) {
     stall_budget_.assign(static_cast<std::size_t>(p.stall_rank) + 1, 0);
     stall_budget_[static_cast<std::size_t>(p.stall_rank)] = p.stall_steps;
   }
+  memflip_fired_ = false;
   const bool rank_fault = p.kill.scheduled() || p.hang.scheduled();
   injecting_.store(p.injects(), std::memory_order_relaxed);
   // Storage faults gate only the pario::File shim; they deliberately do
-  // not arm message framing or transactional mode.
+  // not arm message framing or transactional mode. Memory faults likewise
+  // gate only core::integrity's injection hook.
   io_injecting_.store(p.ioInjects(), std::memory_order_relaxed);
+  mem_injecting_.store(p.memInjects(), std::memory_order_relaxed);
   iostall_ms_.store(p.iostall_ms, std::memory_order_relaxed);
   // A scheduled join is not a fault, but it needs the hardened phase
   // boundaries (which only exist on the framed path) so its @PHASE index is
@@ -153,6 +141,15 @@ bool Domain::fireHang(int rank, std::uint64_t phase) {
     return false;
   hang_fired_ = true;
   return true;
+}
+
+MemFlip Domain::fireMemFlip(std::uint64_t phase) {
+  if (!memEnabled()) return {};
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (memflip_fired_ || !plan_.memflip.scheduled()) return {};
+  if (phase != static_cast<std::uint64_t>(plan_.memflip.phase)) return {};
+  memflip_fired_ = true;
+  return plan_.memflip;
 }
 
 int Domain::fireJoin(std::uint64_t phase) {
@@ -357,6 +354,35 @@ FaultPlan parsePlan(const std::string& spec) {
       p.iostall = envspec::parseProb(env, key, val);
     } else if (key == "iostallms") {
       p.iostall_ms = envspec::parseInt(env, key, val, 0, 1 << 30);
+    } else if (key == "memflip") {
+      // NBITS@PHASE[:target], strict: at least one bit (a zero-bit burst is
+      // a spec error, not a no-op), phase >= 0, and the optional target must
+      // name a known section family exactly.
+      const std::size_t at = val.find('@');
+      if (at == std::string::npos)
+        envspec::badValue(env, key, val, "NBITS@PHASE[:target]");
+      p.memflip.bits = envspec::parseInt(env, "memflip bits",
+                                         val.substr(0, at), 1, 1 << 20);
+      std::string rest = val.substr(at + 1);
+      const std::size_t colon = rest.find(':');
+      if (colon != std::string::npos) {
+        const std::string target = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+        if (target == "pool") {
+          p.memflip.target = MemTarget::kPool;
+        } else if (target == "tag") {
+          p.memflip.target = MemTarget::kTag;
+        } else if (target == "remotes") {
+          p.memflip.target = MemTarget::kRemotes;
+        } else if (target == "csr") {
+          p.memflip.target = MemTarget::kCsr;
+        } else {
+          envspec::fail(env, "memflip target \"" + target +
+                                 "\" is not one of pool|tag|remotes|csr");
+        }
+      }
+      p.memflip.phase = envspec::parseInt(env, "memflip phase", rest, 0,
+                                          1 << 30);
     } else {
       envspec::fail(env, "unknown key \"" + key + "\" in \"" + item + "\"");
     }
@@ -408,15 +434,36 @@ IoAction decideIo(IoOp op, std::uint64_t path_hash, std::uint64_t offset) {
 
 int ioStallMs() { return current().ioStallMs(); }
 
-int ambientReliableOverride() { return current().reliableOverride(); }
-
-std::uint32_t crc32(const std::byte* data, std::size_t n) {
-  const auto& table = crcTable();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < n; ++i)
-    c = table[(c ^ static_cast<std::uint8_t>(data[i])) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
+const char* memTargetName(MemTarget t) {
+  switch (t) {
+    case MemTarget::kAny: return "any";
+    case MemTarget::kPool: return "pool";
+    case MemTarget::kTag: return "tag";
+    case MemTarget::kRemotes: return "remotes";
+    case MemTarget::kCsr: return "csr";
+  }
+  return "unknown";
 }
+
+bool memEnabled() { return current().memEnabled(); }
+
+MemFlip fireMemFlip(std::uint64_t phase) {
+  return current().fireMemFlip(phase);
+}
+
+std::uint64_t memFlipKey(std::uint64_t seed, int rank, int part,
+                         std::uint64_t section_hash, int flip_index) {
+  // Separately-salted key stream (like decideIo's) so a plan mixing
+  // message, storage, and memory faults draws independent decisions.
+  std::uint64_t h = mix(seed ^ 0x504D454D464C4950ull);  // "PMEMFLIP"
+  h = mix(h ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) |
+               (static_cast<std::uint64_t>(static_cast<std::uint32_t>(part))
+                << 32)));
+  h = mix(h ^ section_hash);
+  return mix(h ^ static_cast<std::uint64_t>(flip_index));
+}
+
+int ambientReliableOverride() { return current().reliableOverride(); }
 
 std::vector<std::byte> frame(std::uint64_t seq,
                              std::vector<std::byte> payload) {

@@ -57,6 +57,22 @@
 /// I/O faults gate only the storage shim: they do not arm message framing
 /// or transactional mode (injects() ignores them; ioInjects() reports them).
 ///
+/// Memory fault token (decided by the integrity armor at its hardened
+/// audit boundaries, pure in (seed, rank, part, section, offset) — a
+/// seeded memflip matrix replays bit-identically):
+///   memflip=N@P[:target]  N bits flip in live part state at the P-th
+///                      integrity boundary of the run. The optional target
+///                      restricts the flips to one section family:
+///                      pool (entity pools), tag (tag payloads),
+///                      remotes (remote/ghost copy tables), csr (cached
+///                      adjacency arrays); absent = any section.
+///
+/// Like the storage tokens, memflip arms neither message framing nor the
+/// transactional snapshot machinery (injects() and ioInjects() both ignore
+/// it; memInjects() reports it). It fires consume-once through
+/// core::integrity's narrow injection hook so flips land in real live
+/// state, not in copies.
+///
 /// Exact-duplicate keys in one spec (e.g. "kill=2@5,kill=3@7") are rejected
 /// with kValidation naming both offending tokens — a plan with a silently
 /// overwritten schedule would replay differently than its spec reads.
@@ -92,6 +108,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "pcu/error.hpp"
 
 namespace pcu {
@@ -121,6 +138,24 @@ struct RankJoin {
   [[nodiscard]] bool scheduled() const { return count > 0 && phase >= 0; }
 };
 
+/// Which section family a memflip restricts itself to. kAny flips anywhere
+/// the integrity ledger covers.
+enum class MemTarget : std::uint8_t { kAny, kPool, kTag, kRemotes, kCsr };
+
+/// Spelling of a MemTarget as it appears in a memflip token.
+const char* memTargetName(MemTarget t);
+
+/// A scheduled in-memory corruption burst: `bits` bits flip in live part
+/// state at the `phase`-th integrity audit boundary of the run, restricted
+/// to the `target` section family. Fires at most once per installed plan,
+/// through core::integrity's injection hook.
+struct MemFlip {
+  int bits = 0;
+  int phase = -1;
+  MemTarget target = MemTarget::kAny;
+  [[nodiscard]] bool scheduled() const { return bits > 0 && phase >= 0; }
+};
+
 /// A deterministic fault schedule. Probabilities are per message in [0,1].
 struct FaultPlan {
   std::uint64_t seed = 1;
@@ -143,9 +178,11 @@ struct FaultPlan {
   double ioenospc = 0.0;  ///< per-write probability of ENOSPC failure
   double iostall = 0.0;   ///< per-op probability of an iostallms sleep
   int iostall_ms = 1;     ///< sleep per stalled I/O op
+  MemFlip memflip;        ///< in-memory bit-flip burst at an audit boundary
 
-  /// Message-path injection gate. I/O faults are deliberately excluded:
-  /// a storage-only plan must not arm framing or transactional mode.
+  /// Message-path injection gate. I/O and memory faults are deliberately
+  /// excluded: a storage- or memory-only plan must not arm framing or
+  /// transactional mode.
   [[nodiscard]] bool injects() const {
     return corrupt > 0 || drop > 0 || duplicate > 0 || delay > 0 ||
            stall_steps > 0 || kill.scheduled() || hang.scheduled();
@@ -155,6 +192,9 @@ struct FaultPlan {
     return iobitrot > 0 || iotorn > 0 || ioshort > 0 || ioenospc > 0 ||
            iostall > 0;
   }
+  /// Memory-path injection gate (core::integrity's one-load check). Also
+  /// what arms the integrity ledger by default under a chaos plan.
+  [[nodiscard]] bool memInjects() const { return memflip.scheduled(); }
 };
 
 /// Parse a PUMI_FAULTS-style spec. Strict: every value must consume its
@@ -284,6 +324,15 @@ class Domain {
     return iostall_ms_.load(std::memory_order_relaxed);
   }
 
+  /// True when memory fault injection is scheduled under this domain.
+  [[nodiscard]] bool memEnabled() const {
+    return mem_injecting_.load(std::memory_order_relaxed);
+  }
+  /// Consume the scheduled memflip at integrity boundary `phase`: the
+  /// burst exactly once (for the caller that reaches the matching
+  /// boundary), a default MemFlip (bits == 0) otherwise.
+  MemFlip fireMemFlip(std::uint64_t phase);
+
  private:
   mutable std::mutex mutex_;
   FaultPlan plan_;
@@ -291,8 +340,10 @@ class Domain {
   bool kill_fired_ = false;
   bool hang_fired_ = false;
   bool join_fired_ = false;
+  bool memflip_fired_ = false;
   std::atomic<bool> injecting_{false};
   std::atomic<bool> io_injecting_{false};
+  std::atomic<bool> mem_injecting_{false};
   std::atomic<int> iostall_ms_{1};
   std::atomic<bool> framing_{false};
   std::atomic<bool> rank_fault_{false};
@@ -393,6 +444,20 @@ IoAction decideIo(IoOp op, std::uint64_t path_hash, std::uint64_t offset);
 /// The ambient plan's sleep per stalled I/O op, ms.
 int ioStallMs();
 
+/// --- memory faults (core::integrity hook) -------------------------------
+
+/// True when the ambient plan schedules a memflip (one relaxed load).
+bool memEnabled();
+/// Consume the ambient plan's scheduled memflip at integrity boundary
+/// `phase`: the burst exactly once, a default MemFlip (bits == 0) otherwise.
+MemFlip fireMemFlip(std::uint64_t phase);
+/// Deterministic flip-placement key, pure in (seed, rank, part, section
+/// hash, flip index): the integrity armor reduces it modulo its candidate
+/// spaces (section choice, bit offset) so a seeded memflip matrix replays
+/// bit-identically.
+std::uint64_t memFlipKey(std::uint64_t seed, int rank, int part,
+                         std::uint64_t section_hash, int flip_index);
+
 /// The ambient domain's reliable override (-1: inherit the process arq
 /// setting). Consulted by arq::enabled() so a DomainScope tenant-scopes
 /// reliability too.
@@ -404,8 +469,12 @@ inline constexpr std::uint32_t kFrameMagic = 0x50435546u;  // "PCUF"
 /// Header layout: magic(u32) crc32(u32) seq(u64); crc covers seq + payload.
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 
-/// CRC32 (IEEE 802.3, reflected) of a byte span.
-std::uint32_t crc32(const std::byte* data, std::size_t n);
+/// CRC32 (IEEE 802.3, reflected) of a byte span. Forwarding wrapper for
+/// common::crc32 (common/crc32.hpp), kept so the framing layer's historical
+/// spelling still works; new code should call common::crc32 directly.
+inline std::uint32_t crc32(const std::byte* data, std::size_t n) {
+  return common::crc32(data, n);
+}
 
 /// Wrap a payload in a frame carrying `seq`.
 std::vector<std::byte> frame(std::uint64_t seq, std::vector<std::byte> payload);

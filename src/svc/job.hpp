@@ -98,6 +98,10 @@ struct JobResult {
   int faults_recovered = 0;     ///< non-fatal structured errors retried past
   int retries = 0;              ///< admission resubmissions (submitWithRetry)
   bool packed = false;          ///< ran on a sibling job's grant
+  /// Silent-corruption armor activity (dist/integrity.hpp), when the job's
+  /// chaos spec schedules a memflip (or PUMI_INTEGRITY forces the armor on).
+  int integrity_repairs = 0;    ///< corrupt parts repaired in place
+  int integrity_flips = 0;      ///< memory faults injected into live state
 };
 
 }  // namespace svc

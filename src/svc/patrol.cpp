@@ -1,0 +1,82 @@
+#include "svc/patrol.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "dist/integrity.hpp"
+#include "pcu/error.hpp"
+#include "pcu/trace.hpp"
+
+namespace svc {
+
+Patrol::Patrol(int interval_ms)
+    : interval_ms_(std::max(1, interval_ms)), thread_([this] { loop(); }) {}
+
+Patrol::~Patrol() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::uint64_t Patrol::watch(dist::PartedMesh* pm, std::mutex* guard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  entries_.push_back({id, pm, guard});
+  return id;
+}
+
+void Patrol::unwatch(std::uint64_t id) {
+  // mutex_ is held for the whole sweep, so once we own it no scrub of this
+  // entry is in flight and the owner may destroy the mesh.
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+Patrol::Stats Patrol::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Patrol::scrub(dist::PartedMesh& pm) {
+  auto* armor = pm.armorIfActive();
+  if (armor == nullptr) return;
+  const auto before = armor->report();
+  try {
+    armor->auditAndRepair("patrol");
+  } catch (const pcu::Error&) {
+    // Unrepairable: count it, leave the throw to the owning job's next
+    // entry audit (a background thread has no job context to fail).
+    ++stats_.fatals;
+  }
+  const auto after = armor->report();
+  stats_.repairs += after.mismatches - before.mismatches;
+  ++stats_.scrubs;
+  if (pcu::trace::enabled()) pcu::trace::counter("integrity:patrol_scrubs", 1);
+}
+
+void Patrol::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [&] { return stop_; });
+    if (stop_) return;
+    ++stats_.sweeps;
+    for (const Entry& e : entries_) {
+      // Only audit a provably idle mesh: if the owner is mid-operation the
+      // guard is held and the mesh is skipped until the next sweep.
+      if (!e.guard->try_lock()) {
+        ++stats_.busy;
+        continue;
+      }
+      scrub(*e.pm);
+      e.guard->unlock();
+    }
+  }
+}
+
+}  // namespace svc

@@ -1,0 +1,78 @@
+#ifndef PUMI_SVC_PATROL_HPP
+#define PUMI_SVC_PATROL_HPP
+
+/// \file patrol.hpp
+/// \brief Background integrity patrol: scrubs idle meshes between jobs.
+///
+/// The armor (dist/integrity.hpp) audits at operation boundaries — but a
+/// mesh sitting idle between jobs crosses no boundaries, so a bit flipped
+/// while it waits would only surface at its *next* operation. The patrol
+/// closes that window: a single background thread walks the registered
+/// meshes on a fixed cadence and runs the armor's audit-and-repair pass on
+/// any mesh it can prove idle (its owner's guard mutex is free).
+///
+/// Owners hold the guard whenever an operation is mutating the mesh; the
+/// patrol only ever try-locks, so it never delays real work — a busy mesh
+/// is simply skipped until the next sweep. Unrepairable corruption found
+/// by the patrol is counted (fatals) but not thrown from the background
+/// thread: the next operation's entry audit re-detects it and raises
+/// pcu::Error(kIntegrity) in the owning job's context.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dist/partedmesh.hpp"
+
+namespace svc {
+
+class Patrol {
+ public:
+  struct Stats {
+    std::uint64_t sweeps = 0;   ///< cadence ticks
+    std::uint64_t scrubs = 0;   ///< idle meshes audited
+    std::uint64_t busy = 0;     ///< meshes skipped (guard held)
+    std::uint64_t repairs = 0;  ///< corruptions detected during patrol scrubs
+    std::uint64_t fatals = 0;   ///< unrepairable corruption sightings
+  };
+
+  explicit Patrol(int interval_ms = 10);
+  ~Patrol();
+  Patrol(const Patrol&) = delete;
+  Patrol& operator=(const Patrol&) = delete;
+
+  /// Register a mesh for scrubbing. `guard` must be held by the owner
+  /// whenever an operation is mutating the mesh; both pointers must stay
+  /// valid until unwatch(). Returns the registration id.
+  std::uint64_t watch(dist::PartedMesh* pm, std::mutex* guard);
+
+  /// Remove a registration; blocks until any in-flight scrub of it ends.
+  void unwatch(std::uint64_t id);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void loop();
+  void scrub(dist::PartedMesh& pm);
+
+  struct Entry {
+    std::uint64_t id = 0;
+    dist::PartedMesh* pm = nullptr;
+    std::mutex* guard = nullptr;
+  };
+
+  mutable std::mutex mutex_;  ///< registry + stats; held across each sweep
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  int interval_ms_;
+  Stats stats_;
+  std::thread thread_;
+};
+
+}  // namespace svc
+
+#endif  // PUMI_SVC_PATROL_HPP

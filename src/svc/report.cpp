@@ -44,6 +44,8 @@ void accumulate(TenantStats& stats, const JobResult& result) {
   stats.failovers += result.failovers;
   stats.faults_recovered += result.faults_recovered;
   stats.retries += result.retries;
+  stats.integrity_repairs += result.integrity_repairs;
+  stats.integrity_flips += result.integrity_flips;
   if (result.packed) ++stats.packed;
 }
 
@@ -61,6 +63,8 @@ void Report::writeJson(std::ostream& os) const {
        << ", \"failovers\": " << t.failovers
        << ", \"faults_recovered\": " << t.faults_recovered
        << ", \"retries\": " << t.retries << ", \"packed\": " << t.packed
+       << ", \"integrity_repairs\": " << t.integrity_repairs
+       << ", \"integrity_flips\": " << t.integrity_flips
        << ", \"p50_ms\": " << t.p50_ms << ", \"p99_ms\": " << t.p99_ms
        << ", \"mean_ms\": " << t.mean_ms << ", \"max_ms\": " << t.max_ms
        << "}";

@@ -28,6 +28,8 @@ struct TenantStats {
   int faults_recovered = 0;  ///< non-fatal structured errors retried past
   int retries = 0;           ///< admission resubmissions
   int packed = 0;            ///< jobs run on a sibling's grant
+  int integrity_repairs = 0;  ///< corrupted parts repaired in place
+  int integrity_flips = 0;    ///< memory faults injected (faults::memflip)
   /// Completed-job latency (submit -> done, queue wait included), ms.
   double p50_ms = 0.0;
   double p99_ms = 0.0;

@@ -10,6 +10,7 @@
 #include "dist/checkpoint.hpp"
 #include "dist/digest.hpp"
 #include "dist/failover.hpp"
+#include "dist/integrity.hpp"
 #include "dist/partedmesh.hpp"
 #include "meshgen/boxmesh.hpp"
 #include "parma/balance.hpp"
@@ -59,6 +60,8 @@ std::uint64_t foldDigest(const std::multiset<std::uint64_t>& digests) {
 
 Scheduler::Scheduler(SchedulerOptions opts)
     : opts_(opts), ledger_(opts.pool_size) {
+  if (opts_.patrol)
+    patrol_ = std::make_unique<Patrol>(opts_.patrol_interval_ms);
   workers_.reserve(static_cast<std::size_t>(opts_.workers));
   for (int w = 0; w < opts_.workers; ++w)
     workers_.emplace_back([this] { workerLoop(); });
@@ -293,6 +296,29 @@ JobResult Scheduler::execute(const JobSpec& spec, const std::vector<int>& grant,
         dist::PartMap(width, pcu::Machine::flat(width)));
     dist::failover::BuddyJournal journal;
 
+    // Silent-corruption armor: active when the tenant's chaos spec armed a
+    // memflip (or PUMI_INTEGRITY forces it). The armor repairs from the
+    // same replicas failover evacuates from; the initial seal makes
+    // boundary 0 the job's start, so a memflip@0 strikes the freshly
+    // distributed mesh and the first operation's entry audit repairs it.
+    dist::integrity::Armor* armor = pm->armorIfActive();
+    std::mutex job_guard;
+    std::uint64_t watch_id = 0;
+    if (armor != nullptr) {
+      armor->setJournal(&journal);
+      armor->setCheckpointDir(spec.checkpoint_dir);
+      // The seal records the pristine replica BEFORE any flip can strike.
+      armor->sealAndMaybeInject();
+      if (patrol_) watch_id = patrol_->watch(pm.get(), &job_guard);
+    }
+    struct Unwatch {
+      Patrol* patrol;
+      std::uint64_t id;
+      ~Unwatch() {
+        if (patrol != nullptr && id != 0) patrol->unwatch(id);
+      }
+    } unwatch{patrol_.get(), watch_id};
+
     // Run one operation with tier-2 retries for recoverable faults and
     // tenant-contained failover for rank failures. The blast radius of a
     // dead rank is exactly this job: evacuate its parts from the journal,
@@ -315,12 +341,22 @@ JobResult Scheduler::execute(const JobSpec& spec, const std::vector<int>& grant,
       }
     };
     auto attempt = [&](auto&& op) {
+      // The job guard proves the mesh busy to the patrol for the whole
+      // persist+op span; between attempts (and between phases) the patrol
+      // may scrub.
       for (int tries = 0;; ++tries) {
+        std::lock_guard<std::mutex> busy(job_guard);
+        // Audit BEFORE persisting: a flip planted at the previous boundary
+        // must be repaired before the journal/checkpoint re-record state,
+        // or the corruption would be checksummed into the repair replicas
+        // as truth.
+        if (armor != nullptr) armor->auditAndRepair("svc:persist");
         persist();
         try {
           op();
           return;
         } catch (const pcu::Error& e) {
+          if (e.code() == pcu::ErrorCode::kIntegrity) throw;
           if (e.code() == pcu::ErrorCode::kRankFailed) {
             const auto rep = dist::failover::evacuate(*pm, journal,
                                                       spec.checkpoint_dir);
@@ -337,15 +373,26 @@ JobResult Scheduler::execute(const JobSpec& spec, const std::vector<int>& grant,
       }
     };
 
+    // Each workflow phase ends on an explicit armor boundary (audit-and-
+    // repair + reseal + scheduled flip), in addition to the per-operation
+    // boundaries inside the transactional layer.
+    auto phaseBoundary = [&](const char* where) {
+      if (armor == nullptr) return;
+      std::lock_guard<std::mutex> busy(job_guard);
+      armor->boundary(where);
+    };
+
     for (int round = 0; round < spec.migrate_rounds; ++round)
       attempt([&] {
         pm->migrate(somePlan(*pm, spec.seed + static_cast<std::uint64_t>(
                                                   round)));
       });
+    phaseBoundary("svc:migrate");
     if (spec.balance) {
       parma::BalanceOptions bopts;
       bopts.max_rounds = 2;
       attempt([&] { parma::balance(*pm, "Rgn", bopts); });
+      phaseBoundary("svc:balance");
     }
     if (spec.solve) {
       solver::PoissonOptions popts;
@@ -356,10 +403,20 @@ JobResult Scheduler::execute(const JobSpec& spec, const std::vector<int>& grant,
             *pm, [](const common::Vec3&) { return 1.0; },
             [](const common::Vec3&) { return 0.0; }, popts);
       });
+      phaseBoundary("svc:solve");
     }
 
-    pm->verify();
-    persist();  // the completed mesh is the job's last committed state
+    {
+      std::lock_guard<std::mutex> busy(job_guard);
+      if (armor != nullptr) armor->auditAndRepair("svc:final");
+      pm->verify();
+      persist();  // the completed mesh is the job's last committed state
+    }
+    if (armor != nullptr) {
+      const auto irep = armor->report();
+      res.integrity_repairs = static_cast<int>(irep.parts_repaired.size());
+      res.integrity_flips = static_cast<int>(irep.flips_injected);
+    }
     const auto digests = dist::digest::elementDigests(*pm);
     res.elements = digests.size();
     res.digest = foldDigest(digests);

@@ -36,12 +36,14 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "svc/job.hpp"
 #include "svc/ledger.hpp"
+#include "svc/patrol.hpp"
 #include "svc/report.hpp"
 
 namespace svc {
@@ -56,6 +58,11 @@ struct SchedulerOptions {
   bool pack_same_tenant = true;    ///< run queued same-tenant jobs that fit
                                    ///< on an already-leased grant
   int op_retries = 3;  ///< per-operation retries for non-fatal faults
+  /// Background integrity patrol (svc/patrol.hpp): scrub the ledgers of
+  /// idle job meshes between operations on this cadence. Off by default —
+  /// jobs without integrity armor gain nothing from the extra thread.
+  bool patrol = false;
+  int patrol_interval_ms = 10;
 };
 
 class Scheduler {
@@ -90,6 +97,8 @@ class Scheduler {
 
   [[nodiscard]] Ledger& ledger() { return ledger_; }
   [[nodiscard]] const SchedulerOptions& options() const { return opts_; }
+  /// The background integrity patrol; nullptr unless options().patrol.
+  [[nodiscard]] Patrol* patrol() { return patrol_.get(); }
 
   /// Aggregate every outcome seen so far into the per-tenant report.
   [[nodiscard]] Report report() const;
@@ -113,6 +122,7 @@ class Scheduler {
 
   SchedulerOptions opts_;
   Ledger ledger_;
+  std::unique_ptr<Patrol> patrol_;  ///< created when opts_.patrol
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/crc32.hpp"
 #include "common/mat.hpp"
 #include "common/rng.hpp"
 #include "common/set.hpp"
@@ -253,6 +257,62 @@ TEST(TagRegistry, RemoveAllAndCopyAll) {
   EXPECT_FALSE(b->has(1));
   EXPECT_TRUE(a->has(2));
   EXPECT_EQ(a->count(), 1u);
+}
+
+/// --- checksum primitives --------------------------------------------------
+
+TEST(Crc32, MatchesIeeeKnownAnswers) {
+  // CRC-32 (IEEE 802.3, reflected) — the persisted-format checksum. Its
+  // byte-for-byte output is a compatibility contract (frames, pario chunk
+  // trailers, journal dedup keys, fingerprints all store it), so pin the
+  // standard vector set.
+  const auto crcOf = [](const std::string& s) {
+    return common::crc32(reinterpret_cast<const std::byte*>(s.data()),
+                         s.size());
+  };
+  EXPECT_EQ(crcOf(""), 0x00000000u);
+  EXPECT_EQ(crcOf("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crcOf("abc"), 0x352441C2u);
+  EXPECT_EQ(crcOf("message digest"), 0x20159D7Fu);
+  EXPECT_EQ(crcOf("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crcOf("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32c, MatchesCastagnoliKnownAnswersOnEveryPath) {
+  // CRC-32C (Castagnoli) — the in-memory integrity checksum. The SSE4.2
+  // hardware path and the scalar table fallback must agree bit-for-bit, so
+  // exercise every alignment/length mix around the 8-byte fast loop.
+  const std::string s = "123456789";
+  const auto* b = reinterpret_cast<const std::byte*>(s.data());
+  EXPECT_EQ(common::crc32c(b, 9), 0xE3069283u);
+  EXPECT_EQ(common::crc32c(b, 0), 0u);
+  // Seeded chaining: crc32c(suffix, crc32c(prefix)) == crc32c(whole), for
+  // every split — this is what lets the ledger hash sections in blocks.
+  for (std::size_t cut = 0; cut <= s.size(); ++cut)
+    EXPECT_EQ(common::crc32c(b + cut, s.size() - cut, common::crc32c(b, cut)),
+              0xE3069283u)
+        << "chain split at " << cut;
+  // Misaligned starts hit the scalar pre-loop before the 64-bit stride:
+  // identical content must hash identically at every alignment.
+  const std::string long_s(70, 'x');
+  const auto* lb = reinterpret_cast<const std::byte*>(long_s.data());
+  for (std::size_t off = 1; off < 8; ++off)
+    EXPECT_EQ(common::crc32c(lb + off, 32), common::crc32c(lb, 32))
+        << "alignment offset " << off;
+  // The two polynomials are deliberately different checksums.
+  EXPECT_NE(common::crc32c(b, 9), common::crc32(b, 9));
+  // The public entry may dispatch to the SSE4.2 instruction at runtime;
+  // whatever it picked must agree bit-for-bit with the scalar table walk
+  // over a buffer long enough to exercise the 64-bit stride.
+  std::vector<std::byte> buf(1024);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::byte>((i * 131) ^ (i >> 3));
+  const std::uint32_t scalar =
+      common::detail::crcUpdateScalar<0x82F63B78u>(0xFFFFFFFFu, buf.data(),
+                                                   buf.size()) ^
+      0xFFFFFFFFu;
+  EXPECT_EQ(common::crc32c(buf.data(), buf.size()), scalar);
 }
 
 }  // namespace

@@ -741,4 +741,46 @@ TEST(PariaWrite, RecheckpointAdvancesGenerationAndSweepsOldImage) {
   EXPECT_TRUE(dist::checkpointValid(dir));
 }
 
+/// --- report determinism (integrity armor rides on these lists) -----------
+
+/// Multi-part loss: the lost-part list must come back SORTED and
+/// bit-identical across reruns of the same damaged image — the integrity
+/// and failover reports are diffed by tooling and replayed by seed, so a
+/// hash-map iteration order leaking into the list would break both.
+TEST(PariaReport, LostPartListIsSortedAndDeterministicAcrossReruns) {
+  auto gen = meshgen::boxTris(6, 6);
+  const int nparts = 6;
+  auto pm = makeMesh(gen, nparts);
+  const auto dir = freshDir("report_determinism");
+  dist::checkpoint(*pm, dir);
+
+  // Destroy both copies of three parts' mesh chunks, deliberately in
+  // non-sorted order (4, then 1, then 3).
+  const auto idx = pario::loadIndex(dir);
+  const std::string image = dir + "/" + idx.image;
+  for (const int victim : {4, 1, 3}) {
+    const auto& slot = idx.parts[static_cast<std::size_t>(victim)].mesh;
+    for (const std::uint64_t off : {slot.primary, slot.replica})
+      flipByte(image, off + pario::kChunkHeaderBytes + slot.length / 3);
+  }
+
+  auto runOnce = [&] {
+    pario::RestoreReport report;
+    auto restored = pario::restoreImage(dir, gen.model.get(),
+                                        pario::OnLoss::kPartial, &report);
+    EXPECT_NO_THROW(restored->verify());
+    return report;
+  };
+  const auto a = runOnce();
+  const auto b = runOnce();
+
+  EXPECT_EQ(a.lost, (std::vector<dist::PartId>{1, 3, 4}))
+      << "lost parts must be sorted, not in damage/discovery order";
+  EXPECT_EQ(b.lost, a.lost) << "rerun diverged: the list is not a function "
+                               "of the image content";
+  EXPECT_EQ(b.chunks_lost, a.chunks_lost);
+  EXPECT_EQ(b.chunks_repaired, a.chunks_repaired);
+  EXPECT_TRUE(a.partial());
+}
+
 }  // namespace
